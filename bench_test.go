@@ -1,0 +1,272 @@
+// Package repro's root benchmarks regenerate every figure of the paper's
+// evaluation (one benchmark per table/figure, per DESIGN.md) plus the
+// ablation studies. Each bench runs a scaled-down configuration per
+// iteration and reports the figure's headline quantities as custom
+// metrics; run cmd/evostore-bench for full-scale tables.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/nas"
+)
+
+func benchNAS() expr.NASConfig {
+	return expr.NASConfig{
+		Budget:     200,
+		Population: 40,
+		Sample:     8,
+		Space:      nas.NewSpace(12, 8, 0),
+		Seed:       1,
+		Retire:     true,
+	}
+}
+
+// BenchmarkFig4IncrementalStorage reproduces Figure 4: aggregate write
+// bandwidth of incremental EvoStore writes vs whole-file HDF5+PFS writes,
+// weak-scaled, at paper scale on the virtual fabric.
+func BenchmarkFig4IncrementalStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunFig4(expr.Fig4Config{Virtual: true, GPUs: []int{8, 64, 256}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.GPUs == 256 {
+				switch {
+				case r.Approach == "EvoStore" && r.Fraction == 0.25:
+					b.ReportMetric(r.AggGBps, "evostore25%-GB/s")
+				case r.Approach == "EvoStore" && r.Fraction == 1.0:
+					b.ReportMetric(r.AggGBps, "evostore100%-GB/s")
+				case r.Approach == "HDF5+PFS":
+					b.ReportMetric(r.AggGBps, "hdf5pfs-GB/s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4RealWrites is the wall-clock companion: actual concurrent
+// derived-model writes against an in-process deployment.
+func BenchmarkFig4RealWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunFig4(expr.Fig4Config{
+			GPUs: []int{8}, Fractions: []float64{0.25, 1.0},
+			ModelBytes: 8 << 20, Layers: 50,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Approach == "EvoStore" && r.Fraction == 0.25 {
+				b.ReportMetric(r.AggGBps, "evostore25%-GB/s")
+			}
+			if r.Approach == "HDF5+PFS" {
+				b.ReportMetric(r.AggGBps, "hdf5pfs-GB/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5QueryScalability reproduces Figure 5: strong scaling of LCP
+// query processing, EvoStore collective queries vs Redis-Queries.
+func BenchmarkFig5QueryScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunFig5(expr.Fig5Config{
+			CatalogSize: 500, Queries: 100, Workers: []int{1, 32}, Providers: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workers == 32 {
+				switch r.Approach {
+				case "EvoStore":
+					b.ReportMetric(r.QueriesPerS, "evostore-q/s")
+				case "Redis-Queries":
+					b.ReportMetric(r.QueriesPerS, "redis-q/s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig6AccuracyOverTime reproduces Figure 6: candidate accuracy
+// over search time with and without transfer learning.
+func BenchmarkFig6AccuracyOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, summaries, err := expr.RunFig6(benchNAS(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range summaries {
+			switch s.Approach {
+			case "EvoStore":
+				b.ReportMetric(s.BestAcc, "evostore-best-acc")
+			case "DH-NoTransfer":
+				b.ReportMetric(s.BestAcc, "notransfer-best-acc")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7TimeToTarget reproduces Figure 7: virtual seconds until a
+// candidate reaches the target accuracy band.
+func BenchmarkFig7TimeToTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunFig7(benchNAS(), []float64{0.80}, []int{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Reached {
+				continue
+			}
+			switch r.Approach {
+			case "EvoStore":
+				b.ReportMetric(r.Seconds, "evostore-to-0.80-s")
+			case "DH-NoTransfer":
+				b.ReportMetric(r.Seconds, "notransfer-to-0.80-s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8EndToEnd reproduces Figure 8: end-to-end NAS runtime for
+// the three approaches.
+func BenchmarkFig8EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunFig8(benchNAS(), []int{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Approach {
+			case "EvoStore":
+				b.ReportMetric(r.Makespan, "evostore-s")
+				b.ReportMetric(r.RepoOverhead*100, "evostore-overhead-%")
+			case "DH-NoTransfer":
+				b.ReportMetric(r.Makespan, "notransfer-s")
+			case "HDF5+PFS":
+				b.ReportMetric(r.Makespan, "hdf5pfs-s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9TaskTimeline reproduces Figure 9: per-task duration
+// statistics and wave behaviour across the three approaches.
+func BenchmarkFig9TaskTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunFig9(benchNAS(), 64, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Approach {
+			case "EvoStore":
+				b.ReportMetric(r.StdTaskSec, "evostore-task-stddev-s")
+			case "HDF5+PFS":
+				b.ReportMetric(r.StdTaskSec, "hdf5pfs-task-stddev-s")
+			case "DH-NoTransfer":
+				b.ReportMetric(r.WaveScore, "notransfer-wavescore")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10StorageSpace reproduces Figure 10: repository storage
+// space with and without retirement.
+func BenchmarkFig10StorageSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunFig10(benchNAS(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			mb := float64(r.FinalBytes) / (1 << 20)
+			switch {
+			case r.Approach == "EvoStore" && r.Retire:
+				b.ReportMetric(mb, "evostore-retire-MiB")
+			case r.Approach == "EvoStore":
+				b.ReportMetric(mb, "evostore-MiB")
+			case r.Approach == "HDF5+PFS" && r.Retire:
+				b.ReportMetric(mb, "hdf5pfs-retire-MiB")
+			case r.Approach == "HDF5+PFS":
+				b.ReportMetric(mb, "hdf5pfs-MiB")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationOwnerMapVsChain quantifies the owner-map design: read
+// cost independent of lineage depth vs chain reconstruction.
+func BenchmarkAblationOwnerMapVsChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunAblationOwnerMap([]int{32}, 8<<10, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Speedup, "speedup-at-depth-32")
+	}
+}
+
+// BenchmarkAblationLeafVsCoarse quantifies leaf-layer vs cell-level dedup
+// granularity (paper §4.2).
+func BenchmarkAblationLeafVsCoarse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := expr.RunAblationGranularity(100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.BytesGain, "leaf-dedup-gain")
+	}
+}
+
+// BenchmarkAblationConsolidation quantifies consolidated bulk reads vs
+// per-tensor requests.
+func BenchmarkAblationConsolidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := expr.RunAblationConsolidation(64, 16<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.Speedup, "consolidation-speedup")
+	}
+}
+
+// BenchmarkAblationCollectiveQuery quantifies provider-side collective
+// queries vs client-side catalog iteration.
+func BenchmarkAblationCollectiveQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := expr.RunAblationCollective(300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.Speedup, "collective-speedup")
+	}
+}
+
+// BenchmarkExtensionZeroCostProxy measures the §6 zero-cost-proxy
+// projection: I/O's share of the workflow as training effort shrinks.
+func BenchmarkExtensionZeroCostProxy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.RunZeroCost(benchNAS(), 64, []float64{1.0, 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.EpochFraction == 0.1 {
+				switch r.Approach {
+				case "EvoStore":
+					b.ReportMetric(r.IOFraction*100, "evostore-proxy-io-%")
+				case "HDF5+PFS":
+					b.ReportMetric(r.IOFraction*100, "hdf5pfs-proxy-io-%")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Command evostore-ctl inspects a running EvoStore deployment.
+//
+// Usage:
+//
+//	evostore-ctl -providers host1:7070,host2:7070 list
+//	evostore-ctl -providers ... stats
+//	evostore-ctl -providers ... lineage <modelID>
+//	evostore-ctl -providers ... owners <modelID>
+//	evostore-ctl -providers ... mrca <modelID> <modelID>
+//	evostore-ctl -providers ... retire <modelID>
+//	evostore-ctl -providers ... arch <modelID>        # Graphviz DOT to stdout
+//
+// The -providers list must match the deployment's canonical order.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/metrics"
+	"repro/internal/ownermap"
+	"repro/internal/rpc"
+)
+
+func main() {
+	providers := flag.String("providers", "127.0.0.1:7070", "comma-separated provider addresses, in deployment order")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|arch} [args]")
+		os.Exit(2)
+	}
+
+	var conns []rpc.Conn
+	for _, addr := range strings.Split(*providers, ",") {
+		conns = append(conns, rpc.NewPool(strings.TrimSpace(addr), 2, rpc.DialTCP))
+	}
+	cli := client.New(conns)
+	ctx := context.Background()
+
+	if err := run(ctx, cli, args); err != nil {
+		fmt.Fprintln(os.Stderr, "evostore-ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func parseID(s string) (ownermap.ModelID, error) {
+	n, err := strconv.ParseUint(s, 10, 64)
+	return ownermap.ModelID(n), err
+}
+
+func run(ctx context.Context, cli *client.Client, args []string) error {
+	switch args[0] {
+	case "list":
+		ids, err := cli.ListModels(ctx)
+		if err != nil {
+			return err
+		}
+		tbl := metrics.NewTable("Model", "Provider", "Vertices", "Quality", "Lineage depth")
+		for _, id := range ids {
+			meta, err := cli.GetMeta(ctx, id)
+			if err != nil {
+				return err
+			}
+			tbl.Add(uint64(id), cli.HomeProvider(id), meta.Graph.NumVertices(),
+				meta.Quality, len(meta.OwnerMap.Lineage()))
+		}
+		tbl.Render(os.Stdout)
+		return nil
+
+	case "stats":
+		st, err := cli.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("models:        %d\n", st.Models)
+		fmt.Printf("segments:      %d\n", st.Segments)
+		fmt.Printf("segment bytes: %s\n", metrics.HumanBytes(int64(st.SegmentBytes)))
+		fmt.Printf("live refs:     %d\n", st.LiveRefs)
+		return nil
+
+	case "lineage":
+		if len(args) < 2 {
+			return fmt.Errorf("lineage needs a model ID")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		chain, err := cli.Lineage(ctx, id)
+		if err != nil {
+			return err
+		}
+		for i, a := range chain {
+			fmt.Printf("%s%d\n", strings.Repeat("  ", i), uint64(a))
+		}
+		return nil
+
+	case "owners":
+		if len(args) < 2 {
+			return fmt.Errorf("owners needs a model ID")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		meta, err := cli.GetMeta(ctx, id)
+		if err != nil {
+			return err
+		}
+		tbl := metrics.NewTable("Owner", "Seq", "Vertices", "Bytes")
+		for _, g := range meta.OwnerMap.Owners() {
+			var bytes int64
+			for _, v := range g.Vertices {
+				bytes += meta.Graph.Vertices[v].ParamBytes
+			}
+			tbl.Add(uint64(g.Owner), g.Seq, len(g.Vertices), metrics.HumanBytes(bytes))
+		}
+		tbl.Render(os.Stdout)
+		return nil
+
+	case "mrca":
+		if len(args) < 3 {
+			return fmt.Errorf("mrca needs two model IDs")
+		}
+		a, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		b, err := parseID(args[2])
+		if err != nil {
+			return err
+		}
+		anc, ok, err := cli.CommonAncestor(ctx, a, b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no common ancestor")
+			return nil
+		}
+		fmt.Printf("most recent common ancestor: %d\n", uint64(anc))
+		return nil
+
+	case "retire":
+		if len(args) < 2 {
+			return fmt.Errorf("retire needs a model ID")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		freed, err := cli.Retire(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("retired %d, freed %d segments\n", uint64(id), freed)
+		return nil
+
+	case "arch":
+		if len(args) < 2 {
+			return fmt.Errorf("arch needs a model ID")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		meta, err := cli.GetMeta(ctx, id)
+		if err != nil {
+			return err
+		}
+		return meta.Graph.WriteDOT(os.Stdout, fmt.Sprintf("model_%d", uint64(id)), nil)
+	}
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}

@@ -1,0 +1,90 @@
+// Command evostore-nas runs an end-to-end network architecture search with
+// transfer learning against a real EvoStore repository: the full
+// DeepHyper-style pipeline of paper §4.3, with surrogate training.
+//
+// Usage:
+//
+//	evostore-nas [-workers 8] [-budget 200] [-population 50]
+//	             [-providers 4 | -attach host1:7070,host2:7070]
+//	             [-retire] [-timeline]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nas"
+	"repro/internal/rpc"
+)
+
+func main() {
+	workers := flag.Int("workers", 8, "concurrent worker goroutines")
+	budget := flag.Int("budget", 200, "candidates to evaluate")
+	population := flag.Int("population", 50, "aged-evolution population size")
+	sample := flag.Int("sample", 10, "tournament sample size")
+	providers := flag.Int("providers", 4, "embedded provider count (ignored with -attach)")
+	attach := flag.String("attach", "", "comma-separated external provider addresses")
+	retire := flag.Bool("retire", true, "retire aged-out candidates from the repository")
+	timeline := flag.Bool("timeline", false, "render the task timeline")
+	seed := flag.Int64("seed", 7, "search seed")
+	positions := flag.Int("positions", 16, "search-space cell positions")
+	width := flag.Int("width", 16, "model feature width")
+	flag.Parse()
+
+	var repo *core.Repository
+	if *attach != "" {
+		var conns []rpc.Conn
+		for _, addr := range strings.Split(*attach, ",") {
+			conns = append(conns, rpc.NewPool(strings.TrimSpace(addr), 4, rpc.DialTCP))
+		}
+		repo = core.Attach(conns)
+	} else {
+		var err error
+		repo, err = core.Open(core.Options{Providers: *providers})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer repo.Close()
+
+	cfg := nas.RealConfig{
+		Workers:       *workers,
+		Space:         nas.NewSpace(*positions, 8, *width),
+		Population:    *population,
+		Sample:        *sample,
+		Budget:        *budget,
+		Retire:        *retire,
+		SurrogateSeed: *seed,
+		SearchSeed:    *seed + 1,
+	}
+	log.Printf("search space: %.3g candidates; budget %d; %d workers",
+		cfg.Space.Size(), cfg.Budget, cfg.Workers)
+
+	res, err := nas.RunReal(context.Background(), repo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nevaluated %d candidates in %v\n", len(res.History), res.Makespan)
+	fmt.Printf("best candidate: seq=%s quality=%.4f experience=%.2f\n",
+		res.Best.Seq, res.Best.Quality, res.Best.Experience)
+
+	st, err := repo.Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository: %d live models, %d segments, %s\n",
+		st.Models, st.Segments, metrics.HumanBytes(int64(st.SegmentBytes)))
+
+	mean, std := res.Trace.DurationStats()
+	fmt.Printf("task durations: mean %.3fs stddev %.3fs\n", mean, std)
+	if *timeline {
+		res.Trace.RenderASCII(os.Stdout, *workers, 100)
+	}
+}

@@ -1,0 +1,66 @@
+// Command evostore-server runs one EvoStore storage provider on TCP.
+//
+// A deployment is a fixed, ordered list of providers; every client must be
+// given the same ordered address list (the order defines provider IDs for
+// the static model→provider hash).
+//
+// Usage:
+//
+//	evostore-server -listen :7070 -id 0 [-data /path/to/dir]
+//
+// Without -data the provider uses the in-memory backend (the paper's
+// synchronized-pool mode); with -data it persists segments in an LSM store
+// (the RocksDB-like mode).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/kvstore"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "TCP listen address")
+	id := flag.Int("id", 0, "provider ID (its index in the deployment's address list)")
+	data := flag.String("data", "", "persistence directory (empty = in-memory backend)")
+	flag.Parse()
+
+	var kv kvstore.KV
+	if *data == "" {
+		kv = kvstore.NewMemKV(16)
+		log.Printf("provider %d: in-memory backend", *id)
+	} else {
+		lsm, err := kvstore.OpenLSM(*data, kvstore.LSMOptions{})
+		if err != nil {
+			log.Fatalf("opening LSM store: %v", err)
+		}
+		defer lsm.Close()
+		kv = lsm
+		log.Printf("provider %d: LSM backend at %s", *id, *data)
+	}
+
+	p := provider.New(*id, kv)
+	srv := rpc.NewServer()
+	p.Register(srv)
+
+	lis, addr, err := rpc.ListenAndServeTCP(*listen, srv)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("provider %d: serving on %s", *id, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("provider %d: shutting down", *id)
+	lis.Close()
+	st := p.Stats()
+	log.Printf("provider %d: %d models, %d segments, %d bytes",
+		*id, st.Models, st.Segments, st.SegmentBytes)
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "EvoStore: Towards
+// Scalable Storage of Evolving Learning Models" (HPDC 2024): a distributed
+// deep-learning model repository with incremental tensor storage, owner
+// maps, collective longest-common-prefix queries, reference-counted
+// garbage collection and provenance support, together with every substrate
+// its evaluation depends on and a benchmark harness regenerating each of
+// the paper's figures.
+//
+// The root package holds only the figure benchmarks (bench_test.go); the
+// implementation lives under internal/ (see README.md and DESIGN.md).
+package repro

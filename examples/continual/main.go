@@ -1,0 +1,111 @@
+// Continual learning: the paper's §6 future-work scenario on the public
+// API — a model family that tracks a drifting data distribution through
+// periodic fine-tuning, where the right transfer source is the most
+// *recent* compatible model, not the highest-scoring one.
+//
+//	go run ./examples/continual
+//
+// Each "day", the deployed model is fine-tuned on fresh data (its head
+// retrains; the backbone stays frozen) and stored. Ancestor selection uses
+// BestAncestorRecent, which breaks LCP ties by recency; models older than
+// the retention window are retired, and incremental storage keeps the
+// whole retained history at a fraction of full copies.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+const (
+	days      = 14
+	retention = 5 // keep the last 5 daily snapshots
+)
+
+func main() {
+	ctx := context.Background()
+	repo, err := core.Open(core.Options{Providers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	f, err := model.Flatten(model.Sequential("deployed", 64,
+		model.Dense{In: 64, Out: 128, Activation: "relu", UseBias: true},
+		model.Dense{In: 128, Out: 128, Activation: "relu", UseBias: true},
+		model.Dense{In: 128, Out: 128, Activation: "relu", UseBias: true},
+		model.Dense{In: 128, Out: 16, Activation: "softmax", UseBias: true},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	head := graph.VertexID(f.Graph.NumVertices() - 1)
+
+	// Day 0: initial training from scratch.
+	ws := model.Materialize(f, 0)
+	first, err := repo.Store(ctx, f, ws, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	window := []core.ModelID{first}
+	fmt.Printf("day  0: trained from scratch → model %d\n", first)
+
+	for day := 1; day <= days; day++ {
+		// The freshest compatible snapshot is the fine-tuning source —
+		// recency beats quality when the data distribution drifts.
+		anc, found, err := repo.BestAncestorRecent(ctx, f)
+		if err != nil || !found {
+			log.Fatalf("day %d: no ancestor (%v)", day, err)
+		}
+		cur := model.Materialize(f, uint64(day))
+		if err := repo.TransferPrefix(ctx, f, cur, anc); err != nil {
+			log.Fatal(err)
+		}
+		cur.PerturbVertex(head, uint64(day))   // fine-tune on today's data
+		quality := 0.85 + 0.005*float64(day%3) // day-to-day metric wiggle
+		id, err := repo.StoreDerived(ctx, f, cur, quality, anc, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %2d: fine-tuned from model %d (recency-selected) → model %d\n",
+			day, anc.Meta.Model, id)
+		window = append(window, id)
+
+		// Retention: retire snapshots that aged out of the window.
+		for len(window) > retention {
+			old := window[0]
+			window = window[1:]
+			freed, err := repo.Retire(ctx, old)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("        retired model %d (freed %d unshared segments)\n", old, freed)
+		}
+	}
+
+	// The retained window shares its backbone: storage stays near one
+	// model's worth plus per-day heads.
+	st, err := repo.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := f.TotalParamBytes() * int64(retention)
+	fmt.Printf("\nretained %d snapshots in %s (full copies would need %s — %.1fx saving)\n",
+		retention, metrics.HumanBytes(int64(st.SegmentBytes)),
+		metrics.HumanBytes(full), float64(full)/float64(st.SegmentBytes))
+
+	// Provenance across the window: every retained snapshot chains back to
+	// the day-0 backbone owner.
+	newest := window[len(window)-1]
+	lineage, err := repo.Lineage(ctx, newest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("newest snapshot's contributing chain: %v\n", lineage)
+}

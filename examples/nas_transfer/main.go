@@ -1,0 +1,77 @@
+// NAS with transfer learning: a miniature version of the paper's
+// motivating scenario (§2) on the public API.
+//
+//	go run ./examples/nas_transfer
+//
+// An aged-evolution controller explores a cell-based search space; worker
+// goroutines evaluate candidates by querying EvoStore for the best
+// transfer ancestor, inheriting and freezing the common prefix, training
+// (surrogate), and writing back only the modified tensors. Retired
+// population members are garbage-collected from the repository.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nas"
+)
+
+func main() {
+	ctx := context.Background()
+	repo, err := core.Open(core.Options{Providers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	cfg := nas.RealConfig{
+		Workers:       8,
+		Space:         nas.NewSpace(14, 8, 16),
+		Population:    40,
+		Sample:        8,
+		Budget:        300,
+		Retire:        true,
+		SurrogateSeed: 11,
+		SearchSeed:    12,
+	}
+	fmt.Printf("search space: %.3g candidate architectures\n", cfg.Space.Size())
+	fmt.Printf("evaluating %d candidates on %d workers...\n", cfg.Budget, cfg.Workers)
+
+	res, err := nas.RunReal(ctx, repo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsearch finished in %v\n", res.Makespan)
+	fmt.Printf("best candidate: %s  accuracy=%.4f  lineage experience=%.2f epochs\n",
+		res.Best.Seq, res.Best.Quality, res.Best.Experience)
+
+	// How much did transfer learning contribute over the run?
+	transferred := 0
+	var expSum float64
+	for _, c := range res.History {
+		if c.Experience > 1 {
+			transferred++
+		}
+		expSum += c.Experience
+	}
+	fmt.Printf("%d/%d candidates inherited weights; mean lineage experience %.2f epochs\n",
+		transferred, len(res.History), expSum/float64(len(res.History)))
+
+	// The best model's provenance, straight from its owner map.
+	best := core.ModelID(res.Best.ID)
+	if lineage, err := repo.Lineage(ctx, best); err == nil {
+		fmt.Printf("best model's contributing-ancestor chain: %v\n", lineage)
+	}
+
+	st, err := repo.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository after search: %d live models (population cap %d), %s stored\n",
+		st.Models, cfg.Population, metrics.HumanBytes(int64(st.SegmentBytes)))
+}

@@ -1,0 +1,115 @@
+// Quickstart: the full EvoStore round trip in one file.
+//
+//	go run ./examples/quickstart
+//
+// It opens an embedded repository, stores a model, derives a second model
+// through transfer learning (collective LCP query → partial read → train →
+// incremental write), inspects sharing, and retires the ancestor to show
+// reference-counted garbage collection keeping shared tensors alive.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+func main() {
+	ctx := context.Background()
+	repo, err := core.Open(core.Options{Providers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	// 1. Build a model with the Keras-like API and store it.
+	mlp := model.Sequential("base", 32,
+		model.Dense{In: 32, Out: 64, Activation: "relu", UseBias: true},
+		model.BatchNorm{Dim: 64},
+		model.Dense{In: 64, Out: 64, Activation: "relu", UseBias: true},
+		model.Dense{In: 64, Out: 10, Activation: "softmax", UseBias: true},
+	)
+	base, err := model.Flatten(mlp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseWeights := model.Materialize(base, 42) // stands in for trained weights
+	baseID, err := repo.Store(ctx, base, baseWeights, 0.91)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored base model %d: %d leaf layers, %s of parameters\n",
+		baseID, base.NumLeaves(), metrics.HumanBytes(base.TotalParamBytes()))
+
+	// 2. A new candidate with a different head: find the best transfer
+	//    ancestor with a collective LCP query.
+	mlp2 := model.Sequential("derived", 32,
+		model.Dense{In: 32, Out: 64, Activation: "relu", UseBias: true},
+		model.BatchNorm{Dim: 64},
+		model.Dense{In: 64, Out: 64, Activation: "relu", UseBias: true},
+		model.Dense{In: 64, Out: 3, Activation: "softmax", UseBias: true}, // new head
+	)
+	derived, err := model.Flatten(mlp2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anc, found, err := repo.BestAncestor(ctx, derived)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !found {
+		log.Fatal("no ancestor found")
+	}
+	fmt.Printf("best ancestor: model %d, common prefix %d/%d layers (%s)\n",
+		anc.Meta.Model, len(anc.Prefix), derived.NumLeaves(),
+		metrics.HumanBytes(anc.PrefixBytes(derived)))
+
+	// 3. Transfer the prefix (partial read), "train" the rest, store the
+	//    diff. Only the modified head travels back to the repository.
+	weights := model.Materialize(derived, 43)
+	if err := repo.TransferPrefix(ctx, derived, weights, anc); err != nil {
+		log.Fatal(err)
+	}
+	head := graph.VertexID(derived.Graph.NumVertices() - 1)
+	weights.PerturbVertex(head, 99) // one epoch of "fine-tuning"
+	derivedID, err := repo.StoreDerived(ctx, derived, weights, 0.94, anc, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored derived model %d (only the modified head was written)\n", derivedID)
+
+	// 4. Inspect sharing through the owner map.
+	meta, err := repo.GetMeta(ctx, derivedID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range meta.OwnerMap.Owners() {
+		fmt.Printf("  owner %d contributes %d layers\n", g.Owner, len(g.Vertices))
+	}
+
+	// 5. Retire the base model: its metadata goes immediately, but the
+	//    tensors the derived model inherited stay alive.
+	freed, err := repo.Retire(ctx, baseID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retired base model: %d unshared segments freed\n", freed)
+	if _, loaded, err := repo.Load(ctx, derivedID); err != nil {
+		log.Fatal(err)
+	} else if !loaded.Equal(weights) {
+		log.Fatal("derived model corrupted by retirement")
+	}
+	fmt.Println("derived model still loads byte-identically — shared tensors survived")
+
+	st, err := repo.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository: %d model(s), %d segments, %s\n",
+		st.Models, st.Segments, metrics.HumanBytes(int64(st.SegmentBytes)))
+}

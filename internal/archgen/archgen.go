@@ -1,0 +1,177 @@
+// Package archgen generates model architectures for the micro-benchmarks
+// (paper §5.3): a parameterized uniform generator that controls total model
+// size, leaf-layer count and the fraction of layers shared with a base
+// model (driving the incremental-storage experiments), and a DeepSpace-like
+// generator producing diverse, branchy architectures with submodels
+// (driving the LCP query experiments).
+package archgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// UniformOptions parameterizes the incremental-storage generator.
+type UniformOptions struct {
+	// TotalBytes is the target total parameter payload. Default 64 MiB.
+	TotalBytes int64
+	// Layers is the number of parameter-bearing leaf layers. Default 100.
+	Layers int
+	// Variant tags the non-shared suffix so two variants with the same
+	// SharedFraction differ architecturally after the shared prefix.
+	Variant uint64
+	// SharedFraction is the fraction of layers (from the input) whose
+	// configuration matches every other model generated with the same
+	// TotalBytes/Layers (regardless of Variant). 1.0 = identical models.
+	SharedFraction float64
+}
+
+func (o *UniformOptions) setDefaults() {
+	if o.TotalBytes <= 0 {
+		o.TotalBytes = 64 << 20
+	}
+	if o.Layers <= 0 {
+		o.Layers = 100
+	}
+	if o.SharedFraction < 0 {
+		o.SharedFraction = 0
+	}
+	if o.SharedFraction > 1 {
+		o.SharedFraction = 1
+	}
+}
+
+// Uniform builds a sequential model of Layers evenly sized dense layers
+// totalling TotalBytes of parameters. The first SharedFraction×Layers
+// layers are identical across variants; the rest carry the Variant tag in
+// their configuration, so the LCP between any two variants is exactly the
+// shared prefix (plus the input vertex).
+func Uniform(opts UniformOptions) (*model.Flat, error) {
+	opts.setDefaults()
+	perLayer := opts.TotalBytes / int64(opts.Layers)
+	units := int(perLayer / 4) // Dense{In:1,Out:units} has a 4×units-byte kernel
+	if units < 1 {
+		units = 1
+	}
+	shared := int(opts.SharedFraction * float64(opts.Layers))
+
+	layers := make([]model.Layer, opts.Layers)
+	for i := range layers {
+		act := "relu"
+		if i >= shared {
+			// The variant tag changes ConfigSig without changing size.
+			act = fmt.Sprintf("relu-v%d", opts.Variant)
+		}
+		layers[i] = model.Dense{In: 1, Out: units, Activation: act}
+	}
+	m := model.Sequential(fmt.Sprintf("uniform-%d", opts.Variant), 1, layers...)
+	return model.Flatten(m)
+}
+
+// SpaceOptions parameterizes the DeepSpace-like generator.
+type SpaceOptions struct {
+	// MinCells/MaxCells bound the number of cells (stacked blocks).
+	MinCells, MaxCells int
+	// Width is the feature dimension used throughout.
+	Width int
+	// SkipProb is the probability a cell adds a skip connection (creating
+	// fork-join vertices).
+	SkipProb float64
+	// SubmodelProb is the probability a cell is wrapped in a nested
+	// submodel (exercising recursive flattening).
+	SubmodelProb float64
+}
+
+func (o *SpaceOptions) setDefaults() {
+	if o.MinCells <= 0 {
+		o.MinCells = 3
+	}
+	if o.MaxCells < o.MinCells {
+		o.MaxCells = o.MinCells + 7
+	}
+	if o.Width <= 0 {
+		o.Width = 16
+	}
+	if o.SkipProb == 0 {
+		o.SkipProb = 0.3
+	}
+	if o.SubmodelProb == 0 {
+		o.SubmodelProb = 0.25
+	}
+}
+
+// cellOps is the operation menu, mirroring a NAS cell search space.
+func cellOps(width int) []func(tag int) model.Layer {
+	return []func(tag int) model.Layer{
+		func(tag int) model.Layer { return model.Dense{In: width, Out: width, Activation: "relu"} },
+		func(tag int) model.Layer { return model.Dense{In: width, Out: width, Activation: "tanh"} },
+		func(tag int) model.Layer {
+			return model.Dense{In: width, Out: width, Activation: "gelu", UseBias: true}
+		},
+		func(tag int) model.Layer { return model.LayerNorm{Dim: width} },
+		func(tag int) model.Layer { return model.BatchNorm{Dim: width} },
+		func(tag int) model.Layer { return model.Dropout{Rate100: 10 + 10*(tag%5)} },
+		func(tag int) model.Layer { return model.MultiHeadAttention{Dim: width, Heads: 2} },
+		func(tag int) model.Layer { return model.Identity{} },
+	}
+}
+
+// Space generates a random architecture from the space defined by opts
+// using r. Models from the same space share structure probabilistically,
+// which yields the non-trivial LCP distribution the query benchmarks need.
+func Space(r *rand.Rand, opts SpaceOptions) (*model.Flat, error) {
+	opts.setDefaults()
+	ops := cellOps(opts.Width)
+
+	m := model.New("space")
+	cur := m.Input("input", opts.Width)
+	cells := opts.MinCells + r.Intn(opts.MaxCells-opts.MinCells+1)
+	for c := 0; c < cells; c++ {
+		opIdx := r.Intn(len(ops))
+		layer := ops[opIdx](c)
+		name := fmt.Sprintf("cell%d_op%d", c, opIdx)
+
+		useSkip := r.Float64() < opts.SkipProb
+		useSub := r.Float64() < opts.SubmodelProb
+
+		var out *model.Node
+		if useSub {
+			sub := model.New(fmt.Sprintf("sub%d", c))
+			sin := sub.Input("in", opts.Width)
+			sOut := sub.Apply(layer, "op", sin)
+			// Submodels occasionally stack a second op.
+			if r.Intn(2) == 0 {
+				opIdx2 := r.Intn(len(ops))
+				sOut = sub.Apply(ops[opIdx2](c), "op2", sOut)
+			}
+			sub.SetOutputs(sOut)
+			out = m.Apply(model.Submodel{M: sub}, name, cur)
+		} else {
+			out = m.Apply(layer, name, cur)
+		}
+		if useSkip {
+			out = m.Apply(model.Add{}, fmt.Sprintf("cell%d_skip", c), cur, out)
+		}
+		cur = out
+	}
+	head := m.Apply(model.Dense{In: opts.Width, Out: 1 + r.Intn(8), Activation: "softmax"}, "head", cur)
+	m.SetOutputs(head)
+	return model.Flatten(m)
+}
+
+// Catalog generates n architectures from the space, seeded for
+// reproducibility.
+func Catalog(seed int64, n int, opts SpaceOptions) ([]*model.Flat, error) {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*model.Flat, n)
+	for i := range out {
+		f, err := Space(r, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package archgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestUniformSizeAndLayers(t *testing.T) {
+	f, err := Uniform(UniformOptions{TotalBytes: 1 << 20, Layers: 50, SharedFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 dense layers + 1 input vertex.
+	if f.NumLeaves() != 51 {
+		t.Fatalf("NumLeaves = %d", f.NumLeaves())
+	}
+	total := f.TotalParamBytes()
+	if total < (1<<20)*95/100 || total > (1<<20)*105/100 {
+		t.Errorf("TotalParamBytes = %d, want ≈1MiB", total)
+	}
+	// Evenly sized: every dense vertex carries the same payload.
+	first := f.Graph.Vertices[1].ParamBytes
+	for v := 2; v < f.NumLeaves(); v++ {
+		if f.Graph.Vertices[v].ParamBytes != first {
+			t.Fatalf("vertex %d payload %d != %d", v, f.Graph.Vertices[v].ParamBytes, first)
+		}
+	}
+}
+
+func TestUniformSharedFractionControlsLCP(t *testing.T) {
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		a, err := Uniform(UniformOptions{TotalBytes: 1 << 16, Layers: 100, Variant: 1, SharedFraction: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Uniform(UniformOptions{TotalBytes: 1 << 16, Layers: 100, Variant: 2, SharedFraction: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcp := graph.LCPSize(a.Graph, b.Graph)
+		want := int(frac*100) + 1 // shared layers + input vertex
+		if lcp != want {
+			t.Errorf("frac=%v: LCP=%d, want %d", frac, lcp, want)
+		}
+	}
+}
+
+func TestUniformFullShareIsIdentical(t *testing.T) {
+	a, _ := Uniform(UniformOptions{Variant: 1, SharedFraction: 1, Layers: 10, TotalBytes: 1 << 12})
+	b, _ := Uniform(UniformOptions{Variant: 2, SharedFraction: 1, Layers: 10, TotalBytes: 1 << 12})
+	if !a.Graph.Equal(b.Graph) {
+		t.Error("fully shared variants differ")
+	}
+}
+
+func TestUniformClampsFraction(t *testing.T) {
+	f, err := Uniform(UniformOptions{SharedFraction: 2.5, Layers: 4, TotalBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumLeaves() != 5 {
+		t.Errorf("NumLeaves = %d", f.NumLeaves())
+	}
+}
+
+func TestSpaceGeneratesValidDiverseGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	opts := SpaceOptions{MinCells: 4, MaxCells: 12, Width: 8}
+	sizes := map[int]bool{}
+	forkJoin := false
+	for i := 0; i < 50; i++ {
+		f, err := Space(r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Graph.Validate(); err != nil {
+			t.Fatalf("model %d invalid: %v", i, err)
+		}
+		sizes[f.NumLeaves()] = true
+		for v := 0; v < f.NumLeaves(); v++ {
+			if f.Graph.InDegree(graph.VertexID(v)) > 1 {
+				forkJoin = true
+			}
+		}
+	}
+	if len(sizes) < 5 {
+		t.Errorf("only %d distinct sizes in 50 samples — not diverse", len(sizes))
+	}
+	if !forkJoin {
+		t.Error("no fork-join vertices generated despite skip connections")
+	}
+}
+
+func TestSpaceSharedPrefixesExist(t *testing.T) {
+	// Architectures from the same space must occasionally share non-trivial
+	// prefixes — that is what makes the LCP workload meaningful.
+	cat, err := Catalog(7, 200, SpaceOptions{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nontrivial := 0
+	for i := 1; i < len(cat); i++ {
+		if graph.LCPSize(cat[0].Graph, cat[i].Graph) >= 2 {
+			nontrivial++
+		}
+	}
+	if nontrivial < 10 {
+		t.Errorf("only %d/199 catalog entries share a ≥2-vertex prefix", nontrivial)
+	}
+}
+
+func TestCatalogReproducible(t *testing.T) {
+	a, err := Catalog(42, 20, SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Catalog(42, 20, SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Graph.Equal(b[i].Graph) {
+			t.Fatalf("catalog entry %d differs between runs", i)
+		}
+	}
+}
+
+func BenchmarkSpaceGeneration(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	opts := SpaceOptions{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Space(r, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

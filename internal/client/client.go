@@ -1,0 +1,383 @@
+// Package client implements the EvoStore client library: the application-
+// side half of the repository. It maps model IDs to providers with static
+// hashing, consolidates modified tensors into single bulk writes, follows
+// owner maps to scatter partial reads across providers in parallel,
+// broadcasts collective LCP queries and reduces their results, and drives
+// distributed retirement (metadata removal + reference-count decrements).
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// Client talks to a fixed set of providers. Index i of conns is provider i;
+// model IDs are mapped to providers by static hashing (paper §4.1).
+type Client struct {
+	conns []rpc.Conn
+}
+
+// New wraps provider connections. The slice order defines provider IDs and
+// must match across all clients of the same deployment.
+func New(conns []rpc.Conn) *Client {
+	if len(conns) == 0 {
+		panic("client: need at least one provider connection")
+	}
+	return &Client{conns: conns}
+}
+
+// NumProviders returns the deployment size.
+func (c *Client) NumProviders() int { return len(c.conns) }
+
+// HomeProvider returns the provider index a model ID hashes to.
+func (c *Client) HomeProvider(id ownermap.ModelID) int {
+	return int(uint64(id) % uint64(len(c.conns)))
+}
+
+func (c *Client) home(id ownermap.ModelID) rpc.Conn {
+	return c.conns[c.HomeProvider(id)]
+}
+
+// ModelData is a fully resolved model: metadata plus one consolidated
+// tensor segment per vertex (empty for parameter-free leaves).
+type ModelData struct {
+	Meta     *proto.ModelMeta
+	Segments [][]byte
+}
+
+// ownerGroups partitions a model's vertices by owning model, ascending.
+func ownerGroups(om *ownermap.Map) []ownermap.OwnerGroup { return om.Owners() }
+
+// --- store ---------------------------------------------------------------------
+
+// Store publishes a model. segments must hold one entry per vertex of
+// meta.Graph; only the entries of vertices meta.OwnerMap assigns to the
+// model itself are shipped (the modified tensors) — inherited entries are
+// ignored and may be nil.
+//
+// The call first pins all inherited segments by incrementing their
+// reference counts on the owners' providers (in parallel), then sends one
+// consolidated write to the model's home provider. Pinning first means a
+// concurrent retirement of the ancestor can never free tensors this model
+// now depends on; if pinning fails the store is aborted and already-taken
+// pins are rolled back.
+func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]byte) error {
+	n := meta.Graph.NumVertices()
+	if meta.OwnerMap.Len() != n || len(segments) != n {
+		return fmt.Errorf("client: store %d: graph %d vertices, owner map %d, segments %d",
+			meta.Model, n, meta.OwnerMap.Len(), len(segments))
+	}
+
+	// Pin inherited segments, grouped by owner.
+	groups := ownerGroups(meta.OwnerMap)
+	var pinned []ownermap.OwnerGroup
+	for _, g := range groups {
+		if g.Owner == meta.Model {
+			continue
+		}
+		if err := c.refCall(ctx, proto.RPCIncRef, g.Owner, g.Vertices); err != nil {
+			for _, undo := range pinned {
+				c.refCall(ctx, proto.RPCDecRef, undo.Owner, undo.Vertices) //nolint:errcheck // best-effort rollback
+			}
+			return fmt.Errorf("client: store %d: pinning inherited tensors of %d: %w", meta.Model, g.Owner, err)
+		}
+		pinned = append(pinned, g)
+	}
+
+	// Consolidate self-owned segments into one bulk payload.
+	var table []proto.SegmentRef
+	var bulk []byte
+	for v := 0; v < n; v++ {
+		e := meta.OwnerMap.Entries[v]
+		if e.Owner != meta.Model {
+			continue
+		}
+		seg := segments[v]
+		table = append(table, proto.SegmentRef{Vertex: graph.VertexID(v), Length: uint32(len(seg))})
+		bulk = append(bulk, seg...)
+	}
+	req := &proto.StoreModelReq{
+		Model:    meta.Model,
+		Seq:      meta.Seq,
+		Quality:  meta.Quality,
+		Graph:    meta.Graph,
+		OwnerMap: meta.OwnerMap,
+		Segments: table,
+	}
+	_, err := c.home(meta.Model).Call(ctx, proto.RPCStoreModel, rpc.Message{Meta: req.Encode(), Bulk: bulk})
+	if err != nil {
+		for _, undo := range pinned {
+			c.refCall(ctx, proto.RPCDecRef, undo.Owner, undo.Vertices) //nolint:errcheck // best-effort rollback
+		}
+		return fmt.Errorf("client: store %d: %w", meta.Model, err)
+	}
+	return nil
+}
+
+func (c *Client) refCall(ctx context.Context, name string, owner ownermap.ModelID, vs []graph.VertexID) error {
+	req := &proto.RefReq{Owner: owner, Vertices: vs}
+	_, err := c.home(owner).Call(ctx, name, rpc.Message{Meta: req.Encode()})
+	return err
+}
+
+// --- load ----------------------------------------------------------------------
+
+// GetMeta fetches a model's catalog entry from its home provider.
+func (c *Client) GetMeta(ctx context.Context, id ownermap.ModelID) (*proto.ModelMeta, error) {
+	resp, err := c.home(id).Call(ctx, proto.RPCGetMeta, rpc.Message{Meta: proto.EncodeModelID(id)})
+	if err != nil {
+		return nil, fmt.Errorf("client: get_meta %d: %w", id, err)
+	}
+	return proto.DecodeModelMeta(resp.Meta)
+}
+
+// Load reconstructs a whole model: one GetMeta to the home provider, then
+// one parallel bulk read per (owner → provider) group following the owner
+// map. Lineage depth never adds round trips.
+func (c *Client) Load(ctx context.Context, id ownermap.ModelID) (*ModelData, error) {
+	meta, err := c.GetMeta(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := c.readByOwner(ctx, meta.OwnerMap, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: load %d: %w", id, err)
+	}
+	return &ModelData{Meta: meta, Segments: segs}, nil
+}
+
+// LoadVertices reads only the given vertices of a model (the partial-read
+// primitive behind transfer learning): tensors are fetched from their
+// owners' providers in parallel. The result slice is indexed by vertex ID
+// with nil entries for vertices that were not requested.
+func (c *Client) LoadVertices(ctx context.Context, meta *proto.ModelMeta, vertices []graph.VertexID) ([][]byte, error) {
+	want := make(map[graph.VertexID]bool, len(vertices))
+	for _, v := range vertices {
+		if int(v) >= meta.OwnerMap.Len() {
+			return nil, fmt.Errorf("client: load %d: vertex %d out of range", meta.Model, v)
+		}
+		want[v] = true
+	}
+	return c.readByOwner(ctx, meta.OwnerMap, want)
+}
+
+// readByOwner groups vertices by owner and issues the per-provider bulk
+// reads concurrently. want==nil selects every vertex.
+func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[graph.VertexID]bool) ([][]byte, error) {
+	segs := make([][]byte, om.Len())
+	groups := ownerGroups(om)
+	var wg sync.WaitGroup
+	errs := make([]error, len(groups))
+	var mu sync.Mutex // guards segs writes (distinct indices, but keep the race detector certain)
+	for gi, g := range groups {
+		vs := g.Vertices
+		if want != nil {
+			vs = nil
+			for _, v := range g.Vertices {
+				if want[v] {
+					vs = append(vs, v)
+				}
+			}
+		}
+		if len(vs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
+			defer wg.Done()
+			req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs}
+			resp, err := c.home(owner).Call(ctx, proto.RPCReadSegments, rpc.Message{Meta: req.Encode()})
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			table, err := proto.DecodeSegTable(resp.Meta)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			parts, err := proto.SplitBulk(table, resp.Bulk)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			mu.Lock()
+			for i, ref := range table {
+				segs[ref.Vertex] = parts[i]
+			}
+			mu.Unlock()
+		}(gi, g.Owner, vs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return segs, nil
+}
+
+// --- collective LCP query ----------------------------------------------------------
+
+// QueryLCP broadcasts the candidate architecture to every provider and
+// reduces the local best matches to the global best (paper Algorithm 1 +
+// the map-reduce-style collective of §4.1). found is false when no stored
+// model shares any prefix with g.
+func (c *Client) QueryLCP(ctx context.Context, g *graph.Compact, exclude []ownermap.ModelID) (*proto.LCPResult, bool, error) {
+	return c.QueryLCPReq(ctx, &proto.LCPQueryReq{Graph: g, Exclude: exclude})
+}
+
+// QueryLCPReq is QueryLCP with a fully specified request (exclusions,
+// recency preference).
+func (c *Client) QueryLCPReq(ctx context.Context, req *proto.LCPQueryReq) (*proto.LCPResult, bool, error) {
+	msg := rpc.Message{Meta: req.Encode()}
+	results := rpc.Broadcast(ctx, c.conns, proto.RPCLCPQuery, msg)
+
+	best := &proto.LCPResult{}
+	var firstErr error
+	okCount := 0
+	for _, r := range results {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			continue
+		}
+		res, err := proto.DecodeLCPResult(r.Resp.Meta)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		okCount++
+		if req.PreferRecent {
+			if res.BetterRecent(best) {
+				best = res
+			}
+		} else if res.Better(best) {
+			best = res
+		}
+	}
+	if okCount == 0 && firstErr != nil {
+		return nil, false, fmt.Errorf("client: lcp query: %w", firstErr)
+	}
+	return best, best.Found, nil
+}
+
+// --- retire --------------------------------------------------------------------------
+
+// Retire removes a model: its metadata disappears from the home provider
+// immediately, then the reference counts of every segment its owner map
+// references are decremented on the owning providers in parallel. It
+// returns the number of segments actually freed cluster-wide.
+func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error) {
+	resp, err := c.home(id).Call(ctx, proto.RPCRetire, rpc.Message{Meta: proto.EncodeModelID(id)})
+	if err != nil {
+		return 0, fmt.Errorf("client: retire %d: %w", id, err)
+	}
+	om, _, err := ownermap.Decode(resp.Meta)
+	if err != nil {
+		return 0, fmt.Errorf("client: retire %d: decoding owner map: %w", id, err)
+	}
+
+	groups := ownerGroups(om)
+	freed := make([]uint64, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		wg.Add(1)
+		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
+			defer wg.Done()
+			req := &proto.RefReq{Owner: owner, Vertices: vs}
+			resp, err := c.home(owner).Call(ctx, proto.RPCDecRef, rpc.Message{Meta: req.Encode()})
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			freed[gi], errs[gi] = proto.DecodeU64(resp.Meta)
+		}(gi, g.Owner, g.Vertices)
+	}
+	wg.Wait()
+	var total uint64
+	for gi := range groups {
+		if errs[gi] != nil {
+			return total, fmt.Errorf("client: retire %d: dec_ref on owner %d: %w", id, groups[gi].Owner, errs[gi])
+		}
+		total += freed[gi]
+	}
+	return total, nil
+}
+
+// --- provenance ------------------------------------------------------------------------
+
+// Lineage returns the chain of ancestors that contributed tensors to the
+// model, oldest first, ending with the model itself. It needs exactly one
+// metadata fetch: the owner map is self-contained (paper §4.1).
+func (c *Client) Lineage(ctx context.Context, id ownermap.ModelID) ([]ownermap.ModelID, error) {
+	meta, err := c.GetMeta(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return meta.OwnerMap.Lineage(), nil
+}
+
+// CommonAncestor returns the most recent common contributing ancestor of
+// two models, resolved from their two owner maps alone.
+func (c *Client) CommonAncestor(ctx context.Context, a, b ownermap.ModelID) (ownermap.ModelID, bool, error) {
+	ma, err := c.GetMeta(ctx, a)
+	if err != nil {
+		return 0, false, err
+	}
+	mb, err := c.GetMeta(ctx, b)
+	if err != nil {
+		return 0, false, err
+	}
+	e, ok := ownermap.MostRecentCommonOwner(ma.OwnerMap, mb.OwnerMap)
+	return e.Owner, ok, nil
+}
+
+// --- listing & stats -----------------------------------------------------------------------
+
+// ListModels returns all model IDs cataloged across the deployment,
+// ascending.
+func (c *Client) ListModels(ctx context.Context) ([]ownermap.ModelID, error) {
+	results := rpc.Broadcast(ctx, c.conns, proto.RPCListModels, rpc.Message{})
+	var all []ownermap.ModelID
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("client: list on provider %d: %w", i, r.Err)
+		}
+		ids, err := proto.DecodeModelList(r.Resp.Meta)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ids...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, nil
+}
+
+// Stats aggregates storage statistics across all providers.
+func (c *Client) Stats(ctx context.Context) (*proto.ProviderStats, error) {
+	results := rpc.Broadcast(ctx, c.conns, proto.RPCStats, rpc.Message{})
+	total := &proto.ProviderStats{}
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("client: stats on provider %d: %w", i, r.Err)
+		}
+		s, err := proto.DecodeProviderStats(r.Resp.Meta)
+		if err != nil {
+			return nil, err
+		}
+		total.Add(s)
+	}
+	return total, nil
+}

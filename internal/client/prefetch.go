@@ -1,0 +1,156 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+)
+
+// Prefetcher implements the paper's future-work idea of "aggressive
+// pre-fetching of models to workers given known access patterns" (§6): a
+// worker that can predict which ancestors it will transfer from (e.g. the
+// current population's top performers) warms them into a local cache while
+// the GPU is busy training, overlapping repository reads with compute.
+//
+// Entries are immutable snapshots; a model retired after prefetch still
+// serves from cache (the tensors were alive when read). Capacity is
+// bounded by model count with FIFO eviction.
+type Prefetcher struct {
+	cli *Client
+
+	mu       sync.Mutex
+	capacity int
+	order    []ownermap.ModelID
+	cache    map[ownermap.ModelID]*prefetchEntry
+}
+
+type prefetchEntry struct {
+	ready chan struct{} // closed when the fetch completes
+	data  *ModelData
+	err   error
+}
+
+// NewPrefetcher wraps a client with a cache of up to capacity models.
+func NewPrefetcher(cli *Client, capacity int) *Prefetcher {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Prefetcher{
+		cli:      cli,
+		capacity: capacity,
+		cache:    make(map[ownermap.ModelID]*prefetchEntry),
+	}
+}
+
+// Prefetch starts fetching a model in the background. It returns
+// immediately; a later Get blocks only until that fetch finishes.
+// Prefetching an already cached or in-flight model is a no-op.
+func (p *Prefetcher) Prefetch(ctx context.Context, id ownermap.ModelID) {
+	p.mu.Lock()
+	if _, exists := p.cache[id]; exists {
+		p.mu.Unlock()
+		return
+	}
+	e := &prefetchEntry{ready: make(chan struct{})}
+	p.insertLocked(id, e)
+	p.mu.Unlock()
+
+	go func() {
+		data, err := p.cli.Load(ctx, id)
+		e.data, e.err = data, err
+		close(e.ready)
+	}()
+}
+
+// insertLocked adds an entry, evicting the oldest beyond capacity.
+func (p *Prefetcher) insertLocked(id ownermap.ModelID, e *prefetchEntry) {
+	p.cache[id] = e
+	p.order = append(p.order, id)
+	for len(p.order) > p.capacity {
+		evict := p.order[0]
+		p.order = p.order[1:]
+		delete(p.cache, evict)
+	}
+}
+
+// Get returns the model, waiting for an in-flight prefetch or falling back
+// to a direct load on a cache miss (misses are inserted so repeated reads
+// hit).
+func (p *Prefetcher) Get(ctx context.Context, id ownermap.ModelID) (*ModelData, error) {
+	p.mu.Lock()
+	e, ok := p.cache[id]
+	p.mu.Unlock()
+	if !ok {
+		p.Prefetch(ctx, id)
+		p.mu.Lock()
+		e = p.cache[id]
+		p.mu.Unlock()
+		if e == nil { // evicted instantly by a tiny capacity: load directly
+			return p.cli.Load(ctx, id)
+		}
+	}
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if e.err != nil {
+		// Do not cache failures: drop the entry so a retry refetches.
+		p.mu.Lock()
+		if p.cache[id] == e {
+			delete(p.cache, id)
+			for i, x := range p.order {
+				if x == id {
+					p.order = append(p.order[:i], p.order[i+1:]...)
+					break
+				}
+			}
+		}
+		p.mu.Unlock()
+		return nil, e.err
+	}
+	return e.data, nil
+}
+
+// GetVertices is Get restricted to a vertex subset (e.g. an LCP prefix):
+// on a cache hit the segments are sliced locally with zero RPCs.
+func (p *Prefetcher) GetVertices(ctx context.Context, id ownermap.ModelID, vs []graph.VertexID) (*proto.ModelMeta, [][]byte, error) {
+	data, err := p.Get(ctx, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs := make([][]byte, len(data.Segments))
+	for _, v := range vs {
+		if int(v) >= len(data.Segments) {
+			continue
+		}
+		segs[v] = data.Segments[v]
+	}
+	return data.Meta, segs, nil
+}
+
+// Invalidate drops a cached model (e.g. after observing its retirement).
+func (p *Prefetcher) Invalidate(id ownermap.ModelID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.cache[id]; !ok {
+		return
+	}
+	delete(p.cache, id)
+	for i, x := range p.order {
+		if x == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len reports the number of cached (or in-flight) models.
+func (p *Prefetcher) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}

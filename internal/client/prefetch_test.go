@@ -1,0 +1,215 @@
+package client
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+	"repro/internal/model"
+	"repro/internal/ownermap"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/tensor"
+)
+
+// countingConn wraps a Conn and counts Calls.
+type countingConn struct {
+	rpc.Conn
+	calls *atomic.Int64
+}
+
+func (c *countingConn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
+	c.calls.Add(1)
+	return c.Conn.Call(ctx, name, req)
+}
+
+func newCountedClient(t testing.TB) (*Client, *atomic.Int64) {
+	t.Helper()
+	net := rpc.NewInprocNet()
+	p := provider.New(0, kvstore.NewMemKV(4))
+	srv := rpc.NewServer()
+	p.Register(srv)
+	if err := net.Listen("p0", srv); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Dial("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := &atomic.Int64{}
+	return New([]rpc.Conn{&countingConn{Conn: raw, calls: calls}}), calls
+}
+
+func storeSample(t testing.TB, cli *Client, id ownermap.ModelID) (*model.Flat, model.WeightSet) {
+	t.Helper()
+	f := flatten(t, 4+int(id))
+	ws := model.Materialize(f, uint64(id))
+	if err := cli.Store(context.Background(), metaFor(f, id, uint64(id), 0.5), segsFor(f, ws)); err != nil {
+		t.Fatal(err)
+	}
+	return f, ws
+}
+
+func TestPrefetchThenGetHitsCache(t *testing.T) {
+	cli, calls := newCountedClient(t)
+	ctx := context.Background()
+	_, ws := storeSample(t, cli, 1)
+
+	pf := NewPrefetcher(cli, 4)
+	pf.Prefetch(ctx, 1)
+	data, err := pf.Get(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tensor.DecodeSet(data.Segments[1])
+	if err != nil || !ts[0].Equal(ws[1][0]) {
+		t.Fatalf("prefetched data wrong: %v", err)
+	}
+	before := calls.Load()
+	// Second Get must be served from cache: zero new RPCs.
+	if _, err := pf.Get(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before {
+		t.Errorf("cached Get issued %d RPCs", calls.Load()-before)
+	}
+	if pf.Len() != 1 {
+		t.Errorf("Len = %d", pf.Len())
+	}
+}
+
+func TestPrefetchMissFallsBack(t *testing.T) {
+	cli, _ := newCountedClient(t)
+	ctx := context.Background()
+	storeSample(t, cli, 1)
+	pf := NewPrefetcher(cli, 4)
+	// No Prefetch call: Get must still work and populate the cache.
+	if _, err := pf.Get(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Len() != 1 {
+		t.Errorf("Len = %d after miss", pf.Len())
+	}
+}
+
+func TestPrefetchFailureNotCached(t *testing.T) {
+	cli, _ := newCountedClient(t)
+	ctx := context.Background()
+	pf := NewPrefetcher(cli, 4)
+	pf.Prefetch(ctx, 404) // does not exist
+	if _, err := pf.Get(ctx, 404); err == nil {
+		t.Fatal("Get of missing model succeeded")
+	}
+	if pf.Len() != 0 {
+		t.Errorf("failed fetch stayed cached: Len = %d", pf.Len())
+	}
+	// Store it now; the retry must succeed (no negative caching).
+	f := flatten(t, 3)
+	cli.Store(ctx, metaFor(f, 404, 404, 0.5), segsFor(f, model.Materialize(f, 1)))
+	if _, err := pf.Get(ctx, 404); err != nil {
+		t.Errorf("retry after store failed: %v", err)
+	}
+}
+
+func TestPrefetchEviction(t *testing.T) {
+	cli, _ := newCountedClient(t)
+	ctx := context.Background()
+	for id := ownermap.ModelID(1); id <= 3; id++ {
+		storeSample(t, cli, id)
+	}
+	pf := NewPrefetcher(cli, 2)
+	for id := ownermap.ModelID(1); id <= 3; id++ {
+		pf.Prefetch(ctx, id)
+	}
+	if pf.Len() != 2 {
+		t.Errorf("Len = %d, want capacity 2", pf.Len())
+	}
+	// The oldest (1) was evicted; Get still works via fallback.
+	if _, err := pf.Get(ctx, 1); err != nil {
+		t.Errorf("evicted Get failed: %v", err)
+	}
+}
+
+func TestPrefetchSurvivesRetirement(t *testing.T) {
+	cli, _ := newCountedClient(t)
+	ctx := context.Background()
+	_, ws := storeSample(t, cli, 1)
+	pf := NewPrefetcher(cli, 2)
+	pf.Prefetch(ctx, 1)
+	if _, err := pf.Get(ctx, 1); err != nil { // wait for fetch
+		t.Fatal(err)
+	}
+	if _, err := cli.Retire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Cached snapshot still serves.
+	data, err := pf.Get(ctx, 1)
+	if err != nil {
+		t.Fatalf("cached read after retirement: %v", err)
+	}
+	ts, _ := tensor.DecodeSet(data.Segments[1])
+	if !ts[0].Equal(ws[1][0]) {
+		t.Error("cached snapshot corrupted")
+	}
+	// After invalidation the model is really gone.
+	pf.Invalidate(1)
+	if _, err := pf.Get(ctx, 1); err == nil {
+		t.Error("Get of retired+invalidated model succeeded")
+	}
+}
+
+func TestGetVertices(t *testing.T) {
+	cli, _ := newCountedClient(t)
+	ctx := context.Background()
+	f, ws := storeSample(t, cli, 1)
+	pf := NewPrefetcher(cli, 2)
+	meta, segs, err := pf.GetVertices(ctx, 1, []graph.VertexID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Model != 1 {
+		t.Error("meta wrong")
+	}
+	if segs[0] != nil {
+		t.Error("unrequested vertex returned")
+	}
+	ts, err := tensor.DecodeSet(segs[1])
+	if err != nil || !ts[0].Equal(ws[1][0]) {
+		t.Error("vertex payload wrong")
+	}
+	_ = f
+}
+
+func TestConcurrentPrefetchAndGet(t *testing.T) {
+	cli, _ := newCountedClient(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for id := ownermap.ModelID(1); id <= 8; id++ {
+		storeSample(t, cli, id)
+	}
+	pf := NewPrefetcher(cli, 8)
+	done := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		go func(w int) {
+			for i := 0; i < 30; i++ {
+				id := ownermap.ModelID(1 + (w+i)%8)
+				if w%2 == 0 {
+					pf.Prefetch(ctx, id)
+				}
+				if _, err := pf.Get(ctx, id); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 16; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package core is the public face of EvoStore: a distributed repository for
+// evolving deep-learning models. A Repository stores models as compact
+// leaf-layer architecture graphs plus per-vertex tensor segments spread
+// over a set of providers, shares unmodified tensors between derived models
+// through owner maps, answers longest-common-prefix (LCP) queries to find
+// the best transfer-learning ancestor, retires models with distributed
+// reference-counting GC, and serves provenance queries from owner maps.
+//
+// Typical transfer-learning round trip (the NAS inner loop of paper §2):
+//
+//	anc, found, _ := repo.BestAncestor(ctx, flat)      // collective LCP query
+//	ws := model.Materialize(flat, seed)                // fresh weights
+//	if found {
+//	    repo.TransferPrefix(ctx, flat, ws, anc)        // read inherited tensors
+//	}
+//	train(ws, frozen: anc.Prefix)                      // only non-frozen change
+//	id, _ := repo.StoreDerived(ctx, flat, ws, q, anc, nil) // writes the diff
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/client"
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+	"repro/internal/model"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/tensor"
+)
+
+// ModelID identifies a model in the repository.
+type ModelID = ownermap.ModelID
+
+// Repository is a handle on an EvoStore deployment. All methods are safe
+// for concurrent use.
+type Repository struct {
+	cli    *client.Client
+	nextID atomic.Uint64
+	seq    atomic.Uint64
+
+	// embedded deployment resources (nil when attached to remote providers)
+	owned []*provider.Provider
+	net   *rpc.InprocNet
+	conns []rpc.Conn
+}
+
+// Options configures an embedded (in-process) deployment.
+type Options struct {
+	// Providers is the number of storage providers. Default 4.
+	Providers int
+	// Backend constructs the KV store of provider i. Default: MemKV, the
+	// analogue of the paper's in-memory synchronized pools.
+	Backend func(i int) kvstore.KV
+}
+
+// Open creates an embedded deployment: providers and clients live in this
+// process and communicate over the zero-copy in-process fabric (the RDMA
+// analogue). This is the configuration used by examples, tests and the
+// micro-benchmarks.
+func Open(opts Options) (*Repository, error) {
+	if opts.Providers <= 0 {
+		opts.Providers = 4
+	}
+	if opts.Backend == nil {
+		opts.Backend = func(int) kvstore.KV { return kvstore.NewMemKV(16) }
+	}
+	net := rpc.NewInprocNet()
+	r := &Repository{net: net}
+	conns := make([]rpc.Conn, opts.Providers)
+	for i := 0; i < opts.Providers; i++ {
+		p := provider.New(i, opts.Backend(i))
+		srv := rpc.NewServer()
+		p.Register(srv)
+		addr := fmt.Sprintf("provider-%d", i)
+		if err := net.Listen(addr, srv); err != nil {
+			return nil, err
+		}
+		c, err := net.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		r.owned = append(r.owned, p)
+		conns[i] = c
+	}
+	r.conns = conns
+	r.cli = client.New(conns)
+	return r, nil
+}
+
+// Attach wraps connections to an externally deployed set of providers
+// (e.g. evostore-server processes over TCP). The connection order defines
+// provider IDs and must be identical for every client.
+func Attach(conns []rpc.Conn) *Repository {
+	return &Repository{cli: client.New(conns), conns: conns}
+}
+
+// Close releases client connections (and nothing else: embedded providers
+// hold no external resources beyond their KV backends, which the caller
+// owns if it supplied them).
+func (r *Repository) Close() error {
+	for _, c := range r.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// NumProviders returns the deployment size.
+func (r *Repository) NumProviders() int { return r.cli.NumProviders() }
+
+// Providers exposes embedded providers for inspection in tests and
+// benchmarks; it returns nil for attached deployments.
+func (r *Repository) Providers() []*provider.Provider { return r.owned }
+
+// NewModelID allocates a fresh model ID. Sequential IDs spread uniformly
+// over providers under the static modulo hash. Attached multi-client
+// deployments should partition ID spaces externally (e.g. worker-rank
+// prefixes) or accept collisions being rejected at store time.
+func (r *Repository) NewModelID() ModelID { return ModelID(r.nextID.Add(1)) }
+
+// nextSeq stamps a store with the repository-global order used by
+// provenance.
+func (r *Repository) nextSeq() uint64 { return r.seq.Add(1) }
+
+// --- store -----------------------------------------------------------------
+
+// encodeAll consolidates every vertex's tensors.
+func encodeAll(ws model.WeightSet) [][]byte {
+	segs := make([][]byte, len(ws))
+	for v := range ws {
+		segs[v] = tensor.EncodeSet(ws[v])
+	}
+	return segs
+}
+
+// Store publishes a from-scratch model (no ancestor): the model owns every
+// vertex and all tensors are written. It returns the assigned model ID.
+func (r *Repository) Store(ctx context.Context, f *model.Flat, ws model.WeightSet, quality float64) (ModelID, error) {
+	id := r.NewModelID()
+	seq := r.nextSeq()
+	meta := &proto.ModelMeta{
+		Model:    id,
+		Seq:      seq,
+		Quality:  quality,
+		Graph:    f.Graph,
+		OwnerMap: ownermap.New(id, seq, f.Graph.NumVertices()),
+	}
+	if err := r.cli.Store(ctx, meta, encodeAll(ws)); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Ancestor is a resolved transfer-learning source: the best-matching
+// stored model and the longest common prefix it shares with the query
+// architecture.
+type Ancestor struct {
+	Meta   *proto.ModelMeta
+	Prefix []graph.VertexID
+
+	// prefixFPs records the fingerprints of the transferred tensors at
+	// TransferPrefix time, enabling automatic modified-tensor detection in
+	// StoreDerived.
+	prefixFPs map[graph.VertexID]uint64
+}
+
+// PrefixBytes returns the parameter payload of the shared prefix.
+func (a *Ancestor) PrefixBytes(f *model.Flat) int64 {
+	return graph.PrefixParamBytes(f.Graph, a.Prefix)
+}
+
+// BestAncestor broadcasts an LCP query for the flattened architecture f
+// and returns the reduced best match. found is false when the repository
+// holds no model sharing any prefix with f.
+//
+// A winner can be retired concurrently between the query and the metadata
+// fetch (retirement removes metadata immediately, paper §4.1); in that
+// case the query is retried with the vanished model excluded.
+func (r *Repository) BestAncestor(ctx context.Context, f *model.Flat) (*Ancestor, bool, error) {
+	return r.BestAncestorExcluding(ctx, f, nil)
+}
+
+// BestAncestorRecent is BestAncestor with the continual-learning selection
+// rule (paper §6): prefix-length ties are broken by recency — the most
+// recently stored model wins — instead of quality, so fine-tuning chains
+// follow the freshest knowledge of a drifting data distribution.
+func (r *Repository) BestAncestorRecent(ctx context.Context, f *model.Flat) (*Ancestor, bool, error) {
+	return r.bestAncestor(ctx, f, nil, true)
+}
+
+// BestAncestorExcluding is BestAncestor with an explicit exclusion list
+// (used to sidestep models observed mid-retirement).
+func (r *Repository) BestAncestorExcluding(ctx context.Context, f *model.Flat, exclude []ownermap.ModelID) (*Ancestor, bool, error) {
+	return r.bestAncestor(ctx, f, exclude, false)
+}
+
+func (r *Repository) bestAncestor(ctx context.Context, f *model.Flat, exclude []ownermap.ModelID, preferRecent bool) (*Ancestor, bool, error) {
+	exclude = append([]ownermap.ModelID(nil), exclude...)
+	for attempt := 0; attempt < 8; attempt++ {
+		req := &proto.LCPQueryReq{Graph: f.Graph, Exclude: exclude, PreferRecent: preferRecent}
+		res, found, err := r.cli.QueryLCPReq(ctx, req)
+		if err != nil || !found {
+			return nil, false, err
+		}
+		meta, err := r.cli.GetMeta(ctx, res.Model)
+		if err != nil {
+			// Most likely retired since the scan; exclude and retry.
+			exclude = append(exclude, res.Model)
+			continue
+		}
+		return &Ancestor{Meta: meta, Prefix: res.Prefix}, true, nil
+	}
+	return nil, false, fmt.Errorf("core: best-ancestor query kept racing retirements (%d attempts)", 8)
+}
+
+// TransferPrefix reads the ancestor's tensors for the shared prefix and
+// installs them into ws (the transfer-learning "inherit and freeze" step).
+// Only the prefix vertices' tensors move over the network; they are
+// fetched from their owners' providers in parallel.
+func (r *Repository) TransferPrefix(ctx context.Context, f *model.Flat, ws model.WeightSet, anc *Ancestor) error {
+	segs, err := r.cli.LoadVertices(ctx, anc.Meta, anc.Prefix)
+	if err != nil {
+		return fmt.Errorf("core: transferring prefix from %d: %w", anc.Meta.Model, err)
+	}
+	anc.prefixFPs = make(map[graph.VertexID]uint64, len(anc.Prefix))
+	for _, v := range anc.Prefix {
+		if err := ws.DecodeVertexInto(f, v, segs[v]); err != nil {
+			return fmt.Errorf("core: installing transferred vertex %d: %w", v, err)
+		}
+		anc.prefixFPs[v] = vertexFP(ws, v)
+	}
+	return nil
+}
+
+func vertexFP(ws model.WeightSet, v graph.VertexID) uint64 {
+	var fp uint64
+	for _, t := range ws[v] {
+		fp = fp*0x100000001b3 + t.Fingerprint()
+	}
+	return fp
+}
+
+// StoreDerived publishes a model derived from anc. frozen lists the prefix
+// vertices whose tensors were NOT modified by training and are therefore
+// inherited rather than rewritten. Passing frozen == nil enables automatic
+// detection: every prefix vertex whose tensors still fingerprint-match the
+// state recorded by TransferPrefix is treated as frozen (the paper's
+// fine-grain tensor-level diff). The returned ID identifies the new model.
+func (r *Repository) StoreDerived(ctx context.Context, f *model.Flat, ws model.WeightSet,
+	quality float64, anc *Ancestor, frozen []graph.VertexID) (ModelID, error) {
+
+	if frozen == nil {
+		if anc.prefixFPs == nil {
+			return 0, fmt.Errorf("core: automatic diff requires TransferPrefix before StoreDerived")
+		}
+		for _, v := range anc.Prefix {
+			if vertexFP(ws, v) == anc.prefixFPs[v] {
+				frozen = append(frozen, v)
+			}
+		}
+	} else {
+		inPrefix := make(map[graph.VertexID]bool, len(anc.Prefix))
+		for _, v := range anc.Prefix {
+			inPrefix[v] = true
+		}
+		for _, v := range frozen {
+			if !inPrefix[v] {
+				return 0, fmt.Errorf("core: frozen vertex %d outside the common prefix", v)
+			}
+		}
+	}
+
+	id := r.NewModelID()
+	seq := r.nextSeq()
+	om, err := ownermap.Derive(anc.Meta.OwnerMap, id, seq, f.Graph.NumVertices(), frozen)
+	if err != nil {
+		return 0, err
+	}
+	meta := &proto.ModelMeta{
+		Model:    id,
+		Seq:      seq,
+		Quality:  quality,
+		Graph:    f.Graph,
+		OwnerMap: om,
+	}
+	// Only self-owned segments are shipped; inherited slots may stay nil.
+	segs := make([][]byte, f.Graph.NumVertices())
+	for v := range segs {
+		if om.Entries[v].Owner == id {
+			segs[v] = tensor.EncodeSet(ws[graph.VertexID(v)])
+		}
+	}
+	if err := r.cli.Store(ctx, meta, segs); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// --- load ------------------------------------------------------------------
+
+// Load reconstructs a model: metadata plus all tensors, decoded per
+// vertex. The read path touches one provider for metadata and one bulk
+// read per contributing owner, independent of lineage depth.
+func (r *Repository) Load(ctx context.Context, id ModelID) (*proto.ModelMeta, model.WeightSet, error) {
+	data, err := r.cli.Load(ctx, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws := make(model.WeightSet, len(data.Segments))
+	for v, seg := range data.Segments {
+		ts, err := tensor.DecodeSet(seg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: load %d: vertex %d: %w", id, v, err)
+		}
+		for i, t := range ts {
+			ts[i] = t.Clone() // detach from the transport buffer
+		}
+		ws[v] = ts
+	}
+	return data.Meta, ws, nil
+}
+
+// GetMeta fetches a model's metadata only.
+func (r *Repository) GetMeta(ctx context.Context, id ModelID) (*proto.ModelMeta, error) {
+	return r.cli.GetMeta(ctx, id)
+}
+
+// LoadVertices reads only the given vertices' consolidated tensor
+// segments, fetched from their owners' providers in parallel (the raw
+// partial-read primitive; TransferPrefix is the higher-level form).
+func (r *Repository) LoadVertices(ctx context.Context, meta *proto.ModelMeta, vs []graph.VertexID) ([][]byte, error) {
+	return r.cli.LoadVertices(ctx, meta, vs)
+}
+
+// --- retire / GC --------------------------------------------------------------
+
+// Retire removes a model from the repository. Its metadata disappears
+// immediately; its owned tensors are freed when no live model references
+// them (distributed reference counting). Returns the number of tensor
+// segments freed now.
+func (r *Repository) Retire(ctx context.Context, id ModelID) (uint64, error) {
+	return r.cli.Retire(ctx, id)
+}
+
+// --- provenance ------------------------------------------------------------------
+
+// Lineage returns the chain of ancestors that contributed tensors to the
+// model, oldest first, ending with the model itself.
+func (r *Repository) Lineage(ctx context.Context, id ModelID) ([]ModelID, error) {
+	return r.cli.Lineage(ctx, id)
+}
+
+// CommonAncestor returns the most recent common contributing ancestor of
+// a and b.
+func (r *Repository) CommonAncestor(ctx context.Context, a, b ModelID) (ModelID, bool, error) {
+	return r.cli.CommonAncestor(ctx, a, b)
+}
+
+// OwnerOf answers "which ancestor owns this frozen layer": the most recent
+// ancestor that modified vertex v of model id.
+func (r *Repository) OwnerOf(ctx context.Context, id ModelID, v graph.VertexID) (ModelID, error) {
+	meta, err := r.cli.GetMeta(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	e, err := meta.OwnerMap.OwnerOf(v)
+	if err != nil {
+		return 0, err
+	}
+	return e.Owner, nil
+}
+
+// --- listing & stats ----------------------------------------------------------------
+
+// ListModels returns every model ID cataloged across providers.
+func (r *Repository) ListModels(ctx context.Context) ([]ModelID, error) {
+	return r.cli.ListModels(ctx)
+}
+
+// Stats aggregates storage statistics across providers. SegmentBytes is
+// the deduplicated tensor payload actually stored — the quantity Figure 10
+// compares against full-copy baselines.
+func (r *Repository) Stats(ctx context.Context) (*proto.ProviderStats, error) {
+	return r.cli.Stats(ctx)
+}

@@ -1,0 +1,38 @@
+package expr
+
+import (
+	"repro/internal/nas"
+)
+
+// Fig10Row is one bar of Figure 10: repository storage space for one
+// approach and retirement policy after a full NAS run.
+type Fig10Row struct {
+	Approach   string
+	Retire     bool
+	FinalBytes int64
+	PeakBytes  int64
+}
+
+// RunFig10 measures storage space for EvoStore vs HDF5+PFS with and
+// without retirement, over the same NAS workload (paper: 128 workers).
+func RunFig10(cfg NASConfig, workers int) ([]Fig10Row, error) {
+	cfg.setDefaults()
+	var rows []Fig10Row
+	for _, mode := range []nas.StorageMode{nas.ModeHDF5PFS, nas.ModeEvoStore} {
+		for _, retire := range []bool{false, true} {
+			c := cfg
+			c.Retire = retire
+			res, err := runCached(c.simConfig(mode, workers))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig10Row{
+				Approach:   mode.String(),
+				Retire:     retire,
+				FinalBytes: res.StorageBytes,
+				PeakBytes:  res.PeakStorageBytes,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,234 @@
+package expr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/archgen"
+	"repro/internal/client"
+	"repro/internal/kvstore"
+	"repro/internal/model"
+	"repro/internal/ownermap"
+	"repro/internal/pfs"
+	"repro/internal/proto"
+	"repro/internal/provider"
+	"repro/internal/redisq"
+	"repro/internal/rpc"
+)
+
+// Fig5Row is one point of Figure 5: LCP query throughput for one approach
+// at one concurrency level.
+type Fig5Row struct {
+	Workers     int
+	Approach    string // "EvoStore" or "Redis-Queries"
+	QueriesPerS float64
+	TotalSec    float64
+}
+
+// Fig5Config parameterizes the metadata-query strong-scaling experiment.
+// Both systems execute the identical workload for real (no simulation):
+// a catalog of generated architectures, a fixed total number of LCP
+// queries split evenly over W concurrent workers.
+//
+// The paper runs 60k catalog entries and 10k queries on 512 GPUs; the
+// defaults are scaled to laptop time (the strong-scaling shape — EvoStore
+// flat, Redis-Queries collapsing — is visible from a few hundred entries).
+// Pass the paper's numbers for a full-scale run.
+type Fig5Config struct {
+	CatalogSize int
+	Queries     int
+	Workers     []int
+	Providers   int
+	Seed        int64
+	// SkipRedisAbove skips the Redis-Queries measurement at worker counts
+	// above this bound (the paper marks Redis-Queries "does not scale
+	// beyond 32" with an asterisk). 0 = never skip.
+	SkipRedisAbove int
+}
+
+func (c *Fig5Config) setDefaults() {
+	if c.CatalogSize <= 0 {
+		c.CatalogSize = 2000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 200
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 8, 32, 64, 128, 256, 512}
+	}
+	if c.Providers <= 0 {
+		c.Providers = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// RunFig5 populates both systems with the same architecture catalog and
+// measures query throughput at each concurrency level.
+func RunFig5(cfg Fig5Config) ([]Fig5Row, error) {
+	cfg.setDefaults()
+	catalog, err := archgen.Catalog(cfg.Seed, cfg.CatalogSize, archgen.SpaceOptions{})
+	if err != nil {
+		return nil, err
+	}
+	queries, err := archgen.Catalog(cfg.Seed+1, cfg.Queries, archgen.SpaceOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- EvoStore: catalog spread over providers, collective queries. ---
+	net := rpc.NewInprocNet()
+	conns := make([]rpc.Conn, cfg.Providers)
+	provs := make([]*provider.Provider, cfg.Providers)
+	for i := range provs {
+		provs[i] = provider.New(i, kvstore.NewMemKV(4))
+		srv := rpc.NewServer()
+		provs[i].Register(srv)
+		addr := fmt.Sprintf("p%d", i)
+		if err := net.Listen(addr, srv); err != nil {
+			return nil, err
+		}
+		if conns[i], err = net.Dial(addr); err != nil {
+			return nil, err
+		}
+	}
+	for i, f := range catalog {
+		id := ownermap.ModelID(i + 1)
+		req := &proto.StoreModelReq{
+			Model: id, Seq: uint64(i + 1), Quality: float64(i%100) / 100,
+			Graph:    f.Graph,
+			OwnerMap: ownermap.New(id, uint64(i+1), f.Graph.NumVertices()),
+		}
+		// Metadata-only population, as in the paper ("the actual DL model
+		// tensors are not stored").
+		if err := provs[int(uint64(id))%cfg.Providers].StoreModel(req, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Redis-Queries: same catalog as JSON in the central server. ---
+	redisSrv := rpc.NewServer()
+	redisq.NewServer().Register(redisSrv)
+	if err := net.Listen("redis", redisSrv); err != nil {
+		return nil, err
+	}
+	seedConn, err := net.Dial("redis")
+	if err != nil {
+		return nil, err
+	}
+	seedCli := redisq.NewClient(seedConn)
+	redisRepo := redisq.NewRepo(seedCli, pfs.New(pfs.Options{MDTLatency: time.Microsecond}))
+	ctx := context.Background()
+	for i, f := range catalog {
+		// Weights are not stored: populate metadata directly with an empty
+		// weight set (zero-parameter writes are instant on the PFS side).
+		if err := redisRepo.AddArchitecture(ctx, f, float64(i%100)/100); err != nil {
+			return nil, err
+		}
+	}
+
+	var rows []Fig5Row
+	for _, workers := range cfg.Workers {
+		// EvoStore measurement: each worker drives its own client.
+		sec, err := fig5RunEvoStore(net, cfg, workers, queries)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig5Row{
+			Workers: workers, Approach: "EvoStore",
+			QueriesPerS: float64(cfg.Queries) / sec, TotalSec: sec,
+		})
+
+		if cfg.SkipRedisAbove > 0 && workers > cfg.SkipRedisAbove {
+			continue
+		}
+		sec, err = fig5RunRedis(net, cfg, workers, queries)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig5Row{
+			Workers: workers, Approach: "Redis-Queries",
+			QueriesPerS: float64(cfg.Queries) / sec, TotalSec: sec,
+		})
+	}
+	return rows, nil
+}
+
+func fig5RunEvoStore(net *rpc.InprocNet, cfg Fig5Config, workers int, queries []*model.Flat) (float64, error) {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conns := make([]rpc.Conn, cfg.Providers)
+			for i := range conns {
+				c, err := net.Dial(fmt.Sprintf("p%d", i))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				conns[i] = c
+			}
+			cli := client.New(conns)
+			for q := w; q < len(queries); q += workers {
+				if _, _, err := cli.QueryLCP(ctx, queries[q].Graph, nil); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func fig5RunRedis(net *rpc.InprocNet, cfg Fig5Config, workers int, queries []*model.Flat) (float64, error) {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := net.Dial("redis")
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			repo := redisq.NewRepo(redisq.NewClient(conn), pfs.New(pfs.Options{MDTLatency: time.Microsecond}))
+			for q := w; q < len(queries); q += workers {
+				res, found, err := repo.QueryLCP(ctx, queries[q].Graph)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if found {
+					// Drop the pin the query protocol takes on the winner.
+					if err := repo.Release(ctx, res); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}

@@ -1,0 +1,318 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/nas"
+)
+
+// NASConfig parameterizes the end-to-end NAS experiments (Figures 6-9).
+// Defaults match the paper: 1000 candidates, population 100, scales 128
+// and 256 workers.
+type NASConfig struct {
+	Budget     int
+	Population int
+	Sample     int
+	Space      *nas.Space
+	Seed       int64
+	Retire     bool
+	// HDF5CostScale multiplies the HDF5+PFS baseline's metadata costs and
+	// divides its bandwidths. Scaled-down test runs (few workers, small
+	// budgets) use it to preserve the overhead-to-training ratio that
+	// paper-scale runs (128-256 workers) produce naturally; full-scale
+	// harnesses leave it at 1.
+	HDF5CostScale float64
+}
+
+func (c *NASConfig) setDefaults() {
+	if c.Budget <= 0 {
+		c.Budget = 1000
+	}
+	if c.Population <= 0 {
+		c.Population = 100
+	}
+	if c.Sample <= 0 {
+		c.Sample = 10
+	}
+	if c.Space == nil {
+		c.Space = nas.NewSpace(0, 0, 0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HDF5CostScale <= 0 {
+		c.HDF5CostScale = 1
+	}
+}
+
+func (c NASConfig) simConfig(mode nas.StorageMode, workers int) nas.SimConfig {
+	c.setDefaults()
+	cfg := nas.SimConfig{
+		Workers:       workers,
+		Space:         c.Space,
+		Population:    c.Population,
+		Sample:        c.Sample,
+		Budget:        c.Budget,
+		Mode:          mode,
+		Retire:        c.Retire,
+		SurrogateSeed: c.Seed,
+		SearchSeed:    c.Seed + 1,
+	}
+	if mode == nas.ModeHDF5PFS && c.HDF5CostScale > 1 {
+		cfg.RedisOpCost = 3e-3 * c.HDF5CostScale
+		cfg.RedisScanPerModel = 400e-6 * c.HDF5CostScale
+		cfg.ClientBandwidth = 1.2e9 / c.HDF5CostScale
+	}
+	return cfg
+}
+
+// nasRunCache memoizes simulation runs shared between figure harnesses
+// within one process (figures 6-10 reuse the same configurations).
+var nasRunCache = map[string]*nas.SimResult{}
+
+func runCached(cfg nas.SimConfig) (*nas.SimResult, error) {
+	key := fmt.Sprintf("%v|%d|%d|%d|%d|%v|%d|%d|%d-%d-%d|%g-%g-%g",
+		cfg.Mode, cfg.Workers, cfg.Budget, cfg.Population, cfg.Sample,
+		cfg.Retire, cfg.SurrogateSeed, cfg.SearchSeed,
+		cfg.Space.Positions, cfg.Space.NumOps, cfg.Space.Width,
+		cfg.RedisOpCost, cfg.RedisScanPerModel, cfg.ClientBandwidth)
+	if res, ok := nasRunCache[key]; ok {
+		return res, nil
+	}
+	res, err := nas.RunSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nasRunCache[key] = res
+	return res, nil
+}
+
+// --- Figure 6: accuracy over search time --------------------------------------
+
+// Fig6Point is one evaluated candidate: finish time and accuracy, for one
+// approach — the scatter points of Figure 6.
+type Fig6Point struct {
+	Approach string
+	Time     float64
+	Accuracy float64
+}
+
+// Fig6Summary condenses a run for table output.
+type Fig6Summary struct {
+	Approach    string
+	Makespan    float64
+	MeanAcc     float64
+	BestAcc     float64
+	FirstAbove8 float64 // first time a candidate reached 0.80 (-1 if never)
+}
+
+// RunFig6 runs EvoStore vs DH-NoTransfer at the given scale (paper: 256).
+func RunFig6(cfg NASConfig, workers int) ([]Fig6Point, []Fig6Summary, error) {
+	cfg.setDefaults()
+	var points []Fig6Point
+	var summaries []Fig6Summary
+	for _, mode := range []nas.StorageMode{nas.ModeNoTransfer, nas.ModeEvoStore} {
+		res, err := runCached(cfg.simConfig(mode, workers))
+		if err != nil {
+			return nil, nil, err
+		}
+		var sum float64
+		for _, c := range res.History {
+			points = append(points, Fig6Point{Approach: mode.String(), Time: c.Finish, Accuracy: c.Quality})
+			sum += c.Quality
+		}
+		first, ok := res.FirstAbove(0.80)
+		if !ok {
+			first = -1
+		}
+		summaries = append(summaries, Fig6Summary{
+			Approach:    mode.String(),
+			Makespan:    res.Makespan,
+			MeanAcc:     sum / float64(len(res.History)),
+			BestAcc:     res.BestQuality(),
+			FirstAbove8: first,
+		})
+	}
+	return points, summaries, nil
+}
+
+// --- Figure 7: time to target accuracy ------------------------------------------
+
+// Fig7Row is one bar of Figure 7.
+type Fig7Row struct {
+	Approach string
+	Workers  int
+	Target   float64
+	Seconds  float64
+	Reached  bool // the paper marks unreached targets with an asterisk
+}
+
+// RunFig7 sweeps target accuracies at 128 and 256 workers.
+func RunFig7(cfg NASConfig, targets []float64, scales []int) ([]Fig7Row, error) {
+	cfg.setDefaults()
+	if len(targets) == 0 {
+		// The paper sweeps 0.91–0.95 on the ATTN accuracy scale; the
+		// surrogate's scale sits slightly lower (see EXPERIMENTS.md), so
+		// the default sweep covers the equivalent band: DH-NoTransfer
+		// reaches the low targets, stalls mid-band, and EvoStore keeps
+		// finding candidates above the top targets.
+		targets = []float64{0.80, 0.82, 0.84, 0.86, 0.88, 0.90}
+	}
+	if len(scales) == 0 {
+		scales = []int{128, 256}
+	}
+	var rows []Fig7Row
+	for _, mode := range []nas.StorageMode{nas.ModeNoTransfer, nas.ModeEvoStore} {
+		for _, workers := range scales {
+			res, err := runCached(cfg.simConfig(mode, workers))
+			if err != nil {
+				return nil, err
+			}
+			for _, target := range targets {
+				t, ok := res.FirstAbove(target)
+				rows = append(rows, Fig7Row{
+					Approach: mode.String(), Workers: workers,
+					Target: target, Seconds: t, Reached: ok,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// --- Figure 8: end-to-end runtime -------------------------------------------------
+
+// Fig8Row is one bar of Figure 8.
+type Fig8Row struct {
+	Approach     string
+	Workers      int
+	Makespan     float64
+	RepoOverhead float64 // fraction of busy time spent on repository I/O
+}
+
+// RunFig8 compares all three approaches at the given scales.
+func RunFig8(cfg NASConfig, scales []int) ([]Fig8Row, error) {
+	cfg.setDefaults()
+	if len(scales) == 0 {
+		scales = []int{128, 256}
+	}
+	var rows []Fig8Row
+	for _, mode := range []nas.StorageMode{nas.ModeNoTransfer, nas.ModeEvoStore, nas.ModeHDF5PFS} {
+		for _, workers := range scales {
+			res, err := runCached(cfg.simConfig(mode, workers))
+			if err != nil {
+				return nil, err
+			}
+			overhead := 0.0
+			if busy := res.IOSeconds + res.TrainSeconds; busy > 0 {
+				overhead = res.IOSeconds / busy
+			}
+			rows = append(rows, Fig8Row{
+				Approach: mode.String(), Workers: workers,
+				Makespan: res.Makespan, RepoOverhead: overhead,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// --- Figure 9: task timelines -------------------------------------------------------
+
+// Fig9Row summarizes one approach's task pattern at 128 workers.
+type Fig9Row struct {
+	Approach    string
+	Tasks       int
+	MeanTaskSec float64
+	StdTaskSec  float64
+	WaveScore   float64
+	MakespanSec float64
+}
+
+// RunFig9 produces the per-approach task statistics and, when w is
+// non-nil, renders each timeline as ASCII art (the stand-in for the
+// scatter plot). Use RunFig9SVG for graphical output.
+func RunFig9(cfg NASConfig, workers int, w io.Writer) ([]Fig9Row, error) {
+	cfg.setDefaults()
+	var rows []Fig9Row
+	for _, mode := range []nas.StorageMode{nas.ModeNoTransfer, nas.ModeEvoStore, nas.ModeHDF5PFS} {
+		res, err := runCached(cfg.simConfig(mode, workers))
+		if err != nil {
+			return nil, err
+		}
+		mean, std := res.Trace.DurationStats()
+		rows = append(rows, Fig9Row{
+			Approach:    mode.String(),
+			Tasks:       res.Trace.Len(),
+			MeanTaskSec: mean,
+			StdTaskSec:  std,
+			WaveScore:   res.Trace.WaveScore(),
+			MakespanSec: res.Makespan,
+		})
+		if w != nil {
+			fmt.Fprintf(w, "\n--- %s (%d workers) ---\n", mode, workers)
+			renderWorkers := workers
+			if renderWorkers > 32 {
+				renderWorkers = 32 // keep the plot readable
+			}
+			res.Trace.RenderASCII(w, renderWorkers, 100)
+		}
+	}
+	return rows, nil
+}
+
+// RunFig9SVG renders one approach's timeline as SVG (bars colored by
+// candidate accuracy), the graphical counterpart of the paper's Figure 9.
+func RunFig9SVG(cfg NASConfig, mode nas.StorageMode, workers int, w io.Writer) error {
+	cfg.setDefaults()
+	res, err := runCached(cfg.simConfig(mode, workers))
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("%s — %d workers, %d candidates", mode, workers, cfg.Budget)
+	return res.Trace.RenderSVG(w, workers, title)
+}
+
+// StrategyRow compares search strategies (§2: guided evolution vs uniform
+// random sampling) on identical budgets over the EvoStore repository.
+type StrategyRow struct {
+	Strategy string
+	BestAcc  float64
+	MeanAcc  float64
+	Makespan float64
+}
+
+// RunStrategies measures aged evolution against random search.
+func RunStrategies(cfg NASConfig, workers int) ([]StrategyRow, error) {
+	cfg.setDefaults()
+	var rows []StrategyRow
+	for _, random := range []bool{false, true} {
+		sim := cfg.simConfig(nas.ModeEvoStore, workers)
+		sim.RandomSearch = random
+		res, err := nas.RunSim(sim)
+		if err != nil {
+			return nil, err
+		}
+		name := "aged-evolution"
+		if random {
+			name = "random-search"
+		}
+		var sum float64
+		for _, c := range res.History {
+			sum += c.Quality
+		}
+		rows = append(rows, StrategyRow{
+			Strategy: name,
+			BestAcc:  res.BestQuality(),
+			MeanAcc:  sum / float64(len(res.History)),
+			Makespan: res.Makespan,
+		})
+	}
+	return rows, nil
+}
+
+// SortFig6 orders points by time for plotting.
+func SortFig6(points []Fig6Point) {
+	sort.Slice(points, func(i, j int) bool { return points[i].Time < points[j].Time })
+}

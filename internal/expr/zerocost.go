@@ -1,0 +1,48 @@
+package expr
+
+import (
+	"repro/internal/nas"
+)
+
+// ZeroCostRow quantifies the paper's §6 projection for zero-cost proxies:
+// "With reduced training costs, the percentage of the workflow dominated
+// by I/O increases". One row per (approach, epoch fraction).
+type ZeroCostRow struct {
+	Approach      string
+	EpochFraction float64
+	Makespan      float64
+	IOFraction    float64 // repository I/O share of busy time
+	BestAcc       float64
+}
+
+// RunZeroCost compares full-epoch superficial training against a zero-cost
+// proxy regime for EvoStore and HDF5+PFS.
+func RunZeroCost(cfg NASConfig, workers int, fractions []float64) ([]ZeroCostRow, error) {
+	cfg.setDefaults()
+	if len(fractions) == 0 {
+		fractions = []float64{1.0, 0.25, 0.1}
+	}
+	var rows []ZeroCostRow
+	for _, mode := range []nas.StorageMode{nas.ModeEvoStore, nas.ModeHDF5PFS} {
+		for _, frac := range fractions {
+			sim := cfg.simConfig(mode, workers)
+			sim.EpochFraction = frac
+			res, err := nas.RunSim(sim)
+			if err != nil {
+				return nil, err
+			}
+			ioFrac := 0.0
+			if busy := res.IOSeconds + res.TrainSeconds; busy > 0 {
+				ioFrac = res.IOSeconds / busy
+			}
+			rows = append(rows, ZeroCostRow{
+				Approach:      mode.String(),
+				EpochFraction: frac,
+				Makespan:      res.Makespan,
+				IOFraction:    ioFrac,
+				BestAcc:       res.BestQuality(),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary layout of an encoded Compact graph:
+//
+//	u32 magic "EVGR"
+//	u32 vertex count
+//	per vertex: u64 configSig | i64 paramBytes | u16 name len | name
+//	u32 edge count
+//	per edge: u32 src | u32 dst
+//
+// Little-endian throughout. Edges are emitted in (src, dst) order so the
+// encoding is canonical: equal graphs encode to equal bytes.
+
+const graphMagic = 0x52475645 // "EVGR"
+
+// AppendEncode appends the binary encoding of g to dst.
+func (g *Compact) AppendEncode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, graphMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(g.Vertices)))
+	for i := range g.Vertices {
+		v := &g.Vertices[i]
+		dst = binary.LittleEndian.AppendUint64(dst, v.ConfigSig)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ParamBytes))
+		if len(v.Name) > 0xffff {
+			panic("graph: vertex name too long to encode")
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Name)))
+		dst = append(dst, v.Name...)
+	}
+	edges := 0
+	for u := range g.Out {
+		edges += len(g.Out[u])
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(edges))
+	for u := range g.Out {
+		for _, v := range g.Out[u] {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(u))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		}
+	}
+	return dst
+}
+
+// Encode returns the binary encoding of g.
+func (g *Compact) Encode() []byte { return g.AppendEncode(nil) }
+
+// Decode parses an encoded graph and returns it with the number of bytes
+// consumed.
+func Decode(b []byte) (*Compact, int, error) {
+	if len(b) < 8 {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	if binary.LittleEndian.Uint32(b) != graphMagic {
+		return nil, 0, fmt.Errorf("graph: bad magic %#x", binary.LittleEndian.Uint32(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	off := 8
+	bld := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if len(b) < off+18 {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		var v Vertex
+		v.ConfigSig = binary.LittleEndian.Uint64(b[off:])
+		v.ParamBytes = int64(binary.LittleEndian.Uint64(b[off+8:]))
+		nameLen := int(binary.LittleEndian.Uint16(b[off+16:]))
+		off += 18
+		if len(b) < off+nameLen {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		v.Name = string(b[off : off+nameLen])
+		off += nameLen
+		bld.AddVertex(v)
+	}
+	if len(b) < off+4 {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	edges := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+8*edges {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	for i := 0; i < edges; i++ {
+		u := binary.LittleEndian.Uint32(b[off:])
+		v := binary.LittleEndian.Uint32(b[off+4:])
+		off += 8
+		if int(u) >= n || int(v) >= n {
+			return nil, 0, fmt.Errorf("graph: edge (%d,%d) out of range in encoding", u, v)
+		}
+		bld.AddEdge(VertexID(u), VertexID(v))
+	}
+	return bld.Build(), off, nil
+}

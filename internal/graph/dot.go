@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection and
+// debugging (evostore-ctl arch <id> | dot -Tsvg ...). Vertices in the
+// optional highlight set (e.g. an LCP prefix) are drawn filled.
+func (g *Compact) WriteDOT(w io.Writer, name string, highlight []VertexID) error {
+	hl := make(map[VertexID]bool, len(highlight))
+	for _, v := range highlight {
+		hl[v] = true
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for v := range g.Vertices {
+		label := g.Vertices[v].Name
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		label = fmt.Sprintf("%s\\nsig=%08x", escapeDOT(label), uint32(g.Vertices[v].ConfigSig))
+		if b := g.Vertices[v].ParamBytes; b > 0 {
+			label += fmt.Sprintf("\\n%dB", b)
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if hl[VertexID(v)] {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", v, attrs); err != nil {
+			return err
+		}
+	}
+	for u := range g.Out {
+		for _, v := range g.Out[u] {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,417 @@
+// Package hdf5 implements a hierarchical binary container in the spirit of
+// HDF5: named groups nesting arbitrarily, datasets carrying typed
+// n-dimensional arrays, and string attributes on both. It provides the
+// HDF5+PFS baseline of the paper's evaluation (§5.2): Keras-style
+// whole-model serialization where every save writes the complete weight
+// set as one self-contained file.
+//
+// The format is intentionally file-oriented and monolithic — the properties
+// that make the baseline slow under partial access are the point:
+//
+//   - a writer serializes the whole tree into one buffer before any I/O
+//     (mirroring Keras's copy into NumPy arrays first, then HDF5 I/O);
+//   - readers must parse the container before extracting any dataset;
+//   - there is no notion of sharing between files.
+//
+// Layout (little-endian):
+//
+//	superblock: 8-byte magic "\x89EVH5\r\n\x1a" | u32 version | u64 root offset
+//	group:      u8 tag 'G' | u16 nameLen | name | u32 nattrs | attrs |
+//	            u32 nchildren | children (groups or datasets)
+//	attr:       u16 keyLen | key | u32 valLen | val
+//	dataset:    u8 tag 'D' | u16 nameLen | name | u32 nattrs | attrs |
+//	            u8 dtype | u8 rank | rank×u32 dims | u64 payload len | payload |
+//	            u32 crc32(payload)
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+var magic = []byte{0x89, 'E', 'V', 'H', '5', '\r', '\n', 0x1a}
+
+const version = 1
+
+// Group is a node of the hierarchy, holding attributes, child groups and
+// datasets.
+type Group struct {
+	Name     string
+	Attrs    map[string]string
+	Groups   map[string]*Group
+	Datasets map[string]*Dataset
+}
+
+// Dataset is a typed n-dimensional array with attributes.
+type Dataset struct {
+	Name  string
+	Attrs map[string]string
+	DType tensor.DType
+	Shape []int
+	Data  []byte
+}
+
+// NewGroup creates an empty group.
+func NewGroup(name string) *Group {
+	return &Group{
+		Name:     name,
+		Attrs:    make(map[string]string),
+		Groups:   make(map[string]*Group),
+		Datasets: make(map[string]*Dataset),
+	}
+}
+
+// CreateGroup adds (or returns the existing) child group.
+func (g *Group) CreateGroup(name string) *Group {
+	if child, ok := g.Groups[name]; ok {
+		return child
+	}
+	child := NewGroup(name)
+	g.Groups[name] = child
+	return child
+}
+
+// CreateDataset adds a dataset from a tensor, copying its payload (the
+// serialization copy the baseline pays).
+func (g *Group) CreateDataset(name string, t *tensor.Tensor) *Dataset {
+	d := &Dataset{
+		Name:  name,
+		Attrs: make(map[string]string),
+		DType: t.DType,
+		Shape: append([]int(nil), t.Shape...),
+		Data:  append([]byte(nil), t.Data...),
+	}
+	g.Datasets[name] = d
+	return d
+}
+
+// Tensor converts the dataset back into a tensor (copying).
+func (d *Dataset) Tensor() *tensor.Tensor {
+	return &tensor.Tensor{
+		Name:  d.Name,
+		DType: d.DType,
+		Shape: append([]int(nil), d.Shape...),
+		Data:  append([]byte(nil), d.Data...),
+	}
+}
+
+// Lookup resolves a path like "layers/dense_1/kernel" to a dataset.
+func (g *Group) Lookup(path ...string) (*Dataset, error) {
+	cur := g
+	for i, p := range path {
+		if i == len(path)-1 {
+			if d, ok := cur.Datasets[p]; ok {
+				return d, nil
+			}
+			return nil, fmt.Errorf("hdf5: dataset %q not found", p)
+		}
+		next, ok := cur.Groups[p]
+		if !ok {
+			return nil, fmt.Errorf("hdf5: group %q not found", p)
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("hdf5: empty path")
+}
+
+// --- encoding ----------------------------------------------------------------
+
+func appendAttrs(dst []byte, attrs map[string]string) []byte {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(k)))
+		dst = append(dst, k...)
+		v := attrs[k]
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+func (d *Dataset) append(dst []byte) []byte {
+	dst = append(dst, 'D')
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(d.Name)))
+	dst = append(dst, d.Name...)
+	dst = appendAttrs(dst, d.Attrs)
+	dst = append(dst, byte(d.DType), byte(len(d.Shape)))
+	for _, dim := range d.Shape {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(dim))
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(d.Data)))
+	dst = append(dst, d.Data...)
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(d.Data))
+	return dst
+}
+
+func (g *Group) append(dst []byte) []byte {
+	dst = append(dst, 'G')
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(g.Name)))
+	dst = append(dst, g.Name...)
+	dst = appendAttrs(dst, g.Attrs)
+
+	names := make([]string, 0, len(g.Groups)+len(g.Datasets))
+	for n := range g.Groups {
+		names = append(names, "g:"+n)
+	}
+	for n := range g.Datasets {
+		names = append(names, "d:"+n)
+	}
+	sort.Strings(names)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(names)))
+	for _, n := range names {
+		if n[0] == 'g' {
+			dst = g.Groups[n[2:]].append(dst)
+		} else {
+			dst = g.Datasets[n[2:]].append(dst)
+		}
+	}
+	return dst
+}
+
+// Encode serializes the whole tree into one buffer (superblock + root
+// group). This is the monolithic step the paper attributes serialization
+// overhead to.
+func Encode(root *Group) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(buf)+8))
+	return root.append(buf)
+}
+
+// --- decoding -----------------------------------------------------------------
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if d.off+n > len(d.buf) {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) u16() (int, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return int(v), nil
+}
+
+func (d *decoder) u32() (int, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return int(v), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) str(n int) (string, error) {
+	if err := d.need(n); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) attrs() (map[string]string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	attrs := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		kl, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		k, err := d.str(kl)
+		if err != nil {
+			return nil, err
+		}
+		vl, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.str(vl)
+		if err != nil {
+			return nil, err
+		}
+		attrs[k] = v
+	}
+	return attrs, nil
+}
+
+func (d *decoder) dataset() (*Dataset, error) {
+	nl, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	name, err := d.str(nl)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := d.attrs()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if tensor.DType(dt) > tensor.Uint8 {
+		return nil, fmt.Errorf("hdf5: dataset %q: bad dtype %d", name, dt)
+	}
+	rank, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	shape := make([]int, rank)
+	for i := range shape {
+		if shape[i], err = d.u32(); err != nil {
+			return nil, err
+		}
+	}
+	plen, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(int(plen) + 4); err != nil {
+		return nil, err
+	}
+	payload := append([]byte(nil), d.buf[d.off:d.off+int(plen)]...)
+	d.off += int(plen)
+	crc, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != uint32(crc) {
+		return nil, fmt.Errorf("hdf5: dataset %q payload corrupt", name)
+	}
+	return &Dataset{Name: name, Attrs: attrs, DType: tensor.DType(dt), Shape: shape, Data: payload}, nil
+}
+
+func (d *decoder) group() (*Group, error) {
+	nl, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	name, err := d.str(nl)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := d.attrs()
+	if err != nil {
+		return nil, err
+	}
+	g := NewGroup(name)
+	g.Attrs = attrs
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		tag, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case 'G':
+			child, err := d.group()
+			if err != nil {
+				return nil, err
+			}
+			g.Groups[child.Name] = child
+		case 'D':
+			ds, err := d.dataset()
+			if err != nil {
+				return nil, err
+			}
+			g.Datasets[ds.Name] = ds
+		default:
+			return nil, fmt.Errorf("hdf5: unknown node tag %q", tag)
+		}
+	}
+	return g, nil
+}
+
+// Decode parses a container produced by Encode.
+func Decode(buf []byte) (*Group, error) {
+	d := &decoder{buf: buf}
+	if err := d.need(len(magic)); err != nil {
+		return nil, err
+	}
+	for i, b := range magic {
+		if buf[i] != b {
+			return nil, fmt.Errorf("hdf5: bad magic at byte %d", i)
+		}
+	}
+	d.off = len(magic)
+	v, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("hdf5: unsupported version %d", v)
+	}
+	if _, err := d.u64(); err != nil { // root offset (informational)
+		return nil, err
+	}
+	tag, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if tag != 'G' {
+		return nil, fmt.Errorf("hdf5: root is not a group")
+	}
+	return d.group()
+}
+
+// WriteFile encodes root and writes it to path in one shot.
+func WriteFile(path string, root *Group) error {
+	return os.WriteFile(path, Encode(root), 0o644)
+}
+
+// ReadFile reads and decodes a container file.
+func ReadFile(path string) (*Group, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}

@@ -1,0 +1,248 @@
+package hdf5
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func sampleTree() *Group {
+	root := NewGroup("/")
+	root.Attrs["creator"] = "test"
+	g1 := root.CreateGroup("layers")
+	g1.Attrs["count"] = "2"
+	d1 := tensor.New("kernel", tensor.Float32, 4, 4)
+	d1.FillSeeded(1)
+	g1.CreateDataset("kernel", d1)
+	deep := g1.CreateGroup("block").CreateGroup("inner")
+	d2 := tensor.New("bias", tensor.Float64, 7)
+	d2.FillSeeded(2)
+	deep.CreateDataset("bias", d2)
+	return root
+}
+
+func treesEqual(t *testing.T, a, b *Group) {
+	t.Helper()
+	if a.Name != b.Name || len(a.Attrs) != len(b.Attrs) ||
+		len(a.Groups) != len(b.Groups) || len(a.Datasets) != len(b.Datasets) {
+		t.Fatalf("group %q structure mismatch", a.Name)
+	}
+	for k, v := range a.Attrs {
+		if b.Attrs[k] != v {
+			t.Errorf("group %q attr %q mismatch", a.Name, k)
+		}
+	}
+	for n, ad := range a.Datasets {
+		bd, ok := b.Datasets[n]
+		if !ok {
+			t.Fatalf("dataset %q missing", n)
+		}
+		if !ad.Tensor().Equal(bd.Tensor()) {
+			// Names inside Tensor() come from dataset names so they match.
+			t.Errorf("dataset %q contents mismatch", n)
+		}
+	}
+	for n, ag := range a.Groups {
+		bg, ok := b.Groups[n]
+		if !ok {
+			t.Fatalf("group %q missing", n)
+		}
+		treesEqual(t, ag, bg)
+	}
+}
+
+func TestEncodeDecodeTree(t *testing.T) {
+	root := sampleTree()
+	back, err := Decode(Encode(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	treesEqual(t, root, back)
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.h5")
+	if err := WriteFile(path, sampleTree()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treesEqual(t, sampleTree(), back)
+}
+
+func TestLookup(t *testing.T) {
+	root := sampleTree()
+	if _, err := root.Lookup("layers", "kernel"); err != nil {
+		t.Errorf("Lookup kernel: %v", err)
+	}
+	if _, err := root.Lookup("layers", "block", "inner", "bias"); err != nil {
+		t.Errorf("Lookup nested: %v", err)
+	}
+	if _, err := root.Lookup("layers", "nope"); err == nil {
+		t.Error("Lookup found missing dataset")
+	}
+	if _, err := root.Lookup("ghost", "kernel"); err == nil {
+		t.Error("Lookup found missing group")
+	}
+	if _, err := root.Lookup(); err == nil {
+		t.Error("Lookup accepted empty path")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := Encode(sampleTree())
+	// Bad magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Flip a payload byte: crc must catch it. Find a payload region by
+	// flipping bytes until decode fails with corruption (not truncation).
+	for i := len(enc) - 10; i < len(enc)-4; i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at %d undetected", i)
+		}
+	}
+	// Truncations.
+	for cut := 0; cut < len(enc); cut += 11 {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCreateGroupIdempotent(t *testing.T) {
+	root := NewGroup("/")
+	a := root.CreateGroup("x")
+	b := root.CreateGroup("x")
+	if a != b {
+		t.Error("CreateGroup created duplicate")
+	}
+}
+
+func TestDatasetCopiesPayload(t *testing.T) {
+	root := NewGroup("/")
+	src := tensor.New("w", tensor.Float32, 4)
+	src.FillSeeded(3)
+	ds := root.CreateDataset("w", src)
+	src.Data[0] ^= 0xff
+	if ds.Data[0] == src.Data[0] {
+		t.Error("dataset aliases the source tensor")
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	m := model.Sequential("mlp", 8,
+		model.Dense{In: 8, Out: 16, Activation: "relu", UseBias: true},
+		model.BatchNorm{Dim: 16},
+		model.Dense{In: 16, Out: 4, UseBias: true},
+	)
+	f, err := model.Flatten(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := model.Materialize(f, 11)
+	root := SaveModel("mlp", f, ws)
+
+	// Through bytes, as the PFS path would.
+	back, err := Decode(Encode(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(back, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ws) {
+		t.Error("weights mismatch after HDF5 roundtrip")
+	}
+
+	arch, err := StoredArchitecture(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arch.Equal(f.Graph) {
+		t.Error("architecture mismatch after roundtrip")
+	}
+}
+
+func TestLoadModelArchMismatch(t *testing.T) {
+	f1, _ := model.Flatten(model.Sequential("a", 8, model.Dense{In: 8, Out: 4}))
+	f2, _ := model.Flatten(model.Sequential("b", 8, model.Dense{In: 8, Out: 6}))
+	root := SaveModel("a", f1, model.Materialize(f1, 1))
+	if _, err := LoadModel(root, f2); err == nil {
+		t.Error("LoadModel accepted mismatched architecture")
+	}
+}
+
+// Property: encode/decode roundtrips trees with arbitrary attribute
+// contents and dataset sizes.
+func TestQuickTreeRoundtrip(t *testing.T) {
+	f := func(attr string, n1, n2 uint8, seed uint64) bool {
+		root := NewGroup("/")
+		root.Attrs["a"] = attr
+		g := root.CreateGroup("g")
+		t1 := tensor.New("x", tensor.Float32, int(n1%64))
+		t1.FillSeeded(seed)
+		g.CreateDataset("x", t1)
+		t2 := tensor.New("y", tensor.Uint8, int(n2))
+		t2.FillSeeded(seed + 1)
+		root.CreateDataset("y", t2)
+		back, err := Decode(Encode(root))
+		if err != nil {
+			return false
+		}
+		d1, err1 := back.Lookup("g", "x")
+		d2, err2 := back.Lookup("y")
+		return err1 == nil && err2 == nil &&
+			d1.Tensor().Equal(t1) && d2.Tensor().Equal(t2) &&
+			back.Attrs["a"] == attr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeModel(b *testing.B) {
+	layers := make([]model.Layer, 20)
+	for i := range layers {
+		layers[i] = model.Dense{In: 256, Out: 256, UseBias: true}
+	}
+	f, err := model.Flatten(model.Sequential("bench", 256, layers...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := model.Materialize(f, 1)
+	b.SetBytes(ws.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(SaveModel("bench", f, ws))
+	}
+}
+
+func BenchmarkDecodeModel(b *testing.B) {
+	layers := make([]model.Layer, 20)
+	for i := range layers {
+		layers[i] = model.Dense{In: 256, Out: 256, UseBias: true}
+	}
+	f, err := model.Flatten(model.Sequential("bench", 256, layers...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := Encode(SaveModel("bench", f, model.Materialize(f, 1)))
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

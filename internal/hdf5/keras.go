@@ -1,0 +1,99 @@
+package hdf5
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// SaveModel lays a flattened model out the way Keras writes HDF5 weight
+// files: a "model_weights" group containing one group per leaf layer with
+// one dataset per parameter tensor, plus the encoded architecture graph as
+// a dataset so the file is self-contained. Every call serializes the whole
+// model — the baseline has no incremental mode.
+func SaveModel(name string, f *model.Flat, ws model.WeightSet) *Group {
+	root := NewGroup("/")
+	root.Attrs["model_name"] = name
+	root.Attrs["backend"] = "evostore-repro"
+
+	arch := NewGroup("architecture")
+	arch.CreateDataset("graph", &tensor.Tensor{
+		Name: "graph", DType: tensor.Uint8,
+		Shape: []int{len(f.Graph.Encode())},
+		Data:  f.Graph.Encode(),
+	})
+	root.Groups[arch.Name] = arch
+
+	weights := root.CreateGroup("model_weights")
+	for v := range f.Leaves {
+		leaf := &f.Leaves[v]
+		lg := weights.CreateGroup(leaf.Name)
+		lg.Attrs["kind"] = leaf.Layer.Kind()
+		for i, spec := range leaf.Specs {
+			lg.CreateDataset(spec.Name, ws[v][i])
+		}
+	}
+	return root
+}
+
+// LoadModel reverses SaveModel: it extracts the weight set for the given
+// flattened model from a container. The container's architecture must
+// match f's.
+func LoadModel(root *Group, f *model.Flat) (model.WeightSet, error) {
+	archDS, err := root.Lookup("architecture", "graph")
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := graph.Decode(archDS.Data)
+	if err != nil {
+		return nil, fmt.Errorf("hdf5: decoding stored architecture: %w", err)
+	}
+	if !g.Equal(f.Graph) {
+		return nil, fmt.Errorf("hdf5: stored architecture does not match the requested model")
+	}
+
+	weights, ok := root.Groups["model_weights"]
+	if !ok {
+		return nil, fmt.Errorf("hdf5: container has no model_weights group")
+	}
+	ws := make(model.WeightSet, len(f.Leaves))
+	for v := range f.Leaves {
+		leaf := &f.Leaves[v]
+		if len(leaf.Specs) == 0 {
+			continue
+		}
+		lg, ok := weights.Groups[leaf.Name]
+		if !ok {
+			return nil, fmt.Errorf("hdf5: layer group %q missing", leaf.Name)
+		}
+		ts := make([]*tensor.Tensor, len(leaf.Specs))
+		for i, spec := range leaf.Specs {
+			ds, ok := lg.Datasets[spec.Name]
+			if !ok {
+				return nil, fmt.Errorf("hdf5: dataset %q missing in layer %q", spec.Name, leaf.Name)
+			}
+			t := ds.Tensor()
+			t.Name = leaf.Name + "/" + spec.Name
+			if t.DType != spec.DType || t.NumElements() != tensor.NumElements(spec.Shape) {
+				return nil, fmt.Errorf("hdf5: dataset %q/%q does not match spec %v", leaf.Name, spec.Name, spec)
+			}
+			ts[i] = t
+		}
+		ws[v] = ts
+	}
+	return ws, nil
+}
+
+// StoredArchitecture extracts just the architecture graph from a container
+// without touching weights (used by the Redis-Queries baseline to populate
+// its metadata catalog).
+func StoredArchitecture(root *Group) (*graph.Compact, error) {
+	archDS, err := root.Lookup("architecture", "graph")
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := graph.Decode(archDS.Data)
+	return g, err
+}

@@ -1,0 +1,185 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// These tests inject storage-level failures and verify the LSM backend
+// degrades safely: corruption is detected (never silently served) and
+// torn WAL tails are truncated without losing earlier records.
+
+func TestSSTableCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		kv.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("value-%03d", i)))
+	}
+	if err := kv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	kv.Close()
+
+	// Flip one byte inside a value payload region of the table file.
+	names, _ := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if len(names) != 1 {
+		t.Fatalf("tables = %v", names)
+	}
+	raw, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry region starts at offset 8; find the byte sequence "value-000"
+	// and corrupt its middle.
+	idx := -1
+	for i := 0; i+9 < len(raw); i++ {
+		if string(raw[i:i+6]) == "value-" {
+			idx = i + 3
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("payload not found in table file")
+	}
+	raw[idx] ^= 0xff
+	if err := os.WriteFile(names[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		// Detection at open time (the recovery scan) is acceptable.
+		return
+	}
+	defer kv2.Close()
+	// Otherwise the corrupted entry must fail loudly at read time.
+	sawError := false
+	for i := 0; i < 50; i++ {
+		v, ok, err := kv2.Get(fmt.Sprintf("k%03d", i))
+		if err != nil {
+			sawError = true
+			continue
+		}
+		if ok && string(v) != fmt.Sprintf("value-%03d", i) {
+			t.Fatalf("corrupted value served silently: k%03d = %q", i, v)
+		}
+	}
+	if !sawError {
+		t.Error("corruption neither detected at open nor at read")
+	}
+}
+
+func TestWALTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenLSM(dir, LSMOptions{FlushBytes: 1 << 30}) // WAL-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		kv.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%02d", i)))
+	}
+	if err := kv.Close(); err != nil { // close syncs the WAL
+		t.Fatal(err)
+	}
+
+	// Tear the tail: chop the last few bytes (mid-record crash).
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer kv2.Close()
+	// Everything except (at most) the final record must survive.
+	for i := 0; i < 19; i++ {
+		v, ok, err := kv2.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Errorf("k%02d lost after torn tail: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if _, ok, _ := kv2.Get("k19"); ok {
+		t.Log("final record survived the tear (tear landed in the crc only) — fine")
+	}
+}
+
+func TestWALTrailingGarbageIgnored(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenLSM(dir, LSMOptions{FlushBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.Put("good", []byte("payload"))
+	kv.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x01, 0xff, 0xff, 0xff, 0x7f}) // bogus partial header
+	f.Close()
+
+	kv2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatalf("reopen with trailing garbage: %v", err)
+	}
+	defer kv2.Close()
+	if v, ok, _ := kv2.Get("good"); !ok || string(v) != "payload" {
+		t.Errorf("good record lost: %q ok=%v", v, ok)
+	}
+}
+
+func TestLSMManyReopens(t *testing.T) {
+	// Repeated crash-free reopen cycles must neither lose nor duplicate.
+	dir := t.TempDir()
+	for cycle := 0; cycle < 5; cycle++ {
+		kv, err := OpenLSM(dir, LSMOptions{FlushBytes: 2 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("c%d-k%02d", cycle, i)
+			if err := kv.Put(key, []byte(key)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// All prior cycles' keys must still read back.
+		for pc := 0; pc <= cycle; pc++ {
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("c%d-k%02d", pc, i)
+				v, ok, err := kv.Get(key)
+				if err != nil || !ok || string(v) != key {
+					t.Fatalf("cycle %d: %s = %q ok=%v err=%v", cycle, key, v, ok, err)
+				}
+			}
+		}
+		if err := kv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLSMDoubleCloseIsNoop(t *testing.T) {
+	kv, err := OpenLSM(t.TempDir(), LSMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.Put("a", []byte("1"))
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package kvstore provides the provider-local key-value backends of
+// EvoStore. The paper's providers use "an extensible key-value store
+// abstraction ... either in-memory (C++ synchronized memory pools) or
+// persistently using underlying backends such as RocksDB". This package
+// supplies both classes behind one interface: MemKV, a sharded in-memory
+// store, and LSMKV, a persistent log-structured merge store (WAL +
+// memtable + SSTables + compaction).
+package kvstore
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KV is the store abstraction providers program against. Implementations
+// must be safe for concurrent use. Values passed to Put are copied; values
+// returned by Get must not be modified by the caller.
+type KV interface {
+	// Put stores value under key, replacing any existing entry.
+	Put(key string, value []byte) error
+	// Get returns the value for key and whether it exists.
+	Get(key string) ([]byte, bool, error)
+	// Delete removes key; deleting a missing key is not an error.
+	Delete(key string) error
+	// Scan calls fn for every key with the given prefix in ascending key
+	// order until fn returns false. fn must not mutate the store.
+	Scan(prefix string, fn func(key string, value []byte) bool) error
+	// Len returns the number of live entries.
+	Len() int
+	// SizeBytes returns the total payload bytes of live entries.
+	SizeBytes() int64
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// memShard is one lock domain of MemKV.
+type memShard struct {
+	mu    sync.RWMutex
+	items map[string][]byte
+	bytes int64
+}
+
+// MemKV is a sharded in-memory KV: the analogue of the paper's C++
+// synchronized memory pools. Shard count fixes the number of lock domains
+// so concurrent workers rarely contend.
+type MemKV struct {
+	shards []memShard
+}
+
+// NewMemKV returns an in-memory store with the given shard count (minimum
+// 1; 16 is a good default for provider workloads).
+func NewMemKV(shards int) *MemKV {
+	if shards < 1 {
+		shards = 1
+	}
+	kv := &MemKV{shards: make([]memShard, shards)}
+	for i := range kv.shards {
+		kv.shards[i].items = make(map[string][]byte)
+	}
+	return kv
+}
+
+func (kv *MemKV) shard(key string) *memShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &kv.shards[h.Sum32()%uint32(len(kv.shards))]
+}
+
+// Put implements KV.
+func (kv *MemKV) Put(key string, value []byte) error {
+	s := kv.shard(key)
+	cp := append([]byte(nil), value...)
+	s.mu.Lock()
+	if old, ok := s.items[key]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.items[key] = cp
+	s.bytes += int64(len(cp))
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements KV.
+func (kv *MemKV) Get(key string) ([]byte, bool, error) {
+	s := kv.shard(key)
+	s.mu.RLock()
+	v, ok := s.items[key]
+	s.mu.RUnlock()
+	return v, ok, nil
+}
+
+// Delete implements KV.
+func (kv *MemKV) Delete(key string) error {
+	s := kv.shard(key)
+	s.mu.Lock()
+	if old, ok := s.items[key]; ok {
+		s.bytes -= int64(len(old))
+		delete(s.items, key)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Scan implements KV. It snapshots matching keys first so fn runs without
+// holding shard locks.
+func (kv *MemKV) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	type pair struct {
+		k string
+		v []byte
+	}
+	var matched []pair
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		s.mu.RLock()
+		for k, v := range s.items {
+			if strings.HasPrefix(k, prefix) {
+				matched = append(matched, pair{k, v})
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].k < matched[j].k })
+	for _, p := range matched {
+		if !fn(p.k, p.v) {
+			break
+		}
+	}
+	return nil
+}
+
+// Len implements KV.
+func (kv *MemKV) Len() int {
+	n := 0
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		s.mu.RLock()
+		n += len(s.items)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// SizeBytes implements KV.
+func (kv *MemKV) SizeBytes() int64 {
+	var n int64
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		s.mu.RLock()
+		n += s.bytes
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Close implements KV.
+func (kv *MemKV) Close() error {
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		s.mu.Lock()
+		s.items = map[string][]byte{}
+		s.bytes = 0
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+var _ KV = (*MemKV)(nil)

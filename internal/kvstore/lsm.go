@@ -1,0 +1,355 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LSMKV is a persistent log-structured merge store: the analogue of the
+// paper's RocksDB provider backend. Writes go to a WAL and an in-memory
+// memtable; when the memtable exceeds FlushBytes it is written as an
+// immutable SSTable. When more than CompactAfter tables accumulate they
+// are merged into one (full compaction), dropping shadowed entries and
+// tombstones.
+type LSMKV struct {
+	dir  string
+	opts LSMOptions
+
+	mu     sync.RWMutex
+	mem    map[string]memEntry
+	memLen int64
+	log    *wal
+	tables []*sstable // newest last
+	nextID int
+}
+
+// memEntry is one memtable slot: either a value or a tombstone. Keeping an
+// explicit flag (rather than a nil sentinel) lets zero-length values — such
+// as the empty tensor segments of parameter-free leaf layers — round-trip
+// correctly.
+type memEntry struct {
+	val  []byte
+	tomb bool
+}
+
+// LSMOptions tunes LSMKV behaviour.
+type LSMOptions struct {
+	// FlushBytes is the memtable payload size that triggers an SSTable
+	// flush. Default 4 MiB.
+	FlushBytes int64
+	// CompactAfter is the SSTable count that triggers a full compaction.
+	// Default 6.
+	CompactAfter int
+	// SyncEveryPut forces an fsync per Put; default false (sync on flush
+	// and close), matching typical RocksDB deployment.
+	SyncEveryPut bool
+}
+
+func (o *LSMOptions) setDefaults() {
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 4 << 20
+	}
+	if o.CompactAfter <= 0 {
+		o.CompactAfter = 6
+	}
+}
+
+// OpenLSM opens (or creates) a store rooted at dir, replaying any WAL left
+// by a previous process.
+func OpenLSM(dir string, opts LSMOptions) (*LSMKV, error) {
+	opts.setDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	kv := &LSMKV{dir: dir, opts: opts, mem: make(map[string]memEntry)}
+
+	names, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names) // IDs are zero-padded so lexical = numeric order
+	for _, name := range names {
+		t, err := openSSTable(name)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: opening %s: %w", name, err)
+		}
+		kv.tables = append(kv.tables, t)
+		var id int
+		fmt.Sscanf(filepath.Base(name), "%06d.sst", &id)
+		if id >= kv.nextID {
+			kv.nextID = id + 1
+		}
+	}
+
+	walPath := filepath.Join(dir, "wal.log")
+	err = replayWAL(walPath, func(op byte, key string, value []byte) {
+		switch op {
+		case walOpPut:
+			kv.memApply(key, value, false)
+		case walOpDelete:
+			kv.memApply(key, nil, true)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	kv.log, err = createWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	return kv, nil
+}
+
+// memApply installs an entry into the memtable, tracking payload size.
+// Caller holds mu (or is single-threaded during open).
+func (kv *LSMKV) memApply(key string, value []byte, tomb bool) {
+	if old, ok := kv.mem[key]; ok {
+		kv.memLen -= int64(len(old.val))
+	}
+	if tomb {
+		kv.mem[key] = memEntry{tomb: true}
+		return
+	}
+	cp := append([]byte(nil), value...)
+	kv.mem[key] = memEntry{val: cp}
+	kv.memLen += int64(len(cp))
+}
+
+// Put implements KV.
+func (kv *LSMKV) Put(key string, value []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if err := kv.log.append(walOpPut, key, value); err != nil {
+		return err
+	}
+	if kv.opts.SyncEveryPut {
+		if err := kv.log.sync(); err != nil {
+			return err
+		}
+	}
+	kv.memApply(key, value, false)
+	if kv.memLen >= kv.opts.FlushBytes {
+		return kv.flushLocked()
+	}
+	return nil
+}
+
+// Delete implements KV.
+func (kv *LSMKV) Delete(key string) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if err := kv.log.append(walOpDelete, key, nil); err != nil {
+		return err
+	}
+	kv.memApply(key, nil, true)
+	return nil
+}
+
+// Get implements KV: memtable first, then SSTables newest-first.
+func (kv *LSMKV) Get(key string) ([]byte, bool, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if e, ok := kv.mem[key]; ok {
+		if e.tomb {
+			return nil, false, nil
+		}
+		return e.val, true, nil
+	}
+	for i := len(kv.tables) - 1; i >= 0; i-- {
+		v, found, tomb, err := kv.tables[i].get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan implements KV: a merge over memtable and all tables with
+// newest-wins shadowing.
+func (kv *LSMKV) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	merged := make(map[string]memEntry)
+	// Oldest table first; newer entries overwrite.
+	for _, t := range kv.tables {
+		err := t.iterate(func(e ssEntry) bool {
+			if strings.HasPrefix(e.key, prefix) {
+				merged[e.key] = memEntry{val: e.value, tomb: e.tombstone}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for k, e := range kv.mem {
+		if strings.HasPrefix(k, prefix) {
+			merged[k] = e
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k, e := range merged {
+		if !e.tomb {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, merged[k].val) {
+			break
+		}
+	}
+	return nil
+}
+
+// Len implements KV. It merges live keys, so it is O(total entries).
+func (kv *LSMKV) Len() int {
+	n := 0
+	kv.Scan("", func(string, []byte) bool { n++; return true })
+	return n
+}
+
+// SizeBytes implements KV (live payload bytes).
+func (kv *LSMKV) SizeBytes() int64 {
+	var n int64
+	kv.Scan("", func(_ string, v []byte) bool { n += int64(len(v)); return true })
+	return n
+}
+
+// Flush forces the memtable to disk as an SSTable.
+func (kv *LSMKV) Flush() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.flushLocked()
+}
+
+func (kv *LSMKV) flushLocked() error {
+	if len(kv.mem) == 0 {
+		return nil
+	}
+	entries := make([]ssEntry, 0, len(kv.mem))
+	for k, e := range kv.mem {
+		entries = append(entries, ssEntry{key: k, value: e.val, tombstone: e.tomb})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+
+	path := filepath.Join(kv.dir, fmt.Sprintf("%06d.sst", kv.nextID))
+	kv.nextID++
+	t, err := writeSSTable(path, entries)
+	if err != nil {
+		return err
+	}
+	kv.tables = append(kv.tables, t)
+	kv.mem = make(map[string]memEntry)
+	kv.memLen = 0
+
+	// Truncate the WAL: its contents are now durable in the SSTable.
+	if err := kv.log.close(); err != nil {
+		return err
+	}
+	walPath := filepath.Join(kv.dir, "wal.log")
+	if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	kv.log, err = createWAL(walPath)
+	if err != nil {
+		return err
+	}
+	if len(kv.tables) > kv.opts.CompactAfter {
+		return kv.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all SSTables into one, dropping shadowed versions and
+// tombstones.
+func (kv *LSMKV) Compact() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.compactLocked()
+}
+
+func (kv *LSMKV) compactLocked() error {
+	if len(kv.tables) <= 1 {
+		return nil
+	}
+	merged := make(map[string][]byte)
+	tomb := make(map[string]bool)
+	for _, t := range kv.tables { // oldest first, newer wins
+		err := t.iterate(func(e ssEntry) bool {
+			if e.tombstone {
+				delete(merged, e.key)
+				tomb[e.key] = true
+			} else {
+				merged[e.key] = append([]byte(nil), e.value...)
+				delete(tomb, e.key)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	entries := make([]ssEntry, 0, len(merged))
+	for k, v := range merged {
+		entries = append(entries, ssEntry{key: k, value: v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+
+	path := filepath.Join(kv.dir, fmt.Sprintf("%06d.sst", kv.nextID))
+	kv.nextID++
+	nt, err := writeSSTable(path, entries)
+	if err != nil {
+		return err
+	}
+	old := kv.tables
+	kv.tables = []*sstable{nt}
+	for _, t := range old {
+		t.close()
+		os.Remove(t.path)
+	}
+	return nil
+}
+
+// Close flushes and releases all resources. Closing twice is a no-op.
+func (kv *LSMKV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.log == nil {
+		return nil
+	}
+	if err := kv.log.sync(); err != nil {
+		return err
+	}
+	if err := kv.log.close(); err != nil {
+		return err
+	}
+	kv.log = nil
+	var first error
+	for _, t := range kv.tables {
+		if err := t.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	kv.tables = nil
+	return first
+}
+
+// TableCount reports the number of SSTables (for tests and stats).
+func (kv *LSMKV) TableCount() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.tables)
+}
+
+var _ KV = (*LSMKV)(nil)

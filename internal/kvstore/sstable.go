@@ -1,0 +1,358 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+)
+
+// sstable is one immutable sorted table on disk.
+//
+// File layout (little-endian):
+//
+//	header:  u32 magic | u32 entry count
+//	entries: repeated u32 keyLen | u32 valLen(0xffffffff = tombstone) |
+//	         key | value | u32 crc(key+value)
+//	bloom:   u32 bit count | bits
+//	index:   u32 index count | repeated (u32 keyLen | key | u64 offset)
+//	footer:  u64 bloom offset | u64 index offset | u32 magic
+//
+// The sparse index holds every indexInterval-th key; lookups seek to the
+// greatest indexed key ≤ target and scan forward.
+const (
+	ssMagic       = 0x4c534d31 // "LSM1"
+	tombstoneMark = 0xffffffff
+	indexInterval = 16
+	bloomBitsPer  = 10
+)
+
+type ssIndexEntry struct {
+	key    string
+	offset uint64
+}
+
+type sstable struct {
+	path    string
+	f       *os.File
+	count   int
+	bloom   []uint64
+	nbits   uint32
+	index   []ssIndexEntry
+	dataEnd uint64
+	minKey  string
+	maxKey  string
+	bytes   int64 // live value payload bytes (excluding tombstones)
+}
+
+type ssEntry struct {
+	key       string
+	value     []byte
+	tombstone bool
+}
+
+// writeSSTable writes sorted entries to path and opens the result.
+func writeSSTable(path string, entries []ssEntry) (*sstable, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	nbits := uint32(len(entries)*bloomBitsPer + 64)
+	bloom := make([]uint64, (nbits+63)/64)
+	var index []ssIndexEntry
+	var off uint64
+	var liveBytes int64
+
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		w.Write(b[:])
+		off += 4
+	}
+
+	writeU32(ssMagic)
+	writeU32(uint32(len(entries)))
+	for i, e := range entries {
+		if i%indexInterval == 0 {
+			index = append(index, ssIndexEntry{key: e.key, offset: off})
+		}
+		bloomSet(bloom, nbits, e.key)
+		writeU32(uint32(len(e.key)))
+		if e.tombstone {
+			writeU32(tombstoneMark)
+		} else {
+			writeU32(uint32(len(e.value)))
+			liveBytes += int64(len(e.value))
+		}
+		w.WriteString(e.key)
+		off += uint64(len(e.key))
+		if !e.tombstone {
+			w.Write(e.value)
+			off += uint64(len(e.value))
+		}
+		crc := crc32.ChecksumIEEE([]byte(e.key))
+		if !e.tombstone {
+			crc = crc32.Update(crc, crc32.IEEETable, e.value)
+		}
+		writeU32(crc)
+	}
+	dataEnd := off
+
+	bloomOff := off
+	writeU32(nbits)
+	for _, word := range bloom {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], word)
+		w.Write(b[:])
+		off += 8
+	}
+	indexOff := off
+	writeU32(uint32(len(index)))
+	for _, ie := range index {
+		writeU32(uint32(len(ie.key)))
+		w.WriteString(ie.key)
+		off += uint64(len(ie.key))
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], ie.offset)
+		w.Write(b[:])
+		off += 8
+	}
+	var footer [20]byte
+	binary.LittleEndian.PutUint64(footer[0:], bloomOff)
+	binary.LittleEndian.PutUint64(footer[8:], indexOff)
+	binary.LittleEndian.PutUint32(footer[16:], ssMagic)
+	w.Write(footer[:])
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	t := &sstable{
+		path: path, f: f, count: len(entries),
+		bloom: bloom, nbits: nbits, index: index, dataEnd: dataEnd,
+		bytes: liveBytes,
+	}
+	if len(entries) > 0 {
+		t.minKey = entries[0].key
+		t.maxKey = entries[len(entries)-1].key
+	}
+	return t, nil
+}
+
+// openSSTable memoizes the bloom filter and sparse index from an existing
+// table file.
+func openSSTable(path string) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < 28 {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: sstable %s too small", path)
+	}
+	var footer [20]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-20); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(footer[16:]) != ssMagic {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: sstable %s bad footer magic", path)
+	}
+	bloomOff := binary.LittleEndian.Uint64(footer[0:])
+	indexOff := binary.LittleEndian.Uint64(footer[8:])
+
+	meta := make([]byte, st.Size()-20-int64(bloomOff))
+	if _, err := f.ReadAt(meta, int64(bloomOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	nbits := binary.LittleEndian.Uint32(meta)
+	words := int((nbits + 63) / 64)
+	if len(meta) < 4+8*words {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: sstable %s truncated bloom", path)
+	}
+	bloom := make([]uint64, words)
+	for i := range bloom {
+		bloom[i] = binary.LittleEndian.Uint64(meta[4+8*i:])
+	}
+	idxMeta := meta[indexOff-bloomOff:]
+	if len(idxMeta) < 4 {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: sstable %s truncated index", path)
+	}
+	nIdx := int(binary.LittleEndian.Uint32(idxMeta))
+	idxMeta = idxMeta[4:]
+	index := make([]ssIndexEntry, 0, nIdx)
+	for i := 0; i < nIdx; i++ {
+		if len(idxMeta) < 4 {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: sstable %s truncated index entry", path)
+		}
+		kl := int(binary.LittleEndian.Uint32(idxMeta))
+		if len(idxMeta) < 4+kl+8 {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: sstable %s truncated index key", path)
+		}
+		key := string(idxMeta[4 : 4+kl])
+		offv := binary.LittleEndian.Uint64(idxMeta[4+kl:])
+		index = append(index, ssIndexEntry{key: key, offset: offv})
+		idxMeta = idxMeta[4+kl+8:]
+	}
+
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != ssMagic {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: sstable %s bad header magic", path)
+	}
+	t := &sstable{
+		path: path, f: f,
+		count: int(binary.LittleEndian.Uint32(hdr[4:])),
+		bloom: bloom, nbits: nbits, index: index, dataEnd: bloomOff,
+	}
+	// Recover min/max/live-bytes with one sequential pass.
+	err = t.iterate(func(e ssEntry) bool {
+		if t.minKey == "" {
+			t.minKey = e.key
+		}
+		t.maxKey = e.key
+		if !e.tombstone {
+			t.bytes += int64(len(e.value))
+		}
+		return true
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *sstable) close() error { return t.f.Close() }
+
+// get returns (value, found, tombstone).
+func (t *sstable) get(key string) ([]byte, bool, bool, error) {
+	if t.count == 0 || key < t.minKey || key > t.maxKey {
+		return nil, false, false, nil
+	}
+	if !bloomMayContain(t.bloom, t.nbits, key) {
+		return nil, false, false, nil
+	}
+	// Seek to greatest indexed key ≤ key.
+	i := sort.Search(len(t.index), func(i int) bool { return t.index[i].key > key })
+	if i == 0 {
+		return nil, false, false, nil
+	}
+	off := int64(t.index[i-1].offset)
+	r := bufio.NewReaderSize(io.NewSectionReader(t.f, off, int64(t.dataEnd)-off), 64<<10)
+	for {
+		e, err := readEntry(r)
+		if err == io.EOF {
+			return nil, false, false, nil
+		}
+		if err != nil {
+			return nil, false, false, err
+		}
+		if e.key == key {
+			return e.value, true, e.tombstone, nil
+		}
+		if e.key > key {
+			return nil, false, false, nil
+		}
+	}
+}
+
+// iterate streams all entries in key order.
+func (t *sstable) iterate(fn func(ssEntry) bool) error {
+	r := bufio.NewReaderSize(io.NewSectionReader(t.f, 8, int64(t.dataEnd)-8), 1<<20)
+	for {
+		e, err := readEntry(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(e) {
+			return nil
+		}
+	}
+}
+
+func readEntry(r io.Reader) (ssEntry, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return ssEntry{}, err
+	}
+	kl := binary.LittleEndian.Uint32(hdr[0:])
+	vl := binary.LittleEndian.Uint32(hdr[4:])
+	tomb := vl == tombstoneMark
+	if tomb {
+		vl = 0
+	}
+	buf := make([]byte, int(kl)+int(vl)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return ssEntry{}, fmt.Errorf("kvstore: truncated sstable entry: %w", err)
+	}
+	key := string(buf[:kl])
+	val := buf[kl : kl+vl]
+	crc := crc32.ChecksumIEEE(buf[:kl])
+	if !tomb {
+		crc = crc32.Update(crc, crc32.IEEETable, val)
+	}
+	if crc != binary.LittleEndian.Uint32(buf[kl+vl:]) {
+		return ssEntry{}, fmt.Errorf("kvstore: sstable entry %q corrupt (crc mismatch)", key)
+	}
+	return ssEntry{key: key, value: val, tombstone: tomb}, nil
+}
+
+// --- bloom filter ----------------------------------------------------------
+
+func bloomHashes(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h.Write([]byte{0x9d})
+	return h1, h.Sum64()
+}
+
+func bloomSet(bits []uint64, nbits uint32, key string) {
+	h1, h2 := bloomHashes(key)
+	for k := uint64(0); k < 7; k++ {
+		bit := (h1 + k*h2) % uint64(nbits)
+		bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func bloomMayContain(bits []uint64, nbits uint32, key string) bool {
+	h1, h2 := bloomHashes(key)
+	for k := uint64(0); k < 7; k++ {
+		bit := (h1 + k*h2) % uint64(nbits)
+		if bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// wal is the write-ahead log that makes memtable contents durable between
+// SSTable flushes.
+//
+// Record layout: u8 op (1=put, 2=delete) | u32 keyLen | u32 valLen |
+// key | value | u32 crc. Torn tails (partial final record or bad crc at
+// the end) are tolerated during replay, matching standard LSM recovery.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+}
+
+const (
+	walOpPut    = 1
+	walOpDelete = 2
+)
+
+func createWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 256<<10), len: st.Size()}, nil
+}
+
+func (l *wal) append(op byte, key string, value []byte) error {
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(value)))
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, []byte(key))
+	crc = crc32.Update(crc, crc32.IEEETable, value)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.WriteString(key); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(value); err != nil {
+		return err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc)
+	if _, err := l.w.Write(crcb[:]); err != nil {
+		return err
+	}
+	l.len += int64(9 + len(key) + len(value) + 4)
+	return nil
+}
+
+func (l *wal) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *wal) close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// replayWAL streams records from path. A clean EOF or a torn tail ends
+// replay without error; corruption before the tail is reported.
+func replayWAL(path string, fn func(op byte, key string, value []byte)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		var hdr [9]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean end or torn header: stop replay
+		}
+		op := hdr[0]
+		if op != walOpPut && op != walOpDelete {
+			return fmt.Errorf("kvstore: wal %s: bad op byte %d", path, op)
+		}
+		kl := int(binary.LittleEndian.Uint32(hdr[1:]))
+		vl := int(binary.LittleEndian.Uint32(hdr[5:]))
+		body := make([]byte, kl+vl+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil // torn tail
+		}
+		crc := crc32.ChecksumIEEE(hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, body[:kl+vl])
+		if crc != binary.LittleEndian.Uint32(body[kl+vl:]) {
+			return nil // torn tail (or trailing corruption): stop replay
+		}
+		fn(op, string(body[:kl]), body[kl:kl+vl])
+	}
+}

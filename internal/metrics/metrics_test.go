@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.StdDev < 1.41 || s.StdDev > 1.42 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, 1) != 40 {
+		t.Error("extremes wrong")
+	}
+	if got := Percentile(sorted, 0.5); got != 25 {
+		t.Errorf("P50 = %v, want 25", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+}
+
+func TestGBps(t *testing.T) {
+	if got := GBps(2e9, 2); got != 1 {
+		t.Errorf("GBps = %v", got)
+	}
+	if GBps(100, 0) != 0 {
+		t.Error("zero-duration GBps should be 0")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2 << 10: "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		4 << 30: "4.00 GiB",
+		5 << 40: "5.00 TiB",
+	}
+	for n, want := range cases {
+		if got := HumanBytes(n); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("GPUs", "Bandwidth", "Label")
+	tbl.Add(8, 123.456789, "EvoStore 25%")
+	tbl.Add(256, 7.0, "HDF5+PFS")
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "GPUs") || !strings.Contains(lines[0], "Bandwidth") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "123.5") {
+		t.Errorf("float formatting wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "HDF5+PFS") {
+		t.Errorf("row missing: %q", lines[3])
+	}
+}

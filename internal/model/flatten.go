@@ -1,0 +1,168 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Leaf is one flattened leaf layer: the vertex payload EvoStore stores
+// tensors for. Leaves are indexed by graph.VertexID.
+type Leaf struct {
+	// Name is the hierarchical path of the leaf ("block2/dense_1").
+	Name string
+	// Layer is the leaf layer definition.
+	Layer LeafLayer
+	// Specs caches Layer.ParamSpecs().
+	Specs []TensorSpec
+}
+
+// Flat is the result of flattening a recursive model: the compact leaf-layer
+// architecture graph plus, for each vertex, the leaf's parameter specs.
+type Flat struct {
+	Graph  *graph.Compact
+	Leaves []Leaf
+}
+
+// site is an intermediate expansion node: one leaf-layer placement after
+// all submodels have been expanded in place.
+type site struct {
+	leaf  LeafLayer
+	name  string
+	seq   int // creation order during expansion (deterministic)
+	preds []*site
+	succs []*site
+	id    graph.VertexID
+	found bool
+}
+
+// Flatten expands all nested submodels of m and produces the compact
+// leaf-layer graph. Vertex IDs are assigned in breadth-first discovery
+// order from the model inputs, which is deterministic: two models built the
+// same way up to some structural point assign identical IDs on the shared
+// prefix (required by Algorithm 1's shared ID space).
+func Flatten(m *Model) (*Flat, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ex := &expander{}
+	if _, err := ex.expand(m, "", nil); err != nil {
+		return nil, err
+	}
+
+	// Breadth-first ID assignment from the input sites.
+	var order []*site
+	var queue []*site
+	for _, s := range ex.roots {
+		s.found = true
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		s.id = graph.VertexID(len(order))
+		order = append(order, s)
+		for _, t := range s.succs {
+			if !t.found {
+				t.found = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) != len(ex.sites) {
+		return nil, fmt.Errorf("model %q: %d of %d leaf layers unreachable from inputs",
+			m.Name, len(ex.sites)-len(order), len(ex.sites))
+	}
+
+	b := graph.NewBuilder(len(order))
+	flat := &Flat{Leaves: make([]Leaf, len(order))}
+	for _, s := range order {
+		specs := s.leaf.ParamSpecs()
+		b.AddVertex(graph.Vertex{
+			ConfigSig:  s.leaf.ConfigSig(),
+			Name:       s.name,
+			ParamBytes: ParamBytes(s.leaf),
+		})
+		flat.Leaves[s.id] = Leaf{Name: s.name, Layer: s.leaf, Specs: specs}
+	}
+	for _, s := range order {
+		for _, p := range s.preds {
+			b.AddEdge(p.id, s.id)
+		}
+	}
+	flat.Graph = b.Build()
+	return flat, nil
+}
+
+type expander struct {
+	sites []*site
+	roots []*site // top-level input sites in declaration order
+}
+
+func (ex *expander) newSite(leaf LeafLayer, name string, preds []*site) *site {
+	s := &site{leaf: leaf, name: name, seq: len(ex.sites), preds: preds}
+	ex.sites = append(ex.sites, s)
+	for _, p := range preds {
+		p.succs = append(p.succs, s)
+	}
+	return s
+}
+
+// expand walks m's nodes in creation order (a topological order by
+// construction of the functional API) and materializes one site per leaf
+// layer. bindings, when non-nil, substitutes m's input nodes with the given
+// external sites (submodel expansion); when nil, input nodes become Input
+// leaf sites (top-level model).
+func (ex *expander) expand(m *Model, prefix string, bindings [][]*site) (map[*Node][]*site, error) {
+	outs := make(map[*Node][]*site, len(m.nodes))
+	inputIdx := 0
+	for _, n := range m.nodes {
+		name := n.Name
+		if prefix != "" {
+			name = prefix + "/" + n.Name
+		}
+		switch l := n.Layer.(type) {
+		case Input:
+			if bindings != nil {
+				if inputIdx >= len(bindings) {
+					return nil, fmt.Errorf("model %q: more inputs than bindings", m.Name)
+				}
+				outs[n] = bindings[inputIdx]
+				inputIdx++
+				continue
+			}
+			s := ex.newSite(l, name, nil)
+			ex.roots = append(ex.roots, s)
+			outs[n] = []*site{s}
+		case Submodel:
+			subBindings := make([][]*site, len(n.Inputs))
+			for i, in := range n.Inputs {
+				subBindings[i] = outs[in]
+			}
+			subOuts, err := ex.expand(l.M, name, subBindings)
+			if err != nil {
+				return nil, err
+			}
+			var merged []*site
+			for _, o := range l.M.outputs {
+				merged = append(merged, subOuts[o]...)
+			}
+			outs[n] = merged
+		case LeafLayer:
+			var preds []*site
+			for _, in := range n.Inputs {
+				preds = append(preds, outs[in]...)
+			}
+			outs[n] = []*site{ex.newSite(l, name, preds)}
+		default:
+			return nil, fmt.Errorf("model %q: node %q: unknown layer type %T", m.Name, n.Name, n.Layer)
+		}
+	}
+	return outs, nil
+}
+
+// NumLeaves returns the number of leaf layers (vertices).
+func (f *Flat) NumLeaves() int { return len(f.Leaves) }
+
+// TotalParamBytes returns the total parameter payload across leaves.
+func (f *Flat) TotalParamBytes() int64 { return f.Graph.TotalParamBytes() }

@@ -1,0 +1,269 @@
+// Package model is a Keras-like layer library: it lets applications build
+// deep-learning models as directed acyclic graphs of layers, where layers
+// are recursive structures (a layer may be a whole nested submodel). It is
+// the substrate the paper consumes through TensorFlow/Keras; EvoStore only
+// ever sees the result of Flatten: a compact leaf-layer architecture graph
+// plus the leaf layers' parameter tensors.
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/tensor"
+)
+
+// TensorSpec describes one parameter tensor of a leaf layer.
+type TensorSpec struct {
+	Name  string // local name, e.g. "kernel", "bias"
+	DType tensor.DType
+	Shape []int
+}
+
+// SizeBytes returns the payload size the spec implies.
+func (s TensorSpec) SizeBytes() int64 {
+	return int64(tensor.NumElements(s.Shape)) * int64(s.DType.Size())
+}
+
+// Layer is anything that can occupy a node in a model graph. Exactly one of
+// the two refinements below is implemented by every layer type.
+type Layer interface {
+	// Kind returns the layer type name ("dense", "conv2d", "submodel", ...).
+	Kind() string
+}
+
+// LeafLayer is a layer that holds parameters directly (or none) and cannot
+// be decomposed further. Leaf layers are the vertices of compact graphs.
+type LeafLayer interface {
+	Layer
+	// ConfigSig is a hash of the architectural configuration: kind,
+	// hyperparameters and parameter shapes — never weights and never the
+	// layer's name. Equal sigs ⇒ identical leaf-layer architecture.
+	ConfigSig() uint64
+	// ParamSpecs lists the layer's parameter tensors in a fixed order.
+	ParamSpecs() []TensorSpec
+}
+
+// sig hashes a layer kind and its integer hyperparameters.
+func sig(kind string, vals ...int64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// sigStr folds a string hyperparameter (e.g. activation) into a signature.
+func sigStr(base uint64, s string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], base)
+	h.Write(buf[:])
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ---------------------------------------------------------------------------
+// Leaf layers
+// ---------------------------------------------------------------------------
+
+// Input marks a model input with a given feature dimension. It has no
+// parameters; its config participates in matching so models with different
+// input shapes never share a prefix.
+type Input struct{ Dim int }
+
+func (l Input) Kind() string             { return "input" }
+func (l Input) ConfigSig() uint64        { return sig("input", int64(l.Dim)) }
+func (l Input) ParamSpecs() []TensorSpec { return nil }
+
+// Dense is a fully connected layer: kernel [In×Out] (+ bias [Out]).
+type Dense struct {
+	In, Out    int
+	Activation string
+	UseBias    bool
+}
+
+func (l Dense) Kind() string { return "dense" }
+func (l Dense) ConfigSig() uint64 {
+	return sigStr(sig("dense", int64(l.In), int64(l.Out), b2i(l.UseBias)), l.Activation)
+}
+func (l Dense) ParamSpecs() []TensorSpec {
+	specs := []TensorSpec{{Name: "kernel", DType: tensor.Float32, Shape: []int{l.In, l.Out}}}
+	if l.UseBias {
+		specs = append(specs, TensorSpec{Name: "bias", DType: tensor.Float32, Shape: []int{l.Out}})
+	}
+	return specs
+}
+
+// Conv2D is a 2-D convolution: kernel [KH×KW×InCh×OutCh] (+ bias [OutCh]).
+type Conv2D struct {
+	InCh, OutCh int
+	KH, KW      int
+	Stride      int
+	Activation  string
+	UseBias     bool
+}
+
+func (l Conv2D) Kind() string { return "conv2d" }
+func (l Conv2D) ConfigSig() uint64 {
+	return sigStr(sig("conv2d", int64(l.InCh), int64(l.OutCh), int64(l.KH), int64(l.KW),
+		int64(l.Stride), b2i(l.UseBias)), l.Activation)
+}
+func (l Conv2D) ParamSpecs() []TensorSpec {
+	specs := []TensorSpec{{Name: "kernel", DType: tensor.Float32,
+		Shape: []int{l.KH, l.KW, l.InCh, l.OutCh}}}
+	if l.UseBias {
+		specs = append(specs, TensorSpec{Name: "bias", DType: tensor.Float32, Shape: []int{l.OutCh}})
+	}
+	return specs
+}
+
+// BatchNorm holds gamma/beta plus running mean/variance over Dim features.
+type BatchNorm struct{ Dim int }
+
+func (l BatchNorm) Kind() string      { return "batchnorm" }
+func (l BatchNorm) ConfigSig() uint64 { return sig("batchnorm", int64(l.Dim)) }
+func (l BatchNorm) ParamSpecs() []TensorSpec {
+	return []TensorSpec{
+		{Name: "gamma", DType: tensor.Float32, Shape: []int{l.Dim}},
+		{Name: "beta", DType: tensor.Float32, Shape: []int{l.Dim}},
+		{Name: "moving_mean", DType: tensor.Float32, Shape: []int{l.Dim}},
+		{Name: "moving_variance", DType: tensor.Float32, Shape: []int{l.Dim}},
+	}
+}
+
+// LayerNorm holds gamma/beta over Dim features.
+type LayerNorm struct{ Dim int }
+
+func (l LayerNorm) Kind() string      { return "layernorm" }
+func (l LayerNorm) ConfigSig() uint64 { return sig("layernorm", int64(l.Dim)) }
+func (l LayerNorm) ParamSpecs() []TensorSpec {
+	return []TensorSpec{
+		{Name: "gamma", DType: tensor.Float32, Shape: []int{l.Dim}},
+		{Name: "beta", DType: tensor.Float32, Shape: []int{l.Dim}},
+	}
+}
+
+// Embedding maps a vocabulary to dense vectors: table [Vocab×Dim].
+type Embedding struct{ Vocab, Dim int }
+
+func (l Embedding) Kind() string      { return "embedding" }
+func (l Embedding) ConfigSig() uint64 { return sig("embedding", int64(l.Vocab), int64(l.Dim)) }
+func (l Embedding) ParamSpecs() []TensorSpec {
+	return []TensorSpec{{Name: "embeddings", DType: tensor.Float32, Shape: []int{l.Vocab, l.Dim}}}
+}
+
+// MultiHeadAttention holds fused QKV and output projections over Dim.
+type MultiHeadAttention struct{ Dim, Heads int }
+
+func (l MultiHeadAttention) Kind() string { return "mha" }
+func (l MultiHeadAttention) ConfigSig() uint64 {
+	return sig("mha", int64(l.Dim), int64(l.Heads))
+}
+func (l MultiHeadAttention) ParamSpecs() []TensorSpec {
+	return []TensorSpec{
+		{Name: "qkv_kernel", DType: tensor.Float32, Shape: []int{l.Dim, 3 * l.Dim}},
+		{Name: "qkv_bias", DType: tensor.Float32, Shape: []int{3 * l.Dim}},
+		{Name: "out_kernel", DType: tensor.Float32, Shape: []int{l.Dim, l.Dim}},
+		{Name: "out_bias", DType: tensor.Float32, Shape: []int{l.Dim}},
+	}
+}
+
+// Activation applies a parameter-free nonlinearity.
+type Activation struct{ Fn string }
+
+func (l Activation) Kind() string             { return "activation" }
+func (l Activation) ConfigSig() uint64        { return sigStr(sig("activation"), l.Fn) }
+func (l Activation) ParamSpecs() []TensorSpec { return nil }
+
+// Dropout is parameter-free; the rate is architectural configuration.
+type Dropout struct{ Rate100 int } // rate in percent to keep sigs integral
+
+func (l Dropout) Kind() string             { return "dropout" }
+func (l Dropout) ConfigSig() uint64        { return sig("dropout", int64(l.Rate100)) }
+func (l Dropout) ParamSpecs() []TensorSpec { return nil }
+
+// MaxPool2D / AvgPool2D are parameter-free spatial reductions.
+type MaxPool2D struct{ K int }
+
+func (l MaxPool2D) Kind() string             { return "maxpool2d" }
+func (l MaxPool2D) ConfigSig() uint64        { return sig("maxpool2d", int64(l.K)) }
+func (l MaxPool2D) ParamSpecs() []TensorSpec { return nil }
+
+type AvgPool2D struct{ K int }
+
+func (l AvgPool2D) Kind() string             { return "avgpool2d" }
+func (l AvgPool2D) ConfigSig() uint64        { return sig("avgpool2d", int64(l.K)) }
+func (l AvgPool2D) ParamSpecs() []TensorSpec { return nil }
+
+// Flatten reshapes to rank 1; parameter-free.
+type FlattenOp struct{}
+
+func (l FlattenOp) Kind() string             { return "flatten" }
+func (l FlattenOp) ConfigSig() uint64        { return sig("flatten") }
+func (l FlattenOp) ParamSpecs() []TensorSpec { return nil }
+
+// Add merges branches by elementwise addition (fork-join pattern).
+type Add struct{}
+
+func (l Add) Kind() string             { return "add" }
+func (l Add) ConfigSig() uint64        { return sig("add") }
+func (l Add) ParamSpecs() []TensorSpec { return nil }
+
+// Concat merges branches by concatenation along the feature axis.
+type Concat struct{}
+
+func (l Concat) Kind() string             { return "concat" }
+func (l Concat) ConfigSig() uint64        { return sig("concat") }
+func (l Concat) ParamSpecs() []TensorSpec { return nil }
+
+// Identity passes its input through; used by NAS spaces as a "skip" op.
+type Identity struct{}
+
+func (l Identity) Kind() string             { return "identity" }
+func (l Identity) ConfigSig() uint64        { return sig("identity") }
+func (l Identity) ParamSpecs() []TensorSpec { return nil }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Compile-time interface checks for every leaf layer.
+var (
+	_ LeafLayer = Input{}
+	_ LeafLayer = Dense{}
+	_ LeafLayer = Conv2D{}
+	_ LeafLayer = BatchNorm{}
+	_ LeafLayer = LayerNorm{}
+	_ LeafLayer = Embedding{}
+	_ LeafLayer = MultiHeadAttention{}
+	_ LeafLayer = Activation{}
+	_ LeafLayer = Dropout{}
+	_ LeafLayer = MaxPool2D{}
+	_ LeafLayer = AvgPool2D{}
+	_ LeafLayer = FlattenOp{}
+	_ LeafLayer = Add{}
+	_ LeafLayer = Concat{}
+	_ LeafLayer = Identity{}
+)
+
+// ParamBytes returns the total parameter payload of a leaf layer.
+func ParamBytes(l LeafLayer) int64 {
+	var n int64
+	for _, s := range l.ParamSpecs() {
+		n += s.SizeBytes()
+	}
+	return n
+}
+
+// String renders a spec compactly for diagnostics.
+func (s TensorSpec) String() string {
+	return fmt.Sprintf("%s:%s%v", s.Name, s.DType, s.Shape)
+}

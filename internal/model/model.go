@@ -1,0 +1,144 @@
+package model
+
+import (
+	"fmt"
+)
+
+// Node is one placement of a layer inside a model graph, wired to the nodes
+// that produce its inputs (Keras functional API style).
+type Node struct {
+	Layer  Layer
+	Name   string
+	Inputs []*Node
+
+	model *Model
+	index int // creation order within the owning model
+}
+
+// Model is a directed acyclic graph of layer nodes. A Model can itself be
+// used as a layer inside another model via Submodel, giving the recursive
+// nested structure the paper's flattening handles.
+type Model struct {
+	Name    string
+	nodes   []*Node
+	inputs  []*Node
+	outputs []*Node
+}
+
+// New creates an empty model.
+func New(name string) *Model {
+	return &Model{Name: name}
+}
+
+// Input adds an input node with the given feature dimension.
+func (m *Model) Input(name string, dim int) *Node {
+	return m.Apply(Input{Dim: dim}, name)
+}
+
+// Apply places layer l as a new node named name, consuming the outputs of
+// the given input nodes, and returns the new node. Input nodes must belong
+// to the same model.
+func (m *Model) Apply(l Layer, name string, inputs ...*Node) *Node {
+	for _, in := range inputs {
+		if in.model != m {
+			panic(fmt.Sprintf("model %q: input node %q belongs to model %q",
+				m.Name, in.Name, in.model.Name))
+		}
+	}
+	n := &Node{
+		Layer:  l,
+		Name:   name,
+		Inputs: append([]*Node(nil), inputs...),
+		model:  m,
+		index:  len(m.nodes),
+	}
+	m.nodes = append(m.nodes, n)
+	if _, isInput := l.(Input); isInput {
+		m.inputs = append(m.inputs, n)
+	}
+	return n
+}
+
+// SetOutputs declares the model's output nodes.
+func (m *Model) SetOutputs(outs ...*Node) {
+	for _, o := range outs {
+		if o.model != m {
+			panic(fmt.Sprintf("model %q: output node %q belongs to another model", m.Name, o.Name))
+		}
+	}
+	m.outputs = append([]*Node(nil), outs...)
+}
+
+// Inputs returns the model's input nodes in declaration order.
+func (m *Model) Inputs() []*Node { return m.inputs }
+
+// Outputs returns the declared output nodes.
+func (m *Model) Outputs() []*Node { return m.outputs }
+
+// Nodes returns all nodes in creation order.
+func (m *Model) Nodes() []*Node { return m.nodes }
+
+// Validate checks the model is well formed: at least one input, declared
+// outputs, all non-input nodes have inputs, and submodels validate
+// recursively.
+func (m *Model) Validate() error {
+	if len(m.inputs) == 0 {
+		return fmt.Errorf("model %q: no input nodes", m.Name)
+	}
+	if len(m.outputs) == 0 {
+		return fmt.Errorf("model %q: no outputs declared", m.Name)
+	}
+	for _, n := range m.nodes {
+		if _, isInput := n.Layer.(Input); isInput {
+			if len(n.Inputs) != 0 {
+				return fmt.Errorf("model %q: input node %q has inputs", m.Name, n.Name)
+			}
+			continue
+		}
+		if len(n.Inputs) == 0 {
+			return fmt.Errorf("model %q: node %q has no inputs", m.Name, n.Name)
+		}
+		switch l := n.Layer.(type) {
+		case Submodel:
+			if err := l.M.Validate(); err != nil {
+				return fmt.Errorf("model %q: submodel node %q: %w", m.Name, n.Name, err)
+			}
+			if len(l.M.inputs) != len(n.Inputs) {
+				return fmt.Errorf("model %q: submodel node %q consumes %d inputs but submodel declares %d",
+					m.Name, n.Name, len(n.Inputs), len(l.M.inputs))
+			}
+		case LeafLayer:
+			// fine
+		default:
+			return fmt.Errorf("model %q: node %q has unknown layer kind %T", m.Name, n.Name, n.Layer)
+		}
+	}
+	return nil
+}
+
+// Submodel embeds a whole Model as a composite layer. When the outer model
+// is flattened the submodel is expanded in place: its input nodes are bound
+// positionally to the submodel node's inputs, and its output nodes feed the
+// submodel node's consumers. Paper §4.2 motivates why flattening must
+// decompose submodels into leaf layers for both LCP and owner maps.
+type Submodel struct{ M *Model }
+
+func (s Submodel) Kind() string { return "submodel" }
+
+// Sequential is a convenience builder for linear stacks of layers.
+func Sequential(name string, inputDim int, layers ...Layer) *Model {
+	m := New(name)
+	cur := m.Input("input", inputDim)
+	for i, l := range layers {
+		cur = m.Apply(l, fmt.Sprintf("%s_%d", kindOf(l), i), cur)
+	}
+	m.SetOutputs(cur)
+	return m
+}
+
+func kindOf(l Layer) string {
+	if l == nil {
+		return "nil"
+	}
+	return l.Kind()
+}

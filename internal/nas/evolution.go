@@ -1,0 +1,157 @@
+package nas
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Candidate is one evaluated (or in-flight) member of the population.
+type Candidate struct {
+	ID      uint64
+	Seq     Sequence
+	Quality float64
+	// Experience is the lineage experience the evaluation reported (see
+	// Surrogate); the controller carries it so descendants can inherit.
+	Experience float64
+}
+
+// Evolution is the aged (regularized) evolution controller [Real et al.]:
+// the population is a FIFO queue of the most recent P evaluated
+// candidates; each new candidate is a mutation of the best of S randomly
+// sampled members; the oldest member is dropped (and reported for
+// retirement) when the population overflows.
+//
+// The controller is deliberately execution-agnostic: runners call Next to
+// draw work and Report to return results, from any number of goroutines
+// (real mode) or from a virtual-time event loop (simulation mode).
+type Evolution struct {
+	mu sync.Mutex
+
+	space      *Space
+	r          *rand.Rand
+	Population int
+	Sample     int
+	// Budget is the total number of candidates to evaluate.
+	Budget int
+
+	issued    int
+	completed int
+	nextID    uint64
+	pop       []Candidate // FIFO: oldest first
+	history   []Candidate
+}
+
+// NewEvolution creates a controller. population and sample default to 100
+// and 10; budget defaults to 1000 (the paper's setting).
+func NewEvolution(space *Space, seed int64, population, sample, budget int) *Evolution {
+	space.setDefaults()
+	if population <= 0 {
+		population = 100
+	}
+	if sample <= 0 {
+		sample = 10
+	}
+	if sample > population {
+		sample = population
+	}
+	if budget <= 0 {
+		budget = 1000
+	}
+	return &Evolution{
+		space:      space,
+		r:          rand.New(rand.NewSource(seed)),
+		Population: population,
+		Sample:     sample,
+		Budget:     budget,
+	}
+}
+
+// Next draws the next candidate to evaluate, or ok=false when the budget
+// is exhausted. During warm-up (fewer issued than the population size)
+// candidates are random; afterwards they are mutations of tournament
+// winners among the already-completed population.
+func (e *Evolution) Next() (Candidate, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.issued >= e.Budget {
+		return Candidate{}, false
+	}
+	e.issued++
+	e.nextID++
+	c := Candidate{ID: e.nextID}
+	if len(e.pop) == 0 || e.issued <= e.Population {
+		c.Seq = e.space.Random(e.r)
+		return c, true
+	}
+	// Tournament: sample S members, mutate the best.
+	best := -1
+	for i := 0; i < e.Sample; i++ {
+		idx := e.r.Intn(len(e.pop))
+		if best < 0 || e.pop[idx].Quality > e.pop[best].Quality {
+			best = idx
+		}
+	}
+	c.Seq = e.space.Mutate(e.r, e.pop[best].Seq)
+	return c, true
+}
+
+// Report returns an evaluated candidate to the population. It returns the
+// candidates that aged out (to be retired from the repository) — zero or
+// one per call.
+func (e *Evolution) Report(c Candidate) []Candidate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.completed++
+	e.pop = append(e.pop, c)
+	e.history = append(e.history, c)
+	var retired []Candidate
+	for len(e.pop) > e.Population {
+		retired = append(retired, e.pop[0])
+		e.pop = e.pop[1:]
+	}
+	return retired
+}
+
+// Done reports whether every budgeted candidate has completed.
+func (e *Evolution) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.completed >= e.Budget
+}
+
+// Completed returns the number of evaluated candidates so far.
+func (e *Evolution) Completed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.completed
+}
+
+// History returns all evaluated candidates in completion order.
+func (e *Evolution) History() []Candidate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Candidate(nil), e.history...)
+}
+
+// PopulationSnapshot returns the current population, oldest first.
+func (e *Evolution) PopulationSnapshot() []Candidate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Candidate(nil), e.pop...)
+}
+
+// Best returns the highest-quality candidate evaluated so far.
+func (e *Evolution) Best() (Candidate, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.history) == 0 {
+		return Candidate{}, false
+	}
+	best := e.history[0]
+	for _, c := range e.history[1:] {
+		if c.Quality > best.Quality {
+			best = c
+		}
+	}
+	return best, true
+}

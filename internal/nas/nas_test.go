@@ -1,0 +1,373 @@
+package nas
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSpaceDefaultsAndSize(t *testing.T) {
+	s := NewSpace(0, 0, 0)
+	if s.Positions != 24 || s.NumOps != 8 || s.Width != 768 {
+		t.Fatalf("defaults = %+v", s)
+	}
+	// 8^24 ≈ 4.7e21, bracketing the paper's 3.1e17 ATTN space.
+	if s.Size() < 1e17 {
+		t.Errorf("Size = %g, want ≥1e17", s.Size())
+	}
+}
+
+func TestRandomAndMutate(t *testing.T) {
+	s := NewSpace(10, 8, 8)
+	r := rand.New(rand.NewSource(1))
+	seq := s.Random(r)
+	if len(seq) != 10 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	mut := s.Mutate(r, seq)
+	diff := 0
+	for i := range seq {
+		if seq[i] != mut[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("mutation changed %d positions, want 1", diff)
+	}
+	// Mutate must not alias the input.
+	if &seq[0] == &mut[0] {
+		t.Error("Mutate aliases input")
+	}
+}
+
+func TestDecodeDeterministicAndValid(t *testing.T) {
+	s := NewSpace(12, 8, 8)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		seq := s.Random(r)
+		f1, err := s.Decode(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f1.Graph.Validate(); err != nil {
+			t.Fatalf("decoded graph invalid: %v", err)
+		}
+		f2, err := s.Decode(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f1.Graph.Equal(f2.Graph) {
+			t.Fatal("Decode not deterministic")
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := NewSpace(4, 8, 8)
+	if _, err := s.Decode(Sequence{1, 2}); err == nil {
+		t.Error("short sequence accepted")
+	}
+	if _, err := s.Decode(Sequence{1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range choice accepted")
+	}
+}
+
+// TestMutationPreservesPrefix is the property NAS transfer learning rests
+// on: mutating position k leaves the architecture prefix before cell k
+// identical, so parent and child share a long LCP.
+func TestMutationPreservesPrefix(t *testing.T) {
+	s := NewSpace(16, 8, 8)
+	r := rand.New(rand.NewSource(3))
+	longPrefixes := 0
+	for i := 0; i < 20; i++ {
+		parent := s.Random(r)
+		child := s.Mutate(r, parent)
+		fp, err := s.Decode(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := s.Decode(child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcp := graph.LCPSize(fc.Graph, fp.Graph)
+		if lcp >= fc.Graph.NumVertices()/2 {
+			longPrefixes++
+		}
+		if lcp == 0 {
+			t.Error("mutation destroyed the shared input prefix")
+		}
+	}
+	if longPrefixes < 8 {
+		t.Errorf("only %d/20 mutations kept ≥50%% prefix", longPrefixes)
+	}
+}
+
+func TestFitnessProperties(t *testing.T) {
+	s := NewSpace(16, 8, 8)
+	sur := NewSurrogate(s, 7)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		f := sur.Fitness(s.Random(r))
+		if f < 0 || f > 1 {
+			t.Fatalf("fitness %v out of [0,1]", f)
+		}
+	}
+	// Deterministic.
+	seq := s.Random(r)
+	if sur.Fitness(seq) != sur.Fitness(seq) {
+		t.Error("fitness not deterministic")
+	}
+	// Smooth under mutation: single-position changes move fitness by a
+	// bounded amount (1 pref + 2 adj terms over the normalizer).
+	for i := 0; i < 50; i++ {
+		a := s.Random(r)
+		b := s.Mutate(r, a)
+		delta := sur.Fitness(a) - sur.Fitness(b)
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > 0.2 {
+			t.Errorf("mutation moved fitness by %v", delta)
+		}
+	}
+}
+
+func TestAccuracyModelShape(t *testing.T) {
+	s := NewSpace(16, 8, 8)
+	sur := NewSurrogate(s, 7)
+	r := rand.New(rand.NewSource(5))
+	seq := s.Random(r)
+
+	// Experience raises accuracy.
+	quiet := rand.New(rand.NewSource(6))
+	sur2 := *sur
+	sur2.NoiseStd = 0
+	accFresh := sur2.Accuracy(seq, 1, quiet)
+	accExp := sur2.Accuracy(seq, 4, quiet)
+	if accExp <= accFresh {
+		t.Errorf("experience did not help: fresh=%v exp=%v", accFresh, accExp)
+	}
+	if accExp-accFresh > sur.ExpGain+1e-9 {
+		t.Errorf("experience bonus %v exceeds ExpGain", accExp-accFresh)
+	}
+	// Cap respected.
+	for i := 0; i < 200; i++ {
+		if a := sur.Accuracy(s.Random(r), 100, r); a > sur.MaxAcc {
+			t.Fatalf("accuracy %v above cap", a)
+		}
+	}
+}
+
+func TestChildExperience(t *testing.T) {
+	if got := ChildExperience(0, 0.5); got != 1 {
+		t.Errorf("no ancestor experience: %v", got)
+	}
+	if got := ChildExperience(3, 0.5); got != 2.5 {
+		t.Errorf("ChildExperience(3, .5) = %v", got)
+	}
+	// Fixed point for full inheritance chains: E → 1/(1-p).
+	e := 1.0
+	for i := 0; i < 50; i++ {
+		e = ChildExperience(e, 0.5)
+	}
+	if e < 1.99 || e > 2.01 {
+		t.Errorf("chain fixed point = %v, want ≈2", e)
+	}
+}
+
+func TestTrainTimeFrozenSpeedup(t *testing.T) {
+	s := NewSpace(16, 8, 8)
+	sur := NewSurrogate(s, 7)
+	sur.TimeCV = 0
+	r := rand.New(rand.NewSource(8))
+	full := sur.TrainTime(1<<30, 0, r)
+	half := sur.TrainTime(1<<30, 1<<29, r)
+	if half >= full {
+		t.Errorf("freezing did not speed up: full=%v half=%v", full, half)
+	}
+	// Frozen layers still cost a forward pass: half-frozen is more than
+	// half the variable cost.
+	varFull := full - sur.FixedTime
+	varHalf := half - sur.FixedTime
+	if varHalf < varFull/2 {
+		t.Errorf("frozen forward cost missing: %v < %v/2", varHalf, varFull)
+	}
+}
+
+func TestEvolutionWarmupAndTournament(t *testing.T) {
+	s := NewSpace(8, 8, 8)
+	evo := NewEvolution(s, 1, 10, 3, 50)
+	// Warm-up candidates are random; report them with known qualities.
+	for i := 0; i < 10; i++ {
+		c, ok := evo.Next()
+		if !ok {
+			t.Fatal("budget exhausted during warmup")
+		}
+		c.Quality = float64(i) / 10
+		if retired := evo.Report(c); len(retired) != 0 {
+			t.Errorf("retirement during warmup: %v", retired)
+		}
+	}
+	// Post-warmup candidates must be mutations (distance 1) of members.
+	pop := evo.PopulationSnapshot()
+	c, ok := evo.Next()
+	if !ok {
+		t.Fatal("no candidate after warmup")
+	}
+	minDist := 99
+	for _, m := range pop {
+		d := 0
+		for i := range m.Seq {
+			if m.Seq[i] != c.Seq[i] {
+				d++
+			}
+		}
+		if d < minDist {
+			minDist = d
+		}
+	}
+	if minDist != 1 {
+		t.Errorf("candidate is distance %d from nearest member, want 1", minDist)
+	}
+}
+
+func TestEvolutionRetirementFIFO(t *testing.T) {
+	s := NewSpace(8, 8, 8)
+	evo := NewEvolution(s, 1, 5, 2, 100)
+	var ids []uint64
+	for i := 0; i < 8; i++ {
+		c, _ := evo.Next()
+		c.Quality = 0.5
+		ids = append(ids, c.ID)
+		retired := evo.Report(c)
+		if i < 5 {
+			if len(retired) != 0 {
+				t.Fatalf("retired %v before population filled", retired)
+			}
+		} else {
+			if len(retired) != 1 || retired[0].ID != ids[i-5] {
+				t.Fatalf("step %d: retired %+v, want oldest %d", i, retired, ids[i-5])
+			}
+		}
+	}
+}
+
+func TestEvolutionBudget(t *testing.T) {
+	s := NewSpace(8, 8, 8)
+	evo := NewEvolution(s, 1, 5, 2, 7)
+	n := 0
+	for {
+		c, ok := evo.Next()
+		if !ok {
+			break
+		}
+		n++
+		c.Quality = 0.1
+		evo.Report(c)
+	}
+	if n != 7 || !evo.Done() || evo.Completed() != 7 {
+		t.Errorf("n=%d done=%v completed=%d", n, evo.Done(), evo.Completed())
+	}
+	if len(evo.History()) != 7 {
+		t.Errorf("history = %d", len(evo.History()))
+	}
+}
+
+func TestEvolutionClimbsFitness(t *testing.T) {
+	s := NewSpace(16, 8, 8)
+	sur := NewSurrogate(s, 7)
+	evo := NewEvolution(s, 2, 50, 8, 600)
+	r := rand.New(rand.NewSource(9))
+	var firstQuarter, lastQuarter float64
+	i := 0
+	for {
+		c, ok := evo.Next()
+		if !ok {
+			break
+		}
+		c.Quality = sur.Accuracy(c.Seq, 1, r)
+		evo.Report(c)
+		if i < 150 {
+			firstQuarter += c.Quality
+		}
+		if i >= 450 {
+			lastQuarter += c.Quality
+		}
+		i++
+	}
+	firstQuarter /= 150
+	lastQuarter /= 150
+	if lastQuarter <= firstQuarter+0.02 {
+		t.Errorf("evolution failed to climb: early=%v late=%v", firstQuarter, lastQuarter)
+	}
+}
+
+func TestRandomSearchController(t *testing.T) {
+	s := NewSpace(8, 8, 8)
+	rs := NewRandomSearch(s, 1, 5, 20)
+	n := 0
+	var ids []uint64
+	for {
+		c, ok := rs.Next()
+		if !ok {
+			break
+		}
+		n++
+		c.Quality = float64(n) / 20
+		ids = append(ids, c.ID)
+		retired := rs.Report(c)
+		if n > 5 {
+			if len(retired) != 1 || retired[0].ID != ids[n-6] {
+				t.Fatalf("step %d: retired %+v", n, retired)
+			}
+		} else if len(retired) != 0 {
+			t.Fatalf("early retirement: %+v", retired)
+		}
+	}
+	if n != 20 || !rs.Done() || rs.Completed() != 20 {
+		t.Errorf("n=%d done=%v", n, rs.Done())
+	}
+	best, ok := rs.Best()
+	if !ok || best.Quality != 1.0 {
+		t.Errorf("best = %+v", best)
+	}
+}
+
+// TestEvolutionBeatsRandomSearch reproduces the §2 claim that guided
+// search finds better candidates than uniform sampling for the same
+// budget.
+func TestEvolutionBeatsRandomSearch(t *testing.T) {
+	base := smallSim(ModeNoTransfer, 16)
+	base.Budget = 300
+	evoRes, err := RunSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := base
+	rnd.RandomSearch = true
+	rndRes, err := RunSim(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evoRes.BestQuality() <= rndRes.BestQuality() {
+		t.Errorf("evolution best %.4f ≤ random best %.4f",
+			evoRes.BestQuality(), rndRes.BestQuality())
+	}
+	// Mean of the last third must also favour evolution (population
+	// quality, not just a lucky max).
+	tail := func(res *SimResult) float64 {
+		h := res.History
+		var sum float64
+		n := 0
+		for _, c := range h[2*len(h)/3:] {
+			sum += c.Quality
+			n++
+		}
+		return sum / float64(n)
+	}
+	if tail(evoRes) <= tail(rndRes) {
+		t.Errorf("evolution tail mean %.4f ≤ random %.4f", tail(evoRes), tail(rndRes))
+	}
+}

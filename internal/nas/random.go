@@ -1,0 +1,132 @@
+package nas
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Controller abstracts the search strategy driving a NAS run, so runners
+// work with both aged evolution and the plain random sampling the paper
+// describes first in §2 ("a common approach is to simply sample the search
+// space randomly").
+type Controller interface {
+	// Next draws the next candidate to evaluate; ok=false when the budget
+	// is exhausted.
+	Next() (Candidate, bool)
+	// Report returns a completed evaluation and yields candidates that
+	// aged out of the active population (to retire from the repository).
+	Report(Candidate) []Candidate
+	// Done reports whether every budgeted candidate completed.
+	Done() bool
+	// Completed returns the number of completed evaluations.
+	Completed() int
+	// History returns all completed candidates in completion order.
+	History() []Candidate
+	// Best returns the top-quality candidate so far.
+	Best() (Candidate, bool)
+}
+
+var (
+	_ Controller = (*Evolution)(nil)
+	_ Controller = (*RandomSearch)(nil)
+)
+
+// RandomSearch samples candidates uniformly from the space. It keeps the
+// same FIFO active population as Evolution so repository retirement
+// behaves identically — the only difference is how candidates are chosen,
+// which isolates the search-strategy comparison.
+type RandomSearch struct {
+	mu sync.Mutex
+
+	space      *Space
+	r          *rand.Rand
+	Population int
+	Budget     int
+
+	issued    int
+	completed int
+	nextID    uint64
+	pop       []Candidate
+	history   []Candidate
+}
+
+// NewRandomSearch creates a random-sampling controller.
+func NewRandomSearch(space *Space, seed int64, population, budget int) *RandomSearch {
+	space.setDefaults()
+	if population <= 0 {
+		population = 100
+	}
+	if budget <= 0 {
+		budget = 1000
+	}
+	return &RandomSearch{
+		space:      space,
+		r:          rand.New(rand.NewSource(seed)),
+		Population: population,
+		Budget:     budget,
+	}
+}
+
+// Next implements Controller.
+func (s *RandomSearch) Next() (Candidate, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.issued >= s.Budget {
+		return Candidate{}, false
+	}
+	s.issued++
+	s.nextID++
+	return Candidate{ID: s.nextID, Seq: s.space.Random(s.r)}, true
+}
+
+// Report implements Controller.
+func (s *RandomSearch) Report(c Candidate) []Candidate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed++
+	s.pop = append(s.pop, c)
+	s.history = append(s.history, c)
+	var retired []Candidate
+	for len(s.pop) > s.Population {
+		retired = append(retired, s.pop[0])
+		s.pop = s.pop[1:]
+	}
+	return retired
+}
+
+// Done implements Controller.
+func (s *RandomSearch) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed >= s.Budget
+}
+
+// Completed implements Controller.
+func (s *RandomSearch) Completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
+
+// History implements Controller.
+func (s *RandomSearch) History() []Candidate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Candidate(nil), s.history...)
+}
+
+// Best implements Controller.
+func (s *RandomSearch) Best() (Candidate, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) == 0 {
+		return Candidate{}, false
+	}
+	best := s.history[0]
+	for _, c := range s.history[1:] {
+		if c.Quality > best.Quality {
+			best = c
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,195 @@
+package nas
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// RealConfig parameterizes a real-mode NAS run: goroutine workers
+// executing the full transfer-learning pipeline against an actual EvoStore
+// repository (in-process or TCP-attached), with surrogate training.
+type RealConfig struct {
+	Workers    int
+	Space      *Space
+	Population int
+	Sample     int
+	Budget     int
+	// Retire removes aged-out candidates from the repository.
+	Retire bool
+	// TrainScale multiplies surrogate train times into real sleeps; 0
+	// disables sleeping (pure repository stress).
+	TrainScale float64
+
+	SurrogateSeed int64
+	SearchSeed    int64
+}
+
+// RealResult aggregates a real-mode run.
+type RealResult struct {
+	Trace    *trace.Log
+	History  []TimedCandidate
+	Makespan time.Duration
+	// Best is the top candidate found.
+	Best Candidate
+}
+
+// RunReal executes a NAS search against repo using cfg.Workers goroutines.
+// It exercises the entire public EvoStore API per candidate: BestAncestor
+// (collective LCP query), TransferPrefix (parallel partial reads), the
+// training surrogate with frozen-prefix speedup, StoreDerived (incremental
+// write) and Retire for aged-out candidates.
+func RunReal(ctx context.Context, repo *core.Repository, cfg RealConfig) (*RealResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Space == nil {
+		cfg.Space = NewSpace(12, 8, 8)
+	}
+	sur := NewSurrogate(cfg.Space, cfg.SurrogateSeed)
+	evo := NewEvolution(cfg.Space, cfg.SearchSeed, cfg.Population, cfg.Sample, cfg.Budget)
+
+	result := &RealResult{Trace: &trace.Log{}}
+	start := time.Now()
+	var mu sync.Mutex // guards result.History and the experience table
+	experience := make(map[core.ModelID]float64)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.SearchSeed + int64(worker)*7919))
+			for {
+				cand, ok := evo.Next()
+				if !ok {
+					return
+				}
+				tStart := time.Since(start).Seconds()
+				f, err := cfg.Space.Decode(cand.Seq)
+				if err != nil {
+					errCh <- err
+					return
+				}
+
+				// Query → transfer → train → store. An ancestor can be
+				// retired concurrently at any point after the query (its
+				// metadata vanishes immediately and its unshared tensors
+				// follow); on such a race the pipeline retries against the
+				// next-best ancestor.
+				var id core.ModelID
+				var acc, exp float64
+				var exclude []core.ModelID
+				const maxAttempts = 6
+				for attempt := 0; ; attempt++ {
+					ws := model.Materialize(f, cand.ID^uint64(cfg.SearchSeed))
+					anc, found, err := repo.BestAncestorExcluding(ctx, f, exclude)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d: query: %w", worker, err)
+						return
+					}
+					var frozen []graph.VertexID
+					var frozenBytes int64
+					exp = 1.0
+					if found {
+						if err := repo.TransferPrefix(ctx, f, ws, anc); err != nil {
+							if attempt < maxAttempts {
+								exclude = append(exclude, anc.Meta.Model)
+								continue
+							}
+							errCh <- fmt.Errorf("worker %d: transfer: %w", worker, err)
+							return
+						}
+						frozen = anc.Prefix
+						frozenBytes = anc.PrefixBytes(f)
+						mu.Lock()
+						ancExp := experience[anc.Meta.Model]
+						mu.Unlock()
+						if total := f.TotalParamBytes(); total > 0 {
+							exp = ChildExperience(ancExp, float64(frozenBytes)/float64(total))
+						}
+					}
+
+					// "Train": perturb the non-frozen vertices, optionally
+					// sleeping the scaled surrogate duration.
+					trainT := sur.TrainTime(f.TotalParamBytes(), frozenBytes, rng)
+					if cfg.TrainScale > 0 {
+						time.Sleep(time.Duration(trainT * cfg.TrainScale * float64(time.Second)))
+					}
+					inFrozen := make(map[graph.VertexID]bool, len(frozen))
+					for _, v := range frozen {
+						inFrozen[v] = true
+					}
+					for v := 0; v < f.Graph.NumVertices(); v++ {
+						if !inFrozen[graph.VertexID(v)] {
+							ws.PerturbVertex(graph.VertexID(v), cand.ID)
+						}
+					}
+					acc = sur.Accuracy(cand.Seq, exp, rng)
+
+					if found {
+						id, err = repo.StoreDerived(ctx, f, ws, acc, anc, frozen)
+						if err != nil && attempt < maxAttempts {
+							// Pinning the inherited tensors may have raced a
+							// retirement; try the next ancestor.
+							exclude = append(exclude, anc.Meta.Model)
+							continue
+						}
+					} else {
+						id, err = repo.Store(ctx, f, ws, acc)
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d: store: %w", worker, err)
+						return
+					}
+					break
+				}
+				mu.Lock()
+				experience[id] = exp
+				mu.Unlock()
+
+				cand.Quality = acc
+				cand.Experience = exp
+				storedID := uint64(id)
+				cand.ID = storedID
+				tEnd := time.Since(start).Seconds()
+				result.Trace.Add(trace.Event{Worker: worker, Start: tStart, End: tEnd, Kind: "task", Value: acc})
+				mu.Lock()
+				result.History = append(result.History, TimedCandidate{Candidate: cand, Finish: tEnd})
+				mu.Unlock()
+
+				for _, old := range evo.Report(cand) {
+					if cfg.Retire {
+						if _, err := repo.Retire(ctx, core.ModelID(old.ID)); err != nil {
+							errCh <- fmt.Errorf("worker %d: retire %d: %w", worker, old.ID, err)
+							return
+						}
+						mu.Lock()
+						delete(experience, core.ModelID(old.ID))
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	result.Makespan = time.Since(start)
+	if best, ok := evo.Best(); ok {
+		result.Best = best
+	}
+	return result, nil
+}

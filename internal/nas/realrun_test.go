@@ -1,0 +1,99 @@
+package nas
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunRealEndToEnd(t *testing.T) {
+	repo, err := core.Open(core.Options{Providers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	cfg := RealConfig{
+		Workers:       8,
+		Space:         NewSpace(10, 8, 8),
+		Population:    20,
+		Sample:        4,
+		Budget:        100,
+		Retire:        true,
+		SurrogateSeed: 5,
+		SearchSeed:    6,
+	}
+	res, err := RunReal(context.Background(), repo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 100 {
+		t.Fatalf("history = %d", len(res.History))
+	}
+	if res.Best.Quality <= 0 {
+		t.Error("no best candidate")
+	}
+	// Population-cap retirement must hold: at most Population live models.
+	st, err := repo.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Models > uint64(cfg.Population) {
+		t.Errorf("live models = %d, cap %d", st.Models, cfg.Population)
+	}
+	if st.Models == 0 || st.SegmentBytes == 0 {
+		t.Errorf("repository empty after run: %+v", st)
+	}
+	// Transfer must actually have happened: some candidates carry lineage
+	// experience above the from-scratch baseline.
+	withExp := 0
+	for _, c := range res.History {
+		if c.Experience > 1.01 {
+			withExp++
+		}
+	}
+	if withExp < len(res.History)/4 {
+		t.Errorf("only %d/%d candidates inherited experience", withExp, len(res.History))
+	}
+	// All stored models must load cleanly (no GC corruption).
+	ids, err := repo.ListModels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[:min(5, len(ids))] {
+		if _, _, err := repo.Load(context.Background(), id); err != nil {
+			t.Errorf("load %d: %v", id, err)
+		}
+	}
+}
+
+func TestRunRealNoRetireKeepsEverything(t *testing.T) {
+	repo, err := core.Open(core.Options{Providers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	cfg := RealConfig{
+		Workers: 4, Space: NewSpace(8, 8, 8),
+		Population: 10, Sample: 3, Budget: 30,
+		Retire: false, SurrogateSeed: 1, SearchSeed: 2,
+	}
+	if _, err := RunReal(context.Background(), repo, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st, err := repo.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Models != 30 {
+		t.Errorf("models = %d, want all 30 retained", st.Models)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

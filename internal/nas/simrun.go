@@ -1,0 +1,562 @@
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/ownermap"
+	"repro/internal/pfs"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// StorageMode selects the repository behind a simulated NAS run.
+type StorageMode int
+
+// The three approaches of the paper's end-to-end evaluation (§5.2).
+const (
+	// ModeNoTransfer is the DH-NoTransfer baseline: every candidate trains
+	// from scratch; the repository is not used.
+	ModeNoTransfer StorageMode = iota
+	// ModeEvoStore is transfer learning over the EvoStore repository.
+	ModeEvoStore
+	// ModeHDF5PFS is transfer learning over whole-file HDF5 on the
+	// parallel file system with Redis-Queries metadata.
+	ModeHDF5PFS
+)
+
+// String names the mode as the paper does.
+func (m StorageMode) String() string {
+	switch m {
+	case ModeNoTransfer:
+		return "DH-NoTransfer"
+	case ModeEvoStore:
+		return "EvoStore"
+	case ModeHDF5PFS:
+		return "HDF5+PFS"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// SimConfig parameterizes a virtual-time NAS run at paper scale.
+type SimConfig struct {
+	Workers    int
+	Space      *Space
+	Population int
+	Sample     int
+	Budget     int
+	Mode       StorageMode
+	// Retire removes aged-out candidates from the repository (Figure 10's
+	// "With Retire" scenario). Metadata removal is immediate; tensors
+	// follow reference counts.
+	Retire bool
+
+	SurrogateSeed int64
+	SearchSeed    int64
+
+	// EvoStore fabric: per-worker NIC and per-provider ingest bandwidth
+	// (bytes per virtual second), count of providers, LCP query latency.
+	Providers         int
+	NICBandwidth      float64
+	ProviderBandwidth float64
+	QueryLatency      float64
+
+	// HDF5+PFS fabric.
+	PFS pfs.Options
+	// RedisScanPerModel is the metadata server time consumed per candidate
+	// inspected by one LCP query (JSON decode + LCP under the reader
+	// lock). The server is single-threaded, so this is the contended
+	// quantity.
+	RedisScanPerModel float64
+	// RedisOpCost is the server time of one small command including lock
+	// acquisition latency under contention (lock/unlock/set/incr).
+	RedisOpCost float64
+	// ClientBandwidth caps a single worker's PFS streaming throughput
+	// (Lustre clients are limited well below the OST aggregate).
+	ClientBandwidth float64
+	// HDF5SerializeBw is the worker-side HDF5 (de)serialization throughput
+	// (the Keras copy-to-NumPy-then-encode path is far below memory
+	// bandwidth); paid on every whole-model read and write.
+	HDF5SerializeBw float64
+
+	// TrainFixed/TrainPerByte/TrainCV override the surrogate's training-
+	// time model when positive (useful for scaled-down test runs).
+	TrainFixed   float64
+	TrainPerByte float64
+	TrainCV      float64
+
+	// EpochFraction scales the superficial-training effort per candidate
+	// (1 = one full epoch, the paper's default; ~0.1 emulates the §6
+	// zero-cost-proxy regime where training shrinks and I/O's share of the
+	// workflow grows). It scales both training time and the experience a
+	// candidate accrues.
+	EpochFraction float64
+
+	// RandomSearch replaces aged evolution with uniform sampling (the §2
+	// baseline strategy), isolating the search-strategy comparison.
+	RandomSearch bool
+}
+
+func (c *SimConfig) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 128
+	}
+	if c.Space == nil {
+		c.Space = NewSpace(0, 0, 0)
+	}
+	if c.Population <= 0 {
+		c.Population = 100
+	}
+	if c.Sample <= 0 {
+		c.Sample = 10
+	}
+	if c.Budget <= 0 {
+		c.Budget = 1000
+	}
+	if c.Providers <= 0 {
+		c.Providers = (c.Workers + 3) / 4 // one provider per 4-GPU node
+	}
+	if c.NICBandwidth <= 0 {
+		c.NICBandwidth = 12.5e9 // one Slingshot-10 port
+	}
+	if c.ProviderBandwidth <= 0 {
+		c.ProviderBandwidth = 8e9
+	}
+	if c.QueryLatency <= 0 {
+		c.QueryLatency = 2e-3
+	}
+	if c.PFS.OSTs == 0 {
+		c.PFS = pfs.Options{OSTs: 150, OSTBandwidth: 650e9 / 150, StripeCount: 4, StripeSize: 1 << 20}
+	}
+	if c.RedisScanPerModel <= 0 {
+		c.RedisScanPerModel = 400e-6
+	}
+	if c.RedisOpCost <= 0 {
+		c.RedisOpCost = 3e-3
+	}
+	if c.ClientBandwidth <= 0 {
+		c.ClientBandwidth = 1.2e9
+	}
+	if c.HDF5SerializeBw <= 0 {
+		c.HDF5SerializeBw = 60e6
+	}
+	if c.EpochFraction <= 0 {
+		c.EpochFraction = 1
+	}
+}
+
+// TimedCandidate is a completed evaluation stamped with its virtual finish
+// time (the Figure 6 scatter points).
+type TimedCandidate struct {
+	Candidate
+	Finish float64
+}
+
+// SimResult aggregates one run's outputs.
+type SimResult struct {
+	Mode     StorageMode
+	Workers  int
+	Trace    *trace.Log
+	Makespan float64
+	History  []TimedCandidate
+	// StorageBytes is the repository payload when the run ends;
+	// PeakStorageBytes its maximum over the run (Figure 10).
+	StorageBytes     int64
+	PeakStorageBytes int64
+	// IOSeconds and TrainSeconds split each approach's busy time; the
+	// paper reports EvoStore's repository interactions at <2%.
+	IOSeconds    float64
+	TrainSeconds float64
+}
+
+// FirstAbove returns the earliest finish time of a candidate with quality
+// ≥ threshold (Figure 7), or ok=false if none reached it.
+func (res *SimResult) FirstAbove(threshold float64) (float64, bool) {
+	best := 0.0
+	found := false
+	for _, c := range res.History {
+		if c.Quality >= threshold {
+			if !found || c.Finish < best {
+				best = c.Finish
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// BestQuality returns the maximum candidate quality observed.
+func (res *SimResult) BestQuality() float64 {
+	best := 0.0
+	for _, c := range res.History {
+		if c.Quality > best {
+			best = c.Quality
+		}
+	}
+	return best
+}
+
+// --- EvoStore-side storage accounting ------------------------------------------
+
+// segKey mirrors the provider's segment identity for the simulation's
+// reference-counting accountant.
+type simSegKey struct {
+	owner  ownermap.ModelID
+	vertex graph.VertexID
+}
+
+// accountant replays the provider GC arithmetic (store = +1 ref on every
+// referenced segment, retire = -1, free at zero) against vertex parameter
+// sizes, without materializing tensors.
+type accountant struct {
+	refs  map[simSegKey]int
+	size  map[simSegKey]int64
+	total int64
+	peak  int64
+}
+
+func newAccountant() *accountant {
+	return &accountant{refs: make(map[simSegKey]int), size: make(map[simSegKey]int64)}
+}
+
+func (a *accountant) store(id ownermap.ModelID, g *graph.Compact, om *ownermap.Map) {
+	for v := 0; v < om.Len(); v++ {
+		e := om.Entries[v]
+		k := simSegKey{e.Owner, graph.VertexID(v)}
+		if e.Owner == id {
+			a.size[k] = g.Vertices[v].ParamBytes
+			a.total += g.Vertices[v].ParamBytes
+		}
+		a.refs[k]++
+	}
+	if a.total > a.peak {
+		a.peak = a.total
+	}
+}
+
+func (a *accountant) retire(om *ownermap.Map) {
+	for v := 0; v < om.Len(); v++ {
+		e := om.Entries[v]
+		k := simSegKey{e.Owner, graph.VertexID(v)}
+		a.refs[k]--
+		if a.refs[k] <= 0 {
+			a.total -= a.size[k]
+			delete(a.refs, k)
+			delete(a.size, k)
+		}
+	}
+}
+
+// storedModel is one live repository entry in the simulation.
+type storedModel struct {
+	id         ownermap.ModelID
+	flat       *model.Flat
+	om         *ownermap.Map
+	quality    float64
+	experience float64
+	seq        uint64
+	fileBytes  int64 // HDF5 mode: size of the whole-model file
+}
+
+// RunSim executes one NAS run on a virtual clock and returns its results.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	cfg.setDefaults()
+	sur := NewSurrogate(cfg.Space, cfg.SurrogateSeed)
+	if cfg.TrainFixed > 0 {
+		sur.FixedTime = cfg.TrainFixed
+	}
+	if cfg.TrainPerByte > 0 {
+		sur.ByteTime = cfg.TrainPerByte
+	}
+	if cfg.TrainCV > 0 {
+		sur.TimeCV = cfg.TrainCV
+	}
+	var evo Controller
+	if cfg.RandomSearch {
+		evo = NewRandomSearch(cfg.Space, cfg.SearchSeed, cfg.Population, cfg.Budget)
+	} else {
+		evo = NewEvolution(cfg.Space, cfg.SearchSeed, cfg.Population, cfg.Sample, cfg.Budget)
+	}
+	noiseRng := rand.New(rand.NewSource(cfg.SearchSeed ^ 0x5eed))
+
+	net := simnet.New()
+	res := &SimResult{Mode: cfg.Mode, Workers: cfg.Workers, Trace: &trace.Log{}}
+
+	// Fabric resources.
+	var nics []*simnet.Resource
+	var providers []*simnet.Resource
+	var redisCPU *simnet.Resource
+	var fsim *pfs.Sim
+	switch cfg.Mode {
+	case ModeEvoStore:
+		for w := 0; w < cfg.Workers; w++ {
+			nics = append(nics, net.AddResource(fmt.Sprintf("nic%d", w), cfg.NICBandwidth))
+		}
+		for p := 0; p < cfg.Providers; p++ {
+			providers = append(providers, net.AddResource(fmt.Sprintf("prov%d", p), cfg.ProviderBandwidth))
+		}
+	case ModeHDF5PFS:
+		fsim = pfs.NewSim(net, cfg.PFS)
+		redisCPU = net.AddResource("redis-cpu", 1) // 1 CPU-second per second
+		for w := 0; w < cfg.Workers; w++ {
+			nics = append(nics, net.AddResource(fmt.Sprintf("lclient%d", w), cfg.ClientBandwidth))
+		}
+	}
+
+	// Live repository state (shared by the single-threaded event loop).
+	catalog := make(map[ownermap.ModelID]*storedModel)
+	acct := newAccountant()
+	var hdf5Bytes, hdf5Peak int64
+	var seqCounter uint64
+
+	flatCache := make(map[string]*model.Flat)
+	decode := func(seq Sequence) (*model.Flat, error) {
+		if f, ok := flatCache[seq.Key()]; ok {
+			return f, nil
+		}
+		f, err := cfg.Space.Decode(seq)
+		if err != nil {
+			return nil, err
+		}
+		flatCache[seq.Key()] = f
+		return f, nil
+	}
+
+	// bestAncestor runs the real LCP algorithm over the live catalog.
+	bestAncestor := func(f *model.Flat) (*storedModel, []graph.VertexID) {
+		scanner := graph.NewLCPScanner(f.Graph)
+		var best *storedModel
+		var bestPrefix []graph.VertexID
+		for _, m := range catalog {
+			size := scanner.SizeAgainst(m.flat.Graph)
+			if size == 0 {
+				continue
+			}
+			better := best == nil || size > len(bestPrefix) ||
+				(size == len(bestPrefix) && (m.quality > best.quality ||
+					(m.quality == best.quality && m.id < best.id)))
+			if better {
+				best = m
+				bestPrefix = append([]graph.VertexID(nil), scanner.Against(m.flat.Graph)...)
+			}
+		}
+		return best, bestPrefix
+	}
+
+	var decodeErr error
+	var nextModelID uint64
+
+	// assign issues work to a free worker; the chain of closures walks the
+	// candidate through query → read → train → write → report.
+	var assign func(worker int)
+	assign = func(worker int) {
+		cand, ok := evo.Next()
+		if !ok {
+			return
+		}
+		f, err := decode(cand.Seq)
+		if err != nil {
+			decodeErr = err
+			return
+		}
+		totalBytes := f.TotalParamBytes()
+		start := net.Now()
+		var ioTime float64
+
+		var anc *storedModel
+		var prefix []graph.VertexID
+		var frozenBytes int64
+
+		finish := func(now float64) {
+			exp := cfg.EpochFraction
+			if anc != nil && totalBytes > 0 {
+				exp = ChildExperienceEpochs(anc.experience,
+					float64(frozenBytes)/float64(totalBytes), cfg.EpochFraction)
+			}
+			acc := sur.Accuracy(cand.Seq, exp, noiseRng)
+			cand.Quality = acc
+			cand.Experience = exp
+
+			storeDone := func(now float64) {
+				// Publish into the simulated repository state.
+				if cfg.Mode != ModeNoTransfer {
+					nextModelID++
+					id := ownermap.ModelID(nextModelID)
+					seqCounter++
+					var om *ownermap.Map
+					if anc != nil {
+						om, _ = ownermap.Derive(anc.om, id, seqCounter, f.Graph.NumVertices(), prefix)
+					} else {
+						om = ownermap.New(id, seqCounter, f.Graph.NumVertices())
+					}
+					sm := &storedModel{
+						id: id, flat: f, om: om,
+						quality: acc, experience: exp, seq: seqCounter,
+					}
+					switch cfg.Mode {
+					case ModeEvoStore:
+						acct.store(id, f.Graph, om)
+					case ModeHDF5PFS:
+						sm.fileBytes = totalBytes
+						hdf5Bytes += totalBytes
+						if hdf5Bytes > hdf5Peak {
+							hdf5Peak = hdf5Bytes
+						}
+					}
+					catalog[id] = sm
+					cand.ID = uint64(id)
+				}
+				res.Trace.Add(trace.Event{Worker: worker, Start: start, End: now, Kind: "task", Value: acc})
+				res.History = append(res.History, TimedCandidate{Candidate: cand, Finish: now})
+				res.IOSeconds += ioTime
+				for _, old := range evo.Report(cand) {
+					if cfg.Retire && cfg.Mode != ModeNoTransfer {
+						if sm, live := catalog[ownermap.ModelID(old.ID)]; live {
+							switch cfg.Mode {
+							case ModeEvoStore:
+								acct.retire(sm.om)
+							case ModeHDF5PFS:
+								hdf5Bytes -= sm.fileBytes
+							}
+							delete(catalog, ownermap.ModelID(old.ID))
+						}
+					}
+				}
+				assign(worker)
+			}
+
+			// Write back the modified tensors / whole file.
+			switch cfg.Mode {
+			case ModeEvoStore:
+				writeBytes := totalBytes - frozenBytes
+				prov := providers[int(cand.ID)%len(providers)]
+				wStart := net.Now()
+				net.StartFlow(float64(writeBytes), []*simnet.Resource{nics[worker], prov}, func(now float64) {
+					ioTime += now - wStart
+					storeDone(now)
+				})
+			case ModeHDF5PFS:
+				wStart := net.Now()
+				// Whole-model serialization on the worker, then the publish
+				// protocol's metadata ops, then the file write to the PFS.
+				net.At(float64(totalBytes)/cfg.HDF5SerializeBw, func(now float64) {
+					net.StartFlow(6*cfg.RedisOpCost, []*simnet.Resource{redisCPU}, func(now float64) {
+						fsim.TransferVia(fmt.Sprintf("m%d-%d", worker, cand.ID), totalBytes,
+							[]*simnet.Resource{nics[worker]}, func(now float64) {
+								ioTime += now - wStart
+								storeDone(now)
+							})
+					})
+				})
+			default:
+				storeDone(now)
+			}
+		}
+
+		train := func(now float64) {
+			d := sur.TrainTime(totalBytes, frozenBytes, noiseRng) * cfg.EpochFraction
+			res.TrainSeconds += d
+			net.At(d, finish)
+		}
+
+		// Query + read phase.
+		switch cfg.Mode {
+		case ModeEvoStore:
+			qStart := net.Now()
+			net.At(cfg.QueryLatency, func(now float64) {
+				anc, prefix = bestAncestor(f)
+				if anc == nil {
+					ioTime += now - qStart
+					train(now)
+					return
+				}
+				frozenBytes = graph.PrefixParamBytes(f.Graph, prefix)
+				// Parallel reads, one flow per owner group hosting prefix
+				// tensors, from the owner's home provider.
+				groups := anc.om.Owners()
+				inPrefix := make(map[graph.VertexID]bool, len(prefix))
+				for _, v := range prefix {
+					inPrefix[v] = true
+				}
+				pending := 0
+				var fire []func()
+				for _, g := range groups {
+					var bytes int64
+					for _, v := range g.Vertices {
+						if inPrefix[v] {
+							bytes += f.Graph.Vertices[v].ParamBytes
+						}
+					}
+					if bytes == 0 {
+						continue
+					}
+					pending++
+					prov := providers[int(uint64(g.Owner))%len(providers)]
+					b := float64(bytes)
+					fire = append(fire, func() {
+						net.StartFlow(b, []*simnet.Resource{nics[worker], prov}, func(now float64) {
+							pending--
+							if pending == 0 {
+								ioTime += now - qStart
+								train(now)
+							}
+						})
+					})
+				}
+				if pending == 0 {
+					ioTime += now - qStart
+					train(now)
+					return
+				}
+				for _, fn := range fire {
+					fn()
+				}
+			})
+		case ModeHDF5PFS:
+			qStart := net.Now()
+			// The LCP query consumes server CPU proportional to the
+			// catalog size, serialized with everyone else's commands.
+			scanCost := cfg.RedisOpCost*4 + float64(len(catalog))*cfg.RedisScanPerModel
+			net.StartFlow(scanCost, []*simnet.Resource{redisCPU}, func(now float64) {
+				anc, prefix = bestAncestor(f)
+				if anc == nil {
+					ioTime += now - qStart
+					train(now)
+					return
+				}
+				frozenBytes = graph.PrefixParamBytes(f.Graph, prefix)
+				// Whole-file read regardless of prefix size, then the
+				// worker-side parse/deserialize of the container.
+				readBytes := anc.flat.TotalParamBytes()
+				fsim.TransferVia(fmt.Sprintf("read-%d", anc.id), readBytes,
+					[]*simnet.Resource{nics[worker]}, func(now float64) {
+						net.At(float64(readBytes)/cfg.HDF5SerializeBw, func(now float64) {
+							ioTime += now - qStart
+							train(now)
+						})
+					})
+			})
+		default: // NoTransfer: straight to training
+			train(net.Now())
+		}
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		assign(w)
+	}
+	res.Makespan = net.Run()
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	switch cfg.Mode {
+	case ModeEvoStore:
+		res.StorageBytes = acct.total
+		res.PeakStorageBytes = acct.peak
+	case ModeHDF5PFS:
+		res.StorageBytes = hdf5Bytes
+		res.PeakStorageBytes = hdf5Peak
+	}
+	return res, nil
+}

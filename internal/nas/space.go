@@ -1,0 +1,153 @@
+// Package nas implements the network-architecture-search substrate of the
+// paper's evaluation: a cell-based search space with candidate sequences,
+// the aged (regularized) evolution search strategy [Real et al. 2019], a
+// deterministic training surrogate, and runners that execute the search
+// against an EvoStore repository (real mode) or on a virtual clock at
+// paper scale (simulation mode).
+package nas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Sequence is a candidate: one operation choice per cell position.
+type Sequence []uint8
+
+// Clone copies the sequence.
+func (s Sequence) Clone() Sequence { return append(Sequence(nil), s...) }
+
+// Key returns a map key for the sequence.
+func (s Sequence) Key() string { return string(s) }
+
+// String renders the sequence compactly.
+func (s Sequence) String() string {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[i] = "0123456789abcdef"[c&0xf]
+	}
+	return string(out)
+}
+
+// Space defines the search space: Positions cells, each choosing one of
+// NumOps operations. The default configuration (24 positions × 8 ops ≈
+// 4.7e21 candidates) brackets the paper's ATTN space of 3.1e17; the
+// default width decodes to ≈70 MB of parameters per candidate, sized so a
+// full NAS population occupies tens of GB as in the paper's Figure 10.
+type Space struct {
+	// Positions is the number of cells. Default 24.
+	Positions int
+	// NumOps is the number of operation choices per cell. Default 8.
+	NumOps int
+	// Width is the feature dimension of the decoded models. Default 768.
+	Width int
+}
+
+func (s *Space) setDefaults() {
+	if s.Positions <= 0 {
+		s.Positions = 24
+	}
+	if s.NumOps <= 0 || s.NumOps > 8 {
+		s.NumOps = 8
+	}
+	if s.Width <= 0 {
+		s.Width = 768
+	}
+}
+
+// NewSpace returns a space with defaults applied.
+func NewSpace(positions, numOps, width int) *Space {
+	s := &Space{Positions: positions, NumOps: numOps, Width: width}
+	s.setDefaults()
+	return s
+}
+
+// Size returns the number of candidate sequences in the space.
+func (s *Space) Size() float64 {
+	return math.Pow(float64(s.NumOps), float64(s.Positions))
+}
+
+// Random samples a uniform candidate.
+func (s *Space) Random(r *rand.Rand) Sequence {
+	seq := make(Sequence, s.Positions)
+	for i := range seq {
+		seq[i] = uint8(r.Intn(s.NumOps))
+	}
+	return seq
+}
+
+// Mutate returns a copy of seq with one position changed to a different
+// choice — the aged-evolution mutation operator.
+func (s *Space) Mutate(r *rand.Rand, seq Sequence) Sequence {
+	out := seq.Clone()
+	pos := r.Intn(len(out))
+	for {
+		c := uint8(r.Intn(s.NumOps))
+		if c != out[pos] {
+			out[pos] = c
+			break
+		}
+	}
+	return out
+}
+
+// Decode deterministically builds the model a sequence describes. Ops 0-5
+// are stacked layer blocks; op 6 adds a residual skip (fork-join); op 7 is
+// a nested submodel (two stacked leaves), exercising recursive flattening.
+// Identical sequence prefixes decode to identical architecture prefixes,
+// which is what makes mutation chains LCP-friendly.
+//
+// Every op carries ≈ Width² parameter bytes (as cell-based spaces like the
+// CANDLE ATTN space do), so candidate model sizes — and hence from-scratch
+// training times — are nearly uniform; training-time variation then comes
+// from the frozen-prefix fraction, which is what shapes the paper's
+// Figure 9 task patterns.
+func (s *Space) Decode(seq Sequence) (*model.Flat, error) {
+	s.setDefaults()
+	if len(seq) != s.Positions {
+		return nil, fmt.Errorf("nas: sequence has %d positions, space wants %d", len(seq), s.Positions)
+	}
+	w := s.Width
+	m := model.New("cand")
+	cur := m.Input("input", w)
+	for i, c := range seq {
+		if int(c) >= s.NumOps {
+			return nil, fmt.Errorf("nas: choice %d at position %d out of range", c, i)
+		}
+		name := fmt.Sprintf("cell%d", i)
+		switch c {
+		case 0:
+			cur = m.Apply(model.Dense{In: w, Out: w, Activation: "relu"}, name, cur)
+		case 1:
+			cur = m.Apply(model.Dense{In: w, Out: w, Activation: "tanh", UseBias: true}, name, cur)
+		case 2:
+			cur = m.Apply(model.Dense{In: w, Out: w, Activation: "gelu"}, name, cur)
+		case 3:
+			cur = m.Apply(model.Dense{In: w, Out: w, Activation: "sigmoid"}, name, cur)
+			cur = m.Apply(model.LayerNorm{Dim: w}, name+"_ln", cur)
+		case 4:
+			// Half-width attention ≈ w² parameters, size-balanced with the
+			// dense ops.
+			cur = m.Apply(model.MultiHeadAttention{Dim: w / 2, Heads: 2}, name, cur)
+		case 5:
+			cur = m.Apply(model.Dense{In: w, Out: w, Activation: "relu"}, name, cur)
+			cur = m.Apply(model.Dropout{Rate100: 20}, name+"_drop", cur)
+		case 6:
+			branch := m.Apply(model.Dense{In: w, Out: w, Activation: "relu", UseBias: true}, name+"_br", cur)
+			cur = m.Apply(model.Add{}, name+"_add", cur, branch)
+		default: // 7: nested submodel of two leaves
+			sub := model.New(name + "_sub")
+			sin := sub.Input("in", w)
+			h := sub.Apply(model.Dense{In: w, Out: w, Activation: "relu"}, "fc1", sin)
+			h = sub.Apply(model.LayerNorm{Dim: w}, "ln", h)
+			sub.SetOutputs(h)
+			cur = m.Apply(model.Submodel{M: sub}, name, cur)
+		}
+	}
+	head := m.Apply(model.Dense{In: w, Out: 2, Activation: "softmax"}, "head", cur)
+	m.SetOutputs(head)
+	return model.Flatten(m)
+}

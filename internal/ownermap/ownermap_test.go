@@ -1,0 +1,246 @@
+package ownermap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestNewOwnsEverything(t *testing.T) {
+	m := New(7, 100, 5)
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for v := 0; v < 5; v++ {
+		e, err := m.OwnerOf(graph.VertexID(v))
+		if err != nil || e.Owner != 7 || e.Seq != 100 {
+			t.Errorf("vertex %d: %+v, %v", v, e, err)
+		}
+	}
+	if got := m.InheritedFraction(7); got != 0 {
+		t.Errorf("InheritedFraction = %v, want 0", got)
+	}
+}
+
+// TestFigure2OwnerMaps replays the paper's Figure 2 walkthrough:
+// grandparent owns {1,2,3} in the parent; parent owns {4,5} in the child.
+func TestFigure2OwnerMaps(t *testing.T) {
+	// Grandparent: 5 leaf layers, stored from scratch.
+	gp := New(1, 10, 5)
+	// Parent: 7 leaf layers, LCP with grandparent = {0,1,2}.
+	par, err := Derive(gp, 2, 20, 7, []graph.VertexID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child: 7 leaf layers, LCP with parent = {0,1,2,3,4}.
+	child, err := Derive(par, 3, 30, 7, []graph.VertexID{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The child must mark {0,1,2} grandparent, {3,4} parent, rest itself.
+	wantOwners := []ModelID{1, 1, 1, 2, 2, 3, 3}
+	for v, want := range wantOwners {
+		e, _ := child.OwnerOf(graph.VertexID(v))
+		if e.Owner != want {
+			t.Errorf("child vertex %d owner = %d, want %d", v, e.Owner, want)
+		}
+	}
+	if got := child.Lineage(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Lineage = %v, want [1 2 3]", got)
+	}
+	if f := child.InheritedFraction(3); f != 5.0/7.0 {
+		t.Errorf("InheritedFraction = %v", f)
+	}
+	owned := child.OwnedBy(2)
+	if len(owned) != 2 || owned[0] != 3 || owned[1] != 4 {
+		t.Errorf("OwnedBy(parent) = %v", owned)
+	}
+}
+
+func TestDeriveRangeChecks(t *testing.T) {
+	anc := New(1, 1, 3)
+	if _, err := Derive(anc, 2, 2, 3, []graph.VertexID{5}); err == nil {
+		t.Error("Derive accepted prefix vertex outside derived graph")
+	}
+	if _, err := Derive(anc, 2, 2, 10, []graph.VertexID{4}); err == nil {
+		t.Error("Derive accepted prefix vertex outside ancestor map")
+	}
+}
+
+func TestOwnerOfOutOfRange(t *testing.T) {
+	m := New(1, 1, 2)
+	if _, err := m.OwnerOf(9); err == nil {
+		t.Error("OwnerOf accepted out-of-range vertex")
+	}
+}
+
+func TestMarkOwned(t *testing.T) {
+	anc := New(1, 1, 4)
+	m, _ := Derive(anc, 2, 2, 4, []graph.VertexID{0, 1, 2, 3})
+	m.MarkOwned(2, 2, 1, 3)
+	if e, _ := m.OwnerOf(1); e.Owner != 2 {
+		t.Error("MarkOwned did not take effect")
+	}
+	if e, _ := m.OwnerOf(0); e.Owner != 1 {
+		t.Error("MarkOwned touched wrong vertex")
+	}
+}
+
+func TestOwnersGroupsSortedBySeq(t *testing.T) {
+	gp := New(1, 10, 4)
+	par, _ := Derive(gp, 2, 20, 4, []graph.VertexID{0, 1})
+	groups := par.Owners()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups[0].Owner != 1 || groups[1].Owner != 2 {
+		t.Errorf("groups out of order: %+v", groups)
+	}
+	if len(groups[0].Vertices) != 2 || len(groups[1].Vertices) != 2 {
+		t.Errorf("group vertex counts wrong: %+v", groups)
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	gp := New(11, 5, 6)
+	m, _ := Derive(gp, 12, 6, 6, []graph.VertexID{0, 1, 2})
+	enc := m.Encode()
+	if len(enc) != m.SizeBytes() {
+		t.Fatalf("encoded %d bytes, SizeBytes says %d", len(enc), m.SizeBytes())
+	}
+	back, n, err := Decode(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("Decode: %v (n=%d)", err, n)
+	}
+	if !m.Equal(back) {
+		t.Error("roundtrip mismatch")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := New(1, 1, 3).Encode()
+	for cut := 0; cut < len(enc); cut += 5 {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestDecodeHugeCountRejected(t *testing.T) {
+	b := make([]byte, 8)
+	b[0] = 0xff
+	b[7] = 0xff // absurd count with no payload
+	if _, _, err := Decode(b); err == nil {
+		t.Error("Decode accepted bogus entry count")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(1, 1, 3)
+	c := m.Clone()
+	c.MarkOwned(9, 9, 0)
+	if e, _ := m.OwnerOf(0); e.Owner == 9 {
+		t.Error("Clone shares entries")
+	}
+}
+
+func TestMostRecentCommonOwner(t *testing.T) {
+	gp := New(1, 10, 6)
+	par, _ := Derive(gp, 2, 20, 6, []graph.VertexID{0, 1, 2, 3})
+	// Two siblings derived from the parent; both inherit vertex 4, which
+	// the parent owns, so the parent is a surviving contributor to both.
+	sibA, _ := Derive(par, 3, 30, 6, []graph.VertexID{0, 1, 2, 3, 4})
+	sibB, _ := Derive(par, 4, 40, 6, []graph.VertexID{0, 1, 2, 4})
+
+	e, ok := MostRecentCommonOwner(sibA, sibB)
+	if !ok || e.Owner != 2 {
+		t.Errorf("MRCA(sibA, sibB) = %+v ok=%v, want owner 2", e, ok)
+	}
+
+	// If a sibling inherits nothing the parent owns, the owner-map MRCA
+	// falls back to the grandparent (only surviving contributions count).
+	sibC, _ := Derive(par, 5, 50, 6, []graph.VertexID{0, 1, 2})
+	e, ok = MostRecentCommonOwner(sibA, sibC)
+	if !ok || e.Owner != 1 {
+		t.Errorf("MRCA(sibA, sibC) = %+v ok=%v, want owner 1", e, ok)
+	}
+
+	// Unrelated maps share no owner.
+	other := New(99, 50, 4)
+	if _, ok := MostRecentCommonOwner(sibA, other); ok {
+		t.Error("MRCA found for unrelated models")
+	}
+}
+
+func TestMRCADeepChains(t *testing.T) {
+	// root → a → b; root → c. MRCA(b, c) must be root, not a.
+	root := New(1, 1, 4)
+	a, _ := Derive(root, 2, 2, 4, []graph.VertexID{0, 1, 2})
+	b, _ := Derive(a, 3, 3, 4, []graph.VertexID{0, 1, 2, 3})
+	c, _ := Derive(root, 4, 4, 4, []graph.VertexID{0, 1})
+	e, ok := MostRecentCommonOwner(b, c)
+	if !ok || e.Owner != 1 {
+		t.Errorf("MRCA = %+v ok=%v, want owner 1", e, ok)
+	}
+}
+
+// Property: Derive preserves the invariant that every entry is either the
+// ancestor's entry (on the prefix) or (self, seq) elsewhere; roundtrip
+// through the codec preserves equality.
+func TestQuickDeriveAndCodec(t *testing.T) {
+	f := func(n uint8, prefixLen uint8, selfID, seq uint64) bool {
+		size := 1 + int(n%64)
+		anc := New(ModelID(selfID^0xabc), seq/2, size)
+		pl := int(prefixLen) % (size + 1)
+		prefix := make([]graph.VertexID, pl)
+		for i := range prefix {
+			prefix[i] = graph.VertexID(i)
+		}
+		m, err := Derive(anc, ModelID(selfID), seq, size, prefix)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < size; v++ {
+			e := m.Entries[v]
+			if v < pl {
+				if e != anc.Entries[v] {
+					return false
+				}
+			} else if e.Owner != ModelID(selfID) || e.Seq != seq {
+				return false
+			}
+		}
+		back, used, err := Decode(m.Encode())
+		return err == nil && used == m.SizeBytes() && m.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDerive100(b *testing.B) {
+	anc := New(1, 1, 100)
+	prefix := make([]graph.VertexID, 50)
+	for i := range prefix {
+		prefix[i] = graph.VertexID(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Derive(anc, 2, 2, 100, prefix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	m := New(1, 1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := m.Encode()
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package pfs simulates a Lustre-style parallel file system: files striped
+// over object storage targets (OSTs) with finite per-OST bandwidth, and
+// metadata targets (MDTs) that serialize namespace operations. It is the
+// storage backend of the HDF5+PFS baseline (paper §5.2).
+//
+// Two operating modes cover the two ways the repository exercises it:
+//
+//   - Wall-clock mode (FS): a real in-memory file store whose Read/Write
+//     block the calling goroutine according to simulated OST queueing and
+//     MDT latency. Concurrent writers genuinely contend, so laptop-scale
+//     experiments observe Lustre-shaped slowdowns in real time.
+//   - Virtual mode (Sim): the same striping and contention expressed as
+//     simnet flows for the paper-scale figure harnesses.
+package pfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Options sizes the simulated file system.
+type Options struct {
+	// OSTs is the number of object storage targets. Default 8.
+	OSTs int
+	// OSTBandwidth is each OST's bandwidth in bytes/second. Default 256 MiB/s.
+	OSTBandwidth float64
+	// StripeCount is the number of OSTs a file is striped over. Default 4.
+	StripeCount int
+	// StripeSize is the stripe unit in bytes. Default 1 MiB.
+	StripeSize int
+	// MDTLatency is the latency of one metadata operation. Default 500µs.
+	MDTLatency time.Duration
+	// TimeScale divides all simulated durations (e.g. 100 → run 100×
+	// faster than "real" Lustre time) so experiments finish quickly while
+	// preserving relative costs. Default 1.
+	TimeScale float64
+}
+
+func (o *Options) setDefaults() {
+	if o.OSTs <= 0 {
+		o.OSTs = 8
+	}
+	if o.OSTBandwidth <= 0 {
+		o.OSTBandwidth = 256 << 20
+	}
+	if o.StripeCount <= 0 {
+		o.StripeCount = 4
+	}
+	if o.StripeCount > o.OSTs {
+		o.StripeCount = o.OSTs
+	}
+	if o.StripeSize <= 0 {
+		o.StripeSize = 1 << 20
+	}
+	if o.MDTLatency <= 0 {
+		o.MDTLatency = 500 * time.Microsecond
+	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+}
+
+// ost models one storage target's queue: requests reserve consecutive
+// service windows (FIFO), so concurrent writers to the same OST see their
+// effective bandwidth divided.
+type ost struct {
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// reserve books a service window of length d and returns when it ends.
+func (o *ost) reserve(d time.Duration) time.Time {
+	now := time.Now()
+	o.mu.Lock()
+	start := o.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(d)
+	o.nextFree = end
+	o.mu.Unlock()
+	return end
+}
+
+// FS is a wall-clock simulated parallel file system holding file contents
+// in memory.
+type FS struct {
+	opts Options
+	osts []*ost
+	mdt  *ost
+
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// New creates a file system.
+func New(opts Options) *FS {
+	opts.setDefaults()
+	fs := &FS{opts: opts, files: make(map[string][]byte), mdt: &ost{}}
+	for i := 0; i < opts.OSTs; i++ {
+		fs.osts = append(fs.osts, &ost{})
+	}
+	return fs
+}
+
+// stripeSet returns the OST indices a file is striped over.
+func (fs *FS) stripeSet(name string) []int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	start := int(h.Sum32()) % len(fs.osts)
+	if start < 0 {
+		start += len(fs.osts)
+	}
+	set := make([]int, fs.opts.StripeCount)
+	for i := range set {
+		set[i] = (start + i) % len(fs.osts)
+	}
+	return set
+}
+
+// transferDelay books service windows for all stripe chunks and returns
+// the time until the last chunk completes.
+func (fs *FS) transferDelay(name string, size int) time.Duration {
+	set := fs.stripeSet(name)
+	perOST := make([]int64, len(set))
+	// Distribute stripe units round-robin.
+	full := size / fs.opts.StripeSize
+	for i := 0; i < full; i++ {
+		perOST[i%len(set)] += int64(fs.opts.StripeSize)
+	}
+	perOST[full%len(set)] += int64(size % fs.opts.StripeSize)
+
+	var latest time.Time
+	for i, bytes := range perOST {
+		if bytes == 0 {
+			continue
+		}
+		d := time.Duration(float64(bytes) / fs.opts.OSTBandwidth / fs.opts.TimeScale * float64(time.Second))
+		if end := fs.osts[set[i]].reserve(d); end.After(latest) {
+			latest = end
+		}
+	}
+	if latest.IsZero() {
+		return 0
+	}
+	return time.Until(latest)
+}
+
+// mdtDelay books one metadata operation.
+func (fs *FS) mdtDelay() time.Duration {
+	d := time.Duration(float64(fs.opts.MDTLatency) / fs.opts.TimeScale)
+	return time.Until(fs.mdt.reserve(d))
+}
+
+func sleepUntil(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Write stores data under name, blocking for the simulated metadata and
+// striped transfer time.
+func (fs *FS) Write(name string, data []byte) error {
+	sleepUntil(fs.mdtDelay()) // create/open
+	sleepUntil(fs.transferDelay(name, len(data)))
+	cp := append([]byte(nil), data...)
+	fs.mu.Lock()
+	fs.files[name] = cp
+	fs.mu.Unlock()
+	return nil
+}
+
+// Read returns the contents of name, blocking for the simulated metadata
+// and transfer time.
+func (fs *FS) Read(name string) ([]byte, error) {
+	fs.mu.RLock()
+	data, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pfs: file %q not found", name)
+	}
+	sleepUntil(fs.mdtDelay()) // open/stat
+	sleepUntil(fs.transferDelay(name, len(data)))
+	return data, nil
+}
+
+// Delete removes a file (one metadata operation; data blocks are freed
+// asynchronously in Lustre, so no transfer cost).
+func (fs *FS) Delete(name string) error {
+	sleepUntil(fs.mdtDelay())
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("pfs: file %q not found", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Stat reports whether a file exists and its size (one metadata op).
+func (fs *FS) Stat(name string) (int, bool) {
+	sleepUntil(fs.mdtDelay())
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	data, ok := fs.files[name]
+	return len(data), ok
+}
+
+// TotalBytes returns the payload stored across all files (storage-space
+// accounting for Figure 10).
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, d := range fs.files {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// FileCount returns the number of stored files.
+func (fs *FS) FileCount() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files)
+}
+
+// --- virtual mode -------------------------------------------------------------
+
+// Sim expresses the same striped file system as simnet resources for the
+// paper-scale harnesses.
+type Sim struct {
+	opts Options
+	net  *simnet.Net
+	osts []*simnet.Resource
+}
+
+// NewSim registers OST resources on net.
+func NewSim(net *simnet.Net, opts Options) *Sim {
+	opts.setDefaults()
+	s := &Sim{opts: opts, net: net}
+	for i := 0; i < opts.OSTs; i++ {
+		s.osts = append(s.osts, net.AddResource(fmt.Sprintf("ost%d", i), opts.OSTBandwidth))
+	}
+	return s
+}
+
+// Transfer starts the striped flows of one file write or read of the given
+// size and invokes onDone when the last stripe lands. The MDT cost is
+// modeled as a serial latency before the transfer begins.
+func (s *Sim) Transfer(name string, size int64, onDone func(now float64)) {
+	s.TransferVia(name, size, nil, onDone)
+}
+
+// TransferVia is Transfer with additional resources (e.g. the writer's
+// node NIC) that every stripe flow traverses.
+func (s *Sim) TransferVia(name string, size int64, extra []*simnet.Resource, onDone func(now float64)) {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	start := int(h.Sum32()) % len(s.osts)
+	if start < 0 {
+		start += len(s.osts)
+	}
+	set := make([]*simnet.Resource, s.opts.StripeCount)
+	for i := range set {
+		set[i] = s.osts[(start+i)%len(s.osts)]
+	}
+	perOST := make([]int64, len(set))
+	full := int(size) / s.opts.StripeSize
+	for i := 0; i < full; i++ {
+		perOST[i%len(set)] += int64(s.opts.StripeSize)
+	}
+	perOST[full%len(set)] += size % int64(s.opts.StripeSize)
+
+	mdt := s.opts.MDTLatency.Seconds()
+	s.net.At(mdt, func(now float64) {
+		pending := 0
+		for _, b := range perOST {
+			if b > 0 {
+				pending++
+			}
+		}
+		if pending == 0 {
+			if onDone != nil {
+				onDone(now)
+			}
+			return
+		}
+		for i, b := range perOST {
+			if b == 0 {
+				continue
+			}
+			path := append([]*simnet.Resource{set[i]}, extra...)
+			s.net.StartFlow(float64(b), path, func(now float64) {
+				pending--
+				if pending == 0 && onDone != nil {
+					onDone(now)
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// fastOpts keeps wall-clock tests quick while preserving contention shape.
+func fastOpts() Options {
+	return Options{
+		OSTs:         4,
+		OSTBandwidth: 64 << 20, // 64 MiB/s per OST
+		StripeCount:  2,
+		StripeSize:   64 << 10,
+		MDTLatency:   50 * time.Microsecond,
+		TimeScale:    1,
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	fs := New(fastOpts())
+	data := bytes.Repeat([]byte{0xab}, 200_000)
+	if err := fs.Write("dir/model.h5", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("dir/model.h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("roundtrip mismatch")
+	}
+	if size, ok := fs.Stat("dir/model.h5"); !ok || size != len(data) {
+		t.Errorf("Stat = %d,%v", size, ok)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	fs := New(fastOpts())
+	if _, err := fs.Read("ghost"); err == nil {
+		t.Error("Read of missing file succeeded")
+	}
+	if err := fs.Delete("ghost"); err == nil {
+		t.Error("Delete of missing file succeeded")
+	}
+}
+
+func TestDeleteAndAccounting(t *testing.T) {
+	fs := New(fastOpts())
+	fs.Write("a", make([]byte, 1000))
+	fs.Write("b", make([]byte, 500))
+	if fs.TotalBytes() != 1500 || fs.FileCount() != 2 {
+		t.Errorf("TotalBytes=%d FileCount=%d", fs.TotalBytes(), fs.FileCount())
+	}
+	if err := fs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TotalBytes() != 500 || fs.FileCount() != 1 {
+		t.Errorf("after delete: TotalBytes=%d FileCount=%d", fs.TotalBytes(), fs.FileCount())
+	}
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	fs := New(fastOpts())
+	buf := []byte("mutable")
+	fs.Write("f", buf)
+	buf[0] = 'X'
+	got, _ := fs.Read("f")
+	if got[0] != 'm' {
+		t.Error("Write did not copy the payload")
+	}
+}
+
+func TestContentionSlowsWriters(t *testing.T) {
+	// One writer vs. eight concurrent writers of the same total size:
+	// per-writer latency must grow markedly under contention.
+	opts := fastOpts()
+	opts.OSTs = 2
+	opts.StripeCount = 2
+	size := 1 << 20 // 1 MiB per write → ~8ms solo on 2×64MiB/s stripes
+
+	solo := New(opts)
+	start := time.Now()
+	solo.Write("w", make([]byte, size))
+	soloTime := time.Since(start)
+
+	crowd := New(opts)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			crowd.Write(fmt.Sprintf("w%d", i), make([]byte, size))
+		}(i)
+	}
+	wg.Wait()
+	crowdTime := time.Since(start)
+
+	if crowdTime < soloTime*3 {
+		t.Errorf("contention too weak: solo=%v crowd=%v", soloTime, crowdTime)
+	}
+}
+
+func TestStripingUsesMultipleOSTs(t *testing.T) {
+	fs := New(Options{OSTs: 8, StripeCount: 4})
+	set := fs.stripeSet("some/file")
+	seen := map[int]bool{}
+	for _, o := range set {
+		if o < 0 || o >= 8 {
+			t.Fatalf("stripe index %d out of range", o)
+		}
+		seen[o] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("stripe set has %d distinct OSTs, want 4", len(seen))
+	}
+	// Deterministic per name.
+	again := fs.stripeSet("some/file")
+	for i := range set {
+		if set[i] != again[i] {
+			t.Error("stripe set not deterministic")
+		}
+	}
+}
+
+func TestStripeCountClamped(t *testing.T) {
+	fs := New(Options{OSTs: 2, StripeCount: 16})
+	if fs.opts.StripeCount != 2 {
+		t.Errorf("StripeCount = %d, want clamped to 2", fs.opts.StripeCount)
+	}
+}
+
+func TestSimTransferBandwidth(t *testing.T) {
+	// Virtual mode: one 100 MiB file over 4 stripes of 100 MiB/s OSTs
+	// finishes in ~0.25s + MDT latency.
+	net := simnet.New()
+	sim := NewSim(net, Options{
+		OSTs: 8, OSTBandwidth: 100 << 20, StripeCount: 4,
+		StripeSize: 1 << 20, MDTLatency: time.Millisecond,
+	})
+	var doneAt float64
+	sim.Transfer("file", 100<<20, func(now float64) { doneAt = now })
+	net.Run()
+	want := 0.25 + 0.001
+	if doneAt < want*0.99 || doneAt > want*1.05 {
+		t.Errorf("doneAt = %v, want ≈%v", doneAt, want)
+	}
+}
+
+func TestSimConcurrentTransfersContend(t *testing.T) {
+	// 16 writers over 4 OSTs with stripe count 4: every flow shares every
+	// OST, so each transfer takes 16× the solo time... relative check:
+	soloNet := simnet.New()
+	soloSim := NewSim(soloNet, Options{OSTs: 4, OSTBandwidth: 1 << 30, StripeCount: 4, MDTLatency: time.Microsecond})
+	var solo float64
+	soloSim.Transfer("f", 1<<30, func(now float64) { solo = now })
+	soloNet.Run()
+
+	crowdNet := simnet.New()
+	crowdSim := NewSim(crowdNet, Options{OSTs: 4, OSTBandwidth: 1 << 30, StripeCount: 4, MDTLatency: time.Microsecond})
+	finishes := make([]float64, 0, 16)
+	for i := 0; i < 16; i++ {
+		crowdSim.Transfer(fmt.Sprintf("f%d", i), 1<<30, func(now float64) { finishes = append(finishes, now) })
+	}
+	crowdNet.Run()
+	var last float64
+	for _, f := range finishes {
+		if f > last {
+			last = f
+		}
+	}
+	if last < solo*12 {
+		t.Errorf("virtual contention too weak: solo=%v crowd=%v", solo, last)
+	}
+}
+
+func TestSimZeroSize(t *testing.T) {
+	net := simnet.New()
+	sim := NewSim(net, Options{MDTLatency: time.Millisecond})
+	fired := false
+	sim.Transfer("empty", 0, func(now float64) { fired = true })
+	net.Run()
+	if !fired {
+		t.Error("zero-size transfer never completed")
+	}
+}

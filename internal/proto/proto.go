@@ -1,0 +1,484 @@
+// Package proto defines the RPC names and message codecs spoken between
+// EvoStore clients and providers. Control payloads ride rpc.Message.Meta;
+// consolidated tensor segments ride rpc.Message.Bulk.
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ownermap"
+	"repro/internal/wire"
+)
+
+// RPC handler names.
+const (
+	RPCStoreModel   = "evostore.store_model"
+	RPCGetMeta      = "evostore.get_meta"
+	RPCReadSegments = "evostore.read_segments"
+	RPCIncRef       = "evostore.inc_ref"
+	RPCDecRef       = "evostore.dec_ref"
+	RPCRetire       = "evostore.retire"
+	RPCLCPQuery     = "evostore.lcp_query"
+	RPCListModels   = "evostore.list_models"
+	RPCStats        = "evostore.stats"
+)
+
+// SegmentRef locates one vertex's consolidated tensor segment inside a bulk
+// payload: segments are concatenated in table order.
+type SegmentRef struct {
+	Vertex graph.VertexID
+	Length uint32
+}
+
+// appendSegTable / readSegTable encode the (vertex, length) table shared by
+// store requests and read responses.
+func appendSegTable(w *wire.Writer, segs []SegmentRef) {
+	w.U32(uint32(len(segs)))
+	for _, s := range segs {
+		w.U32(uint32(s.Vertex))
+		w.U32(s.Length)
+	}
+}
+
+func readSegTable(r *wire.Reader) []SegmentRef {
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/8+1 {
+		return nil
+	}
+	segs := make([]SegmentRef, n)
+	for i := range segs {
+		segs[i].Vertex = graph.VertexID(r.U32())
+		segs[i].Length = r.U32()
+	}
+	return segs
+}
+
+// SplitBulk slices a bulk payload into per-segment views according to the
+// table. The returned slices alias bulk.
+func SplitBulk(segs []SegmentRef, bulk []byte) ([][]byte, error) {
+	out := make([][]byte, len(segs))
+	off := 0
+	for i, s := range segs {
+		end := off + int(s.Length)
+		if end > len(bulk) {
+			return nil, fmt.Errorf("proto: segment table overruns bulk (%d > %d)", end, len(bulk))
+		}
+		out[i] = bulk[off:end]
+		off = end
+	}
+	if off != len(bulk) {
+		return nil, fmt.Errorf("proto: %d trailing bulk bytes", len(bulk)-off)
+	}
+	return out, nil
+}
+
+// --- StoreModel -------------------------------------------------------------
+
+// StoreModelReq publishes a new model: its architecture graph, owner map,
+// quality metric, global sequence stamp, and the consolidated segments of
+// the vertices the model itself owns (the modified tensors).
+type StoreModelReq struct {
+	Model    ownermap.ModelID
+	Seq      uint64
+	Quality  float64
+	Graph    *graph.Compact
+	OwnerMap *ownermap.Map
+	Segments []SegmentRef
+}
+
+// Encode serializes the request meta.
+func (q *StoreModelReq) Encode() []byte {
+	w := wire.NewWriter(64 + q.OwnerMap.SizeBytes())
+	w.U64(uint64(q.Model))
+	w.U64(q.Seq)
+	w.F64(q.Quality)
+	w.Bytes32(q.Graph.Encode())
+	w.Bytes32(q.OwnerMap.Encode())
+	appendSegTable(w, q.Segments)
+	return w.Bytes()
+}
+
+// DecodeStoreModelReq parses a request meta.
+func DecodeStoreModelReq(b []byte) (*StoreModelReq, error) {
+	r := wire.NewReader(b)
+	q := &StoreModelReq{
+		Model:   ownermap.ModelID(r.U64()),
+		Seq:     r.U64(),
+		Quality: r.F64(),
+	}
+	gb := r.Bytes32()
+	ob := r.Bytes32()
+	q.Segments = readSegTable(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var err error
+	if q.Graph, _, err = graph.Decode(gb); err != nil {
+		return nil, err
+	}
+	if q.OwnerMap, _, err = ownermap.Decode(ob); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// --- GetMeta ----------------------------------------------------------------
+
+// ModelMeta is the metadata of one stored model.
+type ModelMeta struct {
+	Model    ownermap.ModelID
+	Seq      uint64
+	Quality  float64
+	Graph    *graph.Compact
+	OwnerMap *ownermap.Map
+}
+
+// EncodeModelID encodes the single-ID request used by GetMeta and Retire.
+func EncodeModelID(id ownermap.ModelID) []byte {
+	w := wire.NewWriter(8)
+	w.U64(uint64(id))
+	return w.Bytes()
+}
+
+// DecodeModelID parses a single-ID request.
+func DecodeModelID(b []byte) (ownermap.ModelID, error) {
+	r := wire.NewReader(b)
+	id := ownermap.ModelID(r.U64())
+	return id, r.Err()
+}
+
+// Encode serializes model metadata.
+func (m *ModelMeta) Encode() []byte {
+	w := wire.NewWriter(64 + m.OwnerMap.SizeBytes())
+	w.U64(uint64(m.Model))
+	w.U64(m.Seq)
+	w.F64(m.Quality)
+	w.Bytes32(m.Graph.Encode())
+	w.Bytes32(m.OwnerMap.Encode())
+	return w.Bytes()
+}
+
+// DecodeModelMeta parses model metadata.
+func DecodeModelMeta(b []byte) (*ModelMeta, error) {
+	r := wire.NewReader(b)
+	m := &ModelMeta{
+		Model:   ownermap.ModelID(r.U64()),
+		Seq:     r.U64(),
+		Quality: r.F64(),
+	}
+	gb := r.Bytes32()
+	ob := r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var err error
+	if m.Graph, _, err = graph.Decode(gb); err != nil {
+		return nil, err
+	}
+	if m.OwnerMap, _, err = ownermap.Decode(ob); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- ReadSegments -----------------------------------------------------------
+
+// ReadSegmentsReq asks the provider hosting owner's segments for the given
+// vertices.
+type ReadSegmentsReq struct {
+	Owner    ownermap.ModelID
+	Vertices []graph.VertexID
+}
+
+// Encode serializes the request.
+func (q *ReadSegmentsReq) Encode() []byte {
+	w := wire.NewWriter(16 + 4*len(q.Vertices))
+	w.U64(uint64(q.Owner))
+	w.U32(uint32(len(q.Vertices)))
+	for _, v := range q.Vertices {
+		w.U32(uint32(v))
+	}
+	return w.Bytes()
+}
+
+// DecodeReadSegmentsReq parses the request.
+func DecodeReadSegmentsReq(b []byte) (*ReadSegmentsReq, error) {
+	r := wire.NewReader(b)
+	q := &ReadSegmentsReq{Owner: ownermap.ModelID(r.U64())}
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/4+1 {
+		return nil, wire.ErrTruncated
+	}
+	q.Vertices = make([]graph.VertexID, n)
+	for i := range q.Vertices {
+		q.Vertices[i] = graph.VertexID(r.U32())
+	}
+	return q, r.Err()
+}
+
+// EncodeSegTable encodes a read response meta (the table describing bulk).
+func EncodeSegTable(segs []SegmentRef) []byte {
+	w := wire.NewWriter(4 + 8*len(segs))
+	appendSegTable(w, segs)
+	return w.Bytes()
+}
+
+// DecodeSegTable parses a read response meta.
+func DecodeSegTable(b []byte) ([]SegmentRef, error) {
+	r := wire.NewReader(b)
+	segs := readSegTable(r)
+	return segs, r.Err()
+}
+
+// --- IncRef / DecRef ----------------------------------------------------------
+
+// RefReq adjusts segment reference counters for vertices owned by Owner.
+type RefReq struct {
+	Owner    ownermap.ModelID
+	Vertices []graph.VertexID
+}
+
+// Encode serializes the request.
+func (q *RefReq) Encode() []byte {
+	return (&ReadSegmentsReq{Owner: q.Owner, Vertices: q.Vertices}).Encode()
+}
+
+// DecodeRefReq parses the request.
+func DecodeRefReq(b []byte) (*RefReq, error) {
+	q, err := DecodeReadSegmentsReq(b)
+	if err != nil {
+		return nil, err
+	}
+	return &RefReq{Owner: q.Owner, Vertices: q.Vertices}, nil
+}
+
+// EncodeU64 / DecodeU64 carry small scalar responses (freed counts, ...).
+func EncodeU64(v uint64) []byte {
+	w := wire.NewWriter(8)
+	w.U64(v)
+	return w.Bytes()
+}
+
+// DecodeU64 parses a scalar response.
+func DecodeU64(b []byte) (uint64, error) {
+	r := wire.NewReader(b)
+	v := r.U64()
+	return v, r.Err()
+}
+
+// --- LCP query ----------------------------------------------------------------
+
+// LCPQueryReq broadcasts the flattened architecture of a new candidate to
+// every provider.
+type LCPQueryReq struct {
+	Graph *graph.Compact
+	// Exclude lists model IDs to skip (e.g. models being retired).
+	Exclude []ownermap.ModelID
+	// PreferRecent breaks prefix-length ties by recency (highest sequence
+	// number) instead of quality — the continual-learning selection rule
+	// the paper sketches in §6, where the age of a model matters when
+	// choosing a transfer source.
+	PreferRecent bool
+}
+
+// Encode serializes the query.
+func (q *LCPQueryReq) Encode() []byte {
+	w := wire.NewWriter(64)
+	w.Bytes32(q.Graph.Encode())
+	w.U32(uint32(len(q.Exclude)))
+	for _, id := range q.Exclude {
+		w.U64(uint64(id))
+	}
+	if q.PreferRecent {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	return w.Bytes()
+}
+
+// DecodeLCPQueryReq parses the query.
+func DecodeLCPQueryReq(b []byte) (*LCPQueryReq, error) {
+	r := wire.NewReader(b)
+	gb := r.Bytes32()
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/8+1 {
+		return nil, wire.ErrTruncated
+	}
+	q := &LCPQueryReq{}
+	if n > 0 {
+		q.Exclude = make([]ownermap.ModelID, n)
+		for i := range q.Exclude {
+			q.Exclude[i] = ownermap.ModelID(r.U64())
+		}
+	}
+	// The PreferRecent byte was appended to the format later; tolerate
+	// encoders that omit it.
+	if r.Remaining() > 0 {
+		q.PreferRecent = r.U8() == 1
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var err error
+	if q.Graph, _, err = graph.Decode(gb); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// LCPResult is one provider's local best match (or Found=false).
+type LCPResult struct {
+	Found   bool
+	Model   ownermap.ModelID
+	Seq     uint64
+	Quality float64
+	Prefix  []graph.VertexID
+}
+
+// Encode serializes the result.
+func (res *LCPResult) Encode() []byte {
+	w := wire.NewWriter(32 + 4*len(res.Prefix))
+	if res.Found {
+		w.U8(1)
+	} else {
+		w.U8(0)
+		return w.Bytes()
+	}
+	w.U64(uint64(res.Model))
+	w.U64(res.Seq)
+	w.F64(res.Quality)
+	w.U32(uint32(len(res.Prefix)))
+	for _, v := range res.Prefix {
+		w.U32(uint32(v))
+	}
+	return w.Bytes()
+}
+
+// DecodeLCPResult parses a result.
+func DecodeLCPResult(b []byte) (*LCPResult, error) {
+	r := wire.NewReader(b)
+	res := &LCPResult{}
+	if r.U8() == 0 {
+		return res, r.Err()
+	}
+	res.Found = true
+	res.Model = ownermap.ModelID(r.U64())
+	res.Seq = r.U64()
+	res.Quality = r.F64()
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/4+1 {
+		return nil, wire.ErrTruncated
+	}
+	res.Prefix = make([]graph.VertexID, n)
+	for i := range res.Prefix {
+		res.Prefix[i] = graph.VertexID(r.U32())
+	}
+	return res, r.Err()
+}
+
+// Better reports whether res should replace cur as the reduced best match:
+// longer prefix wins; ties prefer higher quality (paper §2), then lower
+// model ID for determinism.
+func (res *LCPResult) Better(cur *LCPResult) bool {
+	if !res.Found {
+		return false
+	}
+	if !cur.Found {
+		return true
+	}
+	if len(res.Prefix) != len(cur.Prefix) {
+		return len(res.Prefix) > len(cur.Prefix)
+	}
+	if res.Quality != cur.Quality {
+		return res.Quality > cur.Quality
+	}
+	return res.Model < cur.Model
+}
+
+// BetterRecent is the continual-learning ordering: longer prefix wins;
+// ties prefer the most recently stored model (highest sequence number),
+// then quality, then lower ID.
+func (res *LCPResult) BetterRecent(cur *LCPResult) bool {
+	if !res.Found {
+		return false
+	}
+	if !cur.Found {
+		return true
+	}
+	if len(res.Prefix) != len(cur.Prefix) {
+		return len(res.Prefix) > len(cur.Prefix)
+	}
+	if res.Seq != cur.Seq {
+		return res.Seq > cur.Seq
+	}
+	if res.Quality != cur.Quality {
+		return res.Quality > cur.Quality
+	}
+	return res.Model < cur.Model
+}
+
+// --- ListModels / Stats --------------------------------------------------------
+
+// EncodeModelList / DecodeModelList carry catalog listings.
+func EncodeModelList(ids []ownermap.ModelID) []byte {
+	w := wire.NewWriter(4 + 8*len(ids))
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U64(uint64(id))
+	}
+	return w.Bytes()
+}
+
+// DecodeModelList parses a catalog listing.
+func DecodeModelList(b []byte) ([]ownermap.ModelID, error) {
+	r := wire.NewReader(b)
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/8+1 {
+		return nil, wire.ErrTruncated
+	}
+	ids := make([]ownermap.ModelID, n)
+	for i := range ids {
+		ids[i] = ownermap.ModelID(r.U64())
+	}
+	return ids, r.Err()
+}
+
+// ProviderStats summarizes one provider's storage state.
+type ProviderStats struct {
+	Models       uint64
+	Segments     uint64
+	SegmentBytes uint64
+	LiveRefs     uint64
+}
+
+// Encode serializes the stats.
+func (s *ProviderStats) Encode() []byte {
+	w := wire.NewWriter(32)
+	w.U64(s.Models)
+	w.U64(s.Segments)
+	w.U64(s.SegmentBytes)
+	w.U64(s.LiveRefs)
+	return w.Bytes()
+}
+
+// DecodeProviderStats parses the stats.
+func DecodeProviderStats(b []byte) (*ProviderStats, error) {
+	r := wire.NewReader(b)
+	s := &ProviderStats{
+		Models:       r.U64(),
+		Segments:     r.U64(),
+		SegmentBytes: r.U64(),
+		LiveRefs:     r.U64(),
+	}
+	return s, r.Err()
+}
+
+// Add accumulates other into s (cluster-wide reduction).
+func (s *ProviderStats) Add(o *ProviderStats) {
+	s.Models += o.Models
+	s.Segments += o.Segments
+	s.SegmentBytes += o.SegmentBytes
+	s.LiveRefs += o.LiveRefs
+}

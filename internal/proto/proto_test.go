@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ownermap"
+)
+
+func sampleGraph(n int) *graph.Compact {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Vertex{ConfigSig: uint64(i + 1), ParamBytes: int64(i * 10)})
+		if i > 0 {
+			b.AddEdge(graph.VertexID(i-1), graph.VertexID(i))
+		}
+	}
+	return b.Build()
+}
+
+func TestStoreModelReqRoundtrip(t *testing.T) {
+	g := sampleGraph(4)
+	om := ownermap.New(9, 3, 4)
+	req := &StoreModelReq{
+		Model: 9, Seq: 3, Quality: 0.75,
+		Graph: g, OwnerMap: om,
+		Segments: []SegmentRef{{Vertex: 1, Length: 100}, {Vertex: 3, Length: 0}},
+	}
+	back, err := DecodeStoreModelReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != 9 || back.Seq != 3 || back.Quality != 0.75 {
+		t.Errorf("scalars: %+v", back)
+	}
+	if !back.Graph.Equal(g) || !back.OwnerMap.Equal(om) {
+		t.Error("graph/ownermap mismatch")
+	}
+	if len(back.Segments) != 2 || back.Segments[0] != req.Segments[0] {
+		t.Errorf("segments: %+v", back.Segments)
+	}
+}
+
+func TestStoreModelReqTruncated(t *testing.T) {
+	g := sampleGraph(3)
+	req := &StoreModelReq{Model: 1, Graph: g, OwnerMap: ownermap.New(1, 1, 3)}
+	enc := req.Encode()
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodeStoreModelReq(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestModelMetaRoundtrip(t *testing.T) {
+	m := &ModelMeta{Model: 5, Seq: 7, Quality: 0.5, Graph: sampleGraph(3), OwnerMap: ownermap.New(5, 7, 3)}
+	back, err := DecodeModelMeta(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != 5 || back.Seq != 7 || !back.Graph.Equal(m.Graph) || !back.OwnerMap.Equal(m.OwnerMap) {
+		t.Error("roundtrip mismatch")
+	}
+}
+
+func TestSplitBulk(t *testing.T) {
+	segs := []SegmentRef{{Vertex: 0, Length: 3}, {Vertex: 1, Length: 0}, {Vertex: 2, Length: 2}}
+	bulk := []byte{1, 2, 3, 4, 5}
+	parts, err := SplitBulk(segs, bulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 || string(parts[0]) != "\x01\x02\x03" || len(parts[1]) != 0 || string(parts[2]) != "\x04\x05" {
+		t.Errorf("parts = %v", parts)
+	}
+	// Overrun and trailing bytes must error.
+	if _, err := SplitBulk(segs, bulk[:4]); err == nil {
+		t.Error("overrun accepted")
+	}
+	if _, err := SplitBulk(segs[:2], bulk); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestReadSegmentsReqRoundtrip(t *testing.T) {
+	req := &ReadSegmentsReq{Owner: 3, Vertices: []graph.VertexID{0, 5, 9}}
+	back, err := DecodeReadSegmentsReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Owner != 3 || len(back.Vertices) != 3 || back.Vertices[2] != 9 {
+		t.Errorf("back = %+v", back)
+	}
+}
+
+func TestLCPQueryReqRoundtrip(t *testing.T) {
+	q := &LCPQueryReq{Graph: sampleGraph(5), Exclude: []ownermap.ModelID{2, 4}}
+	back, err := DecodeLCPQueryReq(q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Graph.Equal(q.Graph) || len(back.Exclude) != 2 || back.Exclude[1] != 4 {
+		t.Errorf("back = %+v", back)
+	}
+	// No excludes.
+	q2 := &LCPQueryReq{Graph: sampleGraph(2)}
+	back2, err := DecodeLCPQueryReq(q2.Encode())
+	if err != nil || len(back2.Exclude) != 0 {
+		t.Errorf("empty exclude roundtrip: %v %+v", err, back2)
+	}
+}
+
+func TestLCPResultRoundtrip(t *testing.T) {
+	res := &LCPResult{Found: true, Model: 8, Seq: 2, Quality: 0.9, Prefix: []graph.VertexID{0, 1, 2}}
+	back, err := DecodeLCPResult(res.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Found || back.Model != 8 || len(back.Prefix) != 3 {
+		t.Errorf("back = %+v", back)
+	}
+	miss := &LCPResult{}
+	backMiss, err := DecodeLCPResult(miss.Encode())
+	if err != nil || backMiss.Found {
+		t.Errorf("not-found roundtrip: %v %+v", err, backMiss)
+	}
+}
+
+func TestLCPResultBetter(t *testing.T) {
+	short := &LCPResult{Found: true, Model: 1, Quality: 0.9, Prefix: []graph.VertexID{0}}
+	long := &LCPResult{Found: true, Model: 2, Quality: 0.1, Prefix: []graph.VertexID{0, 1}}
+	if !long.Better(short) || short.Better(long) {
+		t.Error("prefix length must dominate")
+	}
+	// Tie on length → quality.
+	hiQ := &LCPResult{Found: true, Model: 3, Quality: 0.8, Prefix: []graph.VertexID{0}}
+	if !hiQ.Better(short) == false {
+		// hiQ (0.8) vs short (0.9): short is better
+		if hiQ.Better(short) {
+			t.Error("quality tie-break inverted")
+		}
+	}
+	// Tie on both → lower ID.
+	twin := &LCPResult{Found: true, Model: 0, Quality: 0.9, Prefix: []graph.VertexID{0}}
+	if !twin.Better(short) {
+		t.Error("ID tie-break failed")
+	}
+	// Not-found never wins; anything beats not-found.
+	none := &LCPResult{}
+	if none.Better(short) || !short.Better(none) {
+		t.Error("found/not-found ordering wrong")
+	}
+}
+
+func TestModelListAndStats(t *testing.T) {
+	ids := []ownermap.ModelID{5, 1, 9}
+	back, err := DecodeModelList(EncodeModelList(ids))
+	if err != nil || len(back) != 3 || back[2] != 9 {
+		t.Errorf("list roundtrip: %v %v", back, err)
+	}
+	s := &ProviderStats{Models: 1, Segments: 2, SegmentBytes: 3, LiveRefs: 4}
+	bs, err := DecodeProviderStats(s.Encode())
+	if err != nil || *bs != *s {
+		t.Errorf("stats roundtrip: %+v %v", bs, err)
+	}
+	total := &ProviderStats{}
+	total.Add(s)
+	total.Add(s)
+	if total.Models != 2 || total.LiveRefs != 8 {
+		t.Errorf("Add: %+v", total)
+	}
+}
+
+func TestEncodeDecodeU64AndModelID(t *testing.T) {
+	if v, err := DecodeU64(EncodeU64(42)); err != nil || v != 42 {
+		t.Errorf("u64: %v %v", v, err)
+	}
+	if id, err := DecodeModelID(EncodeModelID(7)); err != nil || id != 7 {
+		t.Errorf("modelID: %v %v", id, err)
+	}
+	if _, err := DecodeU64(nil); err == nil {
+		t.Error("empty u64 accepted")
+	}
+}
+
+// Property: segment tables of arbitrary shape roundtrip.
+func TestQuickSegTable(t *testing.T) {
+	f := func(vs []uint16, ls []uint16) bool {
+		n := len(vs)
+		if len(ls) < n {
+			n = len(ls)
+		}
+		segs := make([]SegmentRef, n)
+		for i := 0; i < n; i++ {
+			segs[i] = SegmentRef{Vertex: graph.VertexID(vs[i]), Length: uint32(ls[i])}
+		}
+		back, err := DecodeSegTable(EncodeSegTable(segs))
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range segs {
+			if back[i] != segs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

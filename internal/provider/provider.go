@@ -1,0 +1,438 @@
+// Package provider implements the EvoStore storage provider: the
+// server-side half of the repository. Each provider simultaneously acts as
+// a data and a metadata server (paper §4.1): it stores the consolidated
+// tensor segments of the models whose IDs hash to it, their architecture
+// graphs and owner maps, the reference counters that drive distributed
+// garbage collection, and it answers its share of collective LCP queries
+// over the models it catalogs.
+package provider
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// segKey identifies one stored segment: the consolidated tensors of one
+// leaf-layer vertex, owned by one model.
+type segKey struct {
+	owner  ownermap.ModelID
+	vertex graph.VertexID
+}
+
+func (k segKey) String() string { return fmt.Sprintf("seg/%016x/%08x", uint64(k.owner), k.vertex) }
+
+// modelMeta is the cataloged metadata of one home model.
+type modelMeta struct {
+	graph    *graph.Compact
+	om       *ownermap.Map
+	quality  float64
+	seq      uint64
+	segments map[graph.VertexID]uint32 // self-owned stored segments and sizes
+}
+
+// Provider is one EvoStore storage provider.
+type Provider struct {
+	id int
+	kv kvstore.KV
+
+	mu     sync.RWMutex
+	models map[ownermap.ModelID]*modelMeta
+	refs   map[segKey]int
+}
+
+// New creates a provider with the given index backed by kv (segments are
+// persisted there; catalog metadata and refcounts are kept in memory, as in
+// the paper's in-memory deployment mode).
+func New(id int, kv kvstore.KV) *Provider {
+	return &Provider{
+		id:     id,
+		kv:     kv,
+		models: make(map[ownermap.ModelID]*modelMeta),
+		refs:   make(map[segKey]int),
+	}
+}
+
+// ID returns the provider index.
+func (p *Provider) ID() int { return p.id }
+
+// Register installs all EvoStore handlers on srv.
+func (p *Provider) Register(srv *rpc.Server) {
+	srv.Register(proto.RPCStoreModel, p.handleStoreModel)
+	srv.Register(proto.RPCGetMeta, p.handleGetMeta)
+	srv.Register(proto.RPCReadSegments, p.handleReadSegments)
+	srv.Register(proto.RPCIncRef, p.handleIncRef)
+	srv.Register(proto.RPCDecRef, p.handleDecRef)
+	srv.Register(proto.RPCRetire, p.handleRetire)
+	srv.Register(proto.RPCLCPQuery, p.handleLCPQuery)
+	srv.Register(proto.RPCListModels, p.handleListModels)
+	srv.Register(proto.RPCStats, p.handleStats)
+}
+
+// --- store -------------------------------------------------------------------
+
+func (p *Provider) handleStoreModel(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	q, err := proto.DecodeStoreModelReq(req.Meta)
+	if err != nil {
+		return rpc.Message{}, fmt.Errorf("provider %d: store: %w", p.id, err)
+	}
+	segs, err := proto.SplitBulk(q.Segments, req.Bulk)
+	if err != nil {
+		return rpc.Message{}, fmt.Errorf("provider %d: store %d: %w", p.id, q.Model, err)
+	}
+	if err := p.StoreModel(q, segs); err != nil {
+		return rpc.Message{}, err
+	}
+	return rpc.Message{Meta: proto.EncodeU64(uint64(q.Model))}, nil
+}
+
+// StoreModel installs a model: catalog entry plus its self-owned segments.
+// Refcounts of the stored segments are incremented for the new model
+// itself; refcounts of inherited segments live on their owners' providers
+// and are incremented by the client via IncRef.
+func (p *Provider) StoreModel(q *proto.StoreModelReq, segs [][]byte) error {
+	if q.OwnerMap.Len() != q.Graph.NumVertices() {
+		return fmt.Errorf("provider %d: store %d: owner map covers %d vertices, graph has %d",
+			p.id, q.Model, q.OwnerMap.Len(), q.Graph.NumVertices())
+	}
+	// Validate every shipped segment belongs to a vertex the model owns.
+	for _, s := range q.Segments {
+		if int(s.Vertex) >= q.Graph.NumVertices() {
+			return fmt.Errorf("provider %d: store %d: segment vertex %d out of range", p.id, q.Model, s.Vertex)
+		}
+		e, err := q.OwnerMap.OwnerOf(s.Vertex)
+		if err != nil {
+			return err
+		}
+		if e.Owner != q.Model {
+			return fmt.Errorf("provider %d: store %d: segment for vertex %d owned by %d",
+				p.id, q.Model, s.Vertex, e.Owner)
+		}
+	}
+
+	p.mu.Lock()
+	if _, dup := p.models[q.Model]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("provider %d: model %d already stored", p.id, q.Model)
+	}
+	meta := &modelMeta{
+		graph:    q.Graph,
+		om:       q.OwnerMap,
+		quality:  q.Quality,
+		seq:      q.Seq,
+		segments: make(map[graph.VertexID]uint32, len(q.Segments)),
+	}
+	p.models[q.Model] = meta
+	for _, s := range q.Segments {
+		meta.segments[s.Vertex] = s.Length
+		p.refs[segKey{q.Model, s.Vertex}]++
+	}
+	p.mu.Unlock()
+
+	// Persist segment payloads outside the lock; the KV is thread-safe.
+	for i, s := range q.Segments {
+		if err := p.kv.Put(segKey{q.Model, s.Vertex}.String(), segs[i]); err != nil {
+			return fmt.Errorf("provider %d: persisting segment %d/%d: %w", p.id, q.Model, s.Vertex, err)
+		}
+	}
+	return nil
+}
+
+// --- metadata reads ------------------------------------------------------------
+
+func (p *Provider) handleGetMeta(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	id, err := proto.DecodeModelID(req.Meta)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	m, err := p.GetMeta(id)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	return rpc.Message{Meta: m.Encode()}, nil
+}
+
+// GetMeta returns the catalog entry for id.
+func (p *Provider) GetMeta(id ownermap.ModelID) (*proto.ModelMeta, error) {
+	p.mu.RLock()
+	meta := p.models[id]
+	p.mu.RUnlock()
+	if meta == nil {
+		return nil, fmt.Errorf("provider %d: model %d not found", p.id, id)
+	}
+	return &proto.ModelMeta{
+		Model:    id,
+		Seq:      meta.seq,
+		Quality:  meta.quality,
+		Graph:    meta.graph,
+		OwnerMap: meta.om,
+	}, nil
+}
+
+// --- segment reads ---------------------------------------------------------------
+
+func (p *Provider) handleReadSegments(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	q, err := proto.DecodeReadSegmentsReq(req.Meta)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	table, bulk, err := p.ReadSegments(q.Owner, q.Vertices)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	return rpc.Message{Meta: proto.EncodeSegTable(table), Bulk: bulk}, nil
+}
+
+// ReadSegments consolidates the requested vertices' segments (all owned by
+// owner) into one bulk payload with a describing table.
+func (p *Provider) ReadSegments(owner ownermap.ModelID, vertices []graph.VertexID) ([]proto.SegmentRef, []byte, error) {
+	table := make([]proto.SegmentRef, 0, len(vertices))
+	var bulk []byte
+	for _, v := range vertices {
+		key := segKey{owner, v}.String()
+		seg, ok, err := p.kv.Get(key)
+		if err != nil {
+			return nil, nil, fmt.Errorf("provider %d: reading %s: %w", p.id, key, err)
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("provider %d: segment %d/%d not found", p.id, owner, v)
+		}
+		table = append(table, proto.SegmentRef{Vertex: v, Length: uint32(len(seg))})
+		bulk = append(bulk, seg...)
+	}
+	return table, bulk, nil
+}
+
+// --- reference counting / GC -----------------------------------------------------
+
+func (p *Provider) handleIncRef(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	q, err := proto.DecodeRefReq(req.Meta)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	if err := p.IncRef(q.Owner, q.Vertices); err != nil {
+		return rpc.Message{}, err
+	}
+	return rpc.Message{Meta: proto.EncodeU64(uint64(len(q.Vertices)))}, nil
+}
+
+// IncRef increments the reference counter of each (owner, vertex) segment.
+// Referencing a segment that does not exist is an error: it would mean a
+// client derived from tensors this provider never stored.
+func (p *Provider) IncRef(owner ownermap.ModelID, vertices []graph.VertexID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Validate first so the operation is all-or-nothing.
+	for _, v := range vertices {
+		if p.refs[segKey{owner, v}] == 0 {
+			return fmt.Errorf("provider %d: inc_ref on missing segment %d/%d", p.id, owner, v)
+		}
+	}
+	for _, v := range vertices {
+		p.refs[segKey{owner, v}]++
+	}
+	return nil
+}
+
+func (p *Provider) handleDecRef(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	q, err := proto.DecodeRefReq(req.Meta)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	freed, err := p.DecRef(q.Owner, q.Vertices)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	return rpc.Message{Meta: proto.EncodeU64(freed)}, nil
+}
+
+// DecRef decrements the reference counter of each (owner, vertex) segment,
+// deleting segments whose counter reaches zero. It returns the number of
+// segments freed. The whole batch is O(k) in the number of leaf layers.
+func (p *Provider) DecRef(owner ownermap.ModelID, vertices []graph.VertexID) (uint64, error) {
+	var toDelete []segKey
+	p.mu.Lock()
+	// Validate first so the batch is all-or-nothing, like IncRef.
+	for _, v := range vertices {
+		if _, ok := p.refs[segKey{owner, v}]; !ok {
+			p.mu.Unlock()
+			return 0, fmt.Errorf("provider %d: dec_ref on missing segment %d/%d", p.id, owner, v)
+		}
+	}
+	for _, v := range vertices {
+		k := segKey{owner, v}
+		if n := p.refs[k]; n == 1 {
+			delete(p.refs, k)
+			toDelete = append(toDelete, k)
+		} else {
+			p.refs[k] = n - 1
+		}
+	}
+	// If the owner is still cataloged here, forget its freed segment sizes.
+	if meta := p.models[owner]; meta != nil {
+		for _, k := range toDelete {
+			delete(meta.segments, k.vertex)
+		}
+	}
+	p.mu.Unlock()
+
+	for _, k := range toDelete {
+		if err := p.kv.Delete(k.String()); err != nil {
+			return 0, fmt.Errorf("provider %d: deleting %s: %w", p.id, k, err)
+		}
+	}
+	return uint64(len(toDelete)), nil
+}
+
+// --- retire ------------------------------------------------------------------------
+
+func (p *Provider) handleRetire(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	id, err := proto.DecodeModelID(req.Meta)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	om, err := p.Retire(id)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	return rpc.Message{Meta: om.Encode()}, nil
+}
+
+// Retire removes the model's catalog entry immediately ("the metadata of
+// the retired model is always fully removed") and returns its owner map so
+// the client can decrement the refcounts of every referenced segment across
+// providers. The segments themselves survive until their counters drop to
+// zero.
+func (p *Provider) Retire(id ownermap.ModelID) (*ownermap.Map, error) {
+	p.mu.Lock()
+	meta := p.models[id]
+	if meta == nil {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("provider %d: retire: model %d not found", p.id, id)
+	}
+	delete(p.models, id)
+	p.mu.Unlock()
+	return meta.om, nil
+}
+
+// --- collective LCP query -------------------------------------------------------------
+
+func (p *Provider) handleLCPQuery(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	q, err := proto.DecodeLCPQueryReq(req.Meta)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	res := p.LCPQuery(q)
+	return rpc.Message{Meta: res.Encode()}, nil
+}
+
+// LCPQuery scans the provider's local catalog for the best transfer
+// ancestor of the query graph: longest common prefix, ties broken by
+// quality (paper §2). This is the provider-side "map" step of the
+// collective query.
+func (p *Provider) LCPQuery(q *proto.LCPQueryReq) *proto.LCPResult {
+	excluded := make(map[ownermap.ModelID]bool, len(q.Exclude))
+	for _, id := range q.Exclude {
+		excluded[id] = true
+	}
+
+	// Snapshot the catalog so the scan runs without blocking writers.
+	type cand struct {
+		id      ownermap.ModelID
+		g       *graph.Compact
+		quality float64
+		seq     uint64
+	}
+	p.mu.RLock()
+	cands := make([]cand, 0, len(p.models))
+	for id, m := range p.models {
+		if !excluded[id] {
+			cands = append(cands, cand{id, m.graph, m.quality, m.seq})
+		}
+	}
+	p.mu.RUnlock()
+	// Deterministic scan order so tie-breaking is reproducible.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+
+	scanner := graph.NewLCPScanner(q.Graph)
+	best := &proto.LCPResult{}
+	bestSize := 0
+	for _, c := range cands {
+		size := scanner.SizeAgainst(c.g)
+		if size == 0 {
+			continue
+		}
+		// Longest prefix wins; ties prefer higher quality (or, under
+		// PreferRecent, the most recent store), then lower ID.
+		var better bool
+		if q.PreferRecent {
+			better = size > bestSize ||
+				(size == bestSize && (c.seq > best.Seq ||
+					(c.seq == best.Seq && c.id < best.Model)))
+		} else {
+			better = size > bestSize ||
+				(size == bestSize && (c.quality > best.Quality ||
+					(c.quality == best.Quality && c.id < best.Model)))
+		}
+		if better {
+			best = &proto.LCPResult{
+				Found:   true,
+				Model:   c.id,
+				Seq:     c.seq,
+				Quality: c.quality,
+				Prefix:  append([]graph.VertexID(nil), scanner.Against(c.g)...),
+			}
+			bestSize = size
+		}
+	}
+	return best
+}
+
+// --- listing & stats ---------------------------------------------------------------------
+
+func (p *Provider) handleListModels(_ context.Context, _ rpc.Message) (rpc.Message, error) {
+	return rpc.Message{Meta: proto.EncodeModelList(p.ListModels())}, nil
+}
+
+// ListModels returns the cataloged model IDs in ascending order.
+func (p *Provider) ListModels() []ownermap.ModelID {
+	p.mu.RLock()
+	ids := make([]ownermap.ModelID, 0, len(p.models))
+	for id := range p.models {
+		ids = append(ids, id)
+	}
+	p.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (p *Provider) handleStats(_ context.Context, _ rpc.Message) (rpc.Message, error) {
+	return rpc.Message{Meta: p.Stats().Encode()}, nil
+}
+
+// Stats summarizes the provider's storage state.
+func (p *Provider) Stats() *proto.ProviderStats {
+	p.mu.RLock()
+	s := &proto.ProviderStats{Models: uint64(len(p.models))}
+	for _, n := range p.refs {
+		s.Segments++
+		s.LiveRefs += uint64(n)
+	}
+	p.mu.RUnlock()
+	s.SegmentBytes = uint64(p.kv.SizeBytes())
+	return s
+}
+
+// RefCount reports the live reference count of one segment (for tests).
+func (p *Provider) RefCount(owner ownermap.ModelID, v graph.VertexID) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.refs[segKey{owner, v}]
+}

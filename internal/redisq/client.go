@@ -1,0 +1,193 @@
+package redisq
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Client wraps a connection to the metadata server with typed commands.
+type Client struct {
+	conn rpc.Conn
+	// RetryInterval is the poll interval while spinning on a lock.
+	RetryInterval time.Duration
+}
+
+// NewClient wraps conn.
+func NewClient(conn rpc.Conn) *Client {
+	return &Client{conn: conn, RetryInterval: 200 * time.Microsecond}
+}
+
+func keyMeta(key string) []byte {
+	w := wire.NewWriter(4 + len(key))
+	w.String(key)
+	return w.Bytes()
+}
+
+// Set stores value under key.
+func (c *Client) Set(ctx context.Context, key string, value []byte) error {
+	_, err := c.conn.Call(ctx, CmdSet, rpc.Message{Meta: keyMeta(key), Bulk: value})
+	return err
+}
+
+// Get fetches key; ok is false when absent.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	resp, err := c.conn.Call(ctx, CmdGet, rpc.Message{Meta: keyMeta(key)})
+	if err != nil {
+		return nil, false, err
+	}
+	r := wire.NewReader(resp.Meta)
+	found := r.U8() == 1
+	if err := r.Err(); err != nil {
+		return nil, false, err
+	}
+	return resp.Bulk, found, nil
+}
+
+// MGet fetches many keys in one round trip; missing keys yield nil slots.
+func (c *Client) MGet(ctx context.Context, keys []string) ([][]byte, error) {
+	w := wire.NewWriter(4 + 16*len(keys))
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+	}
+	resp, err := c.conn.Call(ctx, CmdMGet, rpc.Message{Meta: w.Bytes()})
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp.Meta)
+	n := int(r.U32())
+	if n != len(keys) {
+		return nil, fmt.Errorf("redisq: mget returned %d slots for %d keys", n, len(keys))
+	}
+	out := make([][]byte, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		found := r.U8() == 1
+		l := int(r.U32())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if found {
+			if off+l > len(resp.Bulk) {
+				return nil, fmt.Errorf("redisq: mget bulk overrun")
+			}
+			out[i] = resp.Bulk[off : off+l]
+			off += l
+		}
+	}
+	return out, nil
+}
+
+// Del removes key, reporting whether it existed.
+func (c *Client) Del(ctx context.Context, key string) (bool, error) {
+	resp, err := c.conn.Call(ctx, CmdDel, rpc.Message{Meta: keyMeta(key)})
+	if err != nil {
+		return false, err
+	}
+	r := wire.NewReader(resp.Meta)
+	return r.U64() == 1, r.Err()
+}
+
+// Keys lists keys with the given prefix, sorted.
+func (c *Client) Keys(ctx context.Context, prefix string) ([]string, error) {
+	resp, err := c.conn.Call(ctx, CmdKeys, rpc.Message{Meta: keyMeta(prefix)})
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp.Meta)
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = r.Str()
+	}
+	return keys, r.Err()
+}
+
+// IncrBy adds delta to the integer at key, returning the new value.
+func (c *Client) IncrBy(ctx context.Context, key string, delta int64) (int64, error) {
+	w := wire.NewWriter(16 + len(key))
+	w.String(key)
+	w.U64(uint64(delta))
+	resp, err := c.conn.Call(ctx, CmdIncrBy, rpc.Message{Meta: w.Bytes()})
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp.Meta)
+	return int64(r.U64()), r.Err()
+}
+
+// DBSize returns the number of stored keys.
+func (c *Client) DBSize(ctx context.Context) (int, error) {
+	resp, err := c.conn.Call(ctx, CmdDBSize, rpc.Message{})
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp.Meta)
+	return int(r.U64()), r.Err()
+}
+
+// FlushAll clears the server.
+func (c *Client) FlushAll(ctx context.Context) error {
+	_, err := c.conn.Call(ctx, CmdFlush, rpc.Message{})
+	return err
+}
+
+// --- locks ------------------------------------------------------------------
+
+// LockMode selects reader or writer acquisition.
+type LockMode uint8
+
+// Lock modes.
+const (
+	ReadLock  LockMode = 0
+	WriteLock LockMode = 1
+)
+
+// TryLock attempts one acquisition without blocking.
+func (c *Client) TryLock(ctx context.Context, name string, mode LockMode) (bool, error) {
+	w := wire.NewWriter(8 + len(name))
+	w.String(name)
+	w.U8(uint8(mode))
+	resp, err := c.conn.Call(ctx, CmdTryLock, rpc.Message{Meta: w.Bytes()})
+	if err != nil {
+		return false, err
+	}
+	r := wire.NewReader(resp.Meta)
+	return r.U8() == 1, r.Err()
+}
+
+// Lock spins (with the client's retry interval) until the lock is acquired
+// or ctx expires. Spinning against a remote server is the standard Redis
+// lock pattern and a real cost of the baseline under contention.
+func (c *Client) Lock(ctx context.Context, name string, mode LockMode) error {
+	for {
+		ok, err := c.TryLock(ctx, name, mode)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.RetryInterval):
+		}
+	}
+}
+
+// Unlock releases a held lock.
+func (c *Client) Unlock(ctx context.Context, name string, mode LockMode) error {
+	w := wire.NewWriter(8 + len(name))
+	w.String(name)
+	w.U8(uint8(mode))
+	_, err := c.conn.Call(ctx, CmdUnlock, rpc.Message{Meta: w.Bytes()})
+	return err
+}

@@ -1,0 +1,58 @@
+package redisq
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// jsonGraph is the JSON representation used to populate the metadata
+// catalog, matching the paper's setup ("architectures are serialized in
+// JSON format and used to populate the metadata of ... Redis-Queries").
+// Queries pay this deserialization for every candidate they inspect.
+type jsonGraph struct {
+	Vertices []jsonVertex `json:"vertices"`
+	Edges    [][2]uint32  `json:"edges"`
+}
+
+type jsonVertex struct {
+	Sig        uint64 `json:"sig"`
+	Name       string `json:"name,omitempty"`
+	ParamBytes int64  `json:"param_bytes"`
+}
+
+// MarshalArch serializes a compact graph to JSON.
+func MarshalArch(g *graph.Compact) ([]byte, error) {
+	jg := jsonGraph{Vertices: make([]jsonVertex, g.NumVertices())}
+	for v := range g.Vertices {
+		jg.Vertices[v] = jsonVertex{
+			Sig:        g.Vertices[v].ConfigSig,
+			Name:       g.Vertices[v].Name,
+			ParamBytes: g.Vertices[v].ParamBytes,
+		}
+		for _, w := range g.Out[v] {
+			jg.Edges = append(jg.Edges, [2]uint32{uint32(v), uint32(w)})
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalArch parses a JSON architecture back into a compact graph.
+func UnmarshalArch(data []byte) (*graph.Compact, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, fmt.Errorf("redisq: parsing architecture JSON: %w", err)
+	}
+	b := graph.NewBuilder(len(jg.Vertices))
+	for _, v := range jg.Vertices {
+		b.AddVertex(graph.Vertex{ConfigSig: v.Sig, Name: v.Name, ParamBytes: v.ParamBytes})
+	}
+	for _, e := range jg.Edges {
+		if int(e[0]) >= len(jg.Vertices) || int(e[1]) >= len(jg.Vertices) {
+			return nil, fmt.Errorf("redisq: edge (%d,%d) out of range", e[0], e[1])
+		}
+		b.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]))
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,397 @@
+package redisq
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/pfs"
+	"repro/internal/rpc"
+)
+
+func newClient(t testing.TB) *Client {
+	t.Helper()
+	net := rpc.NewInprocNet()
+	srv := rpc.NewServer()
+	NewServer().Register(srv)
+	if err := net.Listen("redis", srv); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return NewClient(conn)
+}
+
+func TestKVCommands(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	if _, ok, err := c.Get(ctx, "missing"); ok || err != nil {
+		t.Fatalf("Get missing: ok=%v err=%v", ok, err)
+	}
+	if err := c.Set(ctx, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get(ctx, "a")
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get a = %q %v %v", v, ok, err)
+	}
+	c.Set(ctx, "arch/x", []byte("gx"))
+	c.Set(ctx, "arch/y", []byte("gy"))
+	keys, err := c.Keys(ctx, "arch/")
+	if err != nil || len(keys) != 2 || keys[0] != "arch/x" {
+		t.Fatalf("Keys = %v %v", keys, err)
+	}
+	existed, err := c.Del(ctx, "a")
+	if err != nil || !existed {
+		t.Fatalf("Del a: %v %v", existed, err)
+	}
+	if existed, _ := c.Del(ctx, "a"); existed {
+		t.Error("Del of missing reported existed")
+	}
+	n, err := c.DBSize(ctx)
+	if err != nil || n != 2 {
+		t.Fatalf("DBSize = %d %v", n, err)
+	}
+	if err := c.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.DBSize(ctx); n != 0 {
+		t.Errorf("DBSize after flush = %d", n)
+	}
+}
+
+func TestMGet(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	c.Set(ctx, "k1", []byte("v1"))
+	c.Set(ctx, "k3", []byte("v3"))
+	got, err := c.MGet(ctx, []string{"k1", "k2", "k3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "v1" || got[1] != nil || string(got[2]) != "v3" {
+		t.Errorf("MGet = %q", got)
+	}
+}
+
+func TestIncrBy(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	if n, _ := c.IncrBy(ctx, "ref", 1); n != 1 {
+		t.Errorf("first incr = %d", n)
+	}
+	if n, _ := c.IncrBy(ctx, "ref", 5); n != 6 {
+		t.Errorf("second incr = %d", n)
+	}
+	if n, _ := c.IncrBy(ctx, "ref", -6); n != 0 {
+		t.Errorf("decr = %d", n)
+	}
+}
+
+func TestRWLockSemantics(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	// Multiple readers coexist.
+	for i := 0; i < 3; i++ {
+		if ok, _ := c.TryLock(ctx, "L", ReadLock); !ok {
+			t.Fatalf("reader %d rejected", i)
+		}
+	}
+	// Writer blocked while readers hold.
+	if ok, _ := c.TryLock(ctx, "L", WriteLock); ok {
+		t.Fatal("writer acquired with readers held")
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Unlock(ctx, "L", ReadLock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Now the writer gets in, and excludes readers and writers.
+	if ok, _ := c.TryLock(ctx, "L", WriteLock); !ok {
+		t.Fatal("writer rejected on free lock")
+	}
+	if ok, _ := c.TryLock(ctx, "L", ReadLock); ok {
+		t.Fatal("reader acquired during write")
+	}
+	if ok, _ := c.TryLock(ctx, "L", WriteLock); ok {
+		t.Fatal("second writer acquired")
+	}
+	if err := c.Unlock(ctx, "L", WriteLock); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbalanced unlocks error.
+	if err := c.Unlock(ctx, "L", WriteLock); err == nil {
+		t.Error("write-unlock of free lock succeeded")
+	}
+	if err := c.Unlock(ctx, "L", ReadLock); err == nil {
+		t.Error("read-unlock with no readers succeeded")
+	}
+	if err := c.Unlock(ctx, "never", ReadLock); err == nil {
+		t.Error("unlock of unknown lock succeeded")
+	}
+}
+
+func TestBlockingLock(t *testing.T) {
+	c := newClient(t)
+	c.RetryInterval = 50 * time.Microsecond
+	ctx := context.Background()
+	if err := c.Lock(ctx, "L", WriteLock); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Lock(ctx, "L", WriteLock)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("second writer acquired while held")
+	default:
+	}
+	c.Unlock(ctx, "L", WriteLock)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Context cancellation unblocks the spin.
+	cctx, cancel := context.WithTimeout(ctx, 3*time.Millisecond)
+	defer cancel()
+	if err := c.Lock(cctx, "L", WriteLock); err == nil {
+		t.Error("Lock ignored context deadline")
+	}
+	c.Unlock(ctx, "L", WriteLock)
+}
+
+func TestJSONArchRoundtrip(t *testing.T) {
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddVertex(graph.Vertex{ConfigSig: uint64(i) + 10, Name: fmt.Sprintf("l%d", i), ParamBytes: int64(i * 100)})
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.Build()
+
+	data, err := MarshalArch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalArch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Error("JSON roundtrip lost architecture")
+	}
+	if back.Vertices[2].ParamBytes != 200 {
+		t.Error("param bytes lost")
+	}
+	if _, err := UnmarshalArch([]byte(`{"edges": [[0, 9]]}`)); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := UnmarshalArch([]byte(`not json`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func fastFS() *pfs.FS {
+	return pfs.New(pfs.Options{OSTs: 4, OSTBandwidth: 1 << 30, StripeCount: 2, MDTLatency: 10 * time.Microsecond})
+}
+
+func buildMLP(t testing.TB, last int) (*model.Flat, model.WeightSet) {
+	t.Helper()
+	f, err := model.Flatten(model.Sequential("m", 8,
+		model.Dense{In: 8, Out: 8, Activation: "relu"},
+		model.Dense{In: 8, Out: 8, Activation: "relu"},
+		model.Dense{In: 8, Out: last},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, model.Materialize(f, uint64(last))
+}
+
+func TestRepoAddQueryLoad(t *testing.T) {
+	c := newClient(t)
+	repo := NewRepo(c, fastFS())
+	ctx := context.Background()
+
+	f1, ws1 := buildMLP(t, 4)
+	if err := repo.AddModel(ctx, f1, ws1, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := repo.CatalogSize(ctx); n != 1 {
+		t.Fatalf("catalog = %d", n)
+	}
+
+	// A related candidate finds the stored model with a 3-vertex prefix
+	// (input + first two dense layers).
+	f2, _ := buildMLP(t, 6)
+	res, found, err := repo.QueryLCP(ctx, f2.Graph)
+	if err != nil || !found {
+		t.Fatalf("query: %v found=%v", err, found)
+	}
+	if len(res.Prefix) != 3 {
+		t.Errorf("prefix = %v", res.Prefix)
+	}
+	got, err := repo.LoadWeights(ctx, res, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Prefix {
+		if !got.VertexEqual(ws1, v) {
+			t.Errorf("vertex %d weights differ from stored", v)
+		}
+	}
+	if err := repo.Release(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	// Release dropped the pin but the original reference remains.
+	if n, _ := repo.CatalogSize(ctx); n != 1 {
+		t.Errorf("catalog after release = %d", n)
+	}
+}
+
+func TestRepoQueryEmpty(t *testing.T) {
+	c := newClient(t)
+	repo := NewRepo(c, fastFS())
+	f, _ := buildMLP(t, 4)
+	_, found, err := repo.QueryLCP(context.Background(), f.Graph)
+	if err != nil || found {
+		t.Errorf("empty query: %v found=%v", err, found)
+	}
+}
+
+func TestRepoDuplicateArchOnlyStoresOnce(t *testing.T) {
+	c := newClient(t)
+	fs := fastFS()
+	repo := NewRepo(c, fs)
+	ctx := context.Background()
+	f, ws := buildMLP(t, 4)
+	if err := repo.AddModel(ctx, f, ws, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	bytesAfterFirst := repo.StorageBytes()
+	if err := repo.AddModel(ctx, f, ws, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if repo.StorageBytes() != bytesAfterFirst {
+		t.Error("duplicate architecture stored weights twice")
+	}
+	// Two references: one retire keeps it, the second removes it.
+	if err := repo.Retire(ctx, f.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := repo.CatalogSize(ctx); n != 1 {
+		t.Errorf("catalog after first retire = %d", n)
+	}
+	if err := repo.Retire(ctx, f.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := repo.CatalogSize(ctx); n != 0 {
+		t.Errorf("catalog after second retire = %d", n)
+	}
+	if repo.StorageBytes() != 0 {
+		t.Errorf("storage not freed: %d bytes", repo.StorageBytes())
+	}
+}
+
+func TestRepoConcurrentAddsAndQueries(t *testing.T) {
+	c := newClient(t)
+	net := rpc.NewInprocNet()
+	srv := rpc.NewServer()
+	shared := NewServer()
+	shared.Register(srv)
+	net.Listen("redis", srv)
+	fs := fastFS()
+	_ = c
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := net.Dial("redis")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			cli := NewClient(conn)
+			cli.RetryInterval = 20 * time.Microsecond
+			repo := NewRepo(cli, fs)
+			ctx := context.Background()
+			for i := 0; i < 5; i++ {
+				f, ws := buildMLP(t, 4+(w*5+i)%10)
+				if err := repo.AddModel(ctx, f, ws, 0.5); err != nil {
+					errCh <- fmt.Errorf("w%d add: %w", w, err)
+					return
+				}
+				if _, _, err := repo.QueryLCP(ctx, f.Graph); err != nil {
+					errCh <- fmt.Errorf("w%d query: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestAddArchitectureMetadataOnly(t *testing.T) {
+	c := newClient(t)
+	fs := fastFS()
+	repo := NewRepo(c, fs)
+	ctx := context.Background()
+	f, _ := buildMLP(t, 4)
+	if err := repo.AddArchitecture(ctx, f, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := repo.CatalogSize(ctx); n != 1 {
+		t.Fatalf("catalog = %d", n)
+	}
+	if fs.TotalBytes() != 0 {
+		t.Errorf("metadata-only add wrote %d bytes to the PFS", fs.TotalBytes())
+	}
+	// Queries find it and retirement removes it without touching the PFS.
+	res, found, err := repo.QueryLCP(ctx, f.Graph)
+	if err != nil || !found {
+		t.Fatalf("query: %v found=%v", err, found)
+	}
+	if err := repo.Release(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Retire(ctx, f.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := repo.CatalogSize(ctx); n != 0 {
+		t.Errorf("catalog after retire = %d", n)
+	}
+	// Duplicate architecture adds only bump the refcount.
+	if err := repo.AddArchitecture(ctx, f, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.AddArchitecture(ctx, f, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Retire(ctx, f.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := repo.CatalogSize(ctx); n != 1 {
+		t.Errorf("catalog after first of two retires = %d", n)
+	}
+}

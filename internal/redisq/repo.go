@@ -1,0 +1,325 @@
+package redisq
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hdf5"
+	"repro/internal/model"
+	"repro/internal/pfs"
+)
+
+// Repo is the full HDF5+PFS baseline repository driven by Redis-Queries
+// metadata: whole-model HDF5 files on a parallel file system, cataloged and
+// locked through the central metadata server using exactly the protocol of
+// paper §5.2:
+//
+//	Add:    global writer lock → try arch-specific writer lock →
+//	        incr refcount → drop global lock → write weights to PFS →
+//	        re-acquire global lock → publish → unlock. If the arch lock is
+//	        already held the architecture is registered: just incr the
+//	        refcount (no weight write).
+//	Retire: global writer lock → decr refcount → if zero: take arch lock,
+//	        unpublish, drop global lock, delete storage, release arch lock.
+//	Query:  global reader lock → iterate published architectures → best
+//	        LCP → incr winner's refcount → release reader lock. After the
+//	        weights transfer the caller calls Release, which decrements
+//	        the refcount (retiring storage at zero).
+//
+// Keys: "arch/<fp>" JSON architecture, "pub/<fp>" published marker with
+// the representative file name, "ref/<fp>" reference count, "q/<fp>"
+// quality.
+type Repo struct {
+	rc *Client
+	fs *pfs.FS
+}
+
+// Lock names.
+const (
+	metaLock = "lock/meta"
+	archLock = "lock/arch/"
+)
+
+// NewRepo combines a metadata client and a simulated PFS.
+func NewRepo(rc *Client, fs *pfs.FS) *Repo {
+	return &Repo{rc: rc, fs: fs}
+}
+
+func fpKey(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// AddModel stores a model. Models are keyed by architecture fingerprint:
+// re-adding an existing architecture only bumps its refcount (the paper's
+// "already registered" path).
+func (r *Repo) AddModel(ctx context.Context, f *model.Flat, ws model.WeightSet, quality float64) error {
+	fp := fpKey(f.Graph.Fingerprint())
+
+	if err := r.rc.Lock(ctx, metaLock, WriteLock); err != nil {
+		return err
+	}
+	gotArch, err := r.rc.TryLock(ctx, archLock+fp, WriteLock)
+	if err != nil {
+		r.rc.Unlock(ctx, metaLock, WriteLock) //nolint:errcheck // releasing on error path
+		return err
+	}
+	if _, err := r.rc.IncrBy(ctx, "ref/"+fp, 1); err != nil {
+		r.rc.Unlock(ctx, metaLock, WriteLock) //nolint:errcheck // releasing on error path
+		return err
+	}
+	if !gotArch {
+		// Architecture already registered by another writer: done after
+		// the refcount bump.
+		return r.rc.Unlock(ctx, metaLock, WriteLock)
+	}
+	if err := r.rc.Unlock(ctx, metaLock, WriteLock); err != nil {
+		return err
+	}
+
+	// Weights go to the PFS as one whole-model HDF5 file (full copy, no
+	// sharing: the baseline's storage-space cost).
+	fileName := "models/" + fp + ".h5"
+	payload := hdf5.Encode(hdf5.SaveModel(fp, f, ws))
+	if err := r.fs.Write(fileName, payload); err != nil {
+		r.rc.Unlock(ctx, archLock+fp, WriteLock) //nolint:errcheck // releasing on error path
+		return err
+	}
+
+	// Publish under the metadata lock.
+	if err := r.rc.Lock(ctx, metaLock, WriteLock); err != nil {
+		return err
+	}
+	archJSON, err := MarshalArch(f.Graph)
+	if err == nil {
+		err = r.rc.Set(ctx, "arch/"+fp, archJSON)
+	}
+	if err == nil {
+		err = r.rc.Set(ctx, "pub/"+fp, []byte(fileName))
+	}
+	if err == nil {
+		err = r.rc.Set(ctx, "q/"+fp, []byte(fmt.Sprintf("%g", quality)))
+	}
+	if uerr := r.rc.Unlock(ctx, metaLock, WriteLock); err == nil {
+		err = uerr
+	}
+	if uerr := r.rc.Unlock(ctx, archLock+fp, WriteLock); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// AddArchitecture publishes a model's metadata without storing weights
+// (the query benchmarks populate catalogs this way, as in the paper:
+// "the actual DL model tensors are not stored"). The locking protocol is
+// the same as AddModel's.
+func (r *Repo) AddArchitecture(ctx context.Context, f *model.Flat, quality float64) error {
+	fp := fpKey(f.Graph.Fingerprint())
+	if err := r.rc.Lock(ctx, metaLock, WriteLock); err != nil {
+		return err
+	}
+	gotArch, err := r.rc.TryLock(ctx, archLock+fp, WriteLock)
+	if err == nil {
+		_, err = r.rc.IncrBy(ctx, "ref/"+fp, 1)
+	}
+	if err != nil {
+		r.rc.Unlock(ctx, metaLock, WriteLock) //nolint:errcheck // releasing on error path
+		return err
+	}
+	if !gotArch {
+		return r.rc.Unlock(ctx, metaLock, WriteLock)
+	}
+	archJSON, err := MarshalArch(f.Graph)
+	if err == nil {
+		err = r.rc.Set(ctx, "arch/"+fp, archJSON)
+	}
+	if err == nil {
+		err = r.rc.Set(ctx, "pub/"+fp, []byte("metadata-only"))
+	}
+	if err == nil {
+		err = r.rc.Set(ctx, "q/"+fp, []byte(fmt.Sprintf("%g", quality)))
+	}
+	if uerr := r.rc.Unlock(ctx, metaLock, WriteLock); err == nil {
+		err = uerr
+	}
+	if uerr := r.rc.Unlock(ctx, archLock+fp, WriteLock); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// Retire decrements a model's refcount, removing its storage when it
+// reaches zero.
+func (r *Repo) Retire(ctx context.Context, g *graph.Compact) error {
+	fp := fpKey(g.Fingerprint())
+	if err := r.rc.Lock(ctx, metaLock, WriteLock); err != nil {
+		return err
+	}
+	n, err := r.rc.IncrBy(ctx, "ref/"+fp, -1)
+	if err != nil {
+		r.rc.Unlock(ctx, metaLock, WriteLock) //nolint:errcheck // releasing on error path
+		return err
+	}
+	if n > 0 {
+		return r.rc.Unlock(ctx, metaLock, WriteLock)
+	}
+	// Last reference: unpublish under the metadata lock, free storage
+	// outside it while holding the arch lock.
+	if err := r.rc.Lock(ctx, archLock+fp, WriteLock); err != nil {
+		r.rc.Unlock(ctx, metaLock, WriteLock) //nolint:errcheck // releasing on error path
+		return err
+	}
+	fileRaw, published, err := r.rc.Get(ctx, "pub/"+fp)
+	if err == nil {
+		_, err = r.rc.Del(ctx, "pub/"+fp)
+	}
+	if err == nil {
+		_, err = r.rc.Del(ctx, "arch/"+fp)
+	}
+	if err == nil {
+		_, err = r.rc.Del(ctx, "ref/"+fp)
+	}
+	if uerr := r.rc.Unlock(ctx, metaLock, WriteLock); err == nil {
+		err = uerr
+	}
+	if err == nil && published && string(fileRaw) != "metadata-only" {
+		err = r.fs.Delete(string(fileRaw))
+	}
+	if uerr := r.rc.Unlock(ctx, archLock+fp, WriteLock); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// QueryResult is the baseline's best-ancestor answer.
+type QueryResult struct {
+	Arch    *graph.Compact
+	Prefix  []graph.VertexID
+	File    string
+	ArchFP  uint64
+	Quality float64
+}
+
+// QueryLCP finds the best transfer ancestor by iterating the whole catalog
+// through the metadata server under a reader lock, deserializing each
+// candidate from JSON and computing the LCP client-side. The winner's
+// refcount is incremented before the lock is released, exactly as in §5.2.
+func (r *Repo) QueryLCP(ctx context.Context, g *graph.Compact) (*QueryResult, bool, error) {
+	if err := r.rc.Lock(ctx, metaLock, ReadLock); err != nil {
+		return nil, false, err
+	}
+	defer r.rc.Unlock(ctx, metaLock, ReadLock) //nolint:errcheck // read unlock on all paths
+
+	keys, err := r.rc.Keys(ctx, "pub/")
+	if err != nil {
+		return nil, false, err
+	}
+	scanner := graph.NewLCPScanner(g)
+	var best *QueryResult
+	bestSize := 0
+	for _, pubKey := range keys {
+		fp := pubKey[len("pub/"):]
+		archRaw, ok, err := r.rc.Get(ctx, "arch/"+fp)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		cand, err := UnmarshalArch(archRaw)
+		if err != nil {
+			return nil, false, err
+		}
+		size := scanner.SizeAgainst(cand)
+		if size == 0 {
+			continue
+		}
+		var q float64
+		if qRaw, ok, _ := r.rc.Get(ctx, "q/"+fp); ok {
+			fmt.Sscanf(string(qRaw), "%g", &q)
+		}
+		if size > bestSize || (size == bestSize && best != nil && q > best.Quality) {
+			fileRaw, _, err := r.rc.Get(ctx, pubKey)
+			if err != nil {
+				return nil, false, err
+			}
+			var parsedFP uint64
+			fmt.Sscanf(fp, "%x", &parsedFP)
+			best = &QueryResult{
+				Arch:    cand,
+				Prefix:  append([]graph.VertexID(nil), scanner.Against(cand)...),
+				File:    string(fileRaw),
+				ArchFP:  parsedFP,
+				Quality: q,
+			}
+			bestSize = size
+		}
+	}
+	if best == nil {
+		return nil, false, nil
+	}
+	// Pin the winner while its weights transfer.
+	if _, err := r.rc.IncrBy(ctx, "ref/"+fpKey(best.ArchFP), 1); err != nil {
+		return nil, false, err
+	}
+	return best, true, nil
+}
+
+// Release drops the pin QueryLCP took on a query winner, retiring its
+// storage if the count reaches zero.
+func (r *Repo) Release(ctx context.Context, res *QueryResult) error {
+	return r.Retire(ctx, res.Arch)
+}
+
+// LoadWeights reads the winner's HDF5 file from the PFS and extracts the
+// weights for model f (which must share the stored architecture for the
+// prefix vertices it needs). The baseline always reads the whole file.
+func (r *Repo) LoadWeights(ctx context.Context, res *QueryResult, f *model.Flat) (model.WeightSet, error) {
+	payload, err := r.fs.Read(res.File)
+	if err != nil {
+		return nil, err
+	}
+	root, err := hdf5.Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	stored, err := hdf5.StoredArchitecture(root)
+	if err != nil {
+		return nil, err
+	}
+	// Extract per-leaf weights by name for the prefix vertices only; the
+	// whole file was already read and parsed (the baseline's partial-read
+	// penalty), extraction itself is cheap.
+	weights, ok := root.Groups["model_weights"]
+	if !ok {
+		return nil, fmt.Errorf("redisq: container missing model_weights")
+	}
+	ws := make(model.WeightSet, len(f.Leaves))
+	for _, v := range res.Prefix {
+		leaf := &f.Leaves[v]
+		if len(leaf.Specs) == 0 {
+			continue
+		}
+		lg, ok := weights.Groups[stored.Vertices[v].Name]
+		if !ok {
+			return nil, fmt.Errorf("redisq: stored file missing layer %q", stored.Vertices[v].Name)
+		}
+		for _, spec := range leaf.Specs {
+			ds, ok := lg.Datasets[spec.Name]
+			if !ok {
+				return nil, fmt.Errorf("redisq: layer %q missing dataset %q", stored.Vertices[v].Name, spec.Name)
+			}
+			t := ds.Tensor()
+			t.Name = leaf.Name + "/" + spec.Name
+			ws[v] = append(ws[v], t)
+		}
+	}
+	return ws, nil
+}
+
+// StorageBytes reports the PFS payload (Figure 10 accounting).
+func (r *Repo) StorageBytes() int64 { return r.fs.TotalBytes() }
+
+// CatalogSize returns the number of published architectures.
+func (r *Repo) CatalogSize(ctx context.Context) (int, error) {
+	keys, err := r.rc.Keys(ctx, "pub/")
+	return len(keys), err
+}

@@ -1,0 +1,278 @@
+// Package redisq implements the Redis-Queries baseline of the paper
+// (§5.2): a centralized metadata server that catalogs model architectures
+// as key-value pairs and serves longest-common-prefix queries by having
+// clients iterate over the catalog, under a global reader-writer locking
+// protocol.
+//
+// Fidelity notes:
+//   - Like Redis, the server executes commands one at a time: a single
+//     mutex serializes every command, which is exactly the scalability
+//     bottleneck the paper measures.
+//   - Architectures are stored JSON-serialized, as in the paper's setup
+//     phase, so queries pay deserialization per candidate per query.
+//   - Reader/writer locks are server-side objects acquired with try/retry,
+//     the standard Redis locking pattern.
+package redisq
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Command names.
+const (
+	CmdSet     = "redis.set"
+	CmdGet     = "redis.get"
+	CmdMGet    = "redis.mget"
+	CmdDel     = "redis.del"
+	CmdKeys    = "redis.keys"
+	CmdIncrBy  = "redis.incrby"
+	CmdTryLock = "redis.trylock"
+	CmdUnlock  = "redis.unlock"
+	CmdFlush   = "redis.flushall"
+	CmdDBSize  = "redis.dbsize"
+)
+
+// rwLock is a server-side reader-writer lock manipulated via try/unlock
+// commands.
+type rwLock struct {
+	readers int
+	writer  bool
+}
+
+// Server is the single-node metadata server.
+type Server struct {
+	mu    sync.Mutex // one lock: Redis processes commands serially
+	data  map[string][]byte
+	locks map[string]*rwLock
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{data: make(map[string][]byte), locks: make(map[string]*rwLock)}
+}
+
+// Register installs the command handlers on srv.
+func (s *Server) Register(srv *rpc.Server) {
+	srv.Register(CmdSet, s.cmdSet)
+	srv.Register(CmdGet, s.cmdGet)
+	srv.Register(CmdMGet, s.cmdMGet)
+	srv.Register(CmdDel, s.cmdDel)
+	srv.Register(CmdKeys, s.cmdKeys)
+	srv.Register(CmdIncrBy, s.cmdIncrBy)
+	srv.Register(CmdTryLock, s.cmdTryLock)
+	srv.Register(CmdUnlock, s.cmdUnlock)
+	srv.Register(CmdFlush, s.cmdFlush)
+	srv.Register(CmdDBSize, s.cmdDBSize)
+}
+
+func (s *Server) cmdSet(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	key := r.Str()
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	s.mu.Lock()
+	s.data[key] = append([]byte(nil), req.Bulk...)
+	s.mu.Unlock()
+	return rpc.Message{}, nil
+}
+
+func (s *Server) cmdGet(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	key := r.Str()
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	s.mu.Lock()
+	v, ok := s.data[key]
+	s.mu.Unlock()
+	w := wire.NewWriter(1)
+	if ok {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	return rpc.Message{Meta: w.Bytes(), Bulk: v}, nil
+}
+
+func (s *Server) cmdMGet(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 {
+		return rpc.Message{}, wire.ErrTruncated
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = r.Str()
+	}
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	w := wire.NewWriter(4 + 8*n)
+	w.U32(uint32(n))
+	var bulk []byte
+	s.mu.Lock()
+	for _, k := range keys {
+		v, ok := s.data[k]
+		if ok {
+			w.U8(1)
+			w.U32(uint32(len(v)))
+			bulk = append(bulk, v...)
+		} else {
+			w.U8(0)
+			w.U32(0)
+		}
+	}
+	s.mu.Unlock()
+	return rpc.Message{Meta: w.Bytes(), Bulk: bulk}, nil
+}
+
+func (s *Server) cmdDel(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	key := r.Str()
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	s.mu.Lock()
+	_, existed := s.data[key]
+	delete(s.data, key)
+	s.mu.Unlock()
+	v := uint64(0)
+	if existed {
+		v = 1
+	}
+	return rpc.Message{Meta: u64meta(v)}, nil
+}
+
+func (s *Server) cmdKeys(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	prefix := r.Str()
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	s.mu.Lock()
+	var keys []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	w := wire.NewWriter(4 + 16*len(keys))
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+	}
+	return rpc.Message{Meta: w.Bytes()}, nil
+}
+
+func (s *Server) cmdIncrBy(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	key := r.Str()
+	delta := int64(r.U64())
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	s.mu.Lock()
+	cur := int64(0)
+	if v, ok := s.data[key]; ok {
+		fmt.Sscanf(string(v), "%d", &cur)
+	}
+	cur += delta
+	s.data[key] = []byte(fmt.Sprintf("%d", cur))
+	s.mu.Unlock()
+	return rpc.Message{Meta: u64meta(uint64(cur))}, nil
+}
+
+// cmdTryLock: meta = lockName | u8 mode (0=read, 1=write). Returns u8
+// acquired.
+func (s *Server) cmdTryLock(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	name := r.Str()
+	mode := r.U8()
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	s.mu.Lock()
+	l := s.locks[name]
+	if l == nil {
+		l = &rwLock{}
+		s.locks[name] = l
+	}
+	acquired := false
+	if mode == 0 { // read
+		if !l.writer {
+			l.readers++
+			acquired = true
+		}
+	} else { // write
+		if !l.writer && l.readers == 0 {
+			l.writer = true
+			acquired = true
+		}
+	}
+	s.mu.Unlock()
+	w := wire.NewWriter(1)
+	if acquired {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	return rpc.Message{Meta: w.Bytes()}, nil
+}
+
+func (s *Server) cmdUnlock(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	r := wire.NewReader(req.Meta)
+	name := r.Str()
+	mode := r.U8()
+	if err := r.Err(); err != nil {
+		return rpc.Message{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.locks[name]
+	if l == nil {
+		return rpc.Message{}, fmt.Errorf("redisq: unlock of unknown lock %q", name)
+	}
+	if mode == 0 {
+		if l.readers <= 0 {
+			return rpc.Message{}, fmt.Errorf("redisq: read-unlock of %q with no readers", name)
+		}
+		l.readers--
+	} else {
+		if !l.writer {
+			return rpc.Message{}, fmt.Errorf("redisq: write-unlock of %q not held", name)
+		}
+		l.writer = false
+	}
+	return rpc.Message{}, nil
+}
+
+func (s *Server) cmdFlush(_ context.Context, _ rpc.Message) (rpc.Message, error) {
+	s.mu.Lock()
+	s.data = make(map[string][]byte)
+	s.locks = make(map[string]*rwLock)
+	s.mu.Unlock()
+	return rpc.Message{}, nil
+}
+
+func (s *Server) cmdDBSize(_ context.Context, _ rpc.Message) (rpc.Message, error) {
+	s.mu.Lock()
+	n := len(s.data)
+	s.mu.Unlock()
+	return rpc.Message{Meta: u64meta(uint64(n))}, nil
+}
+
+func u64meta(v uint64) []byte {
+	w := wire.NewWriter(8)
+	w.U64(v)
+	return w.Bytes()
+}

@@ -1,0 +1,33 @@
+package rpc
+
+import (
+	"context"
+	"time"
+)
+
+// WithLatency wraps a connection so every Call pays an additional fixed
+// round-trip delay. Experiment harnesses use it to emulate a datacenter
+// fabric RTT on loopback transports, whose real RTT is otherwise orders of
+// magnitude below any deployed network — which would hide exactly the
+// effects (chained metadata round trips, per-tensor request storms) that
+// the paper's design avoids.
+func WithLatency(conn Conn, rtt time.Duration) Conn {
+	if rtt <= 0 {
+		return conn
+	}
+	return &latencyConn{Conn: conn, rtt: rtt}
+}
+
+type latencyConn struct {
+	Conn
+	rtt time.Duration
+}
+
+func (c *latencyConn) Call(ctx context.Context, name string, req Message) (Message, error) {
+	select {
+	case <-time.After(c.rtt):
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+	return c.Conn.Call(ctx, name, req)
+}

@@ -1,0 +1,150 @@
+// Package rpc is EvoStore's communication substrate, modeled on the
+// Mochi/Mercury/Thallium stack the paper builds on: small control RPCs
+// paired with large bulk transfers (the RDMA analogue).
+//
+// A Message separates the two: Meta is the small control payload that rides
+// the RPC itself; Bulk is the consolidated tensor segment that a real
+// deployment would move with registered-memory RDMA. The in-process
+// transport passes Bulk by reference (zero copy, like an RDMA pull from
+// registered memory); the TCP transport streams it with length framing.
+// Both transports count control messages and bulk bytes so experiments can
+// attribute costs.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one RPC payload: small control metadata plus an optional bulk
+// segment.
+type Message struct {
+	Meta []byte
+	Bulk []byte
+}
+
+// Handler processes one request. Handlers must be safe for concurrent use.
+// The returned message's buffers must not be mutated after return.
+type Handler func(ctx context.Context, req Message) (Message, error)
+
+// Server dispatches named RPCs to handlers, like a Thallium provider
+// object.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	stats    Stats
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler)}
+}
+
+// Register installs a handler under name. Re-registering replaces.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	s.handlers[name] = h
+	s.mu.Unlock()
+}
+
+// dispatch looks up and invokes the handler.
+func (s *Server) dispatch(ctx context.Context, name string, req Message) (Message, error) {
+	s.mu.RLock()
+	h := s.handlers[name]
+	s.mu.RUnlock()
+	if h == nil {
+		return Message{}, fmt.Errorf("rpc: no handler %q", name)
+	}
+	atomic.AddUint64(&s.stats.Calls, 1)
+	atomic.AddUint64(&s.stats.BulkInBytes, uint64(len(req.Bulk)))
+	resp, err := h(ctx, req)
+	if err == nil {
+		atomic.AddUint64(&s.stats.BulkOutBytes, uint64(len(resp.Bulk)))
+	}
+	return resp, err
+}
+
+// Stats counts server-side traffic.
+type Stats struct {
+	Calls        uint64
+	BulkInBytes  uint64
+	BulkOutBytes uint64
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Calls:        atomic.LoadUint64(&s.stats.Calls),
+		BulkInBytes:  atomic.LoadUint64(&s.stats.BulkInBytes),
+		BulkOutBytes: atomic.LoadUint64(&s.stats.BulkOutBytes),
+	}
+}
+
+// Conn is a client connection to one server endpoint. Implementations are
+// safe for concurrent Calls.
+type Conn interface {
+	// Call invokes the named handler and returns its response.
+	Call(ctx context.Context, name string, req Message) (Message, error)
+	// Addr returns the endpoint address the connection targets.
+	Addr() string
+	// Close releases the connection.
+	Close() error
+}
+
+// ErrClosed is returned by calls on a closed connection or transport.
+var ErrClosed = errors.New("rpc: closed")
+
+// remoteError wraps an error string returned by a remote handler.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "rpc: remote: " + e.msg }
+
+// IsRemote reports whether err originated in a remote handler (as opposed
+// to a transport failure).
+func IsRemote(err error) bool {
+	var re *remoteError
+	return errors.As(err, &re)
+}
+
+// Broadcast invokes the named handler on every connection concurrently and
+// returns the responses in connection order. Each slot carries either a
+// response or an error; Broadcast itself only fails on ctx cancellation.
+// This is the client side of the paper's provider-side collective queries.
+func Broadcast(ctx context.Context, conns []Conn, name string, req Message) []Result {
+	results := make([]Result, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			resp, err := c.Call(ctx, name, req)
+			results[i] = Result{Resp: resp, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	return results
+}
+
+// Result is one slot of a Broadcast reply.
+type Result struct {
+	Resp Message
+	Err  error
+}
+
+// Reduce folds broadcast results with fn, skipping errored slots. It
+// returns the folded value and the number of successful slots.
+func Reduce[T any](results []Result, zero T, fn func(acc T, r Message) T) (T, int) {
+	acc := zero
+	ok := 0
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		acc = fn(acc, r.Resp)
+		ok++
+	}
+	return acc, ok
+}

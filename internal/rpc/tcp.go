@@ -1,0 +1,351 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP wire format, little-endian:
+//
+//	request:  u16 nameLen | name | u32 metaLen | meta | u64 bulkLen | bulk
+//	response: u8 status (0=ok, 1=error) |
+//	          ok:    u32 metaLen | meta | u64 bulkLen | bulk
+//	          error: u32 msgLen | msg
+//
+// One connection carries one request at a time; TCPConn serializes with a
+// mutex and DialPool fans parallel calls over several connections, which is
+// how the client achieves the paper's "multiple bulk operations in parallel
+// to the providers".
+
+const maxFrame = 1 << 31 // sanity bound on any single length field
+
+// ServeTCP accepts connections on lis and dispatches to srv until lis is
+// closed. It returns after the listener fails (use lis.Close to stop).
+func ServeTCP(lis net.Listener, srv *Server) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+// ListenAndServeTCP binds addr and serves srv in a background goroutine,
+// returning the listener for shutdown and the bound address (useful with
+// ":0").
+func ListenAndServeTCP(addr string, srv *Server) (net.Listener, string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go ServeTCP(lis, srv) //nolint:errcheck // returns when lis closes
+	return lis, lis.Addr().String(), nil
+}
+
+func serveConn(conn net.Conn, srv *Server) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 256<<10)
+	w := bufio.NewWriterSize(conn, 256<<10)
+	for {
+		name, req, err := readRequest(r)
+		if err != nil {
+			return // client went away or sent garbage; drop the connection
+		}
+		resp, herr := srv.dispatch(context.Background(), name, req)
+		if err := writeResponse(w, resp, herr); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func readRequest(r *bufio.Reader) (string, Message, error) {
+	var nl [2]byte
+	if _, err := io.ReadFull(r, nl[:]); err != nil {
+		return "", Message{}, err
+	}
+	nameLen := int(binary.LittleEndian.Uint16(nl[:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", Message{}, err
+	}
+	meta, err := readSized32(r)
+	if err != nil {
+		return "", Message{}, err
+	}
+	bulk, err := readSized64(r)
+	if err != nil {
+		return "", Message{}, err
+	}
+	return string(name), Message{Meta: meta, Bulk: bulk}, nil
+}
+
+func writeResponse(w *bufio.Writer, resp Message, herr error) error {
+	if herr != nil {
+		msg := herr.Error()
+		if err := w.WriteByte(1); err != nil {
+			return err
+		}
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(msg)))
+		w.Write(l[:])
+		_, err := w.WriteString(msg)
+		return err
+	}
+	if err := w.WriteByte(0); err != nil {
+		return err
+	}
+	var l4 [4]byte
+	binary.LittleEndian.PutUint32(l4[:], uint32(len(resp.Meta)))
+	w.Write(l4[:])
+	w.Write(resp.Meta)
+	var l8 [8]byte
+	binary.LittleEndian.PutUint64(l8[:], uint64(len(resp.Bulk)))
+	w.Write(l8[:])
+	_, err := w.Write(resp.Bulk)
+	return err
+}
+
+func readSized32(r io.Reader) ([]byte, error) {
+	var l [4]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(l[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func readSized64(r io.Reader) ([]byte, error) {
+	var l [8]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(l[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// tcpConn is one physical connection; calls are serialized.
+type tcpConn struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	dead bool
+}
+
+// DialTCP opens a single connection to addr.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{
+		addr: addr,
+		conn: c,
+		r:    bufio.NewReaderSize(c, 256<<10),
+		w:    bufio.NewWriterSize(c, 256<<10),
+	}, nil
+}
+
+// Call implements Conn.
+func (c *tcpConn) Call(ctx context.Context, name string, req Message) (Message, error) {
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	if len(name) > 0xffff {
+		return Message{}, fmt.Errorf("rpc: handler name too long")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return Message{}, ErrClosed
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(deadline)
+	} else {
+		c.conn.SetDeadline(noDeadline)
+	}
+	var nl [2]byte
+	binary.LittleEndian.PutUint16(nl[:], uint16(len(name)))
+	c.w.Write(nl[:])
+	c.w.WriteString(name)
+	var l4 [4]byte
+	binary.LittleEndian.PutUint32(l4[:], uint32(len(req.Meta)))
+	c.w.Write(l4[:])
+	c.w.Write(req.Meta)
+	var l8 [8]byte
+	binary.LittleEndian.PutUint64(l8[:], uint64(len(req.Bulk)))
+	c.w.Write(l8[:])
+	c.w.Write(req.Bulk)
+	if err := c.w.Flush(); err != nil {
+		c.dead = true
+		return Message{}, err
+	}
+
+	status, err := c.r.ReadByte()
+	if err != nil {
+		c.dead = true
+		return Message{}, err
+	}
+	switch status {
+	case 0:
+		meta, err := readSized32(c.r)
+		if err != nil {
+			c.dead = true
+			return Message{}, err
+		}
+		bulk, err := readSized64(c.r)
+		if err != nil {
+			c.dead = true
+			return Message{}, err
+		}
+		return Message{Meta: meta, Bulk: bulk}, nil
+	case 1:
+		msg, err := readSized32(c.r)
+		if err != nil {
+			c.dead = true
+			return Message{}, err
+		}
+		return Message{}, &remoteError{msg: string(msg)}
+	default:
+		c.dead = true
+		return Message{}, fmt.Errorf("rpc: bad status byte %d", status)
+	}
+}
+
+// noDeadline clears a previously set deadline.
+var noDeadline time.Time
+
+func (c *tcpConn) Addr() string { return c.addr }
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil
+	}
+	c.dead = true
+	return c.conn.Close()
+}
+
+// Pool multiplexes concurrent calls over up to size physical connections to
+// one address, created lazily. It lets a client keep several bulk
+// operations to the same provider in flight.
+type Pool struct {
+	addr string
+	dial func(addr string) (Conn, error)
+
+	mu    sync.Mutex
+	idle  []Conn
+	total int
+	size  int
+	dead  bool
+	avail chan struct{}
+}
+
+// NewPool builds a pool of up to size connections using dial.
+func NewPool(addr string, size int, dial func(addr string) (Conn, error)) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{addr: addr, dial: dial, size: size, avail: make(chan struct{}, size)}
+	for i := 0; i < size; i++ {
+		p.avail <- struct{}{}
+	}
+	return p
+}
+
+// Call implements Conn: it borrows a connection (dialing if below the cap)
+// and returns it after the call.
+func (p *Pool) Call(ctx context.Context, name string, req Message) (Message, error) {
+	select {
+	case <-p.avail:
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+	defer func() { p.avail <- struct{}{} }()
+
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	var c Conn
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+
+	if c == nil {
+		var err error
+		c, err = p.dial(p.addr)
+		if err != nil {
+			return Message{}, err
+		}
+		p.mu.Lock()
+		p.total++
+		p.mu.Unlock()
+	}
+	resp, err := c.Call(ctx, name, req)
+	if err != nil && !IsRemote(err) {
+		// Transport failure: discard the connection.
+		c.Close()
+		p.mu.Lock()
+		p.total--
+		p.mu.Unlock()
+		return resp, err
+	}
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		c.Close()
+		return resp, err
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+	return resp, err
+}
+
+// Addr implements Conn.
+func (p *Pool) Addr() string { return p.addr }
+
+// Close implements Conn, closing all idle connections.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	return nil
+}
+
+var _ Conn = (*Pool)(nil)

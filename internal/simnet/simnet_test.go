@@ -1,0 +1,314 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6*(1+math.Abs(b)) }
+
+func TestSingleFlow(t *testing.T) {
+	n := New()
+	link := n.AddResource("link", 100) // 100 B/s
+	var doneAt float64
+	n.StartFlow(1000, []*Resource{link}, func(now float64) { doneAt = now })
+	end := n.Run()
+	if !almost(doneAt, 10) || !almost(end, 10) {
+		t.Errorf("doneAt=%v end=%v, want 10", doneAt, end)
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	// Two equal flows share the link: both finish at 2×.
+	n := New()
+	link := n.AddResource("link", 100)
+	var times []float64
+	for i := 0; i < 2; i++ {
+		n.StartFlow(1000, []*Resource{link}, func(now float64) { times = append(times, now) })
+	}
+	n.Run()
+	if len(times) != 2 || !almost(times[0], 20) || !almost(times[1], 20) {
+		t.Errorf("times = %v, want both 20", times)
+	}
+}
+
+func TestShortFlowReleasesBandwidth(t *testing.T) {
+	// A 1000B and a 100B flow: the short one finishes at t=2 (50 B/s each),
+	// then the long one gets full bandwidth: 900 left at 100 B/s → t=11.
+	n := New()
+	link := n.AddResource("link", 100)
+	var longDone, shortDone float64
+	n.StartFlow(1000, []*Resource{link}, func(now float64) { longDone = now })
+	n.StartFlow(100, []*Resource{link}, func(now float64) { shortDone = now })
+	n.Run()
+	if !almost(shortDone, 2) {
+		t.Errorf("shortDone = %v, want 2", shortDone)
+	}
+	if !almost(longDone, 11) {
+		t.Errorf("longDone = %v, want 11", longDone)
+	}
+}
+
+func TestMultiResourceBottleneck(t *testing.T) {
+	// Flow crosses NIC (1000 B/s) and OST (100 B/s): rate = min = 100.
+	n := New()
+	nic := n.AddResource("nic", 1000)
+	ost := n.AddResource("ost", 100)
+	var doneAt float64
+	n.StartFlow(1000, []*Resource{nic, ost}, func(now float64) { doneAt = now })
+	n.Run()
+	if !almost(doneAt, 10) {
+		t.Errorf("doneAt = %v, want 10", doneAt)
+	}
+}
+
+func TestMaxMinFairness(t *testing.T) {
+	// Classic water-filling: flows A (link1 only), B (link1+link2), C
+	// (link2 only). link1 = 100, link2 = 40. B is bottlenecked on link2:
+	// B and C get 20 each; A gets the rest of link1 = 80.
+	n := New()
+	l1 := n.AddResource("l1", 100)
+	l2 := n.AddResource("l2", 40)
+	fa := n.StartFlow(1e9, []*Resource{l1}, nil)
+	fb := n.StartFlow(1e9, []*Resource{l1, l2}, nil)
+	fc := n.StartFlow(1e9, []*Resource{l2}, nil)
+	n.recomputeRates()
+	if !almost(fb.rate, 20) || !almost(fc.rate, 20) {
+		t.Errorf("B=%v C=%v, want 20 each", fb.rate, fc.rate)
+	}
+	if !almost(fa.rate, 80) {
+		t.Errorf("A=%v, want 80", fa.rate)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	n := New()
+	var fired []float64
+	n.At(5, func(now float64) { fired = append(fired, now) })
+	n.At(1, func(now float64) {
+		fired = append(fired, now)
+		n.At(2, func(now float64) { fired = append(fired, now) })
+	})
+	n.Run()
+	want := []float64{1, 3, 5}
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if !almost(fired[i], want[i]) {
+			t.Errorf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestZeroByteFlowCompletesImmediately(t *testing.T) {
+	n := New()
+	fired := false
+	n.StartFlow(0, nil, func(now float64) { fired = now == 0 })
+	n.Run()
+	if !fired {
+		t.Error("zero-byte flow did not complete at t=0")
+	}
+}
+
+func TestChainedFlows(t *testing.T) {
+	// Sequential dependency via callback: 500B then 500B on a 100 B/s link.
+	n := New()
+	link := n.AddResource("link", 100)
+	var end float64
+	n.StartFlow(500, []*Resource{link}, func(now float64) {
+		n.StartFlow(500, []*Resource{link}, func(now float64) { end = now })
+	})
+	n.Run()
+	if !almost(end, 10) {
+		t.Errorf("end = %v, want 10", end)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := New()
+	link := n.AddResource("link", 100)
+	done := false
+	n.StartFlow(1000, []*Resource{link}, func(float64) { done = true })
+	n.RunUntil(5)
+	if done {
+		t.Error("flow completed early")
+	}
+	if !almost(n.Now(), 5) {
+		t.Errorf("Now = %v, want 5", n.Now())
+	}
+	n.Run()
+	if !done || !almost(n.Now(), 10) {
+		t.Errorf("after Run: done=%v now=%v", done, n.Now())
+	}
+}
+
+func TestWeakScalingAggregateBandwidth(t *testing.T) {
+	// N writers each with a private NIC (200 B/s) into a shared pool of
+	// N/2 servers (200 B/s each, one flow per server chosen round-robin):
+	// servers are the bottleneck with 2 flows each → aggregate = N/2×200.
+	for _, workers := range []int{4, 8, 16} {
+		n := New()
+		servers := make([]*Resource, workers/2)
+		for i := range servers {
+			servers[i] = n.AddResource("srv", 200)
+		}
+		finish := make([]float64, 0, workers)
+		for w := 0; w < workers; w++ {
+			nic := n.AddResource("nic", 200)
+			srv := servers[w%len(servers)]
+			n.StartFlow(1000, []*Resource{nic, srv}, func(now float64) {
+				finish = append(finish, now)
+			})
+		}
+		n.Run()
+		// Each server carries 2 flows at 100 B/s → every flow takes 10 s.
+		for _, f := range finish {
+			if !almost(f, 10) {
+				t.Errorf("workers=%d: finish=%v, want 10", workers, f)
+			}
+		}
+	}
+}
+
+// Property: total bytes delivered equals total bytes injected, and
+// completion order respects size order for same-path same-start flows.
+func TestQuickConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 50 {
+			return true
+		}
+		n := New()
+		link := n.AddResource("link", 1000)
+		type rec struct {
+			size float64
+			at   float64
+		}
+		var recs []rec
+		for _, s := range sizes {
+			size := float64(s%5000) + 1
+			n.StartFlow(size, []*Resource{link}, func(now float64) {
+				recs = append(recs, rec{size: size, at: now})
+			})
+		}
+		end := n.Run()
+		if len(recs) != len(sizes) {
+			return false
+		}
+		var total float64
+		for _, r := range recs {
+			total += r.size
+		}
+		// All bandwidth is consumed by this single link, so the makespan
+		// must equal total/capacity.
+		if !almost(end, total/1000) {
+			return false
+		}
+		// Smaller flows finish no later than larger ones.
+		sorted := append([]rec(nil), recs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].size < sorted[j].size })
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].at+1e-6 < sorted[i-1].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		n := New()
+		l1 := n.AddResource("l1", 123)
+		l2 := n.AddResource("l2", 77)
+		var times []float64
+		for i := 0; i < 20; i++ {
+			path := []*Resource{l1}
+			if i%3 == 0 {
+				path = []*Resource{l1, l2}
+			}
+			n.StartFlow(float64(100+i*37), path, func(now float64) { times = append(times, now) })
+		}
+		n.At(0.5, func(now float64) {
+			n.StartFlow(500, []*Resource{l2}, func(now float64) { times = append(times, now) })
+		})
+		n.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkThousandFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := New()
+		servers := make([]*Resource, 16)
+		for j := range servers {
+			servers[j] = n.AddResource("srv", 1e9)
+		}
+		for w := 0; w < 1000; w++ {
+			nic := n.AddResource("nic", 25e9)
+			n.StartFlow(4e9/100, []*Resource{nic, servers[w%16]}, nil)
+		}
+		n.Run()
+	}
+}
+
+// Property: under progressive filling no flow's rate exceeds any of its
+// resources' capacities, and each resource's total allocated rate stays
+// within capacity (max-min feasibility).
+func TestQuickFairnessFeasible(t *testing.T) {
+	f := func(seed int64, nFlows, nRes uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := New()
+		resources := make([]*Resource, 1+int(nRes%6))
+		for i := range resources {
+			resources[i] = n.AddResource("r", 10+float64(r.Intn(1000)))
+		}
+		var flows []*Flow
+		for i := 0; i < 1+int(nFlows%20); i++ {
+			var path []*Resource
+			used := map[int]bool{}
+			for len(path) == 0 || (r.Intn(2) == 0 && len(path) < len(resources)) {
+				idx := r.Intn(len(resources))
+				if !used[idx] {
+					used[idx] = true
+					path = append(path, resources[idx])
+				}
+			}
+			flows = append(flows, n.StartFlow(1e9, path, nil))
+		}
+		n.recomputeRates()
+		for _, res := range resources {
+			var total float64
+			for f := range res.flows {
+				total += f.rate
+			}
+			if total > res.Capacity*(1+1e-9) {
+				return false
+			}
+		}
+		for _, f := range flows {
+			if f.rate <= 0 {
+				return false // work-conserving: every flow gets bandwidth
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// RenderSVG draws the task timeline as an SVG scatter-of-bars: one row per
+// worker, one bar per task, colored by the task's Value (e.g. candidate
+// accuracy) from cold to warm. This is the graphical counterpart of the
+// paper's Figure 9.
+func (l *Log) RenderSVG(w io.Writer, workers int, title string) error {
+	events := l.Events()
+	makespan := l.Makespan()
+	if workers <= 0 || makespan <= 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>`)
+		return err
+	}
+	const (
+		width   = 960
+		rowH    = 6
+		marginL = 60
+		marginT = 30
+		marginB = 30
+	)
+	height := marginT + workers*rowH + marginB
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		width+marginL+20, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<text x="%d" y="18" font-size="13">%s</text>`+"\n", marginL, escapeXML(title))
+
+	// Value range for coloring.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, e := range events {
+		if e.Value < minV {
+			minV = e.Value
+		}
+		if e.Value > maxV {
+			maxV = e.Value
+		}
+	}
+	if !(maxV > minV) {
+		minV, maxV = 0, 1
+	}
+
+	for _, e := range events {
+		if e.Worker < 0 || e.Worker >= workers {
+			continue
+		}
+		x := marginL + e.Start/makespan*width
+		barW := (e.End - e.Start) / makespan * width
+		if barW < 1 {
+			barW = 1
+		}
+		y := marginT + e.Worker*rowH
+		t := (e.Value - minV) / (maxV - minV)
+		r := int(40 + 200*t)
+		b := int(220 - 180*t)
+		fmt.Fprintf(w,
+			`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="rgb(%d,90,%d)" fill-opacity="0.8"/>`+"\n",
+			x, y, barW, rowH-1, r, b)
+	}
+
+	// Axes.
+	axisY := marginT + workers*rowH + 4
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, axisY, marginL+width, axisY)
+	for i := 0; i <= 4; i++ {
+		x := marginL + i*width/4
+		sec := makespan * float64(i) / 4
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="10">%.0fs</text>`+"\n", x-8, axisY+14, sec)
+	}
+	fmt.Fprintf(w, `<text x="4" y="%d" font-size="10">worker</text>`+"\n", marginT+8)
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+func escapeXML(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

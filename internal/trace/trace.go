@@ -1,0 +1,176 @@
+// Package trace records per-worker task timelines: the data behind the
+// paper's Figure 9 (task start/finish timestamps per GPU). Times are
+// float64 seconds on whichever clock the experiment uses (virtual or wall).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Event is one completed task on one worker.
+type Event struct {
+	Worker int
+	Start  float64
+	End    float64
+	// Kind labels the task ("train", "io", ...), free-form.
+	Kind string
+	// Value carries a task-specific metric (e.g. candidate accuracy).
+	Value float64
+}
+
+// Duration returns End-Start.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Log is a concurrency-safe event collector.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add records an event.
+func (l *Log) Add(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a snapshot sorted by start time (ties by worker).
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	out := append([]Event(nil), l.events...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Makespan returns the latest End across events (0 when empty).
+func (l *Log) Makespan() float64 {
+	var end float64
+	for _, e := range l.Events() {
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return end
+}
+
+// DurationStats returns mean and standard deviation of task durations —
+// the paper uses the task-runtime stddev (17.91 vs 16.15) to explain the
+// HDF5+PFS controller delays.
+func (l *Log) DurationStats() (mean, stddev float64) {
+	events := l.Events()
+	if len(events) == 0 {
+		return 0, 0
+	}
+	for _, e := range events {
+		mean += e.Duration()
+	}
+	mean /= float64(len(events))
+	for _, e := range events {
+		d := e.Duration() - mean
+		stddev += d * d
+	}
+	return mean, math.Sqrt(stddev / float64(len(events)))
+}
+
+// WaveScore quantifies how synchronized task starts are: it is the mean
+// pairwise-nearest distance between consecutive start-time clusters.
+// Concretely we bucket starts into makespan/50 bins and return the
+// coefficient of variation of bin occupancy — high values mean starts
+// arrive in waves (DH-NoTransfer), low values mean a steady stream
+// (EvoStore). Figure 9's visual "wave behaviour", made numeric.
+func (l *Log) WaveScore() float64 {
+	events := l.Events()
+	if len(events) < 2 {
+		return 0
+	}
+	makespan := l.Makespan()
+	if makespan <= 0 {
+		return 0
+	}
+	const bins = 50
+	counts := make([]float64, bins)
+	for _, e := range events {
+		b := int(e.Start / makespan * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= bins
+	if mean == 0 {
+		return 0
+	}
+	var variance float64
+	for _, c := range counts {
+		d := c - mean
+		variance += d * d
+	}
+	variance /= bins
+	return math.Sqrt(variance) / mean
+}
+
+// RenderASCII draws the timeline as rows of workers with one '▬' per task
+// span, at the given column resolution. It is the textual stand-in for
+// Figure 9's scatter plot.
+func (l *Log) RenderASCII(w io.Writer, workers, cols int) {
+	events := l.Events()
+	makespan := l.Makespan()
+	if makespan <= 0 || workers <= 0 {
+		return
+	}
+	rows := make([][]byte, workers)
+	for i := range rows {
+		rows[i] = make([]byte, cols)
+		for j := range rows[i] {
+			rows[i][j] = ' '
+		}
+	}
+	for _, e := range events {
+		if e.Worker < 0 || e.Worker >= workers {
+			continue
+		}
+		s := int(e.Start / makespan * float64(cols))
+		t := int(e.End / makespan * float64(cols))
+		if s >= cols {
+			s = cols - 1
+		}
+		if t >= cols {
+			t = cols - 1
+		}
+		row := rows[e.Worker]
+		row[s] = '|'
+		for j := s + 1; j < t; j++ {
+			if row[j] == ' ' {
+				row[j] = '-'
+			}
+		}
+		if t > s {
+			row[t] = '|'
+		}
+	}
+	for i := workers - 1; i >= 0; i-- {
+		fmt.Fprintf(w, "w%03d %s\n", i, rows[i])
+	}
+	fmt.Fprintf(w, "     0%*s%.1fs\n", cols-4, "", makespan)
+}

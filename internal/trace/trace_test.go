@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	var l Log
+	l.Add(Event{Worker: 1, Start: 2, End: 3, Kind: "train"})
+	l.Add(Event{Worker: 0, Start: 1, End: 4, Kind: "io", Value: 0.9})
+	events := l.Events()
+	if len(events) != 2 || l.Len() != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Sorted by start.
+	if events[0].Worker != 0 || events[1].Worker != 1 {
+		t.Errorf("order wrong: %+v", events)
+	}
+	if events[0].Duration() != 3 {
+		t.Errorf("Duration = %v", events[0].Duration())
+	}
+	if l.Makespan() != 4 {
+		t.Errorf("Makespan = %v", l.Makespan())
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	var l Log
+	if l.Makespan() != 0 || l.WaveScore() != 0 {
+		t.Error("empty log produced nonzero stats")
+	}
+	mean, sd := l.DurationStats()
+	if mean != 0 || sd != 0 {
+		t.Error("empty log duration stats nonzero")
+	}
+}
+
+func TestDurationStats(t *testing.T) {
+	var l Log
+	l.Add(Event{Start: 0, End: 2})
+	l.Add(Event{Start: 0, End: 4})
+	mean, sd := l.DurationStats()
+	if mean != 3 || sd != 1 {
+		t.Errorf("mean=%v sd=%v, want 3, 1", mean, sd)
+	}
+}
+
+func TestWaveScoreDiscriminates(t *testing.T) {
+	// Synchronized waves: all tasks start at the same instants.
+	var waves Log
+	for wave := 0; wave < 5; wave++ {
+		for w := 0; w < 20; w++ {
+			s := float64(wave) * 10
+			waves.Add(Event{Worker: w, Start: s, End: s + 9})
+		}
+	}
+	// Uniform stream: starts spread evenly.
+	var stream Log
+	for i := 0; i < 100; i++ {
+		s := float64(i) * 0.5
+		stream.Add(Event{Worker: i % 20, Start: s, End: s + 9})
+	}
+	if waves.WaveScore() <= stream.WaveScore() {
+		t.Errorf("wave=%v stream=%v", waves.WaveScore(), stream.WaveScore())
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Add(Event{Worker: w, Start: float64(i), End: float64(i) + 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	var l Log
+	l.Add(Event{Worker: 0, Start: 0, End: 5})
+	l.Add(Event{Worker: 1, Start: 5, End: 10})
+	var sb strings.Builder
+	l.RenderASCII(&sb, 2, 40)
+	out := sb.String()
+	if !strings.Contains(out, "w000") || !strings.Contains(out, "w001") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("render has no task markers")
+	}
+	// Degenerate inputs must not panic.
+	var empty Log
+	empty.RenderASCII(&sb, 2, 10)
+}
+
+func TestRenderSVG(t *testing.T) {
+	var l Log
+	l.Add(Event{Worker: 0, Start: 0, End: 5, Value: 0.7})
+	l.Add(Event{Worker: 1, Start: 5, End: 10, Value: 0.9})
+	var sb strings.Builder
+	if err := l.RenderSVG(&sb, 2, `run "A" <test>`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if strings.Count(out, "<rect") != 2 {
+		t.Errorf("want 2 bars, got %d", strings.Count(out, "<rect"))
+	}
+	if strings.Contains(out, `run "A" <test>`) {
+		t.Error("title not XML-escaped")
+	}
+	if !strings.Contains(out, "&quot;A&quot; &lt;test&gt;") {
+		t.Error("escaped title missing")
+	}
+	// Degenerate input must still emit valid SVG.
+	var empty Log
+	sb.Reset()
+	if err := empty.RenderSVG(&sb, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("degenerate SVG missing")
+	}
+}
