@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test check bench-faults
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full verification: static analysis plus the test suite under the race
+# detector. This is what CI should run.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# End-to-end resilience proof: store/load/partition/retire through a
+# fault-injecting fabric; fails on any refcount drift.
+bench-faults:
+	$(GO) run ./cmd/evostore-bench faults

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/resilient"
+	"repro/internal/rpc"
+)
+
+// runFaults drives a store/load/retire workload through an embedded
+// deployment whose fabric injects faults, proving the resilience
+// middleware out end to end: every operation must complete despite the
+// drops, the breaker must shed and recover around a partition, and the
+// repository must drain to zero afterwards — any refcount drift from a
+// double-executed IncRef/DecRef would leave segments or refs behind.
+func runFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	providers := fs.Int("providers", 4, "storage providers")
+	models := fs.Int("models", 32, "models to store (half derived via LCP transfer)")
+	drop := fs.Float64("drop", 0.1, "request-drop probability on the faulty provider")
+	dropResp := fs.Float64("drop-response", 0.1, "response-drop probability (handler runs, reply lost)")
+	faultAt := fs.Int("fault-provider", 1, "provider the faults apply to (-1 = all)")
+	seed := fs.Int64("seed", 1, "fault schedule seed")
+	partition := fs.Bool("partition", true, "additionally partition the faulty provider mid-run and heal it")
+	fs.Parse(args)
+
+	reg := metrics.Default
+	repo, err := core.Open(core.Options{
+		Providers: *providers,
+		Faults: func(i int) *rpc.FaultConfig {
+			if *faultAt >= 0 && i != *faultAt {
+				return nil
+			}
+			return &rpc.FaultConfig{
+				Seed:         *seed + int64(i),
+				DropRequest:  *drop,
+				DropResponse: *dropResp,
+				Registry:     reg,
+			}
+		},
+		Resilience: &resilient.Options{
+			MaxAttempts: 10,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+			// High enough that random drop runs never trip the breaker
+			// (p^12 is negligible even at aggressive drop rates); a real
+			// partition still trips it within two calls.
+			Threshold: 12,
+			Cooldown:  50 * time.Millisecond,
+			Registry:  reg,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+
+	ctx := context.Background()
+	fmt.Printf("\n=== Fault injection: %d providers, drop=%.0f%% drop-response=%.0f%% on provider %d ===\n",
+		*providers, *drop*100, *dropResp*100, *faultAt)
+
+	flat, err := model.Flatten(model.Sequential("bench", 8,
+		model.Dense{In: 8, Out: 8, Activation: "relu", UseBias: true},
+		model.Dense{In: 8, Out: 8, Activation: "relu"},
+		model.Dense{In: 8, Out: 4},
+	))
+	if err != nil {
+		return err
+	}
+	last := graph.VertexID(flat.Graph.NumVertices() - 1)
+
+	// Store: from-scratch bases and LCP-derived children, so retires later
+	// exercise cross-provider DecRefs of inherited tensors.
+	var ids []core.ModelID
+	for i := 0; i < *models; i++ {
+		ws := model.Materialize(flat, uint64(i+1))
+		anc, found, err := repo.BestAncestor(ctx, flat)
+		var id core.ModelID
+		if found && i%2 == 1 {
+			if err := repo.TransferPrefix(ctx, flat, ws, anc); err != nil {
+				return fmt.Errorf("transfer for model %d: %w", i, err)
+			}
+			// Mutate the head so the child owns at least one vertex.
+			ws[last] = model.Materialize(flat, uint64(1000+i))[last]
+			id, err = repo.StoreDerived(ctx, flat, ws, 0.5, anc, nil)
+		} else {
+			id, err = repo.Store(ctx, flat, ws, 0.5)
+		}
+		if err != nil {
+			return fmt.Errorf("store model %d: %w", i, err)
+		}
+		_ = anc
+		ids = append(ids, id)
+	}
+	fmt.Printf("stored %d models through the faulty fabric\n", len(ids))
+
+	// Load everything back; retries must hide every injected fault.
+	for _, id := range ids {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			return fmt.Errorf("load %d: %w", id, err)
+		}
+	}
+	fmt.Printf("loaded %d models back intact\n", len(ids))
+
+	if *partition && *faultAt >= 0 {
+		if err := partitionDemo(ctx, repo, *faultAt, ids); err != nil {
+			return err
+		}
+	}
+
+	// Retire everything. Response drops make the provider execute DecRefs
+	// whose replies are lost; the ReqID dedup must stop the retries from
+	// decrementing twice, or the drain check below fails.
+	for _, id := range ids {
+		if _, err := repo.Retire(ctx, id); err != nil {
+			return fmt.Errorf("retire %d: %w", id, err)
+		}
+	}
+	stats, err := repo.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retired %d models; remaining models=%d segments=%d live refs=%d\n",
+		len(ids), stats.Models, stats.Segments, stats.LiveRefs)
+	if stats.Models != 0 || stats.Segments != 0 || stats.LiveRefs != 0 {
+		return fmt.Errorf("refcount drift: repository did not drain: %+v", *stats)
+	}
+	fmt.Println("repository drained completely: no refcount drift under retried mutations")
+
+	fmt.Println("\nResilience counters:")
+	reg.Render(os.Stdout)
+	return nil
+}
+
+// partitionDemo cuts one provider off, shows the breaker shedding calls to
+// it while the rest of the deployment keeps serving, then heals the
+// partition and verifies the breaker closes again.
+func partitionDemo(ctx context.Context, repo *core.Repository, target int, ids []core.ModelID) error {
+	faults := repo.FaultConns()
+	if target >= len(faults) || faults[target] == nil {
+		return fmt.Errorf("no fault wrapper on provider %d", target)
+	}
+	// A load touches the model's home provider plus every provider owning
+	// an inherited segment, so classify by the full owner lineage: only
+	// models with no dependency on the dead provider must keep working.
+	n := repo.NumProviders()
+	var depends, independent []core.ModelID
+	for _, id := range ids {
+		meta, err := repo.GetMeta(ctx, id)
+		if err != nil {
+			return err
+		}
+		dep := int(uint64(id)%uint64(n)) == target
+		for _, g := range meta.OwnerMap.Owners() {
+			if int(uint64(g.Owner)%uint64(n)) == target {
+				dep = true
+			}
+		}
+		if dep {
+			depends = append(depends, id)
+		} else {
+			independent = append(independent, id)
+		}
+	}
+
+	faults[target].SetPartitioned(true)
+	fmt.Printf("\npartitioned provider %d\n", target)
+	failed := 0
+	for _, id := range depends {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			failed++
+		}
+	}
+	fmt.Printf("loads depending on the dead provider: %d/%d failed fast (breaker shedding)\n",
+		failed, len(depends))
+	for _, id := range independent {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			return fmt.Errorf("load %d on healthy providers during partition: %w", id, err)
+		}
+	}
+	fmt.Printf("loads on healthy providers only: %d/%d succeeded during the partition\n",
+		len(independent), len(independent))
+
+	faults[target].SetPartitioned(false)
+	// Let the breaker's cooldown elapse, then confirm recovery.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healed := true
+		for _, id := range depends {
+			if _, _, err := repo.Load(ctx, id); err != nil {
+				healed = false
+				break
+			}
+		}
+		if healed {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("provider %d did not recover after healing the partition", target)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("healed provider %d: breaker closed, loads succeed again\n", target)
+	return nil
+}

@@ -7,6 +7,7 @@
 //	evostore-bench fig5 [-catalog N] [-queries N] [-workers 1,8,...]
 //	evostore-bench fig6|fig7|fig8|fig9|fig10 [-budget N] [-workers N]
 //	evostore-bench ablations
+//	evostore-bench faults [-providers N] [-drop P] [-fault-provider I] [-partition]
 //	evostore-bench all
 //
 // Scaled-down defaults finish in seconds; pass the paper's parameters
@@ -54,6 +55,8 @@ func main() {
 		err = runZeroCost(args)
 	case "strategies":
 		err = runStrategies(args)
+	case "faults":
+		err = runFaults(args)
 	case "all":
 		for _, sub := range []func([]string) error{
 			runFig4, runFig5, runFig6, runFig7, runFig8, runFig9, runFig10,
@@ -74,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|all} [flags]")
 }
 
 func parseInts(s string) []int {

@@ -20,15 +20,21 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
+	"repro/internal/proto"
+	"repro/internal/resilient"
 	"repro/internal/rpc"
 )
 
 func main() {
 	providers := flag.String("providers", "127.0.0.1:7070", "comma-separated provider addresses, in deployment order")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-call deadline (0 = none)")
+	retries := flag.Int("retries", 3, "attempts per call, including the first")
+	threshold := flag.Int("breaker-threshold", 5, "consecutive transport failures that open a provider's circuit breaker (-1 = off)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -40,6 +46,15 @@ func main() {
 	for _, addr := range strings.Split(*providers, ",") {
 		conns = append(conns, rpc.NewPool(strings.TrimSpace(addr), 2, rpc.DialTCP))
 	}
+	if *timeout == 0 {
+		*timeout = -1 // Options treats negative as "no default deadline"
+	}
+	conns = resilient.WrapAll(conns, resilient.Options{
+		DefaultTimeout: *timeout,
+		MaxAttempts:    *retries,
+		Threshold:      *threshold,
+		Retryable:      proto.Retryable,
+	})
 	cli := client.New(conns)
 	ctx := context.Background()
 

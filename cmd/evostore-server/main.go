@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	evostore-server -listen :7070 -id 0 [-data /path/to/dir]
+//	evostore-server -listen :7070 -id 0 [-data /path/to/dir] [-request-timeout 30s]
 //
 // Without -data the provider uses the in-memory backend (the paper's
 // synchronized-pool mode); with -data it persists segments in an LSM store
@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/kvstore"
 	"repro/internal/provider"
@@ -29,6 +30,8 @@ func main() {
 	listen := flag.String("listen", ":7070", "TCP listen address")
 	id := flag.Int("id", 0, "provider ID (its index in the deployment's address list)")
 	data := flag.String("data", "", "persistence directory (empty = in-memory backend)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second,
+		"server-side deadline per request without a caller deadline (0 = none)")
 	flag.Parse()
 
 	var kv kvstore.KV
@@ -47,6 +50,7 @@ func main() {
 
 	p := provider.New(*id, kv)
 	srv := rpc.NewServer()
+	srv.SetRequestTimeout(*reqTimeout)
 	p.Register(srv)
 
 	lis, addr, err := rpc.ListenAndServeTCP(*listen, srv)

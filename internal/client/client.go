@@ -4,19 +4,56 @@
 // owner maps to scatter partial reads across providers in parallel,
 // broadcasts collective LCP queries and reduces their results, and drives
 // distributed retirement (metadata removal + reference-count decrements).
+//
+// Paper counterpart: the EvoStore client library of §4.1 linked into every
+// NAS worker.
+//
+// Contracts:
+//   - Thread safety: Client and Prefetcher are safe for concurrent use;
+//     Client itself is stateless beyond the connection slice.
+//   - Idempotency: the client stamps every mutating request (StoreModel,
+//     IncRef, DecRef, Retire) with a process-unique ReqID, so connections
+//     wrapped with the resilient middleware may retry them safely — the
+//     provider answers a retried, already-executed request from its dedup
+//     table. Plain reads carry no ReqID; they are idempotent as-is.
+//   - Fault tolerance: collective queries (QueryLCP) tolerate degraded
+//     providers; point reads and mutations surface the failure, annotated
+//     with the provider index, for the resilience layer or caller to act
+//     on.
 package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/ownermap"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 )
+
+// Request IDs deduplicate retried mutations on providers. The high 32
+// bits are drawn once per process, the low 32 increment per request;
+// collisions would need two clients sharing the random half inside one
+// provider's bounded dedup window, which is vanishingly unlikely.
+var (
+	reqIDHi  = rand.Uint64() << 32
+	reqIDSeq atomic.Uint64
+)
+
+// nextReqID returns a fresh nonzero request ID.
+func nextReqID() uint64 {
+	for {
+		if id := reqIDHi | (reqIDSeq.Add(1) & 0xffffffff); id != 0 {
+			return id
+		}
+	}
+}
 
 // Client talks to a fixed set of providers. Index i of conns is provider i;
 // model IDs are mapped to providers by static hashing (paper §4.1).
@@ -110,6 +147,7 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 		Graph:    meta.Graph,
 		OwnerMap: meta.OwnerMap,
 		Segments: table,
+		ReqID:    nextReqID(),
 	}
 	_, err := c.home(meta.Model).Call(ctx, proto.RPCStoreModel, rpc.Message{Meta: req.Encode(), Bulk: bulk})
 	if err != nil {
@@ -122,7 +160,7 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 }
 
 func (c *Client) refCall(ctx context.Context, name string, owner ownermap.ModelID, vs []graph.VertexID) error {
-	req := &proto.RefReq{Owner: owner, Vertices: vs}
+	req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
 	_, err := c.home(owner).Call(ctx, name, rpc.Message{Meta: req.Encode()})
 	return err
 }
@@ -216,10 +254,18 @@ func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[gra
 		}(gi, g.Owner, vs)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	// Annotate each failed leg with the provider it targeted: in a fan-out
+	// the interesting question is WHICH provider broke, and a resilient
+	// wrapper's last error alone doesn't say.
+	var failed []error
+	for gi, err := range errs {
 		if err != nil {
-			return nil, err
+			failed = append(failed,
+				fmt.Errorf("owner %d on provider %d: %w", groups[gi].Owner, c.HomeProvider(groups[gi].Owner), err))
 		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
 	}
 	return segs, nil
 }
@@ -279,7 +325,8 @@ func (c *Client) QueryLCPReq(ctx context.Context, req *proto.LCPQueryReq) (*prot
 // references are decremented on the owning providers in parallel. It
 // returns the number of segments actually freed cluster-wide.
 func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error) {
-	resp, err := c.home(id).Call(ctx, proto.RPCRetire, rpc.Message{Meta: proto.EncodeModelID(id)})
+	rreq := &proto.RetireReq{Model: id, ReqID: nextReqID()}
+	resp, err := c.home(id).Call(ctx, proto.RPCRetire, rpc.Message{Meta: rreq.Encode()})
 	if err != nil {
 		return 0, fmt.Errorf("client: retire %d: %w", id, err)
 	}
@@ -296,7 +343,7 @@ func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error
 		wg.Add(1)
 		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
 			defer wg.Done()
-			req := &proto.RefReq{Owner: owner, Vertices: vs}
+			req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
 			resp, err := c.home(owner).Call(ctx, proto.RPCDecRef, rpc.Message{Meta: req.Encode()})
 			if err != nil {
 				errs[gi] = err

@@ -48,6 +48,12 @@ func NewPrefetcher(cli *Client, capacity int) *Prefetcher {
 // Prefetch starts fetching a model in the background. It returns
 // immediately; a later Get blocks only until that fetch finishes.
 // Prefetching an already cached or in-flight model is a no-op.
+//
+// The background fetch is detached from ctx's cancellation (its values,
+// e.g. tracing, are kept): the cache entry is shared by every future
+// Getter, so the triggering caller's cancellation must not poison it for
+// the others. Deadlines still bound the fetch via the resilience layer's
+// per-attempt timeouts when the connections are wrapped.
 func (p *Prefetcher) Prefetch(ctx context.Context, id ownermap.ModelID) {
 	p.mu.Lock()
 	if _, exists := p.cache[id]; exists {
@@ -58,8 +64,9 @@ func (p *Prefetcher) Prefetch(ctx context.Context, id ownermap.ModelID) {
 	p.insertLocked(id, e)
 	p.mu.Unlock()
 
+	fetchCtx := context.WithoutCancel(ctx)
 	go func() {
-		data, err := p.cli.Load(ctx, id)
+		data, err := p.cli.Load(fetchCtx, id)
 		e.data, e.err = data, err
 		close(e.ready)
 	}()

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/ownermap"
+	"repro/internal/provider"
+	"repro/internal/proto"
+	"repro/internal/resilient"
+	"repro/internal/rpc"
+)
+
+// faultCluster is an in-process deployment with fault injection between
+// the client and every provider, and the resilience middleware on top —
+// the stack a production client would run.
+type faultCluster struct {
+	cli    *Client
+	provs  []*provider.Provider
+	faults []*rpc.FaultConn
+	reg    *metrics.Registry
+}
+
+func newFaultCluster(t testing.TB, n int, cfg func(i int) rpc.FaultConfig) *faultCluster {
+	t.Helper()
+	fc := &faultCluster{reg: metrics.NewRegistry()}
+	net := rpc.NewInprocNet()
+	conns := make([]rpc.Conn, n)
+	for i := 0; i < n; i++ {
+		p := provider.New(i, kvstore.NewMemKV(8))
+		srv := rpc.NewServer()
+		p.Register(srv)
+		addr := string(rune('a' + i))
+		if err := net.Listen(addr, srv); err != nil {
+			t.Fatal(err)
+		}
+		c, err := net.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := cfg(i)
+		c2.Registry = fc.reg
+		f := rpc.WithFaults(c, c2)
+		fc.provs = append(fc.provs, p)
+		fc.faults = append(fc.faults, f)
+		conns[i] = f
+	}
+	conns = resilient.WrapAll(conns, resilient.Options{
+		DefaultTimeout: time.Second,
+		MaxAttempts:    10,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+		Threshold:      -1, // exercise raw retries, not shedding
+		Retryable:      proto.Retryable,
+		Registry:       fc.reg,
+	})
+	fc.cli = New(conns)
+	return fc
+}
+
+// storeDerived publishes base (owning every vertex) and a child inheriting
+// base's vertex 0, so the child's owner groups span two providers.
+func storeDerived(t testing.TB, cli *Client, base, child ownermap.ModelID) *model.Flat {
+	t.Helper()
+	ctx := context.Background()
+	f := flatten(t, 4)
+	ws := model.Materialize(f, 1)
+	if err := cli.Store(ctx, metaFor(f, base, 1, 0.5), segsFor(f, ws)); err != nil {
+		t.Fatal(err)
+	}
+	baseMap := ownermap.New(base, 1, f.Graph.NumVertices())
+	om, err := ownermap.Derive(baseMap, child, 2, f.Graph.NumVertices(), []graph.VertexID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := &proto.ModelMeta{Model: child, Seq: 2, Quality: 0.6, Graph: f.Graph, OwnerMap: om}
+	ws2 := model.Materialize(f, 2)
+	if err := cli.Store(ctx, meta, segsFor(f, ws2)); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLoadWithProviderPartitioned(t *testing.T) {
+	fc := newFaultCluster(t, 4, func(int) rpc.FaultConfig { return rpc.FaultConfig{} })
+	ctx := context.Background()
+
+	// base → provider 2, child → provider 3; provider 1 holds nothing.
+	storeDerived(t, fc.cli, 2, 3)
+	fc.faults[1].SetPartitioned(true)
+
+	for _, id := range []ownermap.ModelID{2, 3} {
+		data, err := fc.cli.Load(ctx, id)
+		if err != nil {
+			t.Fatalf("Load(%d) with provider 1 partitioned: %v", id, err)
+		}
+		if len(data.Segments) != data.Meta.Graph.NumVertices() {
+			t.Fatalf("Load(%d): %d segments", id, len(data.Segments))
+		}
+	}
+
+	// The partitioned provider itself is genuinely unreachable.
+	if _, err := fc.cli.GetMeta(ctx, 1); err == nil {
+		t.Fatal("call to partitioned provider succeeded")
+	}
+	if fc.reg.Counter("fault.partition_reject").Load() == 0 {
+		t.Error("partition never rejected a call")
+	}
+
+	// Healing the partition restores service.
+	fc.faults[1].SetPartitioned(false)
+	f := flatten(t, 4)
+	ws := model.Materialize(f, 3)
+	if err := fc.cli.Store(ctx, metaFor(f, 1, 1, 0.4), segsFor(f, ws)); err != nil {
+		t.Fatalf("store after heal: %v", err)
+	}
+}
+
+func TestRetryUnderRequestDrops(t *testing.T) {
+	fc := newFaultCluster(t, 4, func(i int) rpc.FaultConfig {
+		return rpc.FaultConfig{Seed: int64(100 + i), DropRequest: 0.3}
+	})
+	ctx := context.Background()
+	storeDerived(t, fc.cli, 2, 3)
+	for i := 0; i < 5; i++ {
+		for _, id := range []ownermap.ModelID{2, 3} {
+			if _, err := fc.cli.Load(ctx, id); err != nil {
+				t.Fatalf("Load(%d) round %d: %v", id, i, err)
+			}
+		}
+	}
+	snap := fc.reg.Snapshot()
+	if snap["fault.drop_request"] == 0 {
+		t.Error("fault schedule never fired; test exercised nothing")
+	}
+	if snap["rpc.retries"] == 0 {
+		t.Error("no retries recorded despite request drops")
+	}
+}
+
+func TestRetiredDecRefNoDriftUnderResponseDrops(t *testing.T) {
+	// Response drops are the dangerous case: the provider executes the
+	// refcount change, the client never hears back and retries. Without
+	// ReqID dedup every such retry would decrement (or increment) again.
+	fc := newFaultCluster(t, 4, func(i int) rpc.FaultConfig {
+		return rpc.FaultConfig{Seed: int64(7 + i), DropResponse: 0.3}
+	})
+	ctx := context.Background()
+	storeDerived(t, fc.cli, 2, 3)
+
+	// Retire the child first (unpins base's vertex 0), then the base.
+	if _, err := fc.cli.Retire(ctx, 3); err != nil {
+		t.Fatalf("retire child: %v", err)
+	}
+	if _, err := fc.cli.Retire(ctx, 2); err != nil {
+		t.Fatalf("retire base: %v", err)
+	}
+
+	if fc.reg.Counter("fault.drop_response").Load() == 0 {
+		t.Skip("fault schedule dropped no responses; nothing exercised")
+	}
+	// Every provider must drain completely: any refcount drift from a
+	// double-executed IncRef/DecRef leaves segments or refs behind (or
+	// would have freed a segment early and failed the loads above).
+	for i, p := range fc.provs {
+		s := p.Stats()
+		if s.Models != 0 || s.Segments != 0 || s.LiveRefs != 0 {
+			t.Errorf("provider %d not drained after retires: %+v (refcount drift)", i, *s)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/ownermap"
 	"repro/internal/proto"
 	"repro/internal/provider"
+	"repro/internal/resilient"
 	"repro/internal/rpc"
 	"repro/internal/tensor"
 )
@@ -44,9 +45,10 @@ type Repository struct {
 	seq    atomic.Uint64
 
 	// embedded deployment resources (nil when attached to remote providers)
-	owned []*provider.Provider
-	net   *rpc.InprocNet
-	conns []rpc.Conn
+	owned  []*provider.Provider
+	net    *rpc.InprocNet
+	conns  []rpc.Conn
+	faults []*rpc.FaultConn
 }
 
 // Options configures an embedded (in-process) deployment.
@@ -56,6 +58,15 @@ type Options struct {
 	// Backend constructs the KV store of provider i. Default: MemKV, the
 	// analogue of the paper's in-memory synchronized pools.
 	Backend func(i int) kvstore.KV
+	// Faults, when non-nil, returns the fault-injection config for the
+	// connection to provider i (nil = no faults for that provider). The
+	// injected wrappers are reachable via FaultConns for runtime control
+	// (e.g. partitioning a provider mid-run).
+	Faults func(i int) *rpc.FaultConfig
+	// Resilience, when non-nil, wraps every provider connection with the
+	// resilient middleware (deadlines, retries, circuit breaker). The
+	// Retryable policy defaults to proto.Retryable if unset.
+	Resilience *resilient.Options
 }
 
 // Open creates an embedded deployment: providers and clients live in this
@@ -84,13 +95,34 @@ func Open(opts Options) (*Repository, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.Faults != nil {
+			if cfg := opts.Faults(i); cfg != nil {
+				fc := rpc.WithFaults(c, *cfg)
+				r.faults = append(r.faults, fc)
+				c = fc
+			} else {
+				r.faults = append(r.faults, nil)
+			}
+		}
 		r.owned = append(r.owned, p)
 		conns[i] = c
+	}
+	if opts.Resilience != nil {
+		ro := *opts.Resilience
+		if ro.Retryable == nil {
+			ro.Retryable = proto.Retryable
+		}
+		conns = resilient.WrapAll(conns, ro)
 	}
 	r.conns = conns
 	r.cli = client.New(conns)
 	return r, nil
 }
+
+// FaultConns exposes the per-provider fault wrappers installed via
+// Options.Faults (index = provider ID; nil where no faults were
+// configured). Tests and benchmarks use them to flip partitions mid-run.
+func (r *Repository) FaultConns() []*rpc.FaultConn { return r.faults }
 
 // Attach wraps connections to an externally deployed set of providers
 // (e.g. evostore-server processes over TCP). The connection order defines

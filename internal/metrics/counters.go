@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. Counters are cheap enough for hot paths: Inc is one atomic add.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Registry is a set of named counters. The resilience layer counts
+// retries, circuit-breaker state transitions and injected faults here so
+// benchmarks and operators can see what the middleware did to a run.
+// Counter pointers are stable: callers may cache the result of Counter and
+// increment it lock-free afterwards.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Counter)} }
+
+// Default is the process-wide registry used when a component is not given
+// an explicit one.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it at zero
+// on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.m[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.m[name]; c == nil {
+		c = &Counter{}
+		r.m[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every registered counter.
+func (r *Registry) Snapshot() map[string]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]uint64, len(r.m))
+	for name, c := range r.m {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Render writes the registered counters as an aligned table, sorted by
+// name, omitting zero counters so quiet subsystems don't clutter reports.
+func (r *Registry) Render(w io.Writer) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name, v := range snap {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	tbl := NewTable("Counter", "Value")
+	for _, name := range names {
+		tbl.Add(name, snap[name])
+	}
+	tbl.Render(w)
+}

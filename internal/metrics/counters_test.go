@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("a") != c {
+		t.Error("Counter not stable across lookups")
+	}
+	r.Counter("b") // registered, never incremented
+	snap := r.Snapshot()
+	if snap["a"] != 5 || snap["b"] != 0 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Errorf("shared = %d, want 8000", got)
+	}
+}
+
+func TestRegistryRenderSkipsZeros(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hot").Add(3)
+	r.Counter("cold")
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "hot") || strings.Contains(out, "cold") {
+		t.Errorf("render:\n%s", out)
+	}
+}

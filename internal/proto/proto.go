@@ -1,6 +1,21 @@
 // Package proto defines the RPC names and message codecs spoken between
 // EvoStore clients and providers. Control payloads ride rpc.Message.Meta;
 // consolidated tensor segments ride rpc.Message.Bulk.
+//
+// Paper counterpart: the client/provider protocol of §4.1-4.2 (store,
+// consolidated segment reads, collective LCP queries, distributed
+// refcount GC).
+//
+// Contracts:
+//   - Thread safety: codecs are pure functions over byte slices; request
+//     and response structs are plain data, safe to share once encoded.
+//   - Idempotency: GetMeta, ReadSegments, LCPQuery, ListModels and Stats
+//     are idempotent (see Idempotent). StoreModel, IncRef, DecRef and
+//     Retire mutate provider state; each carries a ReqID the provider
+//     uses to deduplicate retries, which is what makes them Retryable.
+//   - Wire evolution: fields appended to a message after its first release
+//     (ReqID, PreferRecent) are optional trailers — decoders tolerate
+//     their absence, so old and new binaries interoperate.
 package proto
 
 import (
@@ -23,6 +38,33 @@ const (
 	RPCListModels   = "evostore.list_models"
 	RPCStats        = "evostore.stats"
 )
+
+// Idempotent reports whether the named RPC can be blindly re-executed
+// without changing the outcome.
+func Idempotent(name string) bool {
+	switch name {
+	case RPCGetMeta, RPCReadSegments, RPCLCPQuery, RPCListModels, RPCStats:
+		return true
+	}
+	return false
+}
+
+// Retryable is the retry policy the resilience middleware should use for
+// EvoStore traffic: idempotent operations are always safe; the mutating
+// operations (StoreModel, IncRef, DecRef, Retire) are safe because every
+// request carries a dedup ReqID that lets the provider answer a retry
+// from its dedup table instead of re-executing it. Unknown names are not
+// retried.
+func Retryable(name string) bool {
+	if Idempotent(name) {
+		return true
+	}
+	switch name {
+	case RPCStoreModel, RPCIncRef, RPCDecRef, RPCRetire:
+		return true
+	}
+	return false
+}
 
 // SegmentRef locates one vertex's consolidated tensor segment inside a bulk
 // payload: segments are concatenated in table order.
@@ -85,6 +127,9 @@ type StoreModelReq struct {
 	Graph    *graph.Compact
 	OwnerMap *ownermap.Map
 	Segments []SegmentRef
+	// ReqID deduplicates retries of this non-idempotent request on the
+	// provider (0 = no dedup).
+	ReqID uint64
 }
 
 // Encode serializes the request meta.
@@ -96,6 +141,7 @@ func (q *StoreModelReq) Encode() []byte {
 	w.Bytes32(q.Graph.Encode())
 	w.Bytes32(q.OwnerMap.Encode())
 	appendSegTable(w, q.Segments)
+	w.U64(q.ReqID)
 	return w.Bytes()
 }
 
@@ -110,6 +156,16 @@ func DecodeStoreModelReq(b []byte) (*StoreModelReq, error) {
 	gb := r.Bytes32()
 	ob := r.Bytes32()
 	q.Segments = readSegTable(r)
+	// The ReqID trailer was appended to the format later; tolerate
+	// encoders that omit it entirely, but reject a torn trailer.
+	if r.Err() == nil {
+		switch {
+		case r.Remaining() >= 8:
+			q.ReqID = r.U64()
+		case r.Remaining() != 0:
+			return nil, wire.ErrTruncated
+		}
+	}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -234,23 +290,85 @@ func DecodeSegTable(b []byte) ([]SegmentRef, error) {
 // --- IncRef / DecRef ----------------------------------------------------------
 
 // RefReq adjusts segment reference counters for vertices owned by Owner.
+// Refcount changes are not idempotent, so the request carries a ReqID the
+// provider deduplicates retries with (0 = no dedup).
 type RefReq struct {
 	Owner    ownermap.ModelID
 	Vertices []graph.VertexID
+	ReqID    uint64
 }
 
 // Encode serializes the request.
 func (q *RefReq) Encode() []byte {
-	return (&ReadSegmentsReq{Owner: q.Owner, Vertices: q.Vertices}).Encode()
+	w := wire.NewWriter(24 + 4*len(q.Vertices))
+	w.U64(uint64(q.Owner))
+	w.U32(uint32(len(q.Vertices)))
+	for _, v := range q.Vertices {
+		w.U32(uint32(v))
+	}
+	w.U64(q.ReqID)
+	return w.Bytes()
 }
 
 // DecodeRefReq parses the request.
 func DecodeRefReq(b []byte) (*RefReq, error) {
-	q, err := DecodeReadSegmentsReq(b)
-	if err != nil {
-		return nil, err
+	r := wire.NewReader(b)
+	q := &RefReq{Owner: ownermap.ModelID(r.U64())}
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/4+1 {
+		return nil, wire.ErrTruncated
 	}
-	return &RefReq{Owner: q.Owner, Vertices: q.Vertices}, nil
+	q.Vertices = make([]graph.VertexID, n)
+	for i := range q.Vertices {
+		q.Vertices[i] = graph.VertexID(r.U32())
+	}
+	// The ReqID trailer was appended to the format later; tolerate
+	// encoders that omit it entirely, but reject a torn trailer.
+	if r.Err() == nil {
+		switch {
+		case r.Remaining() >= 8:
+			q.ReqID = r.U64()
+		case r.Remaining() != 0:
+			return nil, wire.ErrTruncated
+		}
+	}
+	return q, r.Err()
+}
+
+// --- Retire -------------------------------------------------------------------
+
+// RetireReq removes a model's catalog entry. Retirement is not idempotent
+// (a second execution fails with "not found" and a lost response loses the
+// owner map), so the request carries a ReqID for provider-side dedup
+// (0 = no dedup).
+type RetireReq struct {
+	Model ownermap.ModelID
+	ReqID uint64
+}
+
+// Encode serializes the request. The leading 8 bytes match the legacy
+// single-ID format, so old providers still understand new clients.
+func (q *RetireReq) Encode() []byte {
+	w := wire.NewWriter(16)
+	w.U64(uint64(q.Model))
+	w.U64(q.ReqID)
+	return w.Bytes()
+}
+
+// DecodeRetireReq parses the request, tolerating the legacy 8-byte
+// single-ID encoding (ReqID = 0).
+func DecodeRetireReq(b []byte) (*RetireReq, error) {
+	r := wire.NewReader(b)
+	q := &RetireReq{Model: ownermap.ModelID(r.U64())}
+	if r.Err() == nil {
+		switch {
+		case r.Remaining() >= 8:
+			q.ReqID = r.U64()
+		case r.Remaining() != 0:
+			return nil, wire.ErrTruncated
+		}
+	}
+	return q, r.Err()
 }
 
 // EncodeU64 / DecodeU64 carry small scalar responses (freed counts, ...).

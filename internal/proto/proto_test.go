@@ -46,8 +46,18 @@ func TestStoreModelReqTruncated(t *testing.T) {
 	g := sampleGraph(3)
 	req := &StoreModelReq{Model: 1, Graph: g, OwnerMap: ownermap.New(1, 1, 3)}
 	enc := req.Encode()
-	for cut := 0; cut < len(enc); cut += 7 {
-		if _, err := DecodeStoreModelReq(enc[:cut]); err == nil {
+	// The only prefix that decodes is the legacy format without the 8-byte
+	// ReqID trailer; every other truncation must error.
+	legacy := len(enc) - 8
+	for cut := 0; cut < len(enc); cut++ {
+		back, err := DecodeStoreModelReq(enc[:cut])
+		if cut == legacy {
+			if err != nil || back.ReqID != 0 {
+				t.Fatalf("legacy encoding rejected: %+v, %v", back, err)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}
@@ -208,5 +218,91 @@ func TestQuickSegTable(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func vertsEqual(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRefReqRoundtrip(t *testing.T) {
+	q := &RefReq{Owner: 9, Vertices: []graph.VertexID{0, 3, 7}, ReqID: 1234}
+	got, err := DecodeRefReq(q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner != q.Owner || !vertsEqual(got.Vertices, q.Vertices) || got.ReqID != q.ReqID {
+		t.Errorf("roundtrip = %+v, want %+v", got, q)
+	}
+	// Legacy encoders omit the ReqID trailer entirely; decode must tolerate
+	// that with ReqID 0, but reject a torn trailer.
+	legacy := q.Encode()
+	legacy = legacy[:len(legacy)-8]
+	got, err = DecodeRefReq(legacy)
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if got.ReqID != 0 || !vertsEqual(got.Vertices, q.Vertices) {
+		t.Errorf("legacy roundtrip = %+v", got)
+	}
+	if _, err := DecodeRefReq(q.Encode()[:len(q.Encode())-3]); err == nil {
+		t.Error("torn ReqID trailer accepted")
+	}
+}
+
+func TestRetireReqRoundtrip(t *testing.T) {
+	q := &RetireReq{Model: 5, ReqID: 99}
+	got, err := DecodeRetireReq(q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != 5 || got.ReqID != 99 {
+		t.Errorf("roundtrip = %+v", got)
+	}
+	// The legacy format is a bare 8-byte model ID.
+	got, err = DecodeRetireReq(EncodeModelID(5))
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if got.Model != 5 || got.ReqID != 0 {
+		t.Errorf("legacy roundtrip = %+v", got)
+	}
+	if _, err := DecodeRetireReq(q.Encode()[:12]); err == nil {
+		t.Error("torn ReqID trailer accepted")
+	}
+}
+
+func TestIdempotentAndRetryable(t *testing.T) {
+	cases := []struct {
+		name       string
+		idempotent bool
+		retryable  bool
+	}{
+		{RPCGetMeta, true, true},
+		{RPCReadSegments, true, true},
+		{RPCLCPQuery, true, true},
+		{RPCListModels, true, true},
+		{RPCStats, true, true},
+		{RPCStoreModel, false, true}, // retryable only via ReqID dedup
+		{RPCIncRef, false, true},
+		{RPCDecRef, false, true},
+		{RPCRetire, false, true},
+		{"evostore.unknown", false, false},
+	}
+	for _, tc := range cases {
+		if got := Idempotent(tc.name); got != tc.idempotent {
+			t.Errorf("Idempotent(%s) = %v, want %v", tc.name, got, tc.idempotent)
+		}
+		if got := Retryable(tc.name); got != tc.retryable {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.retryable)
+		}
 	}
 }

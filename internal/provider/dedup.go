@@ -1,0 +1,71 @@
+package provider
+
+import "sync"
+
+// dedupCap bounds the dedup table. 64K completed requests of history is
+// far beyond any retry window the client middleware produces.
+const dedupCap = 1 << 16
+
+// dedupTable records the encoded responses of completed non-idempotent
+// requests (StoreModel, IncRef, DecRef, Retire) by client request ID. A
+// retried request whose first execution succeeded — but whose response
+// was lost in the fabric — is answered from this table instead of being
+// re-executed, which is what makes refcount mutations safe to retry:
+// a DecRef can never double-decrement.
+//
+// Entries are evicted FIFO once cap is exceeded. Only successful
+// executions are recorded: a failed request left no side effects behind
+// (handlers validate all-or-nothing before mutating), so re-executing a
+// retry is both safe and gives the caller the authoritative error.
+//
+// The client retry loop is sequential per logical request, so a given ID
+// is never concurrently in flight; the table therefore only needs to make
+// completed-then-retried requests idempotent, not to lock in-flight ones.
+type dedupTable struct {
+	mu    sync.Mutex
+	resp  map[uint64][]byte
+	order []uint64
+	cap   int
+}
+
+func newDedupTable(cap int) *dedupTable {
+	return &dedupTable{resp: make(map[uint64][]byte), cap: cap}
+}
+
+// get returns the recorded response for id, if any. id 0 (no dedup) never
+// hits.
+func (d *dedupTable) get(id uint64) ([]byte, bool) {
+	if id == 0 {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.resp[id]
+	return meta, ok
+}
+
+// put records the response of a successfully executed request.
+func (d *dedupTable) put(id uint64, meta []byte) {
+	if id == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.resp[id]; dup {
+		return
+	}
+	d.resp[id] = meta
+	d.order = append(d.order, id)
+	for len(d.order) > d.cap {
+		evict := d.order[0]
+		d.order = d.order[1:]
+		delete(d.resp, evict)
+	}
+}
+
+// len reports the number of recorded responses (for tests).
+func (d *dedupTable) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.resp)
+}

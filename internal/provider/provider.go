@@ -5,6 +5,22 @@
 // graphs and owner maps, the reference counters that drive distributed
 // garbage collection, and it answers its share of collective LCP queries
 // over the models it catalogs.
+//
+// Paper counterpart: the Mochi-style storage provider of §4.1, each node
+// simultaneously a data and a metadata server.
+//
+// Contracts:
+//   - Thread safety: all Provider methods and registered handlers are safe
+//     for concurrent use; catalog and refcount state is guarded by one
+//     RWMutex, segment payloads by the (thread-safe) KV backend.
+//   - Idempotency: reads (GetMeta, ReadSegments, LCPQuery, ListModels,
+//     Stats) are idempotent. The mutating handlers (StoreModel, IncRef,
+//     DecRef, Retire) are not, but deduplicate retried requests by their
+//     proto ReqID: a request whose first execution succeeded is answered
+//     from the dedup table, never re-executed, so retries cannot
+//     double-apply refcount changes.
+//   - Atomicity: IncRef/DecRef validate the whole batch before mutating,
+//     so a failed request leaves no partial side effects.
 package provider
 
 import (
@@ -46,6 +62,10 @@ type Provider struct {
 	mu     sync.RWMutex
 	models map[ownermap.ModelID]*modelMeta
 	refs   map[segKey]int
+
+	// dedup answers retried non-idempotent requests (by proto ReqID) from
+	// their recorded responses instead of re-executing them.
+	dedup *dedupTable
 }
 
 // New creates a provider with the given index backed by kv (segments are
@@ -57,6 +77,7 @@ func New(id int, kv kvstore.KV) *Provider {
 		kv:     kv,
 		models: make(map[ownermap.ModelID]*modelMeta),
 		refs:   make(map[segKey]int),
+		dedup:  newDedupTable(dedupCap),
 	}
 }
 
@@ -83,6 +104,9 @@ func (p *Provider) handleStoreModel(_ context.Context, req rpc.Message) (rpc.Mes
 	if err != nil {
 		return rpc.Message{}, fmt.Errorf("provider %d: store: %w", p.id, err)
 	}
+	if meta, done := p.dedup.get(q.ReqID); done {
+		return rpc.Message{Meta: meta}, nil
+	}
 	segs, err := proto.SplitBulk(q.Segments, req.Bulk)
 	if err != nil {
 		return rpc.Message{}, fmt.Errorf("provider %d: store %d: %w", p.id, q.Model, err)
@@ -90,7 +114,9 @@ func (p *Provider) handleStoreModel(_ context.Context, req rpc.Message) (rpc.Mes
 	if err := p.StoreModel(q, segs); err != nil {
 		return rpc.Message{}, err
 	}
-	return rpc.Message{Meta: proto.EncodeU64(uint64(q.Model))}, nil
+	resp := proto.EncodeU64(uint64(q.Model))
+	p.dedup.put(q.ReqID, resp)
+	return rpc.Message{Meta: resp}, nil
 }
 
 // StoreModel installs a model: catalog entry plus its self-owned segments.
@@ -217,10 +243,15 @@ func (p *Provider) handleIncRef(_ context.Context, req rpc.Message) (rpc.Message
 	if err != nil {
 		return rpc.Message{}, err
 	}
+	if meta, done := p.dedup.get(q.ReqID); done {
+		return rpc.Message{Meta: meta}, nil
+	}
 	if err := p.IncRef(q.Owner, q.Vertices); err != nil {
 		return rpc.Message{}, err
 	}
-	return rpc.Message{Meta: proto.EncodeU64(uint64(len(q.Vertices)))}, nil
+	resp := proto.EncodeU64(uint64(len(q.Vertices)))
+	p.dedup.put(q.ReqID, resp)
+	return rpc.Message{Meta: resp}, nil
 }
 
 // IncRef increments the reference counter of each (owner, vertex) segment.
@@ -246,11 +277,16 @@ func (p *Provider) handleDecRef(_ context.Context, req rpc.Message) (rpc.Message
 	if err != nil {
 		return rpc.Message{}, err
 	}
+	if meta, done := p.dedup.get(q.ReqID); done {
+		return rpc.Message{Meta: meta}, nil
+	}
 	freed, err := p.DecRef(q.Owner, q.Vertices)
 	if err != nil {
 		return rpc.Message{}, err
 	}
-	return rpc.Message{Meta: proto.EncodeU64(freed)}, nil
+	resp := proto.EncodeU64(freed)
+	p.dedup.put(q.ReqID, resp)
+	return rpc.Message{Meta: resp}, nil
 }
 
 // DecRef decrements the reference counter of each (owner, vertex) segment,
@@ -294,15 +330,20 @@ func (p *Provider) DecRef(owner ownermap.ModelID, vertices []graph.VertexID) (ui
 // --- retire ------------------------------------------------------------------------
 
 func (p *Provider) handleRetire(_ context.Context, req rpc.Message) (rpc.Message, error) {
-	id, err := proto.DecodeModelID(req.Meta)
+	q, err := proto.DecodeRetireReq(req.Meta)
 	if err != nil {
 		return rpc.Message{}, err
 	}
-	om, err := p.Retire(id)
+	if meta, done := p.dedup.get(q.ReqID); done {
+		return rpc.Message{Meta: meta}, nil
+	}
+	om, err := p.Retire(q.Model)
 	if err != nil {
 		return rpc.Message{}, err
 	}
-	return rpc.Message{Meta: om.Encode()}, nil
+	resp := om.Encode()
+	p.dedup.put(q.ReqID, resp)
+	return rpc.Message{Meta: resp}, nil
 }
 
 // Retire removes the model's catalog entry immediately ("the metadata of

@@ -1,0 +1,114 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-provider circuit breaker over transport-level failures.
+//
+//	closed --(threshold consecutive failures)--> open
+//	open   --(cooldown elapsed)--> half-open (one probe admitted)
+//	half-open --(probe succeeds)--> closed
+//	half-open --(probe fails)-----> open (cooldown restarts)
+//
+// Only transient (transport) failures count: a provider that answers with
+// an application error is alive. A disabled breaker (threshold < 0) admits
+// everything.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int // stateClosed, stateOpen, stateHalfOpen
+	fails    int // consecutive transient failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// admit decides whether a call may proceed at time now, returning the
+// state it was admitted under.
+func (b *breaker) admit(now time.Time) (state int, ok bool) {
+	if b.threshold < 0 {
+		return stateClosed, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return stateClosed, true
+	case stateOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return stateOpen, false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return stateHalfOpen, true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return stateHalfOpen, false
+		}
+		b.probing = true
+		return stateHalfOpen, true
+	}
+}
+
+// onSuccess records a successful (or authoritatively answered) call; it
+// reports whether this closed a previously open breaker.
+func (b *breaker) onSuccess() (reclosed bool) {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reclosed = b.state != stateClosed
+	b.state = stateClosed
+	b.fails = 0
+	b.probing = false
+	return reclosed
+}
+
+// onFailure records a transient failure at time now; it reports whether
+// this opened the breaker.
+func (b *breaker) onFailure(now time.Time) (opened bool) {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = now
+			return true
+		}
+	case stateHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.state = stateOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	}
+	return false
+}
+
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

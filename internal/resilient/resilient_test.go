@@ -1,0 +1,316 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+// fakeClock records sleeps and advances virtual time instantly.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// scriptConn fails with the scripted errors in order, then succeeds.
+type scriptConn struct {
+	mu    sync.Mutex
+	errs  []error
+	calls int
+	// sawDeadline records whether each attempt's ctx carried a deadline.
+	sawDeadline []bool
+}
+
+func (c *scriptConn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, has := ctx.Deadline()
+	c.sawDeadline = append(c.sawDeadline, has)
+	i := c.calls
+	c.calls++
+	if i < len(c.errs) && c.errs[i] != nil {
+		return rpc.Message{}, c.errs[i]
+	}
+	return rpc.Message{Meta: []byte("ok")}, nil
+}
+
+func (c *scriptConn) Addr() string { return "script" }
+func (c *scriptConn) Close() error { return nil }
+
+func (c *scriptConn) callCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+var errNet = errors.New("connection reset") // unclassified → transient
+
+func opts(clk Clock) Options {
+	return Options{
+		MaxAttempts: 3,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  80 * time.Millisecond,
+		Jitter:      -1, // deterministic
+		Threshold:   5,
+		Cooldown:    time.Second,
+		Registry:    metrics.NewRegistry(),
+		Clock:       clk,
+	}
+}
+
+func TestBackoffTiming(t *testing.T) {
+	cases := []struct {
+		name     string
+		attempts int
+		base     time.Duration
+		max      time.Duration
+		fails    int
+		want     []time.Duration
+	}{
+		{"doubling", 4, 10 * time.Millisecond, time.Second, 3,
+			[]time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}},
+		{"capped", 5, 10 * time.Millisecond, 25 * time.Millisecond, 4,
+			[]time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond, 25 * time.Millisecond}},
+		{"no retries", 1, 10 * time.Millisecond, time.Second, 0, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			o := opts(clk)
+			o.MaxAttempts = tc.attempts
+			o.BackoffBase = tc.base
+			o.BackoffMax = tc.max
+			errs := make([]error, tc.fails)
+			for i := range errs {
+				errs[i] = errNet
+			}
+			conn := &scriptConn{errs: errs}
+			c := Wrap(conn, o)
+			if _, err := c.Call(context.Background(), "x", rpc.Message{}); err != nil {
+				t.Fatalf("call failed despite %d attempts for %d failures: %v", tc.attempts, tc.fails, err)
+			}
+			if len(clk.sleeps) != len(tc.want) {
+				t.Fatalf("sleeps = %v, want %v", clk.sleeps, tc.want)
+			}
+			for i, d := range tc.want {
+				if clk.sleeps[i] != d {
+					t.Errorf("sleep %d = %v, want %v", i, clk.sleeps[i], d)
+				}
+			}
+		})
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	clk := newFakeClock()
+	o := opts(clk)
+	o.Jitter = 0.5
+	o.MaxAttempts = 2
+	conn := &scriptConn{errs: []error{errNet}}
+	c := Wrap(conn, o)
+	if _, err := c.Call(context.Background(), "x", rpc.Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.sleeps) != 1 {
+		t.Fatalf("sleeps = %v", clk.sleeps)
+	}
+	lo, hi := 5*time.Millisecond, 15*time.Millisecond
+	if clk.sleeps[0] < lo || clk.sleeps[0] > hi {
+		t.Errorf("jittered sleep %v outside [%v, %v]", clk.sleeps[0], lo, hi)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	clk := newFakeClock()
+	// A remote handler error is permanent: the provider answered.
+	remoteErr := func() error {
+		srv := rpc.NewServer()
+		srv.Register("boom", func(context.Context, rpc.Message) (rpc.Message, error) {
+			return rpc.Message{}, errors.New("boom")
+		})
+		n := rpc.NewInprocNet()
+		n.Listen("a", srv)
+		c, _ := n.Dial("a")
+		_, err := c.Call(context.Background(), "boom", rpc.Message{})
+		return err
+	}()
+	if !rpc.IsRemote(remoteErr) {
+		t.Fatal("test setup: expected a remote error")
+	}
+	conn := &scriptConn{errs: []error{remoteErr, remoteErr, remoteErr}}
+	c := Wrap(conn, opts(clk))
+	_, err := c.Call(context.Background(), "x", rpc.Message{})
+	if err == nil || !rpc.IsRemote(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := conn.callCount(); n != 1 {
+		t.Errorf("permanent error retried: %d calls", n)
+	}
+}
+
+func TestNonRetryablePolicy(t *testing.T) {
+	clk := newFakeClock()
+	o := opts(clk)
+	o.Retryable = func(name string) bool { return name != "no-retry" }
+	conn := &scriptConn{errs: []error{errNet, errNet}}
+	c := Wrap(conn, o)
+	if _, err := c.Call(context.Background(), "no-retry", rpc.Message{}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if n := conn.callCount(); n != 1 {
+		t.Errorf("non-retryable op retried: %d calls", n)
+	}
+}
+
+func TestDefaultDeadlineApplied(t *testing.T) {
+	clk := newFakeClock()
+	o := opts(clk)
+	o.DefaultTimeout = time.Second
+	conn := &scriptConn{}
+	c := Wrap(conn, o)
+	c.Call(context.Background(), "x", rpc.Message{})
+	if len(conn.sawDeadline) != 1 || !conn.sawDeadline[0] {
+		t.Error("default deadline not applied to a deadline-less context")
+	}
+	// A caller deadline is respected, not replaced.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c.Call(ctx, "x", rpc.Message{})
+	if len(conn.sawDeadline) != 2 || !conn.sawDeadline[1] {
+		t.Error("caller deadline lost")
+	}
+}
+
+func TestBreakerOpenHalfOpenClosed(t *testing.T) {
+	clk := newFakeClock()
+	o := opts(clk)
+	o.MaxAttempts = 1 // count transitions per call, no inner retries
+	o.Threshold = 3
+	o.Cooldown = time.Second
+	reg := metrics.NewRegistry()
+	o.Registry = reg
+	fail := errors.New("dead provider")
+	conn := &scriptConn{errs: []error{fail, fail, fail, fail}}
+	c := Wrap(conn, o)
+	ctx := context.Background()
+
+	// Three consecutive transient failures open the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call(ctx, "x", rpc.Message{}); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if s := c.BreakerState(); s != "open" {
+		t.Fatalf("state after threshold failures = %s", s)
+	}
+	// While open, calls are shed without touching the connection.
+	before := conn.callCount()
+	_, err := c.Call(ctx, "x", rpc.Message{})
+	if !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("shed error = %v", err)
+	}
+	if conn.callCount() != before {
+		t.Error("shed call reached the connection")
+	}
+	// After cooldown one probe goes through; it fails → re-open.
+	clk.advance(time.Second)
+	if _, err := c.Call(ctx, "x", rpc.Message{}); err == nil {
+		t.Fatal("probe unexpectedly succeeded")
+	}
+	if s := c.BreakerState(); s != "open" {
+		t.Fatalf("state after failed probe = %s", s)
+	}
+	// Next cooldown: the probe succeeds (script exhausted) → closed.
+	clk.advance(time.Second)
+	if _, err := c.Call(ctx, "x", rpc.Message{}); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if s := c.BreakerState(); s != "closed" {
+		t.Fatalf("state after successful probe = %s", s)
+	}
+	snap := reg.Snapshot()
+	if snap["rpc.breaker_open"] != 2 || snap["rpc.breaker_close"] != 1 || snap["rpc.breaker_shed"] != 1 {
+		t.Errorf("transition counters: %v", snap)
+	}
+}
+
+func TestRemoteErrorDoesNotTripBreaker(t *testing.T) {
+	clk := newFakeClock()
+	o := opts(clk)
+	o.MaxAttempts = 1
+	o.Threshold = 2
+	srv := rpc.NewServer()
+	srv.Register("boom", func(context.Context, rpc.Message) (rpc.Message, error) {
+		return rpc.Message{}, errors.New("boom")
+	})
+	n := rpc.NewInprocNet()
+	n.Listen("a", srv)
+	inner, _ := n.Dial("a")
+	c := Wrap(inner, o)
+	for i := 0; i < 10; i++ {
+		c.Call(context.Background(), "boom", rpc.Message{})
+	}
+	if s := c.BreakerState(); s != "closed" {
+		t.Errorf("remote errors tripped the breaker: %s", s)
+	}
+}
+
+func TestRetrySucceedsAgainstFlakyServer(t *testing.T) {
+	// End-to-end through a real fault wrapper: a seeded 50% request-drop
+	// fabric must still serve every call thanks to retries.
+	srv := rpc.NewServer()
+	srv.Register("echo", func(_ context.Context, req rpc.Message) (rpc.Message, error) {
+		return rpc.Message{Meta: req.Meta}, nil
+	})
+	n := rpc.NewInprocNet()
+	n.Listen("a", srv)
+	inner, _ := n.Dial("a")
+	flaky := rpc.WithFaults(inner, rpc.FaultConfig{Seed: 42, DropRequest: 0.5, Registry: metrics.NewRegistry()})
+
+	o := opts(newFakeClock())
+	o.MaxAttempts = 10
+	o.Threshold = -1 // breaker off: we want raw retry behaviour
+	c := Wrap(flaky, o)
+	for i := 0; i < 50; i++ {
+		msg := rpc.Message{Meta: []byte(fmt.Sprintf("m%d", i))}
+		resp, err := c.Call(context.Background(), "echo", msg)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(resp.Meta) != string(msg.Meta) {
+			t.Fatalf("call %d: echo mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// FaultConfig describes the failure behaviour a FaultConn injects. All
+// probabilities are in [0,1] and are drawn from a private RNG seeded with
+// Seed, so a given seed reproduces the exact same failure schedule —
+// table stakes for debugging a resilience test.
+type FaultConfig struct {
+	// Seed initializes the RNG. Equal seeds give equal schedules.
+	Seed int64
+	// DropRequest is the probability a call fails before reaching the
+	// wrapped connection (the request was lost: the handler never ran).
+	DropRequest float64
+	// DropResponse is the probability a call executes on the wrapped
+	// connection but its response is discarded and an error returned (the
+	// reply was lost: the handler DID run). This is the failure mode that
+	// makes blind retries of non-idempotent operations unsafe.
+	DropResponse float64
+	// Delay (± DelayJitter) is added to every surviving call.
+	Delay       time.Duration
+	DelayJitter time.Duration
+	// Registry counts injected faults; nil uses metrics.Default.
+	Registry *metrics.Registry
+}
+
+// FaultConn wraps a Conn with configurable fault injection: request drops,
+// response drops, added delay and a hard partition switch. Tests and
+// evostore-bench use it to exercise the resilience middleware against a
+// misbehaving fabric. All injected failures classify as transient and wrap
+// ErrInjected.
+type FaultConn struct {
+	inner Conn
+	cfg   FaultConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned bool
+
+	drops, respDrops, partitionRejects *metrics.Counter
+}
+
+// WithFaults wraps conn. A zero config injects nothing (but the partition
+// switch still works).
+func WithFaults(conn Conn, cfg FaultConfig) *FaultConn {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default
+	}
+	return &FaultConn{
+		inner:            conn,
+		cfg:              cfg,
+		rng:              rand.New(rand.NewSource(cfg.Seed)),
+		drops:            reg.Counter("fault.drop_request"),
+		respDrops:        reg.Counter("fault.drop_response"),
+		partitionRejects: reg.Counter("fault.partition_reject"),
+	}
+}
+
+// SetPartitioned switches the hard partition: while set, every call fails
+// immediately, as if the provider fell off the fabric.
+func (f *FaultConn) SetPartitioned(on bool) {
+	f.mu.Lock()
+	f.partitioned = on
+	f.mu.Unlock()
+}
+
+// Partitioned reports the partition switch state.
+func (f *FaultConn) Partitioned() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitioned
+}
+
+// roll draws the per-call fault decisions under one lock so concurrent
+// callers see a deterministic interleaving-independent marginal rate.
+func (f *FaultConn) roll() (partitioned, dropReq, dropResp bool, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitioned {
+		return true, false, false, 0
+	}
+	dropReq = f.cfg.DropRequest > 0 && f.rng.Float64() < f.cfg.DropRequest
+	dropResp = !dropReq && f.cfg.DropResponse > 0 && f.rng.Float64() < f.cfg.DropResponse
+	delay = f.cfg.Delay
+	if f.cfg.DelayJitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(2*f.cfg.DelayJitter))) - f.cfg.DelayJitter
+	}
+	return false, dropReq, dropResp, delay
+}
+
+// Call implements Conn.
+func (f *FaultConn) Call(ctx context.Context, name string, req Message) (Message, error) {
+	partitioned, dropReq, dropResp, delay := f.roll()
+	if partitioned {
+		f.partitionRejects.Inc()
+		return Message{}, fmt.Errorf("%w: %s partitioned", ErrInjected, f.inner.Addr())
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return Message{}, ctx.Err()
+		}
+	}
+	if dropReq {
+		f.drops.Inc()
+		return Message{}, fmt.Errorf("%w: request to %s dropped", ErrInjected, f.inner.Addr())
+	}
+	resp, err := f.inner.Call(ctx, name, req)
+	if dropResp && err == nil {
+		f.respDrops.Inc()
+		return Message{}, fmt.Errorf("%w: response from %s dropped", ErrInjected, f.inner.Addr())
+	}
+	return resp, err
+}
+
+// Addr implements Conn.
+func (f *FaultConn) Addr() string { return f.inner.Addr() }
+
+// Close implements Conn.
+func (f *FaultConn) Close() error { return f.inner.Close() }
+
+var _ Conn = (*FaultConn)(nil)

@@ -9,6 +9,20 @@
 // registered memory); the TCP transport streams it with length framing.
 // Both transports count control messages and bulk bytes so experiments can
 // attribute costs.
+//
+// Paper counterpart: the Mochi Mercury/Thallium RPC + RDMA layer (§4.2).
+//
+// Contracts:
+//   - Thread safety: Server, every Conn implementation, Pool, FaultConn
+//     and the helpers in this package are safe for concurrent use.
+//   - Idempotency: the transport retries nothing by itself. A Call that
+//     returns a transient error (see IsTransient) may or may not have
+//     executed on the server; callers must only retry operations that are
+//     idempotent or carry a proto request ID for provider-side dedup.
+//     The resilient package builds that policy on top of this one.
+//   - Errors: handler failures cross the wire as remote errors (IsRemote);
+//     everything else is a transport failure. IsTransient classifies both
+//     for retry decisions.
 package rpc
 
 import (
@@ -17,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Message is one RPC payload: small control metadata plus an optional bulk
@@ -36,6 +51,16 @@ type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	stats    Stats
+	// reqTimeout bounds handler execution for requests arriving without a
+	// caller deadline (nanoseconds; 0 = unlimited). Set via SetRequestTimeout.
+	reqTimeout atomic.Int64
+}
+
+// SetRequestTimeout bounds handler execution for requests that arrive
+// without a deadline of their own (e.g. over the TCP transport, which does
+// not propagate client deadlines across the wire). Zero disables the bound.
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	s.reqTimeout.Store(int64(d))
 }
 
 // NewServer returns an empty server.
@@ -57,6 +82,13 @@ func (s *Server) dispatch(ctx context.Context, name string, req Message) (Messag
 	s.mu.RUnlock()
 	if h == nil {
 		return Message{}, fmt.Errorf("rpc: no handler %q", name)
+	}
+	if d := time.Duration(s.reqTimeout.Load()); d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
 	}
 	atomic.AddUint64(&s.stats.Calls, 1)
 	atomic.AddUint64(&s.stats.BulkInBytes, uint64(len(req.Bulk)))

@@ -186,10 +186,15 @@ func (c *tcpConn) Call(ctx context.Context, name string, req Message) (Message, 
 	if c.dead {
 		return Message{}, ErrClosed
 	}
-	if deadline, ok := ctx.Deadline(); ok {
-		c.conn.SetDeadline(deadline)
-	} else {
-		c.conn.SetDeadline(noDeadline)
+	// A SetDeadline failure means the socket is already unusable; fail the
+	// call now instead of hanging in the frame read below.
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = noDeadline
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.dead = true
+		return Message{}, fmt.Errorf("rpc: setting deadline on %s: %w", c.addr, err)
 	}
 	var nl [2]byte
 	binary.LittleEndian.PutUint16(nl[:], uint16(len(name)))

@@ -14,6 +14,16 @@
 //
 // The simulator is single-threaded and deterministic: equal inputs produce
 // equal schedules, which keeps the reproduced figures stable run-to-run.
+//
+// Paper counterpart: the evaluation methodology of §5 — the ALCF Polaris
+// runs (hundreds of GPUs against 8–32 providers or a Lustre file system)
+// are replayed here as bandwidth-contention schedules instead of real
+// hardware.
+//
+// Contracts: a Net and everything reachable from it are confined to one
+// goroutine; no method is safe for concurrent use. Run is not idempotent —
+// it consumes the event queue — but is reproducible: re-building the same
+// scenario replays the identical schedule.
 package simnet
 
 import (

@@ -1,6 +1,17 @@
 // Package wire provides tiny helpers for encoding and decoding the small
 // control payloads (rpc.Message.Meta) exchanged between EvoStore clients
 // and providers. All integers are little-endian.
+//
+// Paper counterpart: the metadata halves of the Mercury RPC payloads
+// (paper §4.2) — the fixed-layout structs that ride alongside the bulk
+// tensor transfers.
+//
+// Contracts: Writer and Reader are single-use, not safe for concurrent
+// use, and allocation-light by design. Every decode failure surfaces as
+// ErrTruncated; a Reader sticks at its first error so callers may check
+// Err once at the end. Formats evolve by appending optional trailers
+// (see proto): decoders tolerate a completely absent trailer but must
+// reject a torn one, so corruption is never silently read as defaults.
 package wire
 
 import (
