@@ -20,7 +20,10 @@ import (
 // middleware out end to end: every operation must complete despite the
 // drops, the breaker must shed and recover around a partition, and the
 // repository must drain to zero afterwards — any refcount drift from a
-// double-executed IncRef/DecRef would leave segments or refs behind.
+// double-executed IncRef/DecRef (or a retire leg leaked by a replica
+// fan-out) would leave segments or refs behind. With -replicas R>1 the
+// partition phase becomes the kill-one-provider availability check: every
+// read must complete via replica failover with zero client-visible errors.
 func runFaults(args []string) error {
 	fs := flag.NewFlagSet("faults", flag.ExitOnError)
 	providers := fs.Int("providers", 4, "storage providers")
@@ -30,11 +33,13 @@ func runFaults(args []string) error {
 	faultAt := fs.Int("fault-provider", 1, "provider the faults apply to (-1 = all)")
 	seed := fs.Int64("seed", 1, "fault schedule seed")
 	partition := fs.Bool("partition", true, "additionally partition the faulty provider mid-run and heal it")
+	replicas := fs.Int("replicas", 1, "N-way replication factor (R>1: reads must survive a partitioned provider via failover)")
 	fs.Parse(args)
 
 	reg := metrics.Default
 	repo, err := core.Open(core.Options{
 		Providers: *providers,
+		Replicas:  *replicas,
 		Faults: func(i int) *rpc.FaultConfig {
 			if *faultAt >= 0 && i != *faultAt {
 				return nil
@@ -64,8 +69,8 @@ func runFaults(args []string) error {
 	defer repo.Close()
 
 	ctx := context.Background()
-	fmt.Printf("\n=== Fault injection: %d providers, drop=%.0f%% drop-response=%.0f%% on provider %d ===\n",
-		*providers, *drop*100, *dropResp*100, *faultAt)
+	fmt.Printf("\n=== Fault injection: %d providers, R=%d, drop=%.0f%% drop-response=%.0f%% on provider %d ===\n",
+		*providers, repo.Replicas(), *drop*100, *dropResp*100, *faultAt)
 
 	flat, err := model.Flatten(model.Sequential("bench", 8,
 		model.Dense{In: 8, Out: 8, Activation: "relu", UseBias: true},
@@ -140,17 +145,21 @@ func runFaults(args []string) error {
 	return nil
 }
 
-// partitionDemo cuts one provider off, shows the breaker shedding calls to
-// it while the rest of the deployment keeps serving, then heals the
-// partition and verifies the breaker closes again.
+// partitionDemo cuts one provider off. With R=1 it shows the breaker
+// shedding calls to the dead provider while the rest of the deployment
+// keeps serving; with R>1 it is the kill-one-provider availability check:
+// every read — including those homed on the dead provider — must complete
+// via replica failover, with zero client-visible errors. Afterwards the
+// partition heals and the breaker must close again.
 func partitionDemo(ctx context.Context, repo *core.Repository, target int, ids []core.ModelID) error {
 	faults := repo.FaultConns()
 	if target >= len(faults) || faults[target] == nil {
 		return fmt.Errorf("no fault wrapper on provider %d", target)
 	}
 	// A load touches the model's home provider plus every provider owning
-	// an inherited segment, so classify by the full owner lineage: only
-	// models with no dependency on the dead provider must keep working.
+	// an inherited segment, so classify by the full owner lineage: with
+	// R=1, only models with no dependency on the dead provider must keep
+	// working; with R>1 the classification is moot — everything must.
 	n := repo.NumProviders()
 	var depends, independent []core.ModelID
 	for _, id := range ids {
@@ -173,31 +182,58 @@ func partitionDemo(ctx context.Context, repo *core.Repository, target int, ids [
 
 	faults[target].SetPartitioned(true)
 	fmt.Printf("\npartitioned provider %d\n", target)
-	failed := 0
-	for _, id := range depends {
-		if _, _, err := repo.Load(ctx, id); err != nil {
-			failed++
+	if repo.Replicas() > 1 {
+		// Availability contract: the surviving replicas answer everything.
+		readErrs := 0
+		for _, id := range ids {
+			if _, _, err := repo.Load(ctx, id); err != nil {
+				readErrs++
+				fmt.Printf("  read failover FAILED for model %d: %v\n", id, err)
+			}
 		}
-	}
-	fmt.Printf("loads depending on the dead provider: %d/%d failed fast (breaker shedding)\n",
-		failed, len(depends))
-	for _, id := range independent {
-		if _, _, err := repo.Load(ctx, id); err != nil {
-			return fmt.Errorf("load %d on healthy providers during partition: %w", id, err)
+		if readErrs > 0 {
+			return fmt.Errorf("replicated reads: %d/%d loads failed with one provider partitioned (want 0)",
+				readErrs, len(ids))
 		}
+		fmt.Printf("replicated reads: %d/%d loads served via failover during the partition (0 errors)\n",
+			len(ids), len(ids))
+		fmt.Printf("  (%d models homed on the dead provider, %d independent)\n", len(depends), len(independent))
+	} else {
+		failed := 0
+		for _, id := range depends {
+			if _, _, err := repo.Load(ctx, id); err != nil {
+				failed++
+			}
+		}
+		fmt.Printf("loads depending on the dead provider: %d/%d failed fast (breaker shedding)\n",
+			failed, len(depends))
+		for _, id := range independent {
+			if _, _, err := repo.Load(ctx, id); err != nil {
+				return fmt.Errorf("load %d on healthy providers during partition: %w", id, err)
+			}
+		}
+		fmt.Printf("loads on healthy providers only: %d/%d succeeded during the partition\n",
+			len(independent), len(independent))
 	}
-	fmt.Printf("loads on healthy providers only: %d/%d succeeded during the partition\n",
-		len(independent), len(independent))
 
 	faults[target].SetPartitioned(false)
-	// Let the breaker's cooldown elapse, then confirm recovery.
+	// Let the breaker's cooldown elapse, then confirm recovery. With R>1
+	// loads would be answered by surviving replicas even while the healed
+	// provider's breaker is still open, so probe with Stats instead: it
+	// broadcasts to every provider and fails while any leg is shed.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		healed := true
-		for _, id := range depends {
-			if _, _, err := repo.Load(ctx, id); err != nil {
+		if repo.Replicas() > 1 {
+			if _, err := repo.Stats(ctx); err != nil {
 				healed = false
-				break
+			}
+		} else {
+			for _, id := range depends {
+				if _, _, err := repo.Load(ctx, id); err != nil {
+					healed = false
+					break
+				}
 			}
 		}
 		if healed {

@@ -7,7 +7,7 @@
 //	evostore-bench fig5 [-catalog N] [-queries N] [-workers 1,8,...]
 //	evostore-bench fig6|fig7|fig8|fig9|fig10 [-budget N] [-workers N]
 //	evostore-bench ablations
-//	evostore-bench faults [-providers N] [-drop P] [-fault-provider I] [-partition]
+//	evostore-bench faults [-providers N] [-replicas R] [-drop P] [-fault-provider I] [-partition]
 //	evostore-bench all
 //
 // Scaled-down defaults finish in seconds; pass the paper's parameters

@@ -9,8 +9,12 @@
 //	evostore-ctl -providers ... mrca <modelID> <modelID>
 //	evostore-ctl -providers ... retire <modelID>
 //	evostore-ctl -providers ... arch <modelID>        # Graphviz DOT to stdout
+//	evostore-ctl -providers ... metrics               # per-provider counters
+//	evostore-ctl -providers ... replicas <modelID>    # replica placement
 //
-// The -providers list must match the deployment's canonical order.
+// The -providers list must match the deployment's canonical order, and
+// -replicas must match the deployment's replication factor (reads fail
+// over between replicas; mutations like retire fan out to all of them).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -35,10 +40,11 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-call deadline (0 = none)")
 	retries := flag.Int("retries", 3, "attempts per call, including the first")
 	threshold := flag.Int("breaker-threshold", 5, "consecutive transport failures that open a provider's circuit breaker (-1 = off)")
+	replicas := flag.Int("replicas", 1, "deployment replication factor R (must match every other client)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|arch} [args]")
+		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|arch|metrics|replicas} [args]")
 		os.Exit(2)
 	}
 
@@ -55,7 +61,7 @@ func main() {
 		Threshold:      *threshold,
 		Retryable:      proto.Retryable,
 	})
-	cli := client.New(conns)
+	cli := client.New(conns, client.WithReplicas(*replicas))
 	ctx := context.Background()
 
 	if err := run(ctx, cli, args); err != nil {
@@ -190,6 +196,41 @@ func run(ctx context.Context, cli *client.Client, args []string) error {
 			return err
 		}
 		return meta.Graph.WriteDOT(os.Stdout, fmt.Sprintf("model_%d", uint64(id)), nil)
+
+	case "metrics":
+		snaps, errs := cli.Metrics(ctx)
+		tbl := metrics.NewTable("Provider", "Counter", "Value")
+		for i, snap := range snaps {
+			if errs[i] != nil {
+				fmt.Fprintf(os.Stderr, "provider %d: %v\n", i, errs[i])
+				continue
+			}
+			names := make([]string, 0, len(snap))
+			for name, v := range snap {
+				if v != 0 {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				tbl.Add(i, name, snap[name])
+			}
+		}
+		tbl.Render(os.Stdout)
+		return nil
+
+	case "replicas":
+		if len(args) < 2 {
+			return fmt.Errorf("replicas needs a model ID")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		set := cli.ReplicaSet(id)
+		fmt.Printf("model %d: home provider %d, replica set %v (R=%d)\n",
+			uint64(id), cli.HomeProvider(id), set, cli.Replicas())
+		return nil
 	}
 	return fmt.Errorf("unknown subcommand %q", args[0])
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/nas"
@@ -30,6 +31,7 @@ func main() {
 	sample := flag.Int("sample", 10, "tournament sample size")
 	providers := flag.Int("providers", 4, "embedded provider count (ignored with -attach)")
 	attach := flag.String("attach", "", "comma-separated external provider addresses")
+	replicas := flag.Int("replicas", 1, "deployment replication factor R (must match every other client)")
 	retire := flag.Bool("retire", true, "retire aged-out candidates from the repository")
 	timeline := flag.Bool("timeline", false, "render the task timeline")
 	seed := flag.Int64("seed", 7, "search seed")
@@ -43,10 +45,10 @@ func main() {
 		for _, addr := range strings.Split(*attach, ",") {
 			conns = append(conns, rpc.NewPool(strings.TrimSpace(addr), 4, rpc.DialTCP))
 		}
-		repo = core.Attach(conns)
+		repo = core.Attach(conns, client.WithReplicas(*replicas))
 	} else {
 		var err error
-		repo, err = core.Open(core.Options{Providers: *providers})
+		repo, err = core.Open(core.Options{Providers: *providers, Replicas: *replicas})
 		if err != nil {
 			log.Fatal(err)
 		}

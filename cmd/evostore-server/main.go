@@ -7,10 +7,18 @@
 // Usage:
 //
 //	evostore-server -listen :7070 -id 0 [-data /path/to/dir] [-request-timeout 30s]
+//	                [-deploy-size N -replicas R] [-metrics-interval 1m]
 //
 // Without -data the provider uses the in-memory backend (the paper's
 // synchronized-pool mode); with -data it persists segments in an LSM store
 // (the RocksDB-like mode).
+//
+// With -deploy-size (and the deployment's -replicas) the provider arms its
+// replica-placement guard: writes for models whose replica set does not
+// include this provider are rejected, catching clients configured with a
+// wrong address list or replication factor. -metrics-interval periodically
+// logs the process metrics counters; the same snapshot is always available
+// to evostore-ctl via the metrics RPC.
 package main
 
 import (
@@ -18,10 +26,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 	"repro/internal/rpc"
 )
@@ -32,6 +44,12 @@ func main() {
 	data := flag.String("data", "", "persistence directory (empty = in-memory backend)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second,
 		"server-side deadline per request without a caller deadline (0 = none)")
+	deploySize := flag.Int("deploy-size", 0,
+		"number of providers in the deployment (0 = accept writes for any model)")
+	replicas := flag.Int("replicas", 1,
+		"deployment replication factor R (with -deploy-size: accept writes only for models whose replica set includes this provider)")
+	metricsEvery := flag.Duration("metrics-interval", 0,
+		"log a metrics-counter snapshot this often (0 = never)")
 	flag.Parse()
 
 	var kv kvstore.KV
@@ -49,6 +67,10 @@ func main() {
 	}
 
 	p := provider.New(*id, kv)
+	if *deploySize > 0 {
+		p.SetPlacement(*deploySize, *replicas)
+		log.Printf("provider %d: placement guard armed (deployment %d, R=%d)", *id, *deploySize, *replicas)
+	}
 	srv := rpc.NewServer()
 	srv.SetRequestTimeout(*reqTimeout)
 	p.Register(srv)
@@ -59,12 +81,46 @@ func main() {
 	}
 	log.Printf("provider %d: serving on %s", *id, addr)
 
+	stopMetrics := make(chan struct{})
+	if *metricsEvery > 0 {
+		go logMetrics(*id, *metricsEvery, stopMetrics)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	close(stopMetrics)
 	log.Printf("provider %d: shutting down", *id)
 	lis.Close()
 	st := p.Stats()
 	log.Printf("provider %d: %d models, %d segments, %d bytes",
 		*id, st.Models, st.Segments, st.SegmentBytes)
+}
+
+// logMetrics periodically logs the non-zero metrics counters (retries,
+// breaker transitions, replica traffic) in one compact line, so operators
+// tailing the log see what the middleware is doing without polling the
+// metrics RPC.
+func logMetrics(id int, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			snap := metrics.Default.Snapshot()
+			parts := make([]string, 0, len(snap))
+			for name, v := range snap {
+				if v != 0 {
+					parts = append(parts, name+"="+strconv.FormatUint(v, 10))
+				}
+			}
+			sort.Strings(parts)
+			if len(parts) == 0 {
+				continue
+			}
+			log.Printf("provider %d: metrics %s", id, strings.Join(parts, " "))
+		}
+	}
 }

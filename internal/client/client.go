@@ -1,9 +1,11 @@
 // Package client implements the EvoStore client library: the application-
 // side half of the repository. It maps model IDs to providers with static
-// hashing, consolidates modified tensors into single bulk writes, follows
-// owner maps to scatter partial reads across providers in parallel,
-// broadcasts collective LCP queries and reduces their results, and drives
-// distributed retirement (metadata removal + reference-count decrements).
+// hashing (optionally replicated N ways onto the hash successors),
+// consolidates modified tensors into single bulk writes, follows owner
+// maps to scatter partial reads across providers in parallel — failing
+// reads over to sibling replicas when a provider misbehaves — broadcasts
+// collective LCP queries and reduces their results, and drives distributed
+// retirement (metadata removal + reference-count decrements).
 //
 // Paper counterpart: the EvoStore client library of §4.1 linked into every
 // NAS worker.
@@ -17,9 +19,11 @@
 //     provider answers a retried, already-executed request from its dedup
 //     table. Plain reads carry no ReqID; they are idempotent as-is.
 //   - Fault tolerance: collective queries (QueryLCP) tolerate degraded
-//     providers; point reads and mutations surface the failure, annotated
-//     with the provider index, for the resilience layer or caller to act
-//     on.
+//     providers. With replication (WithReplicas), point reads fail over
+//     through the replica set — skipping providers behind an open breaker —
+//     and mutations fan out to every replica and require all of them, so
+//     replicas stay bit-identical. Failures are annotated with the provider
+//     index for the resilience layer or caller to act on.
 package client
 
 import (
@@ -32,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ownermap"
 	"repro/internal/proto"
 	"repro/internal/rpc"
@@ -56,18 +61,30 @@ func nextReqID() uint64 {
 }
 
 // Client talks to a fixed set of providers. Index i of conns is provider i;
-// model IDs are mapped to providers by static hashing (paper §4.1).
+// model IDs are mapped to providers by static hashing (paper §4.1), with an
+// optional N-way replica set on the hash successors (see replication.go).
 type Client struct {
-	conns []rpc.Conn
+	conns    []rpc.Conn
+	replicas int
+	reg      *metrics.Registry
+
+	failovers    *metrics.Counter // reads served by a non-preferred replica
+	breakerSkips *metrics.Counter // replicas skipped on an open breaker
 }
 
 // New wraps provider connections. The slice order defines provider IDs and
 // must match across all clients of the same deployment.
-func New(conns []rpc.Conn) *Client {
+func New(conns []rpc.Conn, opts ...Option) *Client {
 	if len(conns) == 0 {
 		panic("client: need at least one provider connection")
 	}
-	return &Client{conns: conns}
+	c := &Client{conns: conns, replicas: 1, reg: metrics.Default}
+	for _, o := range opts {
+		o(c)
+	}
+	c.failovers = c.reg.Counter("client.read_failover")
+	c.breakerSkips = c.reg.Counter("client.replica_breaker_skip")
+	return c
 }
 
 // NumProviders returns the deployment size.
@@ -76,10 +93,6 @@ func (c *Client) NumProviders() int { return len(c.conns) }
 // HomeProvider returns the provider index a model ID hashes to.
 func (c *Client) HomeProvider(id ownermap.ModelID) int {
 	return int(uint64(id) % uint64(len(c.conns)))
-}
-
-func (c *Client) home(id ownermap.ModelID) rpc.Conn {
-	return c.conns[c.HomeProvider(id)]
 }
 
 // ModelData is a fully resolved model: metadata plus one consolidated
@@ -112,34 +125,50 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 			meta.Model, n, meta.OwnerMap.Len(), len(segments))
 	}
 
-	// Pin inherited segments, grouped by owner.
-	groups := ownerGroups(meta.OwnerMap)
-	var pinned []ownermap.OwnerGroup
-	for _, g := range groups {
-		if g.Owner == meta.Model {
-			continue
-		}
-		if err := c.refCall(ctx, proto.RPCIncRef, g.Owner, g.Vertices); err != nil {
-			for _, undo := range pinned {
-				c.refCall(ctx, proto.RPCDecRef, undo.Owner, undo.Vertices) //nolint:errcheck // best-effort rollback
-			}
-			return fmt.Errorf("client: store %d: pinning inherited tensors of %d: %w", meta.Model, g.Owner, err)
-		}
-		pinned = append(pinned, g)
-	}
-
-	// Consolidate self-owned segments into one bulk payload.
+	// Consolidate self-owned segments into one bulk payload. Validate
+	// lengths before pinning anything: the wire carries a u32 per segment,
+	// and silently truncating a ≥4 GiB tensor would corrupt the bulk table.
 	var table []proto.SegmentRef
 	var bulk []byte
+	var selfVertices []graph.VertexID
 	for v := 0; v < n; v++ {
 		e := meta.OwnerMap.Entries[v]
 		if e.Owner != meta.Model {
 			continue
 		}
+		selfVertices = append(selfVertices, graph.VertexID(v))
 		seg := segments[v]
+		if uint64(len(seg)) >= maxSegmentBytes {
+			return fmt.Errorf("client: store %d: segment for vertex %d is %d bytes, exceeds the %d-byte wire limit",
+				meta.Model, v, len(seg), maxSegmentBytes)
+		}
 		table = append(table, proto.SegmentRef{Vertex: graph.VertexID(v), Length: uint32(len(seg))})
 		bulk = append(bulk, seg...)
 	}
+
+	// Pin inherited segments, grouped by owner. Rollbacks run detached from
+	// the caller's cancellation (context.WithoutCancel): after a deadline or
+	// cancellation failure the caller's ctx is already dead, and a rollback
+	// DecRef issued on it would silently no-op and leak the pins.
+	groups := ownerGroups(meta.OwnerMap)
+	var pinned []ownermap.OwnerGroup
+	rollback := func() {
+		undoCtx := context.WithoutCancel(ctx)
+		for _, undo := range pinned {
+			c.refCall(undoCtx, proto.RPCDecRef, undo.Owner, undo.Vertices) //nolint:errcheck // best-effort rollback
+		}
+	}
+	for _, g := range groups {
+		if g.Owner == meta.Model {
+			continue
+		}
+		if err := c.refCall(ctx, proto.RPCIncRef, g.Owner, g.Vertices); err != nil {
+			rollback()
+			return fmt.Errorf("client: store %d: pinning inherited tensors of %d: %w", meta.Model, g.Owner, err)
+		}
+		pinned = append(pinned, g)
+	}
+
 	req := &proto.StoreModelReq{
 		Model:    meta.Model,
 		Seq:      meta.Seq,
@@ -149,27 +178,42 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 		Segments: table,
 		ReqID:    nextReqID(),
 	}
-	_, err := c.home(meta.Model).Call(ctx, proto.RPCStoreModel, rpc.Message{Meta: req.Encode(), Bulk: bulk})
+	_, err := c.mutateCall(ctx, proto.RPCStoreModel, meta.Model, rpc.Message{Meta: req.Encode(), Bulk: bulk})
 	if err != nil {
-		for _, undo := range pinned {
-			c.refCall(ctx, proto.RPCDecRef, undo.Owner, undo.Vertices) //nolint:errcheck // best-effort rollback
+		// A partial fan-out may have landed copies on some replicas; retire
+		// them and release their self-owned segments (best effort, detached
+		// from cancellation) so a failed store leaves nothing behind.
+		// Replicas that never stored the model answer "unknown model", which
+		// is exactly what we want to ignore.
+		undoCtx := context.WithoutCancel(ctx)
+		rreq := &proto.RetireReq{Model: meta.Model, ReqID: nextReqID()}
+		c.mutateCall(undoCtx, proto.RPCRetire, meta.Model, rpc.Message{Meta: rreq.Encode()}) //nolint:errcheck // best-effort rollback
+		if len(selfVertices) > 0 {
+			c.refCall(undoCtx, proto.RPCDecRef, meta.Model, selfVertices) //nolint:errcheck // best-effort rollback
 		}
+		rollback()
 		return fmt.Errorf("client: store %d: %w", meta.Model, err)
 	}
 	return nil
 }
 
+// maxSegmentBytes is the largest segment the wire format can describe (the
+// segment table carries u32 lengths). A var so tests can lower it without
+// allocating 4 GiB.
+var maxSegmentBytes = uint64(1) << 32
+
 func (c *Client) refCall(ctx context.Context, name string, owner ownermap.ModelID, vs []graph.VertexID) error {
 	req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
-	_, err := c.home(owner).Call(ctx, name, rpc.Message{Meta: req.Encode()})
+	_, err := c.mutateCall(ctx, name, owner, rpc.Message{Meta: req.Encode()})
 	return err
 }
 
 // --- load ----------------------------------------------------------------------
 
-// GetMeta fetches a model's catalog entry from its home provider.
+// GetMeta fetches a model's catalog entry, preferring the home provider
+// and failing over through the replica set on transient errors.
 func (c *Client) GetMeta(ctx context.Context, id ownermap.ModelID) (*proto.ModelMeta, error) {
-	resp, err := c.home(id).Call(ctx, proto.RPCGetMeta, rpc.Message{Meta: proto.EncodeModelID(id)})
+	resp, err := c.readCall(ctx, proto.RPCGetMeta, id, rpc.Message{Meta: proto.EncodeModelID(id)})
 	if err != nil {
 		return nil, fmt.Errorf("client: get_meta %d: %w", id, err)
 	}
@@ -231,7 +275,7 @@ func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[gra
 		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
 			defer wg.Done()
 			req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs}
-			resp, err := c.home(owner).Call(ctx, proto.RPCReadSegments, rpc.Message{Meta: req.Encode()})
+			resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
 			if err != nil {
 				errs[gi] = err
 				return
@@ -254,14 +298,12 @@ func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[gra
 		}(gi, g.Owner, vs)
 	}
 	wg.Wait()
-	// Annotate each failed leg with the provider it targeted: in a fan-out
-	// the interesting question is WHICH provider broke, and a resilient
-	// wrapper's last error alone doesn't say.
+	// Annotate each failed leg with the owner group it targeted; readCall
+	// already names the replica providers that failed inside each leg.
 	var failed []error
 	for gi, err := range errs {
 		if err != nil {
-			failed = append(failed,
-				fmt.Errorf("owner %d on provider %d: %w", groups[gi].Owner, c.HomeProvider(groups[gi].Owner), err))
+			failed = append(failed, fmt.Errorf("owner %d: %w", groups[gi].Owner, err))
 		}
 	}
 	if len(failed) > 0 {
@@ -320,13 +362,57 @@ func (c *Client) QueryLCPReq(ctx context.Context, req *proto.LCPQueryReq) (*prot
 
 // --- retire --------------------------------------------------------------------------
 
-// Retire removes a model: its metadata disappears from the home provider
-// immediately, then the reference counts of every segment its owner map
-// references are decremented on the owning providers in parallel. It
-// returns the number of segments actually freed cluster-wide.
+// RetireLeak records one owner group whose reference counts a partially
+// failed Retire could not decrement. The model's metadata is already gone
+// by the time the DecRef legs run, so nothing will retry these decrements:
+// the counts are stranded until an operator reconciles them.
+type RetireLeak struct {
+	Owner    ownermap.ModelID
+	Vertices []graph.VertexID
+	Err      error
+}
+
+// PartialRetireError reports a Retire whose metadata removal succeeded but
+// whose DecRef legs partially failed. Every leg is run to completion
+// before this is returned; Leaked lists exactly the owner groups whose
+// refcounts were stranded, so drift checks (e.g. evostore-bench faults)
+// can attribute leftover references to the legs that leaked them.
+type PartialRetireError struct {
+	Model  ownermap.ModelID
+	Leaked []RetireLeak
+}
+
+// Error lists the leaked owners and their causes.
+func (e *PartialRetireError) Error() string {
+	msg := fmt.Sprintf("client: retire %d: %d dec_ref leg(s) failed, refcounts leaked on owners", e.Model, len(e.Leaked))
+	for _, l := range e.Leaked {
+		msg += fmt.Sprintf(" %d(%d vertices: %v)", l.Owner, len(l.Vertices), l.Err)
+	}
+	return msg
+}
+
+// Unwrap exposes the per-leg causes to errors.Is / errors.As.
+func (e *PartialRetireError) Unwrap() []error {
+	errs := make([]error, len(e.Leaked))
+	for i, l := range e.Leaked {
+		errs[i] = l.Err
+	}
+	return errs
+}
+
+// Retire removes a model: its metadata disappears from every replica of
+// its home immediately, then the reference counts of every segment its
+// owner map references are decremented on the owning providers (and their
+// replicas) in parallel. It returns the number of logical segments freed
+// cluster-wide.
+//
+// All DecRef legs run to completion even when some fail: the metadata is
+// already gone, so aborting early would strand the remaining owners'
+// refcounts without even reporting which ones. Partial failures come back
+// as a *PartialRetireError naming every leaked owner group.
 func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error) {
 	rreq := &proto.RetireReq{Model: id, ReqID: nextReqID()}
-	resp, err := c.home(id).Call(ctx, proto.RPCRetire, rpc.Message{Meta: rreq.Encode()})
+	resp, err := c.mutateCall(ctx, proto.RPCRetire, id, rpc.Message{Meta: rreq.Encode()})
 	if err != nil {
 		return 0, fmt.Errorf("client: retire %d: %w", id, err)
 	}
@@ -344,7 +430,7 @@ func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error
 		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
 			defer wg.Done()
 			req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
-			resp, err := c.home(owner).Call(ctx, proto.RPCDecRef, rpc.Message{Meta: req.Encode()})
+			resp, err := c.mutateCall(ctx, proto.RPCDecRef, owner, rpc.Message{Meta: req.Encode()})
 			if err != nil {
 				errs[gi] = err
 				return
@@ -354,11 +440,16 @@ func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error
 	}
 	wg.Wait()
 	var total uint64
-	for gi := range groups {
+	var leaked []RetireLeak
+	for gi, g := range groups {
 		if errs[gi] != nil {
-			return total, fmt.Errorf("client: retire %d: dec_ref on owner %d: %w", id, groups[gi].Owner, errs[gi])
+			leaked = append(leaked, RetireLeak{Owner: g.Owner, Vertices: g.Vertices, Err: errs[gi]})
+			continue
 		}
 		total += freed[gi]
+	}
+	if len(leaked) > 0 {
+		return total, &PartialRetireError{Model: id, Leaked: leaked}
 	}
 	return total, nil
 }
@@ -394,9 +485,11 @@ func (c *Client) CommonAncestor(ctx context.Context, a, b ownermap.ModelID) (own
 // --- listing & stats -----------------------------------------------------------------------
 
 // ListModels returns all model IDs cataloged across the deployment,
-// ascending.
+// ascending. With replication each model is cataloged R times; the listing
+// reports each logical model once.
 func (c *Client) ListModels(ctx context.Context) ([]ownermap.ModelID, error) {
 	results := rpc.Broadcast(ctx, c.conns, proto.RPCListModels, rpc.Message{})
+	seen := make(map[ownermap.ModelID]bool)
 	var all []ownermap.ModelID
 	for i, r := range results {
 		if r.Err != nil {
@@ -406,13 +499,38 @@ func (c *Client) ListModels(ctx context.Context) ([]ownermap.ModelID, error) {
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, ids...)
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				all = append(all, id)
+			}
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	return all, nil
 }
 
-// Stats aggregates storage statistics across all providers.
+// Metrics fetches each provider's server-side metrics counters (retries,
+// breaker transitions, replica activity). The result is indexed by
+// provider; a provider running a pre-metrics binary yields a nil map and
+// an error in errs.
+func (c *Client) Metrics(ctx context.Context) (snaps []map[string]uint64, errs []error) {
+	results := rpc.Broadcast(ctx, c.conns, proto.RPCMetrics, rpc.Message{})
+	snaps = make([]map[string]uint64, len(results))
+	errs = make([]error, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			errs[i] = fmt.Errorf("client: metrics on provider %d: %w", i, r.Err)
+			continue
+		}
+		snaps[i], errs[i] = proto.DecodeCounters(r.Resp.Meta)
+	}
+	return snaps, errs
+}
+
+// Stats aggregates storage statistics across all providers. With
+// replication the sums count physical copies: a segment stored on R
+// replicas contributes R times.
 func (c *Client) Stats(ctx context.Context) (*proto.ProviderStats, error) {
 	results := rpc.Broadcast(ctx, c.conns, proto.RPCStats, rpc.Message{})
 	total := &proto.ProviderStats{}

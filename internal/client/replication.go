@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/ownermap"
+	"repro/internal/rpc"
+)
+
+// Replica placement: a model's replica set is its home provider (static
+// modulo hash, paper §4.1) plus the next R-1 successors modulo the
+// deployment size. Every client and provider of a deployment must agree on
+// R; the wire format is unchanged, so R=1 interoperates bit-for-bit with
+// pre-replication binaries.
+//
+// Writes (StoreModel, IncRef, DecRef, Retire) fan out to every replica in
+// parallel, all carrying the same ReqID: each replica's dedup table
+// independently absorbs retries, so a retried fan-out leg can never
+// double-apply a refcount change. A write succeeds only when every replica
+// accepted it, which keeps replicas bit-identical and makes any single
+// replica authoritative for reads.
+//
+// Reads (GetMeta, ReadSegments) try one replica at a time, preferring the
+// home provider, and fail over to the next on a transient error. Replica
+// order is breaker-aware: replicas whose resilient.Conn breaker is open are
+// tried last, so a partitioned provider is skipped without waiting out its
+// cooldown. Remote (application) errors are authoritative and never fail
+// over — with all-replica writes, "not found" on one replica means "not
+// found" everywhere.
+
+// Option configures a Client beyond its connection list.
+type Option func(*Client)
+
+// WithReplicas sets the N-way replication factor R (default 1: the paper's
+// single-homed placement). R is clamped to the deployment size. All clients
+// and tools of one deployment must use the same R.
+func WithReplicas(r int) Option {
+	return func(c *Client) {
+		if r > 1 {
+			c.replicas = r
+		}
+	}
+}
+
+// WithRegistry routes the client's replication counters (read failovers,
+// breaker-skipped replicas) to reg instead of metrics.Default.
+func WithRegistry(reg *metrics.Registry) Option {
+	return func(c *Client) { c.reg = reg }
+}
+
+// healthReporter mirrors resilient.HealthReporter without importing the
+// package: any conn exposing Healthy() participates in breaker-aware
+// replica ordering; conns without it are assumed healthy.
+type healthReporter interface {
+	Healthy() bool
+}
+
+// Replicas returns the configured replication factor (clamped to the
+// deployment size).
+func (c *Client) Replicas() int {
+	if c.replicas > len(c.conns) {
+		return len(c.conns)
+	}
+	return c.replicas
+}
+
+// ReplicaSet returns the provider indices holding id's metadata and
+// segments, preferred (home) first.
+func (c *Client) ReplicaSet(id ownermap.ModelID) []int {
+	n := len(c.conns)
+	r := c.Replicas()
+	home := c.HomeProvider(id)
+	set := make([]int, r)
+	for i := range set {
+		set[i] = (home + i) % n
+	}
+	return set
+}
+
+// readOrder is ReplicaSet reordered so replicas behind an open breaker sort
+// last (stable within each class, so the home provider stays preferred
+// among healthy replicas). The unhealthy tail is kept as a last resort: if
+// every replica is shedding, the caller still gets a real error chain.
+func (c *Client) readOrder(id ownermap.ModelID) []int {
+	set := c.ReplicaSet(id)
+	if len(set) == 1 {
+		return set
+	}
+	ordered := make([]int, 0, len(set))
+	var skipped []int
+	for _, pi := range set {
+		if h, ok := c.conns[pi].(healthReporter); ok && !h.Healthy() {
+			skipped = append(skipped, pi)
+			continue
+		}
+		ordered = append(ordered, pi)
+	}
+	if len(skipped) > 0 {
+		c.breakerSkips.Add(uint64(len(skipped)))
+	}
+	return append(ordered, skipped...)
+}
+
+// readCall performs a read with replica failover: replicas are tried in
+// breaker-aware preference order; transient failures move on to the next
+// replica, remote errors and caller cancellation return immediately.
+func (c *Client) readCall(ctx context.Context, name string, id ownermap.ModelID, req rpc.Message) (rpc.Message, error) {
+	order := c.readOrder(id)
+	var failed []error
+	for i, pi := range order {
+		resp, err := c.conns[pi].Call(ctx, name, req)
+		if err == nil {
+			if i > 0 {
+				c.failovers.Inc()
+			}
+			return resp, nil
+		}
+		if !rpc.IsTransient(err) {
+			// Authoritative handler answer, or the caller gave up: replicas
+			// are write-synchronized, so no other replica would say better.
+			return rpc.Message{}, fmt.Errorf("provider %d: %w", pi, err)
+		}
+		failed = append(failed, fmt.Errorf("replica on provider %d: %w", pi, err))
+	}
+	return rpc.Message{}, errors.Join(failed...)
+}
+
+// mutateCall fans a mutating request out to every replica of id in
+// parallel. The request bytes (including the ReqID) are shared, so each
+// replica deduplicates retries independently. All replicas must accept:
+// any failed leg fails the call, with every leg's error joined and
+// annotated with its provider. The first replica's response is returned
+// (legs are deterministic, so all successful responses agree).
+func (c *Client) mutateCall(ctx context.Context, name string, id ownermap.ModelID, req rpc.Message) (rpc.Message, error) {
+	set := c.ReplicaSet(id)
+	if len(set) == 1 {
+		return c.conns[set[0]].Call(ctx, name, req)
+	}
+	resps := make([]rpc.Message, len(set))
+	errs := make([]error, len(set))
+	var wg sync.WaitGroup
+	for i, pi := range set {
+		wg.Add(1)
+		go func(i, pi int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.conns[pi].Call(ctx, name, req)
+		}(i, pi)
+	}
+	wg.Wait()
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("replica on provider %d: %w", set[i], err))
+		}
+	}
+	if len(failed) > 0 {
+		return rpc.Message{}, errors.Join(failed...)
+	}
+	return resps[0], nil
+}

@@ -10,8 +10,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/ownermap"
-	"repro/internal/provider"
 	"repro/internal/proto"
+	"repro/internal/provider"
 	"repro/internal/resilient"
 	"repro/internal/rpc"
 )

@@ -67,6 +67,12 @@ type Options struct {
 	// resilient middleware (deadlines, retries, circuit breaker). The
 	// Retryable policy defaults to proto.Retryable if unset.
 	Resilience *resilient.Options
+	// Replicas is the N-way replication factor: each model's metadata and
+	// segments live on its home provider plus the next Replicas-1 hash
+	// successors, writes fan out to all of them, and reads fail over
+	// between them. Default 1 (the paper's single-homed placement);
+	// clamped to Providers.
+	Replicas int
 }
 
 // Open creates an embedded deployment: providers and clients live in this
@@ -80,11 +86,18 @@ func Open(opts Options) (*Repository, error) {
 	if opts.Backend == nil {
 		opts.Backend = func(int) kvstore.KV { return kvstore.NewMemKV(16) }
 	}
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	if opts.Replicas > opts.Providers {
+		opts.Replicas = opts.Providers
+	}
 	net := rpc.NewInprocNet()
 	r := &Repository{net: net}
 	conns := make([]rpc.Conn, opts.Providers)
 	for i := 0; i < opts.Providers; i++ {
 		p := provider.New(i, opts.Backend(i))
+		p.SetPlacement(opts.Providers, opts.Replicas)
 		srv := rpc.NewServer()
 		p.Register(srv)
 		addr := fmt.Sprintf("provider-%d", i)
@@ -115,7 +128,7 @@ func Open(opts Options) (*Repository, error) {
 		conns = resilient.WrapAll(conns, ro)
 	}
 	r.conns = conns
-	r.cli = client.New(conns)
+	r.cli = client.New(conns, client.WithReplicas(opts.Replicas))
 	return r, nil
 }
 
@@ -126,9 +139,11 @@ func (r *Repository) FaultConns() []*rpc.FaultConn { return r.faults }
 
 // Attach wraps connections to an externally deployed set of providers
 // (e.g. evostore-server processes over TCP). The connection order defines
-// provider IDs and must be identical for every client.
-func Attach(conns []rpc.Conn) *Repository {
-	return &Repository{cli: client.New(conns), conns: conns}
+// provider IDs and must be identical for every client, as must any client
+// options (e.g. client.WithReplicas — every client of a deployment must
+// agree on the replication factor).
+func Attach(conns []rpc.Conn, opts ...client.Option) *Repository {
+	return &Repository{cli: client.New(conns, opts...), conns: conns}
 }
 
 // Close releases client connections (and nothing else: embedded providers
@@ -143,6 +158,12 @@ func (r *Repository) Close() error {
 
 // NumProviders returns the deployment size.
 func (r *Repository) NumProviders() int { return r.cli.NumProviders() }
+
+// Replicas returns the deployment's replication factor.
+func (r *Repository) Replicas() int { return r.cli.Replicas() }
+
+// ReplicaSet returns the provider indices holding id, preferred first.
+func (r *Repository) ReplicaSet(id ModelID) []int { return r.cli.ReplicaSet(id) }
 
 // Providers exposes embedded providers for inspection in tests and
 // benchmarks; it returns nil for attached deployments.

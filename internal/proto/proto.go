@@ -20,6 +20,7 @@ package proto
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/ownermap"
@@ -37,13 +38,14 @@ const (
 	RPCLCPQuery     = "evostore.lcp_query"
 	RPCListModels   = "evostore.list_models"
 	RPCStats        = "evostore.stats"
+	RPCMetrics      = "evostore.metrics"
 )
 
 // Idempotent reports whether the named RPC can be blindly re-executed
 // without changing the outcome.
 func Idempotent(name string) bool {
 	switch name {
-	case RPCGetMeta, RPCReadSegments, RPCLCPQuery, RPCListModels, RPCStats:
+	case RPCGetMeta, RPCReadSegments, RPCLCPQuery, RPCListModels, RPCStats, RPCMetrics:
 		return true
 	}
 	return false
@@ -561,6 +563,38 @@ func DecodeModelList(b []byte) ([]ownermap.ModelID, error) {
 		ids[i] = ownermap.ModelID(r.U64())
 	}
 	return ids, r.Err()
+}
+
+// EncodeCounters serializes a metrics snapshot (counter name → value) for
+// the Metrics RPC, sorted by name so equal snapshots encode identically.
+func EncodeCounters(snap map[string]uint64) []byte {
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w := wire.NewWriter(4 + 16*len(names))
+	w.U32(uint32(len(names)))
+	for _, name := range names {
+		w.Bytes32([]byte(name))
+		w.U64(snap[name])
+	}
+	return w.Bytes()
+}
+
+// DecodeCounters parses a metrics snapshot.
+func DecodeCounters(b []byte) (map[string]uint64, error) {
+	r := wire.NewReader(b)
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/12+1 {
+		return nil, wire.ErrTruncated
+	}
+	snap := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		name := string(r.Bytes32())
+		snap[name] = r.U64()
+	}
+	return snap, r.Err()
 }
 
 // ProviderStats summarizes one provider's storage state.

@@ -306,3 +306,43 @@ func TestIdempotentAndRetryable(t *testing.T) {
 		}
 	}
 }
+
+func TestCountersRoundtrip(t *testing.T) {
+	snap := map[string]uint64{
+		"client.read_failover": 7,
+		"rpc.retry":            123456789,
+		"breaker.open":         0,
+		"fault.request_drop":   1,
+	}
+	got, err := DecodeCounters(EncodeCounters(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snap) {
+		t.Fatalf("decoded %d counters, want %d", len(got), len(snap))
+	}
+	for name, v := range snap {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+
+	if m, err := DecodeCounters(EncodeCounters(nil)); err != nil || len(m) != 0 {
+		t.Errorf("empty snapshot roundtrip: %v %v", m, err)
+	}
+}
+
+func TestCountersDecodeTruncated(t *testing.T) {
+	b := EncodeCounters(map[string]uint64{"some.counter": 42})
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeCounters(b[:cut]); err == nil {
+			t.Errorf("decoding %d/%d bytes succeeded", cut, len(b))
+		}
+	}
+	// A count field claiming more entries than the payload can hold must be
+	// rejected up front, not trusted as an allocation size.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeCounters(huge); err == nil {
+		t.Error("absurd counter count accepted")
+	}
+}

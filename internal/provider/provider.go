@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/ownermap"
 	"repro/internal/proto"
 	"repro/internal/rpc"
@@ -59,6 +60,17 @@ type Provider struct {
 	id int
 	kv kvstore.KV
 
+	// Placement guard (SetPlacement): when deploySize > 0 the provider
+	// rejects writes for models whose replica set — home hash plus the next
+	// replicaFactor-1 successors — does not include it. Zero means accept
+	// everything (the pre-replication wire behaviour).
+	deploySize    int
+	replicaFactor int
+
+	// reg is the registry the Metrics RPC snapshots (default
+	// metrics.Default, which the resilience middleware also writes to).
+	reg *metrics.Registry
+
 	mu     sync.RWMutex
 	models map[ownermap.ModelID]*modelMeta
 	refs   map[segKey]int
@@ -75,6 +87,7 @@ func New(id int, kv kvstore.KV) *Provider {
 	return &Provider{
 		id:     id,
 		kv:     kv,
+		reg:    metrics.Default,
 		models: make(map[ownermap.ModelID]*modelMeta),
 		refs:   make(map[segKey]int),
 		dedup:  newDedupTable(dedupCap),
@@ -83,6 +96,52 @@ func New(id int, kv kvstore.KV) *Provider {
 
 // ID returns the provider index.
 func (p *Provider) ID() int { return p.id }
+
+// SetPlacement arms the replica-placement guard: the provider will accept
+// writes only for models whose replica set (home hash plus the next
+// replicas-1 successors modulo deploySize) includes this provider's ID.
+// Replication moved writes beyond the home hash, so the guard is what
+// still catches a client whose address list disagrees with the
+// deployment's. Call before serving; deploySize <= 0 disables the guard.
+func (p *Provider) SetPlacement(deploySize, replicas int) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > deploySize {
+		replicas = deploySize
+	}
+	p.deploySize = deploySize
+	p.replicaFactor = replicas
+}
+
+// SetMetricsRegistry points the Metrics RPC at reg (default
+// metrics.Default).
+func (p *Provider) SetMetricsRegistry(reg *metrics.Registry) {
+	if reg != nil {
+		p.reg = reg
+	}
+}
+
+// acceptsWrite reports whether the placement guard admits a write keyed by
+// id (a model being stored/retired, or the owner of refcounted segments).
+func (p *Provider) acceptsWrite(id ownermap.ModelID) error {
+	if p.deploySize <= 0 {
+		return nil
+	}
+	home := int(uint64(id) % uint64(p.deploySize))
+	for i := 0; i < p.replicaFactor; i++ {
+		if (home+i)%p.deploySize == p.id {
+			return nil
+		}
+	}
+	p.reg.Counter("provider.placement_reject").Inc()
+	return fmt.Errorf("provider %d: not a replica of model %d (home %d, R=%d, deployment %d)",
+		p.id, id, home, p.replicaFactor, p.deploySize)
+}
+
+// dedupHit records a retried mutation answered from the dedup table — the
+// signal that a client is retrying lost responses against this provider.
+func (p *Provider) dedupHit() { p.reg.Counter("provider.dedup_hit").Inc() }
 
 // Register installs all EvoStore handlers on srv.
 func (p *Provider) Register(srv *rpc.Server) {
@@ -95,6 +154,7 @@ func (p *Provider) Register(srv *rpc.Server) {
 	srv.Register(proto.RPCLCPQuery, p.handleLCPQuery)
 	srv.Register(proto.RPCListModels, p.handleListModels)
 	srv.Register(proto.RPCStats, p.handleStats)
+	srv.Register(proto.RPCMetrics, p.handleMetrics)
 }
 
 // --- store -------------------------------------------------------------------
@@ -105,6 +165,7 @@ func (p *Provider) handleStoreModel(_ context.Context, req rpc.Message) (rpc.Mes
 		return rpc.Message{}, fmt.Errorf("provider %d: store: %w", p.id, err)
 	}
 	if meta, done := p.dedup.get(q.ReqID); done {
+		p.dedupHit()
 		return rpc.Message{Meta: meta}, nil
 	}
 	segs, err := proto.SplitBulk(q.Segments, req.Bulk)
@@ -124,6 +185,9 @@ func (p *Provider) handleStoreModel(_ context.Context, req rpc.Message) (rpc.Mes
 // itself; refcounts of inherited segments live on their owners' providers
 // and are incremented by the client via IncRef.
 func (p *Provider) StoreModel(q *proto.StoreModelReq, segs [][]byte) error {
+	if err := p.acceptsWrite(q.Model); err != nil {
+		return fmt.Errorf("store %d: %w", q.Model, err)
+	}
 	if q.OwnerMap.Len() != q.Graph.NumVertices() {
 		return fmt.Errorf("provider %d: store %d: owner map covers %d vertices, graph has %d",
 			p.id, q.Model, q.OwnerMap.Len(), q.Graph.NumVertices())
@@ -244,6 +308,7 @@ func (p *Provider) handleIncRef(_ context.Context, req rpc.Message) (rpc.Message
 		return rpc.Message{}, err
 	}
 	if meta, done := p.dedup.get(q.ReqID); done {
+		p.dedupHit()
 		return rpc.Message{Meta: meta}, nil
 	}
 	if err := p.IncRef(q.Owner, q.Vertices); err != nil {
@@ -258,6 +323,9 @@ func (p *Provider) handleIncRef(_ context.Context, req rpc.Message) (rpc.Message
 // Referencing a segment that does not exist is an error: it would mean a
 // client derived from tensors this provider never stored.
 func (p *Provider) IncRef(owner ownermap.ModelID, vertices []graph.VertexID) error {
+	if err := p.acceptsWrite(owner); err != nil {
+		return fmt.Errorf("inc_ref: %w", err)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	// Validate first so the operation is all-or-nothing.
@@ -278,6 +346,7 @@ func (p *Provider) handleDecRef(_ context.Context, req rpc.Message) (rpc.Message
 		return rpc.Message{}, err
 	}
 	if meta, done := p.dedup.get(q.ReqID); done {
+		p.dedupHit()
 		return rpc.Message{Meta: meta}, nil
 	}
 	freed, err := p.DecRef(q.Owner, q.Vertices)
@@ -293,6 +362,9 @@ func (p *Provider) handleDecRef(_ context.Context, req rpc.Message) (rpc.Message
 // deleting segments whose counter reaches zero. It returns the number of
 // segments freed. The whole batch is O(k) in the number of leaf layers.
 func (p *Provider) DecRef(owner ownermap.ModelID, vertices []graph.VertexID) (uint64, error) {
+	if err := p.acceptsWrite(owner); err != nil {
+		return 0, fmt.Errorf("dec_ref: %w", err)
+	}
 	var toDelete []segKey
 	p.mu.Lock()
 	// Validate first so the batch is all-or-nothing, like IncRef.
@@ -335,6 +407,7 @@ func (p *Provider) handleRetire(_ context.Context, req rpc.Message) (rpc.Message
 		return rpc.Message{}, err
 	}
 	if meta, done := p.dedup.get(q.ReqID); done {
+		p.dedupHit()
 		return rpc.Message{Meta: meta}, nil
 	}
 	om, err := p.Retire(q.Model)
@@ -352,6 +425,9 @@ func (p *Provider) handleRetire(_ context.Context, req rpc.Message) (rpc.Message
 // providers. The segments themselves survive until their counters drop to
 // zero.
 func (p *Provider) Retire(id ownermap.ModelID) (*ownermap.Map, error) {
+	if err := p.acceptsWrite(id); err != nil {
+		return nil, fmt.Errorf("retire: %w", err)
+	}
 	p.mu.Lock()
 	meta := p.models[id]
 	if meta == nil {
@@ -456,6 +532,13 @@ func (p *Provider) ListModels() []ownermap.ModelID {
 
 func (p *Provider) handleStats(_ context.Context, _ rpc.Message) (rpc.Message, error) {
 	return rpc.Message{Meta: p.Stats().Encode()}, nil
+}
+
+// handleMetrics snapshots the provider-side metrics registry so operators
+// can see retries, breaker transitions and replica traffic per provider,
+// not just per client (the server-side half of the stats story).
+func (p *Provider) handleMetrics(_ context.Context, _ rpc.Message) (rpc.Message, error) {
+	return rpc.Message{Meta: proto.EncodeCounters(p.reg.Snapshot())}, nil
 }
 
 // Stats summarizes the provider's storage state.

@@ -100,6 +100,26 @@ func (b *breaker) onFailure(now time.Time) (opened bool) {
 	return false
 }
 
+// healthy reports whether a call placed at time now would be admitted:
+// closed breakers always admit; open breakers admit once the cooldown has
+// elapsed (the call would run as the half-open probe); a half-open breaker
+// with a probe already in flight would shed.
+func (b *breaker) healthy(now time.Time) bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	case stateHalfOpen:
+		return !b.probing
+	default:
+		return true
+	}
+}
+
 func (b *breaker) stateName() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -258,4 +258,20 @@ func (c *Conn) Close() error { return c.inner.Close() }
 // introspection): "closed", "open" or "half-open".
 func (c *Conn) BreakerState() string { return c.breaker.stateName() }
 
+// Healthy reports whether the breaker would admit a call right now without
+// shedding it: true while closed or once an open breaker's cooldown has
+// elapsed (a probe would be admitted). Replica selection uses this to skip
+// a partitioned provider instead of waiting out its open breaker.
+func (c *Conn) Healthy() bool { return c.breaker.healthy(c.opts.Clock.Now()) }
+
+// HealthReporter is implemented by connections that can report whether a
+// call placed now would be admitted rather than shed. The client's replica
+// selection type-asserts against it; connections without the method are
+// assumed healthy.
+type HealthReporter interface {
+	Healthy() bool
+}
+
+var _ HealthReporter = (*Conn)(nil)
+
 var _ rpc.Conn = (*Conn)(nil)
