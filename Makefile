@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-faults
+.PHONY: build test check bench bench-faults
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,17 @@ test:
 	$(GO) test ./...
 
 # Full verification: static analysis plus the test suite under the race
-# detector. This is what CI should run.
+# detector, and a 1-iteration smoke run of the tracked bulk benchmarks so
+# the suite can't rot. This is what CI should run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench Bulk -benchtime 1x ./internal/bulkbench
+
+# Refresh the tracked bulk data path benchmarks (BENCH_bulk.json). The
+# "before" baseline entries are preserved; "after" entries are replaced.
+bench:
+	$(GO) run ./cmd/evostore-bench bulk -out BENCH_bulk.json -benchtime 2s
 
 # End-to-end resilience proof: store/load/partition/retire through a
 # fault-injecting fabric; fails on any refcount drift.

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/bulkbench"
+	"repro/internal/metrics"
+)
+
+// bulkEntry is one tracked benchmark result in BENCH_bulk.json.
+type bulkEntry struct {
+	Op          string  `json:"op"`
+	Phase       string  `json:"phase"` // "before" (pre-zero-copy baseline) or "after"
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type bulkFile struct {
+	Entries []bulkEntry `json:"entries"`
+}
+
+// runBulk benchmarks the bulk data path and optionally merges the results
+// into a tracked JSON file. Entries with phase "before" (the baseline
+// captured before the zero-copy refactor) are preserved; "after" entries
+// are replaced wholesale by this run's numbers.
+func runBulk(args []string) error {
+	fs := flag.NewFlagSet("bulk", flag.ExitOnError)
+	out := fs.String("out", "", "merge results into this JSON file (empty = print only)")
+	benchtime := fs.String("benchtime", "1s", "per-benchmark duration or iteration count (e.g. 2s, 1x)")
+	filter := fs.String("filter", "", "only run scenarios whose name contains this substring")
+	fs.Parse(args)
+
+	// testing.Benchmark honours the standard -test.benchtime flag; register
+	// the testing flags and set it explicitly so a normal binary can use
+	// short smoke runs (1x) or longer steady-state runs.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return fmt.Errorf("bad -benchtime %q: %w", *benchtime, err)
+	}
+
+	var entries []bulkEntry
+	tbl := metrics.NewTable("Benchmark", "ns/op", "MB/s", "B/op", "allocs/op")
+	for _, s := range bulkbench.Scenarios() {
+		if *filter != "" && !strings.Contains(s.Name, *filter) {
+			continue
+		}
+		r := testing.Benchmark(s.Run)
+		if r.N == 0 {
+			return fmt.Errorf("scenario %s did not run", s.Name)
+		}
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		mbPerS := 0.0
+		if r.Bytes > 0 && r.T > 0 {
+			mbPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		e := bulkEntry{
+			Op: s.Name, Phase: "after",
+			NsPerOp: nsPerOp, MBPerS: mbPerS,
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		}
+		entries = append(entries, e)
+		tbl.Add(s.Name, fmt.Sprintf("%.0f", nsPerOp), fmt.Sprintf("%.1f", mbPerS),
+			e.BytesPerOp, e.AllocsPerOp)
+	}
+	fmt.Println("\n=== Bulk data path benchmarks ===")
+	tbl.Render(os.Stdout)
+
+	if *out == "" {
+		return nil
+	}
+	reran := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		reran[e.Op] = true
+	}
+	merged := bulkFile{}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old bulkFile
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("existing %s is not a bulk benchmark file: %w", *out, err)
+		}
+		// "before" entries (the pre-zero-copy baseline) are permanent;
+		// "after" entries survive unless this run re-measured their op, so
+		// -filter refreshes single scenarios without dropping the rest.
+		for _, e := range old.Entries {
+			if e.Phase == "before" || !reran[e.Op] {
+				merged.Entries = append(merged.Entries, e)
+			}
+		}
+	}
+	merged.Entries = append(merged.Entries, entries...)
+	data, err := json.MarshalIndent(&merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}

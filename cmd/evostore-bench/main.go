@@ -57,6 +57,8 @@ func main() {
 		err = runStrategies(args)
 	case "faults":
 		err = runFaults(args)
+	case "bulk":
+		err = runBulk(args)
 	case "all":
 		for _, sub := range []func([]string) error{
 			runFig4, runFig5, runFig6, runFig7, runFig8, runFig9, runFig10,
@@ -77,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|bulk|all} [flags]")
 }
 
 func parseInts(s string) []int {

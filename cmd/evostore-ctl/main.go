@@ -8,6 +8,7 @@
 //	evostore-ctl -providers ... owners <modelID>
 //	evostore-ctl -providers ... mrca <modelID> <modelID>
 //	evostore-ctl -providers ... retire <modelID>
+//	evostore-ctl -providers ... load <modelID>        # fetch all segments, print checksum
 //	evostore-ctl -providers ... arch <modelID>        # Graphviz DOT to stdout
 //	evostore-ctl -providers ... metrics               # per-provider counters
 //	evostore-ctl -providers ... replicas <modelID>    # replica placement
@@ -21,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
 	"strconv"
@@ -41,16 +43,19 @@ func main() {
 	retries := flag.Int("retries", 3, "attempts per call, including the first")
 	threshold := flag.Int("breaker-threshold", 5, "consecutive transport failures that open a provider's circuit breaker (-1 = off)")
 	replicas := flag.Int("replicas", 1, "deployment replication factor R (must match every other client)")
+	stripeChunk := flag.Int("stripe-chunk", 0, "stripe owner-group reads larger than this many bytes into parallel ranged chunks (0 = off)")
+	stripePar := flag.Int("stripe-parallel", 4, "max in-flight ranged chunks per striped read")
+	poolSize := flag.Int("pool", 2, "TCP connections per provider (striped reads fan ranged chunks across them)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|arch|metrics|replicas} [args]")
+		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|load|arch|metrics|replicas} [args]")
 		os.Exit(2)
 	}
 
 	var conns []rpc.Conn
 	for _, addr := range strings.Split(*providers, ",") {
-		conns = append(conns, rpc.NewPool(strings.TrimSpace(addr), 2, rpc.DialTCP))
+		conns = append(conns, rpc.NewPool(strings.TrimSpace(addr), *poolSize, rpc.DialTCP))
 	}
 	if *timeout == 0 {
 		*timeout = -1 // Options treats negative as "no default deadline"
@@ -61,7 +66,11 @@ func main() {
 		Threshold:      *threshold,
 		Retryable:      proto.Retryable,
 	})
-	cli := client.New(conns, client.WithReplicas(*replicas))
+	copts := []client.Option{client.WithReplicas(*replicas)}
+	if *stripeChunk > 0 {
+		copts = append(copts, client.WithStripedReads(*stripeChunk, *stripePar))
+	}
+	cli := client.New(conns, copts...)
 	ctx := context.Background()
 
 	if err := run(ctx, cli, args); err != nil {
@@ -181,6 +190,34 @@ func run(ctx context.Context, cli *client.Client, args []string) error {
 			return err
 		}
 		fmt.Printf("retired %d, freed %d segments\n", uint64(id), freed)
+		return nil
+
+	case "load":
+		if len(args) < 2 {
+			return fmt.Errorf("load needs a model ID")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		data, err := cli.Load(ctx, id)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		sum := fnv.New64a()
+		var total int64
+		for _, seg := range data.Segments {
+			sum.Write(seg)
+			total += int64(len(seg))
+		}
+		mbps := 0.0
+		if elapsed > 0 {
+			mbps = float64(total) / 1e6 / elapsed.Seconds()
+		}
+		fmt.Printf("model %d: %d segments, %d bytes, fnv64a %016x, %.1f MB/s\n",
+			uint64(id), len(data.Segments), total, sum.Sum64(), mbps)
 		return nil
 
 	case "arch":

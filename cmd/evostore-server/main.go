@@ -7,7 +7,7 @@
 // Usage:
 //
 //	evostore-server -listen :7070 -id 0 [-data /path/to/dir] [-request-timeout 30s]
-//	                [-deploy-size N -replicas R] [-metrics-interval 1m]
+//	                [-deploy-size N -replicas R] [-metrics-interval 1m] [-dedup-ttl 2m]
 //
 // Without -data the provider uses the in-memory backend (the paper's
 // synchronized-pool mode); with -data it persists segments in an LSM store
@@ -50,6 +50,8 @@ func main() {
 		"deployment replication factor R (with -deploy-size: accept writes only for models whose replica set includes this provider)")
 	metricsEvery := flag.Duration("metrics-interval", 0,
 		"log a metrics-counter snapshot this often (0 = never)")
+	dedupTTL := flag.Duration("dedup-ttl", provider.DefaultDedupTTL,
+		"lifetime of request-dedup entries; must cover the clients' retry budget (0 = never expire by age)")
 	flag.Parse()
 
 	var kv kvstore.KV
@@ -67,6 +69,7 @@ func main() {
 	}
 
 	p := provider.New(*id, kv)
+	p.SetDedupTTL(*dedupTTL)
 	if *deploySize > 0 {
 		p.SetPlacement(*deploySize, *replicas)
 		log.Printf("provider %d: placement guard armed (deployment %d, R=%d)", *id, *deploySize, *replicas)

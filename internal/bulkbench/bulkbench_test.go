@@ -1,0 +1,16 @@
+package bulkbench
+
+import "testing"
+
+// BenchmarkBulk runs every tracked bulk scenario as a sub-benchmark:
+//
+//	go test -bench=Bulk -benchmem ./internal/bulkbench
+//
+// `make check` runs it with -benchtime=1x as a smoke test; `evostore-bench
+// bulk` runs the same bodies via testing.Benchmark to refresh
+// BENCH_bulk.json.
+func BenchmarkBulk(b *testing.B) {
+	for _, s := range Scenarios() {
+		b.Run(s.Name, s.Run)
+	}
+}

@@ -68,8 +68,12 @@ type Client struct {
 	replicas int
 	reg      *metrics.Registry
 
+	stripeChunk uint64 // striped-read chunk size; 0 disables striping
+	stripePar   int    // max concurrent chunk fetches per owner group
+
 	failovers    *metrics.Counter // reads served by a non-preferred replica
 	breakerSkips *metrics.Counter // replicas skipped on an open breaker
+	stripedReads *metrics.Counter // owner-group reads served via range striping
 }
 
 // New wraps provider connections. The slice order defines provider IDs and
@@ -84,6 +88,7 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 	}
 	c.failovers = c.reg.Counter("client.read_failover")
 	c.breakerSkips = c.reg.Counter("client.replica_breaker_skip")
+	c.stripedReads = c.reg.Counter("client.striped_read")
 	return c
 }
 
@@ -125,11 +130,14 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 			meta.Model, n, meta.OwnerMap.Len(), len(segments))
 	}
 
-	// Consolidate self-owned segments into one bulk payload. Validate
-	// lengths before pinning anything: the wire carries a u32 per segment,
-	// and silently truncating a ≥4 GiB tensor would corrupt the bulk table.
+	// Consolidate self-owned segments into one logical bulk payload — as a
+	// vector of the caller's slices, never concatenated: the transports
+	// either writev the segments directly onto the socket or hand the
+	// references to the in-process handler. Validate lengths before pinning
+	// anything: the wire carries a u32 per segment, and silently truncating
+	// a ≥4 GiB tensor would corrupt the bulk table.
 	var table []proto.SegmentRef
-	var bulk []byte
+	var bulkVec [][]byte
 	var selfVertices []graph.VertexID
 	for v := 0; v < n; v++ {
 		e := meta.OwnerMap.Entries[v]
@@ -143,7 +151,7 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 				meta.Model, v, len(seg), maxSegmentBytes)
 		}
 		table = append(table, proto.SegmentRef{Vertex: graph.VertexID(v), Length: uint32(len(seg))})
-		bulk = append(bulk, seg...)
+		bulkVec = append(bulkVec, seg)
 	}
 
 	// Pin inherited segments, grouped by owner. Rollbacks run detached from
@@ -178,7 +186,7 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 		Segments: table,
 		ReqID:    nextReqID(),
 	}
-	_, err := c.mutateCall(ctx, proto.RPCStoreModel, meta.Model, rpc.Message{Meta: req.Encode(), Bulk: bulk})
+	_, err := c.mutateCall(ctx, proto.RPCStoreModel, meta.Model, rpc.Message{Meta: req.Encode(), BulkVec: bulkVec})
 	if err != nil {
 		// A partial fan-out may have landed copies on some replicas; retire
 		// them and release their self-owned segments (best effort, detached
@@ -274,18 +282,7 @@ func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[gra
 		wg.Add(1)
 		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
 			defer wg.Done()
-			req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs}
-			resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
-			if err != nil {
-				errs[gi] = err
-				return
-			}
-			table, err := proto.DecodeSegTable(resp.Meta)
-			if err != nil {
-				errs[gi] = err
-				return
-			}
-			parts, err := proto.SplitBulk(table, resp.Bulk)
+			table, parts, err := c.readGroup(ctx, owner, vs)
 			if err != nil {
 				errs[gi] = err
 				return

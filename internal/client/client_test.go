@@ -17,7 +17,7 @@ import (
 
 // newTCPCluster starts n providers on real TCP listeners and returns a
 // client wired to them — the deployment shape of cmd/evostore-server.
-func newTCPCluster(t testing.TB, n int) *Client {
+func newTCPCluster(t testing.TB, n int, opts ...Option) *Client {
 	t.Helper()
 	conns := make([]rpc.Conn, n)
 	for i := 0; i < n; i++ {
@@ -33,7 +33,7 @@ func newTCPCluster(t testing.TB, n int) *Client {
 		t.Cleanup(func() { pool.Close() })
 		conns[i] = pool
 	}
-	return New(conns)
+	return New(conns, opts...)
 }
 
 func flatten(t testing.TB, lastDim int) *model.Flat {

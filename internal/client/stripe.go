@@ -1,0 +1,148 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// Striped reads split one large owner-group read into byte-range chunks
+// fetched concurrently. One ReadSegments round trip in table-only mode
+// (proto.ReadTable) discovers the group's segment table — a few dozen
+// bytes — then the consolidated payload it describes is pulled in
+// parallel ReadRange chunks. Each chunk is an independent readCall, so
+// chunks spread across the connections of an rpc.Pool (separate sockets,
+// separate TCP windows) and, under replication, may even be served by
+// different replicas — safe, because all-replica writes keep replicas
+// bit-identical. The chunks land in one flat assembly buffer (the single
+// copy on this path) which is then split into per-segment views.
+//
+// Striping pays off when the payload is large enough that a single TCP
+// stream, not the provider, is the bottleneck; for small groups the extra
+// round trip is pure overhead. It is therefore off by default and gated
+// on a chunk-size threshold when enabled.
+
+// WithStripedReads enables range-striped owner-group reads. Groups whose
+// consolidated payload exceeds chunkBytes are fetched as ceil(total/
+// chunkBytes) concurrent byte-range chunks, at most parallel in flight at
+// once. chunkBytes <= 0 leaves striping disabled; parallel <= 0 defaults
+// to 4. Requires providers that understand read modes (same binary
+// generation as this client); older providers ignore the mode trailer and
+// would answer a probe with the full payload, so do not enable striping
+// against them.
+func WithStripedReads(chunkBytes int, parallel int) Option {
+	return func(c *Client) {
+		if chunkBytes <= 0 {
+			return
+		}
+		c.stripeChunk = uint64(chunkBytes)
+		if parallel <= 0 {
+			parallel = 4
+		}
+		c.stripePar = parallel
+	}
+}
+
+// readGroup fetches one owner group's segments, choosing between the
+// single-response path and the striped path by configuration and payload
+// size. The returned parts alias the response buffers; callers own them.
+func (c *Client) readGroup(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID) ([]proto.SegmentRef, [][]byte, error) {
+	if c.stripeChunk == 0 {
+		return c.readGroupFull(ctx, owner, vs)
+	}
+	// Probe: table only. Cheap (no bulk), and tells us whether striping is
+	// worth the extra round trip for this group.
+	req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs, Mode: proto.ReadTable}
+	resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := proto.DecodeSegTable(resp.Meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	var total uint64
+	for _, ref := range table {
+		total += uint64(ref.Length)
+	}
+	if total <= c.stripeChunk {
+		return c.readGroupFull(ctx, owner, vs)
+	}
+	parts, err := c.readGroupStriped(ctx, owner, vs, table, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	return table, parts, nil
+}
+
+// readGroupFull is the classic single-response read.
+func (c *Client) readGroupFull(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID) ([]proto.SegmentRef, [][]byte, error) {
+	req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs}
+	resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := proto.DecodeSegTable(resp.Meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := proto.SplitBulkMsg(table, resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return table, parts, nil
+}
+
+// readGroupStriped pulls the group's consolidated payload as concurrent
+// byte-range chunks into one assembly buffer and splits it by the table.
+func (c *Client) readGroupStriped(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID, table []proto.SegmentRef, total uint64) ([][]byte, error) {
+	c.stripedReads.Inc()
+	buf := make([]byte, total)
+	nchunks := int((total + c.stripeChunk - 1) / c.stripeChunk)
+	errs := make([]error, nchunks)
+	sem := make(chan struct{}, c.stripePar)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nchunks; ci++ {
+		off := uint64(ci) * c.stripeChunk
+		length := c.stripeChunk
+		if off+length > total {
+			length = total - off
+		}
+		wg.Add(1)
+		go func(ci int, off, length uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			req := &proto.ReadSegmentsReq{
+				Owner: owner, Vertices: vs,
+				Mode: proto.ReadRange, RangeOff: off, RangeLen: length,
+			}
+			resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
+			if err != nil {
+				errs[ci] = fmt.Errorf("chunk %d [%d,%d): %w", ci, off, off+length, err)
+				return
+			}
+			if got := uint64(resp.BulkLen()); got != length {
+				errs[ci] = fmt.Errorf("chunk %d: provider returned %d bytes, want %d", ci, got, length)
+				return
+			}
+			dst := buf[off : off+length]
+			for _, s := range resp.BulkSlices() {
+				copy(dst, s)
+				dst = dst[len(s):]
+			}
+		}(ci, off, length)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("striped read of owner %d: %w", owner, err)
+		}
+	}
+	return proto.SplitBulk(table, buf)
+}

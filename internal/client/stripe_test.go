@@ -1,0 +1,159 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+)
+
+// bigModel builds a store request whose segments are large enough to make
+// striping kick in: nseg segments of segBytes deterministic bytes each,
+// all owned by the model itself over a chain graph.
+func bigModel(id ownermap.ModelID, nseg, segBytes int) (*proto.ModelMeta, [][]byte) {
+	b := graph.NewBuilder(nseg)
+	for i := 0; i < nseg; i++ {
+		b.AddVertex(graph.Vertex{ConfigSig: uint64(i + 1), ParamBytes: int64(segBytes)})
+		if i > 0 {
+			b.AddEdge(graph.VertexID(i-1), graph.VertexID(i))
+		}
+	}
+	g := b.Build()
+	meta := &proto.ModelMeta{
+		Model: id, Seq: uint64(id), Quality: 0.5,
+		Graph:    g,
+		OwnerMap: ownermap.New(id, uint64(id), nseg),
+	}
+	segs := make([][]byte, nseg)
+	for i := range segs {
+		segs[i] = make([]byte, segBytes)
+		for j := range segs[i] {
+			segs[i][j] = byte(i + j*7)
+		}
+	}
+	return meta, segs
+}
+
+func TestStripedReadMatchesFull(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// 8 segments × 4 KiB = 32 KiB total; 4 KiB chunks force 8 ranged
+	// fetches per group.
+	cli := newTCPCluster(t, 2, WithStripedReads(4<<10, 3), WithRegistry(reg))
+	plain := newTCPCluster(t, 1)
+	ctx := context.Background()
+	meta, segs := bigModel(9, 8, 4<<10)
+	if err := cli.Store(ctx, meta, segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Store(ctx, meta, segs); err != nil {
+		t.Fatal(err)
+	}
+
+	striped, err := cli.Load(ctx, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := plain.Load(ctx, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range segs {
+		if !bytes.Equal(striped.Segments[v], segs[v]) {
+			t.Fatalf("vertex %d corrupted by striped read", v)
+		}
+		if !bytes.Equal(striped.Segments[v], full.Segments[v]) {
+			t.Fatalf("vertex %d: striped and full reads disagree", v)
+		}
+	}
+	if n := reg.Counter("client.striped_read").Load(); n == 0 {
+		t.Error("striped path was never taken")
+	}
+}
+
+func TestStripedReadSmallGroupFallsBack(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// Chunk far larger than the payload: the probe must fall back to one
+	// full read, not issue ranges.
+	cli := newTCPCluster(t, 1, WithStripedReads(1<<20, 4), WithRegistry(reg))
+	ctx := context.Background()
+	meta, segs := bigModel(3, 4, 512)
+	if err := cli.Store(ctx, meta, segs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cli.Load(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range segs {
+		if !bytes.Equal(data.Segments[v], segs[v]) {
+			t.Fatalf("vertex %d corrupted", v)
+		}
+	}
+	if n := reg.Counter("client.striped_read").Load(); n != 0 {
+		t.Errorf("striping used for a sub-chunk payload (%d times)", n)
+	}
+}
+
+// TestStripedReadsConcurrent hammers the striped path from many
+// goroutines so the race detector sees rpc.Pool connections being
+// borrowed by concurrent ranged chunks (run with -race).
+func TestStripedReadsConcurrent(t *testing.T) {
+	cli := newTCPCluster(t, 2, WithStripedReads(2<<10, 4))
+	ctx := context.Background()
+	meta, segs := bigModel(5, 6, 4<<10)
+	if err := cli.Store(ctx, meta, segs); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				data, err := cli.Load(ctx, 5)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for v := range segs {
+					if !bytes.Equal(data.Segments[v], segs[v]) {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestStripedReadWithReplication checks chunks may be served by any
+// replica: all-replica writes keep them bit-identical, so a striped read
+// assembled from mixed replicas must still be correct.
+func TestStripedReadWithReplication(t *testing.T) {
+	cli := newTCPCluster(t, 3, WithReplicas(2), WithStripedReads(2<<10, 4))
+	ctx := context.Background()
+	meta, segs := bigModel(7, 6, 4<<10)
+	if err := cli.Store(ctx, meta, segs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cli.Load(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range segs {
+		if !bytes.Equal(data.Segments[v], segs[v]) {
+			t.Fatalf("vertex %d corrupted under replication", v)
+		}
+	}
+}

@@ -73,6 +73,14 @@ type Options struct {
 	// between them. Default 1 (the paper's single-homed placement);
 	// clamped to Providers.
 	Replicas int
+	// StripeChunkBytes enables range-striped owner-group reads: groups
+	// whose consolidated payload exceeds this size are fetched as
+	// concurrent byte-range chunks (client.WithStripedReads). 0 (default)
+	// disables striping. Mostly useful for TCP-attached deployments; the
+	// in-process fabric is already zero-copy.
+	StripeChunkBytes int
+	// StripeParallel caps in-flight chunks per owner group (default 4).
+	StripeParallel int
 }
 
 // Open creates an embedded deployment: providers and clients live in this
@@ -128,7 +136,11 @@ func Open(opts Options) (*Repository, error) {
 		conns = resilient.WrapAll(conns, ro)
 	}
 	r.conns = conns
-	r.cli = client.New(conns, client.WithReplicas(opts.Replicas))
+	copts := []client.Option{client.WithReplicas(opts.Replicas)}
+	if opts.StripeChunkBytes > 0 {
+		copts = append(copts, client.WithStripedReads(opts.StripeChunkBytes, opts.StripeParallel))
+	}
+	r.cli = client.New(conns, copts...)
 	return r, nil
 }
 

@@ -52,6 +52,14 @@ func (g *Compact) Encode() []byte { return g.AppendEncode(nil) }
 
 // Decode parses an encoded graph and returns it with the number of bytes
 // consumed.
+//
+// Decode builds the adjacency directly rather than replaying the edges
+// through a Builder: all per-vertex lists are carved out of two shared
+// backing arrays, and because AppendEncode emits edges in sorted (src, dst)
+// order the lists come out sorted without any per-list sort. Graph decoding
+// sits on the metadata read path of every Load, so its allocation count
+// matters (see BENCH_bulk.json). Encodings with unsorted or duplicate edges
+// (not produced by AppendEncode, but legal) are normalized after the fill.
 func Decode(b []byte) (*Compact, int, error) {
 	if len(b) < 8 {
 		return nil, 0, io.ErrUnexpectedEOF
@@ -61,12 +69,16 @@ func Decode(b []byte) (*Compact, int, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(b[4:]))
 	off := 8
-	bld := NewBuilder(n)
+	g := &Compact{
+		Vertices: make([]Vertex, n),
+		Out:      make([][]VertexID, n),
+		In:       make([][]VertexID, n),
+	}
 	for i := 0; i < n; i++ {
 		if len(b) < off+18 {
 			return nil, 0, io.ErrUnexpectedEOF
 		}
-		var v Vertex
+		v := &g.Vertices[i]
 		v.ConfigSig = binary.LittleEndian.Uint64(b[off:])
 		v.ParamBytes = int64(binary.LittleEndian.Uint64(b[off+8:]))
 		nameLen := int(binary.LittleEndian.Uint16(b[off+16:]))
@@ -76,7 +88,6 @@ func Decode(b []byte) (*Compact, int, error) {
 		}
 		v.Name = string(b[off : off+nameLen])
 		off += nameLen
-		bld.AddVertex(v)
 	}
 	if len(b) < off+4 {
 		return nil, 0, io.ErrUnexpectedEOF
@@ -86,14 +97,72 @@ func Decode(b []byte) (*Compact, int, error) {
 	if len(b) < off+8*edges {
 		return nil, 0, io.ErrUnexpectedEOF
 	}
+	// Pass 1: bounds-check and count degrees.
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
 	for i := 0; i < edges; i++ {
-		u := binary.LittleEndian.Uint32(b[off:])
-		v := binary.LittleEndian.Uint32(b[off+4:])
-		off += 8
+		u := binary.LittleEndian.Uint32(b[off+8*i:])
+		v := binary.LittleEndian.Uint32(b[off+8*i+4:])
 		if int(u) >= n || int(v) >= n {
 			return nil, 0, fmt.Errorf("graph: edge (%d,%d) out of range in encoding", u, v)
 		}
-		bld.AddEdge(VertexID(u), VertexID(v))
+		outDeg[u]++
+		inDeg[v]++
 	}
-	return bld.Build(), off, nil
+	// Carve zero-length per-vertex lists out of shared backing arrays.
+	outBack := make([]VertexID, edges)
+	inBack := make([]VertexID, edges)
+	o, in := 0, 0
+	for v := 0; v < n; v++ {
+		g.Out[v] = outBack[o:o:o+int(outDeg[v])]
+		g.In[v] = inBack[in:in:in+int(inDeg[v])]
+		o += int(outDeg[v])
+		in += int(inDeg[v])
+	}
+	// Pass 2: fill. Edges arrive sorted by (src, dst), so Out lists fill in
+	// ascending order and each In list sees its sources ascending too.
+	sorted := true
+	for i := 0; i < edges; i++ {
+		u := binary.LittleEndian.Uint32(b[off+8*i:])
+		v := binary.LittleEndian.Uint32(b[off+8*i+4:])
+		if l := g.Out[u]; len(l) > 0 && l[len(l)-1] >= VertexID(v) {
+			sorted = false
+		}
+		if l := g.In[v]; len(l) > 0 && l[len(l)-1] >= VertexID(u) {
+			sorted = false
+		}
+		g.Out[u] = append(g.Out[u], VertexID(v))
+		g.In[v] = append(g.In[v], VertexID(u))
+	}
+	off += 8 * edges
+	if !sorted {
+		g.normalizeAdjacency()
+	}
+	for v := 0; v < n; v++ {
+		if len(g.In[v]) == 0 {
+			g.Roots = append(g.Roots, VertexID(v))
+		}
+	}
+	return g, off, nil
+}
+
+// normalizeAdjacency sorts every adjacency list and drops duplicate edges,
+// restoring the Compact invariants for encodings that were not produced by
+// AppendEncode's canonical edge order.
+func (g *Compact) normalizeAdjacency() {
+	dedup := func(s []VertexID) []VertexID {
+		sortIDs(s)
+		w := 0
+		for i, x := range s {
+			if i == 0 || x != s[w-1] {
+				s[w] = x
+				w++
+			}
+		}
+		return s[:w]
+	}
+	for v := range g.Out {
+		g.Out[v] = dedup(g.Out[v])
+		g.In[v] = dedup(g.In[v])
+	}
 }

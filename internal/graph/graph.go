@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"sort"
 )
 
@@ -132,9 +133,7 @@ func (b *Builder) Build() *Compact {
 	return g
 }
 
-func sortIDs(s []VertexID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-}
+func sortIDs(s []VertexID) { slices.Sort(s) }
 
 // Validate checks structural invariants: dense IDs, sorted adjacency,
 // In/Out symmetry, acyclicity, and root consistency.

@@ -8,7 +8,6 @@
 package kvstore
 
 import (
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +32,14 @@ type KV interface {
 	SizeBytes() int64
 	// Close releases resources. The store must not be used afterwards.
 	Close() error
+}
+
+// ByteKeyGetter is an optional fast-path interface for stores that can look
+// a key up from a byte slice without materializing a string. Callers on hot
+// read paths (provider segment reads) type-assert for it and fall back to
+// KV.Get; implementations must not retain key beyond the call.
+type ByteKeyGetter interface {
+	GetB(key []byte) ([]byte, bool, error)
 }
 
 // memShard is one lock domain of MemKV.
@@ -62,10 +69,29 @@ func NewMemKV(shards int) *MemKV {
 	return kv
 }
 
+// fnv1a32 is FNV-1a over s, identical to hash/fnv's New32a but without the
+// hasher allocation. Shard selection must agree between the string and byte
+// key paths, so both hash functions mirror this exact recurrence.
+func fnv1a32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func fnv1a32Bytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
 func (kv *MemKV) shard(key string) *memShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &kv.shards[h.Sum32()%uint32(len(kv.shards))]
+	return &kv.shards[fnv1a32(key)%uint32(len(kv.shards))]
 }
 
 // Put implements KV.
@@ -87,6 +113,16 @@ func (kv *MemKV) Get(key string) ([]byte, bool, error) {
 	s := kv.shard(key)
 	s.mu.RLock()
 	v, ok := s.items[key]
+	s.mu.RUnlock()
+	return v, ok, nil
+}
+
+// GetB implements ByteKeyGetter: the map index converts the key in place,
+// so no string is allocated.
+func (kv *MemKV) GetB(key []byte) ([]byte, bool, error) {
+	s := &kv.shards[fnv1a32Bytes(key)%uint32(len(kv.shards))]
+	s.mu.RLock()
+	v, ok := s.items[string(key)]
 	s.mu.RUnlock()
 	return v, ok, nil
 }

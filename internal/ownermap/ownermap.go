@@ -20,7 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -111,22 +111,50 @@ func (m *Map) OwnedBy(id ModelID) []graph.VertexID {
 // the vertices each owns. This is the provenance primitive: the owners are
 // exactly the ancestors that contributed tensors to the model.
 func (m *Map) Owners() []OwnerGroup {
-	byOwner := make(map[ModelID]*OwnerGroup)
-	for v, e := range m.Entries {
-		g := byOwner[e.Owner]
-		if g == nil {
-			g = &OwnerGroup{Owner: e.Owner, Seq: e.Seq}
-			byOwner[e.Owner] = g
+	// The distinct-owner count is the lineage depth — small in practice —
+	// so a linear scan beats a map, and carving every Vertices list out of
+	// one shared backing array keeps this metadata-read-path helper at a
+	// constant handful of allocations (see BENCH_bulk.json).
+	out := make([]OwnerGroup, 0, 4)
+	find := func(owner ModelID) int {
+		for i := range out {
+			if out[i].Owner == owner {
+				return i
+			}
 		}
-		g.Vertices = append(g.Vertices, graph.VertexID(v))
+		return -1
 	}
-	out := make([]OwnerGroup, 0, len(byOwner))
-	for _, g := range byOwner {
-		out = append(out, *g)
+	for _, e := range m.Entries {
+		if find(e.Owner) < 0 {
+			out = append(out, OwnerGroup{Owner: e.Owner, Seq: e.Seq})
+		}
+	}
+	counts := make([]int, len(out))
+	for _, e := range m.Entries {
+		counts[find(e.Owner)]++
+	}
+	backing := make([]graph.VertexID, len(m.Entries))
+	off := 0
+	for i := range out {
+		out[i].Vertices = backing[off:off : off+counts[i]]
+		off += counts[i]
+	}
+	for v, e := range m.Entries {
+		i := find(e.Owner)
+		out[i].Vertices = append(out[i].Vertices, graph.VertexID(v))
 	}
 	// Ascending sequence number = oldest ancestor first: the chain of
 	// transfer-learning operations in the order they happened.
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	slices.SortFunc(out, func(a, b OwnerGroup) int {
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 

@@ -1,6 +1,8 @@
 // Package proto defines the RPC names and message codecs spoken between
 // EvoStore clients and providers. Control payloads ride rpc.Message.Meta;
-// consolidated tensor segments ride rpc.Message.Bulk.
+// consolidated tensor segments ride the bulk payload — flat
+// (rpc.Message.Bulk) or vectored (rpc.Message.BulkVec, one slice per
+// segment table entry), which the wire frames identically.
 //
 // Paper counterpart: the client/provider protocol of §4.1-4.2 (store,
 // consolidated segment reads, collective LCP queries, distributed
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ownermap"
+	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
@@ -113,6 +116,77 @@ func SplitBulk(segs []SegmentRef, bulk []byte) ([][]byte, error) {
 	}
 	if off != len(bulk) {
 		return nil, fmt.Errorf("proto: %d trailing bulk bytes", len(bulk)-off)
+	}
+	return out, nil
+}
+
+// SplitBulkMsg slices a message's bulk payload — flat or vectored — into
+// per-segment views according to the table, without copying whenever the
+// payload layout allows it. The common vectored case (one BulkVec slice
+// per table entry, lengths matching) returns the sender's slices directly;
+// a flat payload falls back to SplitBulk views; a mismatched vector is
+// re-sliced across its chunk boundaries, copying only the segments that
+// straddle one. The returned slices alias msg's buffers.
+func SplitBulkMsg(segs []SegmentRef, msg rpc.Message) ([][]byte, error) {
+	if len(msg.Bulk) == 0 && len(msg.BulkVec) == len(segs) {
+		aligned := true
+		for i, s := range segs {
+			if uint32(len(msg.BulkVec[i])) != s.Length {
+				aligned = false
+				break
+			}
+		}
+		if aligned {
+			return msg.BulkVec, nil
+		}
+	}
+	if len(msg.BulkVec) == 0 {
+		return SplitBulk(segs, msg.Bulk)
+	}
+	// General case: treat Bulk followed by BulkVec as one logical stream
+	// and cut segment views out of it.
+	chunks := msg.BulkSlices()
+	total := msg.BulkLen()
+	want := 0
+	for _, s := range segs {
+		want += int(s.Length)
+	}
+	if want != total {
+		return nil, fmt.Errorf("proto: segment table wants %d bytes, bulk payload has %d", want, total)
+	}
+	out := make([][]byte, len(segs))
+	ci, coff := 0, 0
+	for i, s := range segs {
+		n := int(s.Length)
+		for ci < len(chunks) && coff == len(chunks[ci]) {
+			ci, coff = ci+1, 0
+		}
+		if n == 0 {
+			out[i] = nil
+			continue
+		}
+		if rem := len(chunks[ci]) - coff; n <= rem {
+			out[i] = chunks[ci][coff : coff+n]
+			coff += n
+			continue
+		}
+		// Segment straddles chunk boundaries: the one place a copy is
+		// unavoidable.
+		seg := make([]byte, 0, n)
+		for n > 0 {
+			if coff == len(chunks[ci]) {
+				ci, coff = ci+1, 0
+				continue
+			}
+			take := len(chunks[ci]) - coff
+			if take > n {
+				take = n
+			}
+			seg = append(seg, chunks[ci][coff:coff+take]...)
+			coff += take
+			n -= take
+		}
+		out[i] = seg
 	}
 	return out, nil
 }
@@ -242,25 +316,58 @@ func DecodeModelMeta(b []byte) (*ModelMeta, error) {
 
 // --- ReadSegments -----------------------------------------------------------
 
+// Read modes of a ReadSegmentsReq. ReadFull is the classic consolidated
+// read; ReadTable and ReadRange are the two halves of a striped read: the
+// client first probes the segment table (lengths only, no bulk), then
+// fetches byte ranges of the consolidated payload in parallel over several
+// pooled connections.
+const (
+	// ReadFull returns the segment table plus the full consolidated bulk
+	// payload.
+	ReadFull = 0
+	// ReadTable returns only the segment table — no bulk bytes. Used as
+	// the cheap probe before a striped read.
+	ReadTable = 1
+	// ReadRange returns the raw bytes [RangeOff, RangeOff+RangeLen) of
+	// the consolidated payload (segments concatenated in request vertex
+	// order). The response carries no meta; the client already holds the
+	// table from its ReadTable probe.
+	ReadRange = 2
+)
+
 // ReadSegmentsReq asks the provider hosting owner's segments for the given
-// vertices.
+// vertices. Mode/RangeOff/RangeLen ride an optional trailer: a ReadFull
+// request encodes exactly like the pre-striping format, so old and new
+// binaries interoperate for classic reads.
 type ReadSegmentsReq struct {
 	Owner    ownermap.ModelID
 	Vertices []graph.VertexID
+	// Mode selects ReadFull, ReadTable or ReadRange.
+	Mode uint8
+	// RangeOff/RangeLen bound a ReadRange request (ignored otherwise).
+	RangeOff uint64
+	RangeLen uint64
 }
 
-// Encode serializes the request.
+// Encode serializes the request. The mode trailer is appended only for
+// non-ReadFull modes, keeping the ReadFull encoding canonical.
 func (q *ReadSegmentsReq) Encode() []byte {
-	w := wire.NewWriter(16 + 4*len(q.Vertices))
+	w := wire.NewWriter(36 + 4*len(q.Vertices))
 	w.U64(uint64(q.Owner))
 	w.U32(uint32(len(q.Vertices)))
 	for _, v := range q.Vertices {
 		w.U32(uint32(v))
 	}
+	if q.Mode != ReadFull {
+		w.U8(q.Mode)
+		w.U64(q.RangeOff)
+		w.U64(q.RangeLen)
+	}
 	return w.Bytes()
 }
 
-// DecodeReadSegmentsReq parses the request.
+// DecodeReadSegmentsReq parses the request, tolerating the legacy
+// trailer-free encoding (Mode = ReadFull) but rejecting a torn trailer.
 func DecodeReadSegmentsReq(b []byte) (*ReadSegmentsReq, error) {
 	r := wire.NewReader(b)
 	q := &ReadSegmentsReq{Owner: ownermap.ModelID(r.U64())}
@@ -271,6 +378,16 @@ func DecodeReadSegmentsReq(b []byte) (*ReadSegmentsReq, error) {
 	q.Vertices = make([]graph.VertexID, n)
 	for i := range q.Vertices {
 		q.Vertices[i] = graph.VertexID(r.U32())
+	}
+	if r.Err() == nil {
+		switch {
+		case r.Remaining() >= 17:
+			q.Mode = r.U8()
+			q.RangeOff = r.U64()
+			q.RangeLen = r.U64()
+		case r.Remaining() != 0:
+			return nil, wire.ErrTruncated
+		}
 	}
 	return q, r.Err()
 }

@@ -1,11 +1,13 @@
 package proto
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/graph"
 	"repro/internal/ownermap"
+	"repro/internal/rpc"
 )
 
 func sampleGraph(n int) *graph.Compact {
@@ -344,5 +346,85 @@ func TestCountersDecodeTruncated(t *testing.T) {
 	huge := []byte{0xff, 0xff, 0xff, 0xff}
 	if _, err := DecodeCounters(huge); err == nil {
 		t.Error("absurd counter count accepted")
+	}
+}
+
+func TestReadSegmentsReqModeTrailer(t *testing.T) {
+	// ReadFull encodes exactly like the legacy trailer-free format.
+	full := &ReadSegmentsReq{Owner: 7, Vertices: []graph.VertexID{1, 2}}
+	b := full.Encode()
+	if len(b) != 8+4+4*2 {
+		t.Fatalf("ReadFull encoding is %d bytes, want the canonical %d", len(b), 8+4+4*2)
+	}
+	got, err := DecodeReadSegmentsReq(b)
+	if err != nil || got.Mode != ReadFull || got.Owner != 7 {
+		t.Fatalf("decode ReadFull: %+v %v", got, err)
+	}
+
+	// Non-full modes round-trip through the trailer.
+	rng := &ReadSegmentsReq{Owner: 9, Vertices: []graph.VertexID{0}, Mode: ReadRange, RangeOff: 100, RangeLen: 4096}
+	got, err = DecodeReadSegmentsReq(rng.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ReadRange || got.RangeOff != 100 || got.RangeLen != 4096 {
+		t.Fatalf("range trailer round trip: %+v", got)
+	}
+	tbl := &ReadSegmentsReq{Owner: 9, Vertices: []graph.VertexID{0}, Mode: ReadTable}
+	got, err = DecodeReadSegmentsReq(tbl.Encode())
+	if err != nil || got.Mode != ReadTable {
+		t.Fatalf("table-mode round trip: %+v %v", got, err)
+	}
+
+	// A torn trailer (present but short) must be rejected, not ignored.
+	torn := append(full.Encode(), 1, 2, 3)
+	if _, err := DecodeReadSegmentsReq(torn); err == nil {
+		t.Error("torn trailer accepted")
+	}
+}
+
+func TestSplitBulkMsg(t *testing.T) {
+	segs := []SegmentRef{{Vertex: 0, Length: 3}, {Vertex: 1, Length: 2}, {Vertex: 2, Length: 0}}
+	payload := []byte{1, 2, 3, 4, 5}
+
+	// Aligned vector: parts must alias the sender's slices, no copies.
+	a, b := payload[:3], payload[3:]
+	parts, err := SplitBulkMsg(segs, rpc.Message{BulkVec: [][]byte{a, b, nil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &parts[0][0] != &a[0] || &parts[1][0] != &b[0] {
+		t.Error("aligned vector was copied")
+	}
+
+	// Flat payload: SplitBulk views.
+	parts, err = SplitBulkMsg(segs, rpc.Message{Bulk: payload})
+	if err != nil || !bytes.Equal(parts[0], []byte{1, 2, 3}) || !bytes.Equal(parts[1], []byte{4, 5}) {
+		t.Fatalf("flat fallback: %v %v", parts, err)
+	}
+
+	// Misaligned vector: segment 0 straddles a chunk boundary (copied),
+	// segment 1 fits inside the second chunk (aliased view).
+	c1, c2 := payload[:2], payload[2:]
+	parts, err = SplitBulkMsg(segs, rpc.Message{BulkVec: [][]byte{c1, c2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parts[0], []byte{1, 2, 3}) || !bytes.Equal(parts[1], []byte{4, 5}) || parts[2] != nil {
+		t.Fatalf("misaligned re-slice: %v", parts)
+	}
+	if &parts[1][0] != &c2[1] {
+		t.Error("in-chunk segment was copied instead of aliased")
+	}
+
+	// A single-chunk vector totalling the right length still re-slices.
+	parts, err = SplitBulkMsg(segs, rpc.Message{BulkVec: [][]byte{payload}})
+	if err != nil || !bytes.Equal(parts[0], []byte{1, 2, 3}) || !bytes.Equal(parts[1], []byte{4, 5}) {
+		t.Fatalf("single-chunk vector: %v %v", parts, err)
+	}
+
+	// Length mismatch is rejected.
+	if _, err := SplitBulkMsg(segs, rpc.Message{BulkVec: [][]byte{payload[:4]}}); err == nil {
+		t.Error("short payload accepted")
 	}
 }

@@ -1,10 +1,22 @@
 package provider
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // dedupCap bounds the dedup table. 64K completed requests of history is
 // far beyond any retry window the client middleware produces.
 const dedupCap = 1 << 16
+
+// DefaultDedupTTL is the default lifetime of a dedup entry. It is sized
+// to the client's retry budget: the resilient middleware's defaults allow
+// 3 attempts of up to 10s each plus backoff, so a retry of a completed
+// request can trail the original by well under a minute. 2 minutes keeps
+// a comfortable margin (slow fabrics, fault-injected delays) while
+// guaranteeing entries do not pin response bytes forever on providers
+// that never reach the FIFO cap.
+const DefaultDedupTTL = 2 * time.Minute
 
 // dedupTable records the encoded responses of completed non-idempotent
 // requests (StoreModel, IncRef, DecRef, Retire) by client request ID. A
@@ -13,7 +25,13 @@ const dedupCap = 1 << 16
 // re-executed, which is what makes refcount mutations safe to retry:
 // a DecRef can never double-decrement.
 //
-// Entries are evicted FIFO once cap is exceeded. Only successful
+// Entries are evicted two ways: FIFO once cap is exceeded, and by age
+// once they outlive ttl. The TTL is tied to the client retry budget —
+// after it, no legitimate retry of the request can still arrive, so the
+// entry is dead weight (the FIFO cap alone only bounds count, not
+// lifetime: a quiet provider would otherwise hold stale responses
+// indefinitely). Expiry is lazy — performed on get/put under the same
+// lock — so there is no background goroutine to manage. Only successful
 // executions are recorded: a failed request left no side effects behind
 // (handlers validate all-or-nothing before mutating), so re-executing a
 // retry is both safe and gives the caller the authoritative error.
@@ -24,12 +42,43 @@ const dedupCap = 1 << 16
 type dedupTable struct {
 	mu    sync.Mutex
 	resp  map[uint64][]byte
-	order []uint64
+	order []uint64 // insertion order; parallel to stamps
+	stamp []time.Time
 	cap   int
+	ttl   time.Duration    // 0 = no age-based expiry
+	now   func() time.Time // injectable clock for tests
 }
 
 func newDedupTable(cap int) *dedupTable {
-	return &dedupTable{resp: make(map[uint64][]byte), cap: cap}
+	return &dedupTable{
+		resp: make(map[uint64][]byte),
+		cap:  cap,
+		ttl:  DefaultDedupTTL,
+		now:  time.Now,
+	}
+}
+
+// setTTL changes the age-based expiry window; 0 disables it (FIFO cap
+// only, the pre-TTL behaviour).
+func (d *dedupTable) setTTL(ttl time.Duration) {
+	d.mu.Lock()
+	d.ttl = ttl
+	d.mu.Unlock()
+}
+
+// expireLocked drops entries older than ttl. Insertion order is also
+// age order (stamps only come from d.now at put time), so expiry pops
+// from the front exactly like a FIFO eviction. Callers hold d.mu.
+func (d *dedupTable) expireLocked() {
+	if d.ttl <= 0 {
+		return
+	}
+	cutoff := d.now().Add(-d.ttl)
+	for len(d.order) > 0 && d.stamp[0].Before(cutoff) {
+		delete(d.resp, d.order[0])
+		d.order = d.order[1:]
+		d.stamp = d.stamp[1:]
+	}
 }
 
 // get returns the recorded response for id, if any. id 0 (no dedup) never
@@ -40,6 +89,7 @@ func (d *dedupTable) get(id uint64) ([]byte, bool) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.expireLocked()
 	meta, ok := d.resp[id]
 	return meta, ok
 }
@@ -51,21 +101,24 @@ func (d *dedupTable) put(id uint64, meta []byte) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.expireLocked()
 	if _, dup := d.resp[id]; dup {
 		return
 	}
 	d.resp[id] = meta
 	d.order = append(d.order, id)
+	d.stamp = append(d.stamp, d.now())
 	for len(d.order) > d.cap {
-		evict := d.order[0]
+		delete(d.resp, d.order[0])
 		d.order = d.order[1:]
-		delete(d.resp, evict)
+		d.stamp = d.stamp[1:]
 	}
 }
 
-// len reports the number of recorded responses (for tests).
+// len reports the number of live (unexpired) responses (for tests).
 func (d *dedupTable) len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.expireLocked()
 	return len(d.resp)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/kvstore"
@@ -133,6 +134,96 @@ func TestStoreModelRetryDedup(t *testing.T) {
 	}
 	if n := p.RefCount(6, 0); n != 1 {
 		t.Fatalf("refcount after retried store = %d, want 1", n)
+	}
+}
+
+func TestDedupTableTTL(t *testing.T) {
+	d := newDedupTable(16)
+	clock := time.Unix(1000, 0)
+	d.now = func() time.Time { return clock }
+	d.setTTL(time.Minute)
+
+	d.put(1, []byte{1})
+	clock = clock.Add(30 * time.Second)
+	d.put(2, []byte{2})
+
+	// Both inside the window.
+	if _, ok := d.get(1); !ok {
+		t.Fatal("fresh entry 1 missing")
+	}
+	if _, ok := d.get(2); !ok {
+		t.Fatal("fresh entry 2 missing")
+	}
+
+	// 61s after entry 1's insert: 1 expired, 2 (31s old) still live.
+	clock = clock.Add(31 * time.Second)
+	if _, ok := d.get(1); ok {
+		t.Error("entry 1 outlived its TTL")
+	}
+	if _, ok := d.get(2); !ok {
+		t.Error("entry 2 expired early")
+	}
+	if d.len() != 1 {
+		t.Errorf("len = %d, want 1 after expiry", d.len())
+	}
+
+	// Expiry also runs on put: a stale survivor must not block the path.
+	clock = clock.Add(2 * time.Minute)
+	d.put(3, []byte{3})
+	if d.len() != 1 {
+		t.Errorf("len = %d, want 1 (entry 2 expired on put)", d.len())
+	}
+	if _, ok := d.get(3); !ok {
+		t.Error("entry 3 missing")
+	}
+}
+
+func TestDedupTableTTLDisabled(t *testing.T) {
+	d := newDedupTable(16)
+	clock := time.Unix(1000, 0)
+	d.now = func() time.Time { return clock }
+	d.setTTL(0)
+
+	d.put(1, []byte{1})
+	clock = clock.Add(24 * time.Hour)
+	if _, ok := d.get(1); !ok {
+		t.Error("TTL 0 must disable age-based expiry")
+	}
+}
+
+func TestSetDedupTTLOnProvider(t *testing.T) {
+	p := New(0, kvstore.NewMemKV(4))
+	clock := time.Unix(0, 0)
+	p.dedup.now = func() time.Time { return clock }
+	p.SetDedupTTL(time.Second)
+
+	g := chainGraph(1, 2, 3)
+	req, segs := storeReq(7, 1, 0.5, g)
+	if err := p.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.IncRef(7, []graph.VertexID{0}); err != nil {
+		t.Fatal(err)
+	}
+	dec := &proto.RefReq{Owner: 7, Vertices: []graph.VertexID{0}, ReqID: 42}
+	if _, err := callDecRef(t, p, dec); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL the retry is absorbed...
+	if _, err := callDecRef(t, p, dec); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.RefCount(7, 0); n != 1 {
+		t.Fatalf("refcount = %d, want 1 (retry deduped)", n)
+	}
+	// ...after it, the entry is gone and the request re-executes. This is
+	// exactly why the TTL must exceed the client retry budget.
+	clock = clock.Add(2 * time.Second)
+	if _, err := callDecRef(t, p, dec); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.RefCount(7, 0); n != 0 {
+		t.Fatalf("refcount = %d, want 0 (entry expired, request re-executed)", n)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/kvstore"
@@ -44,7 +45,38 @@ type segKey struct {
 	vertex graph.VertexID
 }
 
-func (k segKey) String() string { return fmt.Sprintf("seg/%016x/%08x", uint64(k.owner), k.vertex) }
+// segKeyLen is the fixed encoded length of a segment key.
+const segKeyLen = 4 + 16 + 1 + 8
+
+// String formats the KV key "seg/%016x/%08x" by hand: it runs once per
+// segment on the read path, where fmt's boxing shows up in allocs/op.
+func (k segKey) String() string {
+	var b [segKeyLen]byte
+	k.appendTo(b[:0])
+	return string(b[:])
+}
+
+// appendTo appends the encoded key to dst and returns the extended slice.
+// With a pre-sized dst this formats the key without allocating, feeding the
+// kvstore.ByteKeyGetter fast path on segment reads.
+func (k segKey) appendTo(dst []byte) []byte {
+	var b [segKeyLen]byte
+	copy(b[:4], "seg/")
+	putHex(b[4:20], uint64(k.owner))
+	b[20] = '/'
+	putHex(b[21:29], uint64(k.vertex))
+	return append(dst, b[:]...)
+}
+
+// putHex writes v into dst as zero-padded lowercase hex, least significant
+// digit last. len(dst) selects the width.
+func putHex(dst []byte, v uint64) {
+	const digits = "0123456789abcdef"
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = digits[v&0xf]
+		v >>= 4
+	}
+}
 
 // modelMeta is the cataloged metadata of one home model.
 type modelMeta struct {
@@ -59,6 +91,10 @@ type modelMeta struct {
 type Provider struct {
 	id int
 	kv kvstore.KV
+	// kvB is kv's optional byte-key read fast path (nil when unsupported);
+	// ReadSegments uses it to look segments up without per-key string
+	// allocations.
+	kvB kvstore.ByteKeyGetter
 
 	// Placement guard (SetPlacement): when deploySize > 0 the provider
 	// rejects writes for models whose replica set — home hash plus the next
@@ -84,9 +120,11 @@ type Provider struct {
 // persisted there; catalog metadata and refcounts are kept in memory, as in
 // the paper's in-memory deployment mode).
 func New(id int, kv kvstore.KV) *Provider {
+	kvB, _ := kv.(kvstore.ByteKeyGetter)
 	return &Provider{
 		id:     id,
 		kv:     kv,
+		kvB:    kvB,
 		reg:    metrics.Default,
 		models: make(map[ownermap.ModelID]*modelMeta),
 		refs:   make(map[segKey]int),
@@ -121,6 +159,13 @@ func (p *Provider) SetMetricsRegistry(reg *metrics.Registry) {
 		p.reg = reg
 	}
 }
+
+// SetDedupTTL sets the age after which dedup entries expire (default
+// DefaultDedupTTL). The TTL must cover the deployment's client retry
+// budget — an entry expiring while a retry of its request is still
+// possible would let that retry re-execute a completed mutation. 0
+// disables age-based expiry (the FIFO cap still applies).
+func (p *Provider) SetDedupTTL(ttl time.Duration) { p.dedup.setTTL(ttl) }
 
 // acceptsWrite reports whether the placement guard admits a write keyed by
 // id (a model being stored/retired, or the owner of refcounted segments).
@@ -168,7 +213,7 @@ func (p *Provider) handleStoreModel(_ context.Context, req rpc.Message) (rpc.Mes
 		p.dedupHit()
 		return rpc.Message{Meta: meta}, nil
 	}
-	segs, err := proto.SplitBulk(q.Segments, req.Bulk)
+	segs, err := proto.SplitBulkMsg(q.Segments, req)
 	if err != nil {
 		return rpc.Message{}, fmt.Errorf("provider %d: store %d: %w", p.id, q.Model, err)
 	}
@@ -273,31 +318,107 @@ func (p *Provider) handleReadSegments(_ context.Context, req rpc.Message) (rpc.M
 	if err != nil {
 		return rpc.Message{}, err
 	}
-	table, bulk, err := p.ReadSegments(q.Owner, q.Vertices)
+	table, segs, err := p.ReadSegments(q.Owner, q.Vertices)
 	if err != nil {
 		return rpc.Message{}, err
 	}
-	return rpc.Message{Meta: proto.EncodeSegTable(table), Bulk: bulk}, nil
+	switch q.Mode {
+	case proto.ReadFull:
+		if total := segsTotal(table); total > rpc.MaxFrame {
+			// Typed server-side mirror of the client's segment guard: never
+			// hand the transport a payload whose length field would not fit
+			// the frame (the caller should stripe instead).
+			return rpc.Message{}, fmt.Errorf("provider %d: read %d: %d-byte response %w",
+				p.id, q.Owner, total, rpc.ErrFrameTooLarge)
+		}
+		return rpc.Message{Meta: proto.EncodeSegTable(table), BulkVec: segs}, nil
+	case proto.ReadTable:
+		return rpc.Message{Meta: proto.EncodeSegTable(table)}, nil
+	case proto.ReadRange:
+		if q.RangeLen > rpc.MaxFrame {
+			return rpc.Message{}, fmt.Errorf("provider %d: read %d: %d-byte range %w",
+				p.id, q.Owner, q.RangeLen, rpc.ErrFrameTooLarge)
+		}
+		views, err := sliceRange(table, segs, q.RangeOff, q.RangeLen)
+		if err != nil {
+			return rpc.Message{}, fmt.Errorf("provider %d: read %d: %w", p.id, q.Owner, err)
+		}
+		return rpc.Message{BulkVec: views}, nil
+	default:
+		return rpc.Message{}, fmt.Errorf("provider %d: read %d: unknown read mode %d", p.id, q.Owner, q.Mode)
+	}
 }
 
-// ReadSegments consolidates the requested vertices' segments (all owned by
-// owner) into one bulk payload with a describing table.
-func (p *Provider) ReadSegments(owner ownermap.ModelID, vertices []graph.VertexID) ([]proto.SegmentRef, []byte, error) {
+// segsTotal sums a segment table's lengths.
+func segsTotal(table []proto.SegmentRef) uint64 {
+	var n uint64
+	for _, s := range table {
+		n += uint64(s.Length)
+	}
+	return n
+}
+
+// sliceRange cuts the byte range [off, off+length) out of the consolidated
+// payload that segs represent (concatenated in table order), returning
+// zero-copy views into the per-segment buffers.
+func sliceRange(table []proto.SegmentRef, segs [][]byte, off, length uint64) ([][]byte, error) {
+	total := segsTotal(table)
+	if off+length < off || off+length > total {
+		return nil, fmt.Errorf("range [%d,%d) outside %d-byte payload", off, off+length, total)
+	}
+	var views [][]byte
+	var pos uint64
+	for i, s := range table {
+		segStart, segEnd := pos, pos+uint64(s.Length)
+		pos = segEnd
+		if segEnd <= off {
+			continue
+		}
+		if segStart >= off+length {
+			break
+		}
+		lo, hi := uint64(0), uint64(s.Length)
+		if segStart < off {
+			lo = off - segStart
+		}
+		if segEnd > off+length {
+			hi = off + length - segStart
+		}
+		views = append(views, segs[i][lo:hi])
+	}
+	return views, nil
+}
+
+// ReadSegments resolves the requested vertices' segments (all owned by
+// owner) into one describing table plus one zero-copy view per segment —
+// the KV's stored buffers, never concatenated. Callers must treat the
+// returned slices as immutable (kvstore contract).
+func (p *Provider) ReadSegments(owner ownermap.ModelID, vertices []graph.VertexID) ([]proto.SegmentRef, [][]byte, error) {
 	table := make([]proto.SegmentRef, 0, len(vertices))
-	var bulk []byte
+	segs := make([][]byte, 0, len(vertices))
+	var kb [segKeyLen]byte // reused per vertex on the byte-key fast path
 	for _, v := range vertices {
-		key := segKey{owner, v}.String()
-		seg, ok, err := p.kv.Get(key)
+		k := segKey{owner, v}
+		var (
+			seg []byte
+			ok  bool
+			err error
+		)
+		if p.kvB != nil {
+			seg, ok, err = p.kvB.GetB(k.appendTo(kb[:0]))
+		} else {
+			seg, ok, err = p.kv.Get(k.String())
+		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("provider %d: reading %s: %w", p.id, key, err)
+			return nil, nil, fmt.Errorf("provider %d: reading %s: %w", p.id, k, err)
 		}
 		if !ok {
 			return nil, nil, fmt.Errorf("provider %d: segment %d/%d not found", p.id, owner, v)
 		}
 		table = append(table, proto.SegmentRef{Vertex: v, Length: uint32(len(seg))})
-		bulk = append(bulk, seg...)
+		segs = append(segs, seg)
 	}
-	return table, bulk, nil
+	return table, segs, nil
 }
 
 // --- reference counting / GC -----------------------------------------------------

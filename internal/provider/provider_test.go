@@ -1,6 +1,8 @@
 package provider
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/ownermap"
 	"repro/internal/proto"
+	"repro/internal/rpc"
 )
 
 func chainGraph(sigs ...uint64) *graph.Compact {
@@ -45,13 +48,12 @@ func TestStoreGetRead(t *testing.T) {
 	if err != nil || meta.Quality != 0.5 || !meta.Graph.Equal(g) {
 		t.Fatalf("GetMeta: %+v %v", meta, err)
 	}
-	table, bulk, err := p.ReadSegments(7, []graph.VertexID{0, 2})
+	table, parts, err := p.ReadSegments(7, []graph.VertexID{0, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parts, err := proto.SplitBulk(table, bulk)
-	if err != nil {
-		t.Fatal(err)
+	if len(table) != 2 || len(parts) != 2 {
+		t.Fatalf("read table/parts = %d/%d entries", len(table), len(parts))
 	}
 	if string(parts[0]) != "seg-7-0" || string(parts[1]) != "seg-7-2" {
 		t.Errorf("read parts = %q", parts)
@@ -298,5 +300,97 @@ func TestDecRefAtomicOnPartialBatch(t *testing.T) {
 	}
 	if p.RefCount(1, 0) != 1 {
 		t.Errorf("valid counter mutated by failed batch: %d", p.RefCount(1, 0))
+	}
+}
+
+func TestReadModes(t *testing.T) {
+	p := New(0, kvstore.NewMemKV(4))
+	g := chainGraph(1, 2, 3)
+	req, segs := storeReq(7, 1, 0.5, g)
+	if err := p.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	vs := []graph.VertexID{0, 1, 2}
+	var flat []byte
+	for _, s := range segs {
+		flat = append(flat, s...)
+	}
+
+	// ReadFull: table + vectored bulk covering every segment.
+	q := &proto.ReadSegmentsReq{Owner: 7, Vertices: vs}
+	resp, err := p.handleReadSegments(ctx, rpc.Message{Meta: q.Encode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.BulkFlat(), flat) {
+		t.Error("ReadFull bulk mismatch")
+	}
+	if len(resp.BulkVec) != len(segs) {
+		t.Errorf("ReadFull returned %d bulk slices, want one per segment", len(resp.BulkVec))
+	}
+
+	// ReadTable: same table, zero bulk bytes.
+	q.Mode = proto.ReadTable
+	probe, err := p.handleReadSegments(ctx, rpc.Message{Meta: q.Encode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.BulkLen() != 0 {
+		t.Errorf("ReadTable carried %d bulk bytes", probe.BulkLen())
+	}
+	if !bytes.Equal(probe.Meta, resp.Meta) {
+		t.Error("ReadTable table differs from ReadFull table")
+	}
+
+	// ReadRange: every sub-range of the consolidated payload matches the
+	// flat concatenation, including ranges straddling segment boundaries.
+	total := uint64(len(flat))
+	for _, r := range [][2]uint64{{0, total}, {0, 1}, {total - 1, 1}, {2, 7}, {5, total - 5}} {
+		q2 := &proto.ReadSegmentsReq{Owner: 7, Vertices: vs, Mode: proto.ReadRange, RangeOff: r[0], RangeLen: r[1]}
+		resp, err := p.handleReadSegments(ctx, rpc.Message{Meta: q2.Encode()})
+		if err != nil {
+			t.Fatalf("range [%d,+%d): %v", r[0], r[1], err)
+		}
+		if !bytes.Equal(resp.BulkFlat(), flat[r[0]:r[0]+r[1]]) {
+			t.Errorf("range [%d,+%d) mismatch", r[0], r[1])
+		}
+	}
+
+	// Out-of-bounds range and unknown mode are rejected.
+	bad := &proto.ReadSegmentsReq{Owner: 7, Vertices: vs, Mode: proto.ReadRange, RangeOff: total, RangeLen: 1}
+	if _, err := p.handleReadSegments(ctx, rpc.Message{Meta: bad.Encode()}); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+	unk := &proto.ReadSegmentsReq{Owner: 7, Vertices: vs, Mode: 99}
+	if _, err := p.handleReadSegments(ctx, rpc.Message{Meta: unk.Encode()}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestSliceRange(t *testing.T) {
+	table := []proto.SegmentRef{{Vertex: 0, Length: 4}, {Vertex: 1, Length: 0}, {Vertex: 2, Length: 3}}
+	segs := [][]byte{{1, 2, 3, 4}, nil, {5, 6, 7}}
+	for off := uint64(0); off <= 7; off++ {
+		for l := uint64(0); off+l <= 7; l++ {
+			views, err := sliceRange(table, segs, off, l)
+			if err != nil {
+				t.Fatalf("[%d,+%d): %v", off, l, err)
+			}
+			var got []byte
+			for _, v := range views {
+				got = append(got, v...)
+			}
+			want := []byte{1, 2, 3, 4, 5, 6, 7}[off : off+l]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("[%d,+%d) = %v, want %v", off, l, got, want)
+			}
+		}
+	}
+	if _, err := sliceRange(table, segs, 7, 1); err == nil {
+		t.Error("overrun accepted")
+	}
+	if _, err := sliceRange(table, segs, ^uint64(0), 2); err == nil {
+		t.Error("offset overflow accepted")
 	}
 }

@@ -314,3 +314,44 @@ func TestRetrySucceedsAgainstFlakyServer(t *testing.T) {
 		}
 	}
 }
+
+// vecCaptureConn fails the first call transiently, then records the
+// request it received and succeeds.
+type vecCaptureConn struct {
+	scriptConn
+	got rpc.Message
+}
+
+func (c *vecCaptureConn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
+	resp, err := c.scriptConn.Call(ctx, name, req)
+	if err == nil {
+		c.mu.Lock()
+		c.got = req
+		c.mu.Unlock()
+	}
+	return resp, err
+}
+
+// TestVectoredRequestPassesThroughRetry checks the middleware neither
+// copies nor flattens a vectored bulk payload: the retried attempt
+// delivers the exact same slice headers the caller supplied.
+func TestVectoredRequestPassesThroughRetry(t *testing.T) {
+	inner := &vecCaptureConn{scriptConn: scriptConn{errs: []error{errNet}}}
+	c := Wrap(inner, opts(newFakeClock()))
+
+	a, b := []byte{1, 2, 3}, []byte{4, 5}
+	req := rpc.Message{Meta: []byte("m"), BulkVec: [][]byte{a, b}}
+	if _, err := c.Call(context.Background(), "store", req); err != nil {
+		t.Fatal(err)
+	}
+	if inner.callCount() != 2 {
+		t.Fatalf("calls = %d, want 2 (one failure, one retry)", inner.callCount())
+	}
+	got := inner.got
+	if len(got.BulkVec) != 2 || &got.BulkVec[0][0] != &a[0] || &got.BulkVec[1][0] != &b[0] {
+		t.Error("middleware copied or flattened the vectored payload")
+	}
+	if len(req.BulkVec) != 2 || len(req.BulkVec[0]) != 3 || len(req.BulkVec[1]) != 2 {
+		t.Error("middleware mutated the caller's request")
+	}
+}

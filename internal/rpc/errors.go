@@ -29,7 +29,20 @@ var (
 	// ErrInjected is the cause of every failure produced by a fault
 	// wrapper. It classifies as transient.
 	ErrInjected = errors.New("rpc: injected fault")
+
+	// ErrFrameTooLarge is returned when a payload's length field would
+	// exceed MaxFrame, checked on the send side before any byte is
+	// written: the frame is never emitted, so the connection stays
+	// usable. Servers report an oversized *response* to the client as a
+	// remote error carrying this error's text. It classifies as
+	// permanent: retrying the same payload would fail identically.
+	ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
 )
+
+// IsFrameTooLarge reports whether err is a sender-side oversized-frame
+// rejection (the frame never touched the wire, so the connection remains
+// usable).
+func IsFrameTooLarge(err error) bool { return errors.Is(err, ErrFrameTooLarge) }
 
 // transientErr marks an error as explicitly transient.
 type transientErr struct{ err error }
@@ -63,6 +76,8 @@ func IsTransient(err error) bool {
 		return false // the caller gave up; do not retry behind its back
 	case errors.Is(err, ErrClosed):
 		return false // this client closed the connection deliberately
+	case errors.Is(err, ErrFrameTooLarge):
+		return false // the same payload would exceed the limit again
 	case IsRemote(err):
 		return false // the handler ran; its verdict is authoritative
 	case errors.Is(err, ErrUnavailable), errors.Is(err, ErrInjected):

@@ -36,7 +36,10 @@ type FaultConfig struct {
 // response drops, added delay and a hard partition switch. Tests and
 // evostore-bench use it to exercise the resilience middleware against a
 // misbehaving fabric. All injected failures classify as transient and wrap
-// ErrInjected.
+// ErrInjected. Payloads pass through untouched — a vectored bulk payload
+// (Message.BulkVec) reaches the wrapped connection with the exact same
+// slice headers, and fault decisions never depend on payload shape, so
+// flat and vectored frames are dropped/delayed on identical schedules.
 type FaultConn struct {
 	inner Conn
 	cfg   FaultConfig

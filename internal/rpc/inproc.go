@@ -7,10 +7,12 @@ import (
 )
 
 // InprocNet is an in-process fabric: a registry of named endpoints whose
-// connections invoke handlers directly. Bulk payloads are passed by
-// reference, modeling RDMA reads/writes of registered memory: no copies,
-// no serialization, just the handler touching the client's buffer (and
-// vice versa). One InprocNet models one cluster fabric.
+// connections invoke handlers directly. Bulk payloads — flat Bulk and
+// vectored BulkVec alike — are passed by reference, modeling RDMA
+// reads/writes of registered memory: no copies, no serialization, just the
+// handler touching the client's buffer (and vice versa). The buffer-
+// ownership contract in the package comment is what keeps that sharing
+// safe. One InprocNet models one cluster fabric.
 type InprocNet struct {
 	mu      sync.RWMutex
 	servers map[string]*Server

@@ -3,12 +3,16 @@
 // paired with large bulk transfers (the RDMA analogue).
 //
 // A Message separates the two: Meta is the small control payload that rides
-// the RPC itself; Bulk is the consolidated tensor segment that a real
-// deployment would move with registered-memory RDMA. The in-process
-// transport passes Bulk by reference (zero copy, like an RDMA pull from
-// registered memory); the TCP transport streams it with length framing.
-// Both transports count control messages and bulk bytes so experiments can
-// attribute costs.
+// the RPC itself; the bulk payload is the consolidated tensor data that a
+// real deployment would move with registered-memory RDMA. Bulk carries it
+// as one flat slice; BulkVec carries it as an ordered vector of slices
+// (scatter-gather), which lets senders ship per-segment buffers without
+// concatenating them first. The wire format is identical either way: the
+// frame carries one total length followed by the bytes in order. The
+// in-process transport passes both by reference (zero copy, like an RDMA
+// pull from registered memory); the TCP transport streams the vector with
+// a single writev (net.Buffers). Both transports count control messages
+// and bulk bytes so experiments can attribute costs.
 //
 // Paper counterpart: the Mochi Mercury/Thallium RPC + RDMA layer (§4.2).
 //
@@ -23,6 +27,18 @@
 //   - Errors: handler failures cross the wire as remote errors (IsRemote);
 //     everything else is a transport failure. IsTransient classifies both
 //     for retry decisions.
+//   - Buffer ownership (the aliasing contract the zero-copy path relies
+//     on): request buffers handed to a Handler are owned by the transport;
+//     a handler may alias them in its *response* (echo-style), but must
+//     copy anything it retains after the response has been written —
+//     the TCP transport recycles request frames into a buffer pool at that
+//     point. Response buffers passed back by a handler must stay immutable
+//     until the transport has written them. On the client side, response
+//     buffers returned by Call are owned by the caller (never pooled, never
+//     recycled); request buffers passed to Call must stay immutable until
+//     Call returns but are never retained afterwards by the TCP transport.
+//     The in-process transport passes references end to end, so both sides
+//     see each other's live buffers — the same rules keep that safe.
 package rpc
 
 import (
@@ -35,10 +51,58 @@ import (
 )
 
 // Message is one RPC payload: small control metadata plus an optional bulk
-// segment.
+// payload. The logical bulk payload is Bulk followed by the BulkVec slices
+// in order; senders normally set at most one of the two. BulkVec is the
+// scatter-gather form: per-segment buffers travel as-is (by reference
+// in-process, via one writev on TCP) without being concatenated. Receivers
+// of the TCP transport always see the payload as one flat Bulk slice;
+// receivers of the in-process transport see whatever shape the sender
+// built.
 type Message struct {
-	Meta []byte
-	Bulk []byte
+	Meta    []byte
+	Bulk    []byte
+	BulkVec [][]byte
+}
+
+// BulkLen returns the total bulk payload length in bytes (Bulk plus every
+// BulkVec slice).
+func (m *Message) BulkLen() int {
+	n := len(m.Bulk)
+	for _, s := range m.BulkVec {
+		n += len(s)
+	}
+	return n
+}
+
+// BulkSlices returns the bulk payload as an ordered vector of slices
+// without copying: Bulk first (when non-empty), then the BulkVec entries.
+// The returned slices alias the message's buffers.
+func (m *Message) BulkSlices() [][]byte {
+	if len(m.Bulk) == 0 {
+		return m.BulkVec
+	}
+	if len(m.BulkVec) == 0 {
+		return [][]byte{m.Bulk}
+	}
+	out := make([][]byte, 0, 1+len(m.BulkVec))
+	out = append(out, m.Bulk)
+	return append(out, m.BulkVec...)
+}
+
+// BulkFlat returns the bulk payload as one contiguous slice. When the
+// payload is already flat the slice is returned as-is (aliasing the
+// message); a vectored payload is concatenated into a fresh buffer. Prefer
+// BulkSlices (or proto.SplitBulkMsg) on hot paths.
+func (m *Message) BulkFlat() []byte {
+	if len(m.BulkVec) == 0 {
+		return m.Bulk
+	}
+	out := make([]byte, 0, m.BulkLen())
+	out = append(out, m.Bulk...)
+	for _, s := range m.BulkVec {
+		out = append(out, s...)
+	}
+	return out
 }
 
 // Handler processes one request. Handlers must be safe for concurrent use.
@@ -91,10 +155,10 @@ func (s *Server) dispatch(ctx context.Context, name string, req Message) (Messag
 		}
 	}
 	atomic.AddUint64(&s.stats.Calls, 1)
-	atomic.AddUint64(&s.stats.BulkInBytes, uint64(len(req.Bulk)))
+	atomic.AddUint64(&s.stats.BulkInBytes, uint64(req.BulkLen()))
 	resp, err := h(ctx, req)
 	if err == nil {
-		atomic.AddUint64(&s.stats.BulkOutBytes, uint64(len(resp.Bulk)))
+		atomic.AddUint64(&s.stats.BulkOutBytes, uint64(resp.BulkLen()))
 	}
 	return resp, err
 }

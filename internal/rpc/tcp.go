@@ -18,12 +18,27 @@ import (
 //	          ok:    u32 metaLen | meta | u64 bulkLen | bulk
 //	          error: u32 msgLen | msg
 //
+// The bulk payload is always framed as one total length followed by the
+// bytes in order; a vectored payload (Message.BulkVec) is gathered into
+// the stream with a single writev (net.Buffers) instead of being copied
+// into one buffer first, so the frame a receiver sees is identical for
+// flat and vectored senders.
+//
 // One connection carries one request at a time; TCPConn serializes with a
 // mutex and DialPool fans parallel calls over several connections, which is
 // how the client achieves the paper's "multiple bulk operations in parallel
 // to the providers".
 
-const maxFrame = 1 << 31 // sanity bound on any single length field
+// MaxFrame is the sanity bound on any single length field of the wire
+// format. Senders reject oversized frames with ErrFrameTooLarge before
+// writing a byte; receivers drop the connection when a peer announces one.
+const MaxFrame = 1 << 31
+
+// vecFlushThreshold is the bulk size above which a vectored payload is
+// written with writev directly to the socket instead of being copied
+// through the connection's bufio.Writer. Below it, the copy into the
+// already-allocated write buffer is cheaper than the extra syscall.
+const vecFlushThreshold = 128 << 10
 
 // ServeTCP accepts connections on lis and dispatches to srv until lis is
 // closed. It returns after the listener fails (use lis.Close to stop).
@@ -53,21 +68,30 @@ func serveConn(conn net.Conn, srv *Server) {
 	defer conn.Close()
 	r := bufio.NewReaderSize(conn, 256<<10)
 	w := bufio.NewWriterSize(conn, 256<<10)
+	var vec net.Buffers // per-connection writev scratch, reused across requests
 	for {
 		name, req, err := readRequest(r)
 		if err != nil {
 			return // client went away or sent garbage; drop the connection
 		}
 		resp, herr := srv.dispatch(context.Background(), name, req)
-		if err := writeResponse(w, resp, herr); err != nil {
-			return
+		err = writeResponse(w, conn, &vec, resp, herr)
+		if err == nil {
+			err = w.Flush()
 		}
-		if err := w.Flush(); err != nil {
+		// The response is on the wire (or the connection is dead): nothing
+		// may alias the request frame anymore, so recycle its buffers.
+		putBuf(req.Meta)
+		putBuf(req.Bulk)
+		if err != nil {
 			return
 		}
 	}
 }
 
+// readRequest reads one request frame. Meta and bulk buffers are drawn
+// from the receive pool; serveConn recycles them once the response has
+// been written.
 func readRequest(r *bufio.Reader) (string, Message, error) {
 	var nl [2]byte
 	if _, err := io.ReadFull(r, nl[:]); err != nil {
@@ -78,18 +102,58 @@ func readRequest(r *bufio.Reader) (string, Message, error) {
 	if _, err := io.ReadFull(r, name); err != nil {
 		return "", Message{}, err
 	}
-	meta, err := readSized32(r)
+	meta, err := readSized32(r, true)
 	if err != nil {
 		return "", Message{}, err
 	}
-	bulk, err := readSized64(r)
+	bulk, err := readSized64(r, true)
 	if err != nil {
+		putBuf(meta)
 		return "", Message{}, err
 	}
 	return string(name), Message{Meta: meta, Bulk: bulk}, nil
 }
 
-func writeResponse(w *bufio.Writer, resp Message, herr error) error {
+// writeBulk frames the bulk payload of m: the u64 total length, then the
+// bytes. Large vectored payloads bypass the bufio.Writer with one writev.
+func writeBulk(w *bufio.Writer, conn net.Conn, vec *net.Buffers, m *Message) error {
+	total := m.BulkLen()
+	var l8 [8]byte
+	binary.LittleEndian.PutUint64(l8[:], uint64(total))
+	if _, err := w.Write(l8[:]); err != nil {
+		return err
+	}
+	slices := m.BulkSlices()
+	if total <= vecFlushThreshold || conn == nil {
+		for _, s := range slices {
+			if _, err := w.Write(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// writev path: drain the buffered header, then gather the payload
+	// slices straight from their owners' buffers — zero copies. The scratch
+	// vector is reused so net.Buffers consumes our copy of the slice
+	// headers, never the caller's BulkVec.
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	*vec = append((*vec)[:0], slices...)
+	_, err := vec.WriteTo(conn)
+	*vec = (*vec)[:0]
+	return err
+}
+
+// writeResponse frames one response. An oversized meta or bulk payload is
+// reported to the client as a remote error carrying the ErrFrameTooLarge
+// text instead of a torn frame, so the connection stays usable.
+func writeResponse(w *bufio.Writer, conn net.Conn, vec *net.Buffers, resp Message, herr error) error {
+	if herr == nil {
+		if len(resp.Meta) > MaxFrame || resp.BulkLen() > MaxFrame {
+			herr = fmt.Errorf("%w: response meta %d bulk %d bytes", ErrFrameTooLarge, len(resp.Meta), resp.BulkLen())
+		}
+	}
 	if herr != nil {
 		msg := herr.Error()
 		if err := w.WriteByte(1); err != nil {
@@ -108,45 +172,58 @@ func writeResponse(w *bufio.Writer, resp Message, herr error) error {
 	binary.LittleEndian.PutUint32(l4[:], uint32(len(resp.Meta)))
 	w.Write(l4[:])
 	w.Write(resp.Meta)
-	var l8 [8]byte
-	binary.LittleEndian.PutUint64(l8[:], uint64(len(resp.Bulk)))
-	w.Write(l8[:])
-	_, err := w.Write(resp.Bulk)
-	return err
+	return writeBulk(w, conn, vec, &resp)
 }
 
-func readSized32(r io.Reader) ([]byte, error) {
+// readSized32 / readSized64 read one length-prefixed field. With pooled
+// set, the buffer comes from the receive pool (server side, recycled after
+// the response is written); without it, the buffer is freshly allocated
+// and owned by the caller (client side, where responses may be retained
+// indefinitely).
+func readSized32(r io.Reader, pooled bool) ([]byte, error) {
 	var l [4]byte
 	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(l[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	if n > MaxFrame {
+		// Untyped on purpose: peers guard their own sends, so an announced
+		// oversize means stream corruption — a transport failure, not a
+		// payload-too-large verdict the caller could act on.
+		return nil, fmt.Errorf("rpc: announced frame of %d bytes exceeds limit", n)
 	}
-	if n == 0 {
-		return nil, nil
-	}
-	buf := make([]byte, n)
-	_, err := io.ReadFull(r, buf)
-	return buf, err
+	return readBody(r, int(n), pooled)
 }
 
-func readSized64(r io.Reader) ([]byte, error) {
+func readSized64(r io.Reader, pooled bool) ([]byte, error) {
 	var l [8]byte
 	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint64(l[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	if n > MaxFrame {
+		return nil, fmt.Errorf("rpc: announced frame of %d bytes exceeds limit", n)
 	}
+	return readBody(r, int(n), pooled)
+}
+
+func readBody(r io.Reader, n int, pooled bool) ([]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	buf := make([]byte, n)
-	_, err := io.ReadFull(r, buf)
-	return buf, err
+	var buf []byte
+	if pooled {
+		buf = getBuf(n)
+	} else {
+		buf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if pooled {
+			putBuf(buf)
+		}
+		return nil, err
+	}
+	return buf, nil
 }
 
 // tcpConn is one physical connection; calls are serialized.
@@ -156,6 +233,7 @@ type tcpConn struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	vec  net.Buffers // writev scratch, reused across calls
 	dead bool
 }
 
@@ -181,6 +259,12 @@ func (c *tcpConn) Call(ctx context.Context, name string, req Message) (Message, 
 	if len(name) > 0xffff {
 		return Message{}, fmt.Errorf("rpc: handler name too long")
 	}
+	// Reject oversized frames before writing a byte: the connection stays
+	// usable and the caller gets a permanent, typed error instead of a
+	// silently truncated length field.
+	if len(req.Meta) > MaxFrame || req.BulkLen() > MaxFrame {
+		return Message{}, fmt.Errorf("%w: request meta %d bulk %d bytes", ErrFrameTooLarge, len(req.Meta), req.BulkLen())
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dead {
@@ -204,10 +288,10 @@ func (c *tcpConn) Call(ctx context.Context, name string, req Message) (Message, 
 	binary.LittleEndian.PutUint32(l4[:], uint32(len(req.Meta)))
 	c.w.Write(l4[:])
 	c.w.Write(req.Meta)
-	var l8 [8]byte
-	binary.LittleEndian.PutUint64(l8[:], uint64(len(req.Bulk)))
-	c.w.Write(l8[:])
-	c.w.Write(req.Bulk)
+	if err := writeBulk(c.w, c.conn, &c.vec, &req); err != nil {
+		c.dead = true
+		return Message{}, err
+	}
 	if err := c.w.Flush(); err != nil {
 		c.dead = true
 		return Message{}, err
@@ -220,19 +304,19 @@ func (c *tcpConn) Call(ctx context.Context, name string, req Message) (Message, 
 	}
 	switch status {
 	case 0:
-		meta, err := readSized32(c.r)
+		meta, err := readSized32(c.r, false)
 		if err != nil {
 			c.dead = true
 			return Message{}, err
 		}
-		bulk, err := readSized64(c.r)
+		bulk, err := readSized64(c.r, false)
 		if err != nil {
 			c.dead = true
 			return Message{}, err
 		}
 		return Message{Meta: meta, Bulk: bulk}, nil
 	case 1:
-		msg, err := readSized32(c.r)
+		msg, err := readSized32(c.r, false)
 		if err != nil {
 			c.dead = true
 			return Message{}, err
@@ -261,7 +345,8 @@ func (c *tcpConn) Close() error {
 
 // Pool multiplexes concurrent calls over up to size physical connections to
 // one address, created lazily. It lets a client keep several bulk
-// operations to the same provider in flight.
+// operations to the same provider in flight — the transport-level
+// parallelism the client's striped reads fan out over.
 type Pool struct {
 	addr string
 	dial func(addr string) (Conn, error)
@@ -319,8 +404,10 @@ func (p *Pool) Call(ctx context.Context, name string, req Message) (Message, err
 		p.mu.Unlock()
 	}
 	resp, err := c.Call(ctx, name, req)
-	if err != nil && !IsRemote(err) {
-		// Transport failure: discard the connection.
+	if err != nil && !IsRemote(err) && !IsFrameTooLarge(err) {
+		// Transport failure: discard the connection. (An oversized frame is
+		// rejected before any byte hits the wire, so it leaves the
+		// connection healthy.)
 		c.Close()
 		p.mu.Lock()
 		p.total--
