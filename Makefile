@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-faults
+.PHONY: build test check bench bench-faults bench-repair
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,20 @@ test:
 	$(GO) test ./...
 
 # Full verification: static analysis plus the test suite under the race
-# detector, and a 1-iteration smoke run of the tracked bulk benchmarks so
-# the suite can't rot. This is what CI should run.
+# detector, a 1-iteration smoke run of the tracked bulk benchmarks so the
+# suite can't rot, and the replica-repair convergence scenario (kill a
+# replica mid-workload, heal, assert digests converge with zero lost
+# refcount deltas). This is what CI should run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench Bulk -benchtime 1x ./internal/bulkbench
+	$(GO) run ./cmd/evostore-bench faults -repair -models 10
+
+# End-to-end repair proof on its own: partial writes during an outage,
+# anti-entropy convergence after healing.
+bench-repair:
+	$(GO) run ./cmd/evostore-bench faults -repair
 
 # Refresh the tracked bulk data path benchmarks (BENCH_bulk.json). The
 # "before" baseline entries are preserved; "after" entries are replaced.

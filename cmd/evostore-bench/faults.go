@@ -34,7 +34,12 @@ func runFaults(args []string) error {
 	seed := fs.Int64("seed", 1, "fault schedule seed")
 	partition := fs.Bool("partition", true, "additionally partition the faulty provider mid-run and heal it")
 	replicas := fs.Int("replicas", 1, "N-way replication factor (R>1: reads must survive a partitioned provider via failover)")
+	repair := fs.Bool("repair", false, "run the replica-repair scenario instead: kill a replica mid-workload, heal it, and assert anti-entropy converges every digest with zero lost refcount deltas")
 	fs.Parse(args)
+
+	if *repair {
+		return runRepair(*providers, *models, *replicas, *faultAt)
+	}
 
 	reg := metrics.Default
 	repo, err := core.Open(core.Options{
@@ -245,5 +250,199 @@ func partitionDemo(ctx context.Context, repo *core.Repository, target int, ids [
 		time.Sleep(20 * time.Millisecond)
 	}
 	fmt.Printf("healed provider %d: breaker closed, loads succeed again\n", target)
+	return nil
+}
+
+// runRepair is the anti-entropy convergence demonstration: one replica is
+// partitioned away mid-workload while partial writes keep every store,
+// retire, and load succeeding; the partition then heals and a repair pass
+// must converge every replica set to bit-identical digests. The final
+// retire-and-drain proves no refcount delta was lost in the outage — any
+// dropped IncRef/DecRef leg would leave segments or refs behind.
+func runRepair(providers, models, replicas, target int) error {
+	if replicas < 2 {
+		replicas = 2
+	}
+	if providers < replicas+1 {
+		providers = replicas + 1
+	}
+	if target < 0 || target >= providers {
+		target = 1
+	}
+	reg := metrics.Default
+	repo, err := core.Open(core.Options{
+		Providers:     providers,
+		Replicas:      replicas,
+		PartialWrites: true,
+		// Fault wrappers on every provider (no random drops): the scenario
+		// only needs the partition switch.
+		Faults: func(i int) *rpc.FaultConfig {
+			return &rpc.FaultConfig{Seed: int64(i + 1), Registry: reg}
+		},
+		Resilience: &resilient.Options{
+			MaxAttempts: 4,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  10 * time.Millisecond,
+			Threshold:   3,
+			Cooldown:    50 * time.Millisecond,
+			Registry:    reg,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+
+	ctx := context.Background()
+	fmt.Printf("\n=== Replica repair: %d providers, R=%d, killing provider %d mid-workload ===\n",
+		providers, repo.Replicas(), target)
+
+	flat, err := model.Flatten(model.Sequential("bench", 8,
+		model.Dense{In: 8, Out: 8, Activation: "relu", UseBias: true},
+		model.Dense{In: 8, Out: 8, Activation: "relu"},
+		model.Dense{In: 8, Out: 4},
+	))
+	if err != nil {
+		return err
+	}
+	last := graph.VertexID(flat.Graph.NumVertices() - 1)
+
+	// Phase 1: healthy writes, so the outage has inherited state to damage.
+	pre := models / 2
+	if pre < 2 {
+		pre = 2
+	}
+	var ids []core.ModelID
+	for i := 0; i < pre; i++ {
+		id, err := repo.Store(ctx, flat, model.Materialize(flat, uint64(i+1)), 0.5)
+		if err != nil {
+			return fmt.Errorf("healthy store %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("stored %d models with all replicas healthy\n", pre)
+
+	// Phase 2: kill the replica and keep writing. Every operation must
+	// still succeed — legs on the dead provider are recorded as partial
+	// writes for the repairer, not failed.
+	faults := repo.FaultConns()
+	if target >= len(faults) || faults[target] == nil {
+		return fmt.Errorf("no fault wrapper on provider %d", target)
+	}
+	faults[target].SetPartitioned(true)
+	fmt.Printf("partitioned provider %d; continuing the workload\n", target)
+
+	var retired []core.ModelID
+	for i := pre; i < pre+models-pre; i++ {
+		ws := model.Materialize(flat, uint64(i+1))
+		var id core.ModelID
+		if i%2 == 1 {
+			anc, found, err := repo.BestAncestor(ctx, flat)
+			if err != nil {
+				return fmt.Errorf("ancestor query during outage: %w", err)
+			}
+			if found {
+				if err := repo.TransferPrefix(ctx, flat, ws, anc); err != nil {
+					return fmt.Errorf("transfer during outage: %w", err)
+				}
+				ws[last] = model.Materialize(flat, uint64(1000+i))[last]
+				id, err = repo.StoreDerived(ctx, flat, ws, 0.5, anc, nil)
+				if err != nil {
+					return fmt.Errorf("derived store %d during outage: %w", i, err)
+				}
+				ids = append(ids, id)
+				continue
+			}
+		}
+		id, err = repo.Store(ctx, flat, ws, 0.5)
+		if err != nil {
+			return fmt.Errorf("store %d during outage: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	// Retire one healthy-era model during the outage: the tombstone and its
+	// DecRef deltas only reach the survivors and must be replayed by repair.
+	if _, err := repo.Retire(ctx, ids[0]); err != nil {
+		return fmt.Errorf("retire during outage: %w", err)
+	}
+	retired = append(retired, ids[0])
+	// Reads must keep working throughout via replica failover.
+	for _, id := range ids[1:] {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			return fmt.Errorf("load %d during outage: %w", id, err)
+		}
+	}
+	partials := reg.Counter("client.partial_write").Load()
+	fmt.Printf("outage workload done: %d stores, 1 retire, %d loads, %d partial writes accepted\n",
+		len(ids)-pre, len(ids)-1, partials)
+	if partials == 0 {
+		return fmt.Errorf("no partial writes were recorded with a replica down")
+	}
+
+	// Phase 3: heal and wait for the breaker to close again (Stats
+	// broadcasts to every provider, so it fails while any leg is shed).
+	faults[target].SetPartitioned(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := repo.Stats(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("provider %d did not recover after healing", target)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("healed provider %d: breaker closed\n", target)
+
+	// Phase 4: anti-entropy. One pass must converge everything.
+	rs, err := repo.RepairAll(ctx)
+	if err != nil {
+		return fmt.Errorf("repair pass: %w", err)
+	}
+	fmt.Printf("repair pass: checked=%d repaired=%d skipped=%d\n", rs.Checked, rs.Repaired, rs.Skipped)
+	if diverged, err := repo.RepairCheck(ctx); err != nil {
+		return fmt.Errorf("post-repair check: %w", err)
+	} else if len(diverged) != 0 {
+		return fmt.Errorf("still diverged after repair: %v", diverged)
+	}
+
+	// Independent of the repairer's own digest RPCs: read each replica's
+	// digest straight off the provider structs and demand bit-identical
+	// state across every replica set.
+	provs := repo.Providers()
+	for _, id := range ids {
+		set := repo.ReplicaSet(id)
+		d0 := provs[set[0]].Digest(id)
+		for _, pi := range set[1:] {
+			if di := provs[pi].Digest(id); !d0.Converged(di) {
+				return fmt.Errorf("model %d: replica %d digest %+v != replica %d digest %+v",
+					id, set[0], d0, pi, di)
+			}
+		}
+	}
+	fmt.Printf("digest audit: %d models bit-identical across their replica sets\n", len(ids))
+
+	// Phase 5: retire everything and drain. A single lost refcount delta
+	// (an IncRef or DecRef leg swallowed by the outage) leaves segments or
+	// live refs behind and fails this check.
+	for _, id := range ids[1:] {
+		if _, err := repo.Retire(ctx, id); err != nil {
+			return fmt.Errorf("final retire %d: %w", id, err)
+		}
+		retired = append(retired, id)
+	}
+	stats, err := repo.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retired %d models; remaining models=%d segments=%d live refs=%d\n",
+		len(retired), stats.Models, stats.Segments, stats.LiveRefs)
+	if stats.Models != 0 || stats.Segments != 0 || stats.LiveRefs != 0 {
+		return fmt.Errorf("refcount drift: repository did not drain after repair: %+v", *stats)
+	}
+	fmt.Println("repository drained completely: zero refcount deltas lost to the outage")
+
+	fmt.Println("\nRepair counters:")
+	reg.Render(os.Stdout)
 	return nil
 }

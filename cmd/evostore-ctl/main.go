@@ -12,6 +12,9 @@
 //	evostore-ctl -providers ... arch <modelID>        # Graphviz DOT to stdout
 //	evostore-ctl -providers ... metrics               # per-provider counters
 //	evostore-ctl -providers ... replicas <modelID>    # replica placement
+//	evostore-ctl -providers ... digest <modelID>      # per-replica repair digests
+//	evostore-ctl -providers ... check                 # list diverged replica sets
+//	evostore-ctl -providers ... repair                # one anti-entropy pass
 //
 // The -providers list must match the deployment's canonical order, and
 // -replicas must match the deployment's replication factor (reads fail
@@ -49,7 +52,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|load|arch|metrics|replicas} [args]")
+		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|load|arch|metrics|replicas|digest|check|repair} [args]")
 		os.Exit(2)
 	}
 
@@ -267,6 +270,62 @@ func run(ctx context.Context, cli *client.Client, args []string) error {
 		set := cli.ReplicaSet(id)
 		fmt.Printf("model %d: home provider %d, replica set %v (R=%d)\n",
 			uint64(id), cli.HomeProvider(id), set, cli.Replicas())
+		return nil
+
+	case "digest":
+		if len(args) < 2 {
+			return fmt.Errorf("digest needs a model ID")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		rep := client.NewRepairer(cli)
+		set, ds, err := rep.ModelDigests(ctx, id)
+		if err != nil {
+			return err
+		}
+		tbl := metrics.NewTable("Provider", "Present", "Retired", "Seq", "MetaHash", "RefHash", "SegHash", "LiveRefs", "Journal")
+		for i, d := range ds {
+			tbl.Add(set[i], d.Present, d.Retired, d.Seq,
+				fmt.Sprintf("%016x", d.MetaHash), fmt.Sprintf("%016x", d.RefHash),
+				fmt.Sprintf("%016x", d.SegHash), d.LiveRefs, d.Journal)
+		}
+		tbl.Render(os.Stdout)
+		converged := true
+		for _, d := range ds[1:] {
+			if !ds[0].Converged(d) {
+				converged = false
+			}
+		}
+		if converged {
+			fmt.Println("replicas converged")
+		} else {
+			fmt.Println("replicas DIVERGED (run `repair` to converge them)")
+		}
+		return nil
+
+	case "check":
+		diverged, err := client.NewRepairer(cli).Check(ctx)
+		if err != nil {
+			return err
+		}
+		if len(diverged) == 0 {
+			fmt.Println("all replica sets converged")
+			return nil
+		}
+		for _, id := range diverged {
+			fmt.Printf("diverged: model %d (replica set %v)\n", uint64(id), cli.ReplicaSet(id))
+		}
+		return fmt.Errorf("%d replica set(s) diverged", len(diverged))
+
+	case "repair":
+		stats, err := client.NewRepairer(cli).RepairAll(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checked %d model(s): repaired %d, skipped %d (unhealthy replicas)\n",
+			stats.Checked, stats.Repaired, stats.Skipped)
 		return nil
 	}
 	return fmt.Errorf("unknown subcommand %q", args[0])

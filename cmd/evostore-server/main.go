@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -32,9 +33,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/provider"
+	"repro/internal/proto"
+	"repro/internal/resilient"
 	"repro/internal/rpc"
 )
 
@@ -52,6 +56,10 @@ func main() {
 		"log a metrics-counter snapshot this often (0 = never)")
 	dedupTTL := flag.Duration("dedup-ttl", provider.DefaultDedupTTL,
 		"lifetime of request-dedup entries; must cover the clients' retry budget (0 = never expire by age)")
+	repairEvery := flag.Duration("repair-interval", 0,
+		"run an in-process anti-entropy repairer over the whole deployment this often (0 = off; needs -repair-peers)")
+	repairPeers := flag.String("repair-peers", "",
+		"comma-separated full deployment address list, in canonical order (required by -repair-interval)")
 	flag.Parse()
 
 	var kv kvstore.KV
@@ -89,9 +97,33 @@ func main() {
 		go logMetrics(*id, *metricsEvery, stopMetrics)
 	}
 
+	// Optional in-server anti-entropy: one provider (usually provider 0)
+	// runs a deployment-wide repairer loop; the repairs are convergent, so
+	// several providers running it concurrently is wasteful but safe.
+	repairCtx, stopRepair := context.WithCancel(context.Background())
+	defer stopRepair()
+	if *repairEvery > 0 {
+		if *repairPeers == "" {
+			log.Fatalf("-repair-interval needs -repair-peers (the full deployment address list)")
+		}
+		var conns []rpc.Conn
+		for _, a := range strings.Split(*repairPeers, ",") {
+			conns = append(conns, rpc.NewPool(strings.TrimSpace(a), 1, rpc.DialTCP))
+		}
+		conns = resilient.WrapAll(conns, resilient.Options{
+			DefaultTimeout: *reqTimeout,
+			Retryable:      proto.Retryable,
+		})
+		cli := client.New(conns, client.WithReplicas(*replicas))
+		go client.NewRepairer(cli).Run(repairCtx, *repairEvery)
+		log.Printf("provider %d: anti-entropy repairer running every %s over %d peers",
+			*id, *repairEvery, len(conns))
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	stopRepair()
 	close(stopMetrics)
 	log.Printf("provider %d: shutting down", *id)
 	lis.Close()

@@ -37,7 +37,7 @@ func (c *hookConn) Call(ctx context.Context, name string, req rpc.Message) (rpc.
 // the raw connections (for selective wrapping) plus the provider handles
 // (for refcount assertions). wrap maps provider index → conn decorator
 // (nil = passthrough).
-func newHookCluster(t testing.TB, n int, wrap map[int]func(rpc.Conn) rpc.Conn) ([]*provider.Provider, *Client) {
+func newHookCluster(t testing.TB, n int, wrap map[int]func(rpc.Conn) rpc.Conn, opts ...Option) ([]*provider.Provider, *Client) {
 	t.Helper()
 	net := rpc.NewInprocNet()
 	provs := make([]*provider.Provider, n)
@@ -59,7 +59,7 @@ func newHookCluster(t testing.TB, n int, wrap map[int]func(rpc.Conn) rpc.Conn) (
 		}
 		conns[i] = c
 	}
-	return provs, New(conns)
+	return provs, New(conns, opts...)
 }
 
 // derivedChildMeta builds metadata for child inheriting base's vertex 0

@@ -71,9 +71,16 @@ type Client struct {
 	stripeChunk uint64 // striped-read chunk size; 0 disables striping
 	stripePar   int    // max concurrent chunk fetches per owner group
 
+	partialWrites bool // accept outage-shaped partial mutations (see repair.go)
+	repairMu      sync.Mutex
+	repairQ       []RepairTarget
+	repairSeen    map[ownermap.ModelID]bool
+
 	failovers    *metrics.Counter // reads served by a non-preferred replica
 	breakerSkips *metrics.Counter // replicas skipped on an open breaker
 	stripedReads *metrics.Counter // owner-group reads served via range striping
+	partialAcc   *metrics.Counter // partial writes accepted for repair
+	repairDrops  *metrics.Counter // repair targets dropped on a full queue
 }
 
 // New wraps provider connections. The slice order defines provider IDs and
@@ -82,13 +89,16 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 	if len(conns) == 0 {
 		panic("client: need at least one provider connection")
 	}
-	c := &Client{conns: conns, replicas: 1, reg: metrics.Default}
+	c := &Client{conns: conns, replicas: 1, reg: metrics.Default,
+		repairSeen: make(map[ownermap.ModelID]bool)}
 	for _, o := range opts {
 		o(c)
 	}
 	c.failovers = c.reg.Counter("client.read_failover")
 	c.breakerSkips = c.reg.Counter("client.replica_breaker_skip")
 	c.stripedReads = c.reg.Counter("client.striped_read")
+	c.partialAcc = c.reg.Counter("client.partial_write")
+	c.repairDrops = c.reg.Counter("client.repair_queue_drop")
 	return c
 }
 
@@ -188,6 +198,12 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 	}
 	_, err := c.mutateCall(ctx, proto.RPCStoreModel, meta.Model, rpc.Message{Meta: req.Encode(), BulkVec: bulkVec})
 	if err != nil {
+		if c.acceptPartial(proto.RPCStoreModel, meta.Model, err) {
+			// The model is durable on the replicas that accepted; the
+			// repairer completes the others from them. The pins taken above
+			// stand — the model exists, so its inherited tensors stay pinned.
+			return nil
+		}
 		// A partial fan-out may have landed copies on some replicas; retire
 		// them and release their self-owned segments (best effort, detached
 		// from cancellation) so a failed store leaves nothing behind.
@@ -213,6 +229,11 @@ var maxSegmentBytes = uint64(1) << 32
 func (c *Client) refCall(ctx context.Context, name string, owner ownermap.ModelID, vs []graph.VertexID) error {
 	req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
 	_, err := c.mutateCall(ctx, name, owner, rpc.Message{Meta: req.Encode()})
+	if err != nil && c.acceptPartial(name, owner, err) {
+		// The refcount delta is journaled on the replicas that accepted;
+		// repair replays it onto the ones that missed it.
+		return nil
+	}
 	return err
 }
 
@@ -411,7 +432,13 @@ func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error
 	rreq := &proto.RetireReq{Model: id, ReqID: nextReqID()}
 	resp, err := c.mutateCall(ctx, proto.RPCRetire, id, rpc.Message{Meta: rreq.Encode()})
 	if err != nil {
-		return 0, fmt.Errorf("client: retire %d: %w", id, err)
+		// On a partial retire the catalog entry is gone from the replicas
+		// that accepted; mutateCall returned their owner-map response, so
+		// the DecRef legs below still run. Repair propagates the tombstone
+		// to the replicas that missed it.
+		if !c.acceptPartial(proto.RPCRetire, id, err) {
+			return 0, fmt.Errorf("client: retire %d: %w", id, err)
+		}
 	}
 	om, _, err := ownermap.Decode(resp.Meta)
 	if err != nil {
@@ -428,7 +455,7 @@ func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error
 			defer wg.Done()
 			req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
 			resp, err := c.mutateCall(ctx, proto.RPCDecRef, owner, rpc.Message{Meta: req.Encode()})
-			if err != nil {
+			if err != nil && !c.acceptPartial(proto.RPCDecRef, owner, err) {
 				errs[gi] = err
 				return
 			}

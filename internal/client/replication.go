@@ -129,12 +129,53 @@ func (c *Client) readCall(ctx context.Context, name string, id ownermap.ModelID,
 	return rpc.Message{}, errors.Join(failed...)
 }
 
+// PartialMutateError reports a replicated mutation that some replicas
+// accepted and others rejected. The write is durable on Succeeded but the
+// replica set has diverged; the caller decides whether that is fatal
+// (strict mode: undo and fail) or repairable (partial-writes mode: queue
+// the model for anti-entropy repair and carry on). Succeeded/Failed hold
+// provider indices; Errs is parallel to Failed.
+type PartialMutateError struct {
+	Op        string
+	Model     ownermap.ModelID
+	Succeeded []int
+	Failed    []int
+	Errs      []error
+}
+
+// Error names the op, the model, and each failed replica with its cause.
+func (e *PartialMutateError) Error() string {
+	msg := fmt.Sprintf("client: %s %d: accepted on provider(s) %v but failed on", e.Op, e.Model, e.Succeeded)
+	for i, pi := range e.Failed {
+		msg += fmt.Sprintf(" %d(%v)", pi, e.Errs[i])
+	}
+	return msg
+}
+
+// Unwrap exposes the per-leg causes to errors.Is / errors.As.
+func (e *PartialMutateError) Unwrap() []error { return e.Errs }
+
+// Transient reports whether every failed leg was transient (outage-shaped:
+// timeouts, dead transports, open breakers). Only then is the divergence
+// the kind the repairer converges; a remote application error on one leg
+// while a sibling accepted means the replicas disagreed about state, which
+// repair must not paper over.
+func (e *PartialMutateError) Transient() bool {
+	for _, err := range e.Errs {
+		if !rpc.IsTransient(err) {
+			return false
+		}
+	}
+	return true
+}
+
 // mutateCall fans a mutating request out to every replica of id in
 // parallel. The request bytes (including the ReqID) are shared, so each
-// replica deduplicates retries independently. All replicas must accept:
-// any failed leg fails the call, with every leg's error joined and
-// annotated with its provider. The first replica's response is returned
-// (legs are deterministic, so all successful responses agree).
+// replica deduplicates retries independently. All replicas must accept for
+// a nil error; a mix of outcomes returns the first successful response
+// alongside a *PartialMutateError naming both camps (legs are
+// deterministic, so all successful responses agree), and a total failure
+// returns every leg's error joined and annotated with its provider.
 func (c *Client) mutateCall(ctx context.Context, name string, id ownermap.ModelID, req rpc.Message) (rpc.Message, error) {
 	set := c.ReplicaSet(id)
 	if len(set) == 1 {
@@ -151,14 +192,27 @@ func (c *Client) mutateCall(ctx context.Context, name string, id ownermap.ModelI
 		}(i, pi)
 	}
 	wg.Wait()
+	firstOK := -1
+	var succeeded, failedAt []int
 	var failed []error
 	for i, err := range errs {
 		if err != nil {
+			failedAt = append(failedAt, set[i])
 			failed = append(failed, fmt.Errorf("replica on provider %d: %w", set[i], err))
+			continue
 		}
+		if firstOK < 0 {
+			firstOK = i
+		}
+		succeeded = append(succeeded, set[i])
 	}
-	if len(failed) > 0 {
+	if len(failed) == 0 {
+		return resps[0], nil
+	}
+	if firstOK < 0 {
 		return rpc.Message{}, errors.Join(failed...)
 	}
-	return resps[0], nil
+	return resps[firstOK], &PartialMutateError{
+		Op: name, Model: id, Succeeded: succeeded, Failed: failedAt, Errs: failed,
+	}
 }

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -100,8 +101,14 @@ func (c *Client) readGroupFull(ctx context.Context, owner ownermap.ModelID, vs [
 
 // readGroupStriped pulls the group's consolidated payload as concurrent
 // byte-range chunks into one assembly buffer and splits it by the table.
+// The chunks share a derived context that is cancelled on the first chunk
+// failure: the read as a whole is already lost, so in-flight siblings are
+// abandoned and queued ones never start, instead of streaming megabytes
+// into a buffer that will be thrown away.
 func (c *Client) readGroupStriped(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID, table []proto.SegmentRef, total uint64) ([][]byte, error) {
 	c.stripedReads.Inc()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	buf := make([]byte, total)
 	nchunks := int((total + c.stripeChunk - 1) / c.stripeChunk)
 	errs := make([]error, nchunks)
@@ -116,7 +123,12 @@ func (c *Client) readGroupStriped(ctx context.Context, owner ownermap.ModelID, v
 		wg.Add(1)
 		go func(ci int, off, length uint64) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[ci] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
 			req := &proto.ReadSegmentsReq{
 				Owner: owner, Vertices: vs,
@@ -125,10 +137,12 @@ func (c *Client) readGroupStriped(ctx context.Context, owner ownermap.ModelID, v
 			resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
 			if err != nil {
 				errs[ci] = fmt.Errorf("chunk %d [%d,%d): %w", ci, off, off+length, err)
+				cancel()
 				return
 			}
 			if got := uint64(resp.BulkLen()); got != length {
 				errs[ci] = fmt.Errorf("chunk %d: provider returned %d bytes, want %d", ci, got, length)
+				cancel()
 				return
 			}
 			dst := buf[off : off+length]
@@ -139,10 +153,21 @@ func (c *Client) readGroupStriped(ctx context.Context, owner ownermap.ModelID, v
 		}(ci, off, length)
 	}
 	wg.Wait()
+	// Report the root cause, not the collateral: chunks killed by our own
+	// cancel carry context.Canceled, which only matters if the caller's
+	// context died — in that case no chunk holds a better error.
+	var canceled error
 	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("striped read of owner %d: %w", owner, err)
+		if err == nil || errors.Is(err, context.Canceled) {
+			if err != nil && canceled == nil {
+				canceled = err
+			}
+			continue
 		}
+		return nil, fmt.Errorf("striped read of owner %d: %w", owner, err)
+	}
+	if canceled != nil {
+		return nil, fmt.Errorf("striped read of owner %d: %w", owner, canceled)
 	}
 	return proto.SplitBulk(table, buf)
 }

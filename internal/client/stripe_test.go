@@ -3,13 +3,19 @@ package client
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
 	"repro/internal/proto"
+	"repro/internal/rpc"
 )
 
 // bigModel builds a store request whose segments are large enough to make
@@ -155,5 +161,62 @@ func TestStripedReadWithReplication(t *testing.T) {
 		if !bytes.Equal(data.Segments[v], segs[v]) {
 			t.Fatalf("vertex %d corrupted under replication", v)
 		}
+	}
+}
+
+// stubStripeConn serves only ranged reads: the chunk at offset 0 fails,
+// every other chunk blocks until its context is cancelled. Before the
+// cancellation fix, readGroupStriped would hang forever here waiting for
+// the blocked siblings of an already-failed read.
+type stubStripeConn struct {
+	blocked atomic.Int32 // chunks released by cancellation
+}
+
+func (s *stubStripeConn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
+	q, err := proto.DecodeReadSegmentsReq(req.Meta)
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	if q.Mode != proto.ReadRange {
+		return rpc.Message{}, fmt.Errorf("unexpected mode %d", q.Mode)
+	}
+	if q.RangeOff == 0 {
+		return rpc.Message{}, errors.New("injected chunk failure")
+	}
+	<-ctx.Done()
+	s.blocked.Add(1)
+	return rpc.Message{}, ctx.Err()
+}
+
+func (s *stubStripeConn) Addr() string { return "stub" }
+func (s *stubStripeConn) Close() error { return nil }
+
+func TestStripedReadCancelsSiblingsOnFailure(t *testing.T) {
+	stub := &stubStripeConn{}
+	cli := New([]rpc.Conn{stub}, WithStripedReads(1024, 4))
+	table := []proto.SegmentRef{{Vertex: 0, Length: 4096}} // 4 chunks of 1 KiB
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.readGroupStriped(context.Background(), 1, []graph.VertexID{0}, table, 4096)
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("striped read hung: sibling chunks were not cancelled on first failure")
+	}
+	if err == nil {
+		t.Fatal("striped read with a failing chunk succeeded")
+	}
+	if !strings.Contains(err.Error(), "injected chunk failure") {
+		t.Fatalf("error = %v, want the failing chunk's cause, not cancellation collateral", err)
+	}
+	// Siblings die one of two ways — released mid-call by the derived
+	// context, or cancelled at the semaphore before starting — so only the
+	// sum is deterministic, not the split.
+	if got := stub.blocked.Load(); got == 0 {
+		t.Error("no blocked chunk was released by cancellation")
 	}
 }

@@ -20,6 +20,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/client"
@@ -43,6 +44,9 @@ type Repository struct {
 	cli    *client.Client
 	nextID atomic.Uint64
 	seq    atomic.Uint64
+
+	repOnce  sync.Once
+	repairer *client.Repairer
 
 	// embedded deployment resources (nil when attached to remote providers)
 	owned  []*provider.Provider
@@ -81,6 +85,12 @@ type Options struct {
 	StripeChunkBytes int
 	// StripeParallel caps in-flight chunks per owner group (default 4).
 	StripeParallel int
+	// PartialWrites relaxes the all-replicas write contract: a replicated
+	// mutation whose failed legs are all transient (outage-shaped) succeeds
+	// as long as one replica accepted it, and the model is queued for
+	// anti-entropy repair (client.Repairer) instead of the write being
+	// undone. Only meaningful with Replicas > 1 and a running repairer.
+	PartialWrites bool
 }
 
 // Open creates an embedded deployment: providers and clients live in this
@@ -139,6 +149,9 @@ func Open(opts Options) (*Repository, error) {
 	copts := []client.Option{client.WithReplicas(opts.Replicas)}
 	if opts.StripeChunkBytes > 0 {
 		copts = append(copts, client.WithStripedReads(opts.StripeChunkBytes, opts.StripeParallel))
+	}
+	if opts.PartialWrites {
+		copts = append(copts, client.WithPartialWrites())
 	}
 	r.cli = client.New(conns, copts...)
 	return r, nil
@@ -409,6 +422,34 @@ func (r *Repository) LoadVertices(ctx context.Context, meta *proto.ModelMeta, vs
 // segments freed now.
 func (r *Repository) Retire(ctx context.Context, id ModelID) (uint64, error) {
 	return r.cli.Retire(ctx, id)
+}
+
+// --- replica repair -----------------------------------------------------------
+
+// Repairer returns the deployment's anti-entropy repairer, created on
+// first use. Run it periodically (Repairer().Run), sweep once after an
+// outage (RepairAll), or audit without repairing (RepairCheck).
+func (r *Repository) Repairer() *client.Repairer {
+	r.repOnce.Do(func() { r.repairer = client.NewRepairer(r.cli) })
+	return r.repairer
+}
+
+// RepairAll sweeps every replicated model once, converging any replica
+// sets that partial writes (or an outage) left diverged.
+func (r *Repository) RepairAll(ctx context.Context) (client.RepairStats, error) {
+	return r.Repairer().RepairAll(ctx)
+}
+
+// RepairCheck reports the models whose replica sets have diverged,
+// without repairing anything.
+func (r *Repository) RepairCheck(ctx context.Context) ([]ModelID, error) {
+	return r.Repairer().Check(ctx)
+}
+
+// DrainRepairTargets returns and clears the models queued by accepted
+// partial writes (see Options.PartialWrites).
+func (r *Repository) DrainRepairTargets() []client.RepairTarget {
+	return r.cli.DrainRepairTargets()
 }
 
 // --- provenance ------------------------------------------------------------------

@@ -48,7 +48,8 @@ const (
 // without changing the outcome.
 func Idempotent(name string) bool {
 	switch name {
-	case RPCGetMeta, RPCReadSegments, RPCLCPQuery, RPCListModels, RPCStats, RPCMetrics:
+	case RPCGetMeta, RPCReadSegments, RPCLCPQuery, RPCListModels, RPCStats, RPCMetrics,
+		RPCRepairList, RPCDigest, RPCRepairPull:
 		return true
 	}
 	return false
@@ -66,6 +67,10 @@ func Retryable(name string) bool {
 	}
 	switch name {
 	case RPCStoreModel, RPCIncRef, RPCDecRef, RPCRetire:
+		return true
+	case RPCRepairApply:
+		// Convergent rather than idempotent: re-applying the same repair
+		// state is a no-op, so no dedup ReqID is needed.
 		return true
 	}
 	return false

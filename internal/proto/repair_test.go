@@ -1,0 +1,154 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+func TestDigestRoundTrip(t *testing.T) {
+	ds := []ModelDigest{
+		{Model: 7, Present: true, Seq: 3, MetaHash: 0xdead, RefHash: 0xbeef, SegHash: 0xf00d, LiveRefs: 12, Journal: 40},
+		{Model: 8, Retired: true, Trimmed: true, Seq: 1},
+		{Model: 9},
+	}
+	got, err := DecodeDigests(EncodeDigests(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ds) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, ds)
+	}
+	if _, err := DecodeDigests(EncodeDigests(ds)[:15]); err == nil {
+		t.Fatal("truncated digest list decoded without error")
+	}
+}
+
+func TestDigestConverged(t *testing.T) {
+	a := ModelDigest{Model: 1, Present: true, Seq: 2, MetaHash: 3, RefHash: 4, SegHash: 5, LiveRefs: 6}
+	if !a.Converged(a) {
+		t.Fatal("digest does not converge with itself")
+	}
+	b := a
+	b.RefHash++
+	if a.Converged(b) {
+		t.Fatal("differing RefHash reported converged")
+	}
+	// Fully drained replicas agree regardless of tombstone bookkeeping.
+	dead := ModelDigest{Model: 1, Retired: true, Seq: 2}
+	gone := ModelDigest{Model: 1}
+	if !dead.Converged(gone) || !gone.Converged(dead) {
+		t.Fatal("drained replicas with differing tombstones reported diverged")
+	}
+	// ... but a tombstone difference matters while refs are live.
+	live := ModelDigest{Model: 1, LiveRefs: 1, RefHash: 9}
+	deadLive := live
+	deadLive.Retired = true
+	if live.Converged(deadLive) {
+		t.Fatal("tombstone difference with live refs reported converged")
+	}
+}
+
+func TestHashWordsOrderSensitive(t *testing.T) {
+	if HashWords(HashSeed, 1, 2) == HashWords(HashSeed, 2, 1) {
+		t.Fatal("HashWords is order-insensitive")
+	}
+	if HashWords(HashSeed, 1, 2) != HashWords(HashWords(HashSeed, 1), 2) {
+		t.Fatal("HashWords is not incremental")
+	}
+	// Matches FNV-1a over the equivalent little-endian bytes.
+	if HashWords(HashSeed, 0x0102030405060708) != HashBytes(HashSeed, []byte{8, 7, 6, 5, 4, 3, 2, 1}) {
+		t.Fatal("HashWords disagrees with HashBytes on little-endian layout")
+	}
+}
+
+func TestRepairPullRoundTrip(t *testing.T) {
+	req := &RepairPullReq{Model: 42, WithPayloads: true, Vertices: []graph.VertexID{1, 3}}
+	gotReq, err := DecodeRepairPullReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("req round trip: got %+v want %+v", gotReq, req)
+	}
+
+	resp := &RepairPullResp{
+		Digest:  ModelDigest{Model: 42, Present: true, Seq: 1, MetaHash: 5, RefHash: 6, SegHash: 7, LiveRefs: 2, Journal: 3},
+		Meta:    []byte("meta-bytes"),
+		Counts:  []RefCount{{Vertex: 0, Count: 1}, {Vertex: 3, Count: 4}},
+		Journal: []RefDelta{{ReqID: 9, Vertices: []graph.VertexID{0, 3}}, {ReqID: 10, Neg: true, Vertices: []graph.VertexID{3}}},
+		Segments: []SegmentRef{
+			{Vertex: 0, Length: 8},
+			{Vertex: 3, Length: 16},
+		},
+	}
+	gotResp, err := DecodeRepairPullResp(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("resp round trip:\n got %+v\nwant %+v", gotResp, resp)
+	}
+	if _, err := DecodeRepairPullResp(resp.Encode()[:digestWireLen+2]); err == nil {
+		t.Fatal("truncated pull resp decoded without error")
+	}
+}
+
+func TestRepairApplyRoundTrip(t *testing.T) {
+	req := &RepairApplyReq{
+		Model:           11,
+		Tombstone:       true,
+		TombstoneSeq:    4,
+		Meta:            []byte("m"),
+		Deltas:          []RefDelta{{ReqID: 1, Vertices: []graph.VertexID{2}}},
+		ReplaceJournal:  true,
+		JournalAppended: 17,
+		SetCounts:       []RefCount{{Vertex: 2, Count: 3}},
+		Segments:        []SegmentRef{{Vertex: 2, Length: 5}},
+	}
+	gotReq, err := DecodeRepairApplyReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("req round trip:\n got %+v\nwant %+v", gotReq, req)
+	}
+
+	resp := &RepairApplyResp{
+		Digest:      ModelDigest{Model: 11, Retired: true, Seq: 4},
+		NeedPayload: []graph.VertexID{2, 5},
+	}
+	gotResp, err := DecodeRepairApplyResp(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("resp round trip: got %+v want %+v", gotResp, resp)
+	}
+}
+
+func TestRepairDeltaRejectsTornVertexList(t *testing.T) {
+	w := wire.NewWriter(32)
+	appendDeltas(w, []RefDelta{{ReqID: 1, Vertices: []graph.VertexID{1, 2, 3}}})
+	b := w.Bytes()
+	r := wire.NewReader(b[:len(b)-2])
+	if _, err := readDeltas(r); err == nil && r.Err() == nil {
+		t.Fatal("torn delta decoded without error")
+	}
+}
+
+func TestRepairRPCClassification(t *testing.T) {
+	for _, name := range []string{RPCRepairList, RPCDigest, RPCRepairPull} {
+		if !Idempotent(name) || !Retryable(name) {
+			t.Errorf("%s should be idempotent and retryable", name)
+		}
+	}
+	if Idempotent(RPCRepairApply) {
+		t.Error("repair_apply must not be idempotent")
+	}
+	if !Retryable(RPCRepairApply) {
+		t.Error("repair_apply must be retryable")
+	}
+}

@@ -44,6 +44,7 @@ type dedupTable struct {
 	resp  map[uint64][]byte
 	order []uint64 // insertion order; parallel to stamps
 	stamp []time.Time
+	dead  int // front entries trimmed off order/stamp since the last compaction
 	cap   int
 	ttl   time.Duration    // 0 = no age-based expiry
 	now   func() time.Time // injectable clock for tests
@@ -75,10 +76,32 @@ func (d *dedupTable) expireLocked() {
 	}
 	cutoff := d.now().Add(-d.ttl)
 	for len(d.order) > 0 && d.stamp[0].Before(cutoff) {
-		delete(d.resp, d.order[0])
-		d.order = d.order[1:]
-		d.stamp = d.stamp[1:]
+		d.popFrontLocked()
 	}
+	d.compactLocked()
+}
+
+// popFrontLocked evicts the oldest entry. Re-slicing leaves the evicted
+// head alive in the backing arrays; compactLocked reclaims it.
+func (d *dedupTable) popFrontLocked() {
+	delete(d.resp, d.order[0])
+	d.order = d.order[1:]
+	d.stamp = d.stamp[1:]
+	d.dead++
+}
+
+// compactLocked copies order/stamp into right-sized backing arrays once
+// the trimmed-off head exceeds half the table's capacity, releasing the
+// dead prefix (and the response bytes its map entries pinned) that
+// front re-slicing would otherwise retain indefinitely on a provider
+// that has gone quiet.
+func (d *dedupTable) compactLocked() {
+	if d.dead <= d.cap/2 {
+		return
+	}
+	d.order = append(make([]uint64, 0, len(d.order)), d.order...)
+	d.stamp = append(make([]time.Time, 0, len(d.stamp)), d.stamp...)
+	d.dead = 0
 }
 
 // get returns the recorded response for id, if any. id 0 (no dedup) never
@@ -109,10 +132,9 @@ func (d *dedupTable) put(id uint64, meta []byte) {
 	d.order = append(d.order, id)
 	d.stamp = append(d.stamp, d.now())
 	for len(d.order) > d.cap {
-		delete(d.resp, d.order[0])
-		d.order = d.order[1:]
-		d.stamp = d.stamp[1:]
+		d.popFrontLocked()
 	}
+	d.compactLocked()
 }
 
 // len reports the number of live (unexpired) responses (for tests).

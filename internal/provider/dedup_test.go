@@ -216,14 +216,47 @@ func TestSetDedupTTLOnProvider(t *testing.T) {
 	if n := p.RefCount(7, 0); n != 1 {
 		t.Fatalf("refcount = %d, want 1 (retry deduped)", n)
 	}
-	// ...after it, the entry is gone and the request re-executes. This is
-	// exactly why the TTL must exceed the client retry budget.
+	// ...after it, the dedup entry is gone — but the refcount journal has
+	// seen ReqID 42, so the late retry is still absorbed instead of
+	// double-applying the decrement. The TTL only bounds how long the
+	// *response* can be replayed verbatim.
 	clock = clock.Add(2 * time.Second)
 	if _, err := callDecRef(t, p, dec); err != nil {
 		t.Fatal(err)
 	}
-	if n := p.RefCount(7, 0); n != 0 {
-		t.Fatalf("refcount = %d, want 0 (entry expired, request re-executed)", n)
+	if n := p.RefCount(7, 0); n != 1 {
+		t.Fatalf("refcount = %d, want 1 (journal absorbed the post-TTL retry)", n)
+	}
+}
+
+func TestDedupTableCompaction(t *testing.T) {
+	d := newDedupTable(8)
+	clock := time.Unix(1000, 0)
+	d.now = func() time.Time { return clock }
+	d.setTTL(time.Minute)
+
+	for id := uint64(1); id <= 8; id++ {
+		d.put(id, []byte{byte(id)})
+		clock = clock.Add(time.Second)
+	}
+	// Age out the first 5 entries (> cap/2 = 4): expiry must not only
+	// re-slice past them but also copy the survivors into fresh
+	// backing arrays, releasing the dead head.
+	clock = time.Unix(1000, 0).Add(5*time.Second - time.Second/2).Add(time.Minute)
+	if d.len() != 3 {
+		t.Fatalf("len = %d, want 3 survivors", d.len())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead != 0 {
+		t.Errorf("dead = %d, want 0 after compaction", d.dead)
+	}
+	if cap(d.order) != 3 || cap(d.stamp) != 3 {
+		t.Errorf("cap(order)=%d cap(stamp)=%d, want 3 (fresh right-sized arrays)",
+			cap(d.order), cap(d.stamp))
+	}
+	if len(d.order) != 3 || d.order[0] != 6 {
+		t.Errorf("order = %v, want [6 7 8]", d.order)
 	}
 }
 

@@ -109,7 +109,21 @@ type Provider struct {
 
 	mu     sync.RWMutex
 	models map[ownermap.ModelID]*modelMeta
-	refs   map[segKey]int
+	// refs holds live reference counts, grouped by owning model so the
+	// repair digest and pull paths can walk one model's counters without
+	// scanning every segment this provider stores.
+	refs map[ownermap.ModelID]map[graph.VertexID]int
+
+	// journals record every refcount delta applied per owner, keyed by the
+	// originating ReqID; the anti-entropy repairer unions journals across
+	// replicas to replay exactly the deltas a stale replica missed. See
+	// repair.go.
+	journals map[ownermap.ModelID]*refJournal
+	// retired are retire tombstones (model → seq at retire): they
+	// disambiguate "never stored" from "retired" so repair never
+	// resurrects a retired model, and they reject late stores of one.
+	retired      map[ownermap.ModelID]uint64
+	retiredOrder []ownermap.ModelID
 
 	// dedup answers retried non-idempotent requests (by proto ReqID) from
 	// their recorded responses instead of re-executing them.
@@ -122,13 +136,15 @@ type Provider struct {
 func New(id int, kv kvstore.KV) *Provider {
 	kvB, _ := kv.(kvstore.ByteKeyGetter)
 	return &Provider{
-		id:     id,
-		kv:     kv,
-		kvB:    kvB,
-		reg:    metrics.Default,
-		models: make(map[ownermap.ModelID]*modelMeta),
-		refs:   make(map[segKey]int),
-		dedup:  newDedupTable(dedupCap),
+		id:       id,
+		kv:       kv,
+		kvB:      kvB,
+		reg:      metrics.Default,
+		models:   make(map[ownermap.ModelID]*modelMeta),
+		refs:     make(map[ownermap.ModelID]map[graph.VertexID]int),
+		journals: make(map[ownermap.ModelID]*refJournal),
+		retired:  make(map[ownermap.ModelID]uint64),
+		dedup:    newDedupTable(dedupCap),
 	}
 }
 
@@ -200,6 +216,10 @@ func (p *Provider) Register(srv *rpc.Server) {
 	srv.Register(proto.RPCListModels, p.handleListModels)
 	srv.Register(proto.RPCStats, p.handleStats)
 	srv.Register(proto.RPCMetrics, p.handleMetrics)
+	srv.Register(proto.RPCRepairList, p.handleRepairList)
+	srv.Register(proto.RPCDigest, p.handleDigest)
+	srv.Register(proto.RPCRepairPull, p.handleRepairPull)
+	srv.Register(proto.RPCRepairApply, p.handleRepairApply)
 }
 
 // --- store -------------------------------------------------------------------
@@ -253,6 +273,17 @@ func (p *Provider) StoreModel(q *proto.StoreModelReq, segs [][]byte) error {
 	}
 
 	p.mu.Lock()
+	if _, dead := p.retired[q.Model]; dead {
+		p.mu.Unlock()
+		return fmt.Errorf("provider %d: store %d: model was retired", p.id, q.Model)
+	}
+	if p.seenLocked(q.Model, q.ReqID) {
+		// The repairer already replayed this store's refcount delta (and
+		// installed its metadata) from a healthy replica's journal.
+		p.mu.Unlock()
+		p.reg.Counter("provider.journal_dup").Inc()
+		return nil
+	}
 	if _, dup := p.models[q.Model]; dup {
 		p.mu.Unlock()
 		return fmt.Errorf("provider %d: model %d already stored", p.id, q.Model)
@@ -265,10 +296,13 @@ func (p *Provider) StoreModel(q *proto.StoreModelReq, segs [][]byte) error {
 		segments: make(map[graph.VertexID]uint32, len(q.Segments)),
 	}
 	p.models[q.Model] = meta
+	stored := make([]graph.VertexID, 0, len(q.Segments))
 	for _, s := range q.Segments {
 		meta.segments[s.Vertex] = s.Length
-		p.refs[segKey{q.Model, s.Vertex}]++
+		p.refAddLocked(q.Model, s.Vertex, 1)
+		stored = append(stored, s.Vertex)
 	}
+	p.recordDeltaLocked(q.Model, q.ReqID, false, stored)
 	p.mu.Unlock()
 
 	// Persist segment payloads outside the lock; the KV is thread-safe.
@@ -432,7 +466,7 @@ func (p *Provider) handleIncRef(_ context.Context, req rpc.Message) (rpc.Message
 		p.dedupHit()
 		return rpc.Message{Meta: meta}, nil
 	}
-	if err := p.IncRef(q.Owner, q.Vertices); err != nil {
+	if err := p.incRef(q.Owner, q.Vertices, q.ReqID); err != nil {
 		return rpc.Message{}, err
 	}
 	resp := proto.EncodeU64(uint64(len(q.Vertices)))
@@ -444,20 +478,30 @@ func (p *Provider) handleIncRef(_ context.Context, req rpc.Message) (rpc.Message
 // Referencing a segment that does not exist is an error: it would mean a
 // client derived from tensors this provider never stored.
 func (p *Provider) IncRef(owner ownermap.ModelID, vertices []graph.VertexID) error {
+	return p.incRef(owner, vertices, 0)
+}
+
+func (p *Provider) incRef(owner ownermap.ModelID, vertices []graph.VertexID, reqID uint64) error {
 	if err := p.acceptsWrite(owner); err != nil {
 		return fmt.Errorf("inc_ref: %w", err)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.seenLocked(owner, reqID) {
+		// Already applied by a repair replay of this request's delta.
+		p.reg.Counter("provider.journal_dup").Inc()
+		return nil
+	}
 	// Validate first so the operation is all-or-nothing.
 	for _, v := range vertices {
-		if p.refs[segKey{owner, v}] == 0 {
+		if p.refs[owner][v] == 0 {
 			return fmt.Errorf("provider %d: inc_ref on missing segment %d/%d", p.id, owner, v)
 		}
 	}
 	for _, v := range vertices {
-		p.refs[segKey{owner, v}]++
+		p.refAddLocked(owner, v, 1)
 	}
+	p.recordDeltaLocked(owner, reqID, false, vertices)
 	return nil
 }
 
@@ -470,7 +514,7 @@ func (p *Provider) handleDecRef(_ context.Context, req rpc.Message) (rpc.Message
 		p.dedupHit()
 		return rpc.Message{Meta: meta}, nil
 	}
-	freed, err := p.DecRef(q.Owner, q.Vertices)
+	freed, err := p.decRef(q.Owner, q.Vertices, q.ReqID)
 	if err != nil {
 		return rpc.Message{}, err
 	}
@@ -483,25 +527,32 @@ func (p *Provider) handleDecRef(_ context.Context, req rpc.Message) (rpc.Message
 // deleting segments whose counter reaches zero. It returns the number of
 // segments freed. The whole batch is O(k) in the number of leaf layers.
 func (p *Provider) DecRef(owner ownermap.ModelID, vertices []graph.VertexID) (uint64, error) {
+	return p.decRef(owner, vertices, 0)
+}
+
+func (p *Provider) decRef(owner ownermap.ModelID, vertices []graph.VertexID, reqID uint64) (uint64, error) {
 	if err := p.acceptsWrite(owner); err != nil {
 		return 0, fmt.Errorf("dec_ref: %w", err)
 	}
 	var toDelete []segKey
 	p.mu.Lock()
+	if p.seenLocked(owner, reqID) {
+		// Already applied by a repair replay; the freed count is unknown
+		// but only feeds best-effort accounting at the caller.
+		p.mu.Unlock()
+		p.reg.Counter("provider.journal_dup").Inc()
+		return 0, nil
+	}
 	// Validate first so the batch is all-or-nothing, like IncRef.
 	for _, v := range vertices {
-		if _, ok := p.refs[segKey{owner, v}]; !ok {
+		if _, ok := p.refs[owner][v]; !ok {
 			p.mu.Unlock()
 			return 0, fmt.Errorf("provider %d: dec_ref on missing segment %d/%d", p.id, owner, v)
 		}
 	}
 	for _, v := range vertices {
-		k := segKey{owner, v}
-		if n := p.refs[k]; n == 1 {
-			delete(p.refs, k)
-			toDelete = append(toDelete, k)
-		} else {
-			p.refs[k] = n - 1
+		if p.refAddLocked(owner, v, -1) == 0 {
+			toDelete = append(toDelete, segKey{owner, v})
 		}
 	}
 	// If the owner is still cataloged here, forget its freed segment sizes.
@@ -510,6 +561,7 @@ func (p *Provider) DecRef(owner ownermap.ModelID, vertices []graph.VertexID) (ui
 			delete(meta.segments, k.vertex)
 		}
 	}
+	p.recordDeltaLocked(owner, reqID, true, vertices)
 	p.mu.Unlock()
 
 	for _, k := range toDelete {
@@ -552,10 +604,15 @@ func (p *Provider) Retire(id ownermap.ModelID) (*ownermap.Map, error) {
 	p.mu.Lock()
 	meta := p.models[id]
 	if meta == nil {
+		_, dead := p.retired[id]
 		p.mu.Unlock()
+		if dead {
+			return nil, fmt.Errorf("provider %d: retire: model %d already retired", p.id, id)
+		}
 		return nil, fmt.Errorf("provider %d: retire: model %d not found", p.id, id)
 	}
 	delete(p.models, id)
+	p.tombstoneLocked(id, meta.seq)
 	p.mu.Unlock()
 	return meta.om, nil
 }
@@ -666,9 +723,11 @@ func (p *Provider) handleMetrics(_ context.Context, _ rpc.Message) (rpc.Message,
 func (p *Provider) Stats() *proto.ProviderStats {
 	p.mu.RLock()
 	s := &proto.ProviderStats{Models: uint64(len(p.models))}
-	for _, n := range p.refs {
-		s.Segments++
-		s.LiveRefs += uint64(n)
+	for _, vs := range p.refs {
+		for _, n := range vs {
+			s.Segments++
+			s.LiveRefs += uint64(n)
+		}
 	}
 	p.mu.RUnlock()
 	s.SegmentBytes = uint64(p.kv.SizeBytes())
@@ -679,5 +738,27 @@ func (p *Provider) Stats() *proto.ProviderStats {
 func (p *Provider) RefCount(owner ownermap.ModelID, v graph.VertexID) int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.refs[segKey{owner, v}]
+	return p.refs[owner][v]
+}
+
+// refAddLocked adjusts one refcount by delta, creating or deleting map
+// entries at the zero boundary, and returns the new count.
+func (p *Provider) refAddLocked(owner ownermap.ModelID, v graph.VertexID, delta int) int {
+	vs := p.refs[owner]
+	n := vs[v] + delta
+	if n <= 0 {
+		if vs != nil {
+			delete(vs, v)
+			if len(vs) == 0 {
+				delete(p.refs, owner)
+			}
+		}
+		return 0
+	}
+	if vs == nil {
+		vs = make(map[graph.VertexID]int)
+		p.refs[owner] = vs
+	}
+	vs[v] = n
+	return n
 }

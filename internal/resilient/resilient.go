@@ -136,8 +136,31 @@ type Conn struct {
 	rng     *rand.Rand
 	breaker breaker
 
+	listenMu sync.Mutex
+	listener func(addr, state string)
+
 	retries, shed            *metrics.Counter
 	opened, halfOpen, closed *metrics.Counter
+}
+
+// SetStateListener installs fn to be called — synchronously, off the
+// breaker lock — whenever the breaker transitions to "open" or back to
+// "closed". The anti-entropy repairer hooks this to wake immediately when
+// a provider recovers from an outage, instead of waiting out its sweep
+// interval. One listener per Conn; a later call replaces the earlier one.
+func (c *Conn) SetStateListener(fn func(addr, state string)) {
+	c.listenMu.Lock()
+	c.listener = fn
+	c.listenMu.Unlock()
+}
+
+func (c *Conn) notifyState(state string) {
+	c.listenMu.Lock()
+	fn := c.listener
+	c.listenMu.Unlock()
+	if fn != nil {
+		fn(c.inner.Addr(), state)
+	}
 }
 
 // Wrap hardens conn with o. Each wrapped connection has its own breaker,
@@ -222,11 +245,13 @@ func (c *Conn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Mess
 			// provider is reachable either way.
 			if c.breaker.onSuccess() {
 				c.closed.Inc()
+				c.notifyState("closed")
 			}
 			return resp, err
 		}
 		if c.breaker.onFailure(c.opts.Clock.Now()) {
 			c.opened.Inc()
+			c.notifyState("open")
 		}
 		lastErr = err
 		if !retryable {

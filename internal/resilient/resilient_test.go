@@ -355,3 +355,44 @@ func TestVectoredRequestPassesThroughRetry(t *testing.T) {
 		t.Error("middleware mutated the caller's request")
 	}
 }
+
+func TestStateListenerFiresOnTransitions(t *testing.T) {
+	clk := newFakeClock()
+	o := opts(clk)
+	o.MaxAttempts = 1
+	o.Threshold = 2
+	o.Cooldown = time.Second
+	fail := errors.New("dead provider")
+	conn := &scriptConn{errs: []error{fail, fail}}
+	c := Wrap(conn, o)
+
+	var mu sync.Mutex
+	var got []string
+	c.SetStateListener(func(addr, state string) {
+		mu.Lock()
+		got = append(got, addr+":"+state)
+		mu.Unlock()
+	})
+
+	ctx := context.Background()
+	// Two failures open the breaker: exactly one "open" notification.
+	for i := 0; i < 2; i++ {
+		c.Call(ctx, "x", rpc.Message{}) //nolint:errcheck
+	}
+	// Successful probe after cooldown re-closes it: one "closed".
+	clk.advance(time.Second)
+	if _, err := c.Call(ctx, "x", rpc.Message{}); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	// Plain successes on a closed breaker must not re-notify.
+	if _, err := c.Call(ctx, "x", rpc.Message{}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"script:open", "script:closed"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("listener saw %v, want %v", got, want)
+	}
+}
