@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-faults bench-repair
+.PHONY: build test check bench bench-faults bench-repair bench-rebalance
 
 build:
 	$(GO) build ./...
@@ -10,14 +10,17 @@ test:
 
 # Full verification: static analysis plus the test suite under the race
 # detector, a 1-iteration smoke run of the tracked bulk benchmarks so the
-# suite can't rot, and the replica-repair convergence scenario (kill a
+# suite can't rot, the replica-repair convergence scenario (kill a
 # replica mid-workload, heal, assert digests converge with zero lost
-# refcount deltas). This is what CI should run.
+# refcount deltas), and the elasticity scenario (drain a provider and
+# join a spare mid-workload with zero failed requests). This is what CI
+# should run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench Bulk -benchtime 1x ./internal/bulkbench
 	$(GO) run ./cmd/evostore-bench faults -repair -models 10
+	$(GO) run ./cmd/evostore-bench faults -rebalance -models 10
 
 # End-to-end repair proof on its own: partial writes during an outage,
 # anti-entropy convergence after healing.
@@ -33,3 +36,9 @@ bench:
 # fault-injecting fabric; fails on any refcount drift.
 bench-faults:
 	$(GO) run ./cmd/evostore-bench faults
+
+# Elasticity proof + tracked migration throughput (BENCH_rebalance.json):
+# drain one provider and join a spare under live load, recording models/s
+# and MB/s moved per epoch change.
+bench-rebalance:
+	$(GO) run ./cmd/evostore-bench faults -rebalance -models 64 -out BENCH_rebalance.json

@@ -35,10 +35,15 @@ func runFaults(args []string) error {
 	partition := fs.Bool("partition", true, "additionally partition the faulty provider mid-run and heal it")
 	replicas := fs.Int("replicas", 1, "N-way replication factor (R>1: reads must survive a partitioned provider via failover)")
 	repair := fs.Bool("repair", false, "run the replica-repair scenario instead: kill a replica mid-workload, heal it, and assert anti-entropy converges every digest with zero lost refcount deltas")
+	rebalance := fs.Bool("rebalance", false, "run the elasticity scenario instead: drain one provider and join a spare mid-workload with zero failed requests, then audit digests and drain to zero")
+	out := fs.String("out", "", "with -rebalance: merge migration throughput into this JSON file (e.g. BENCH_rebalance.json)")
 	fs.Parse(args)
 
 	if *repair {
 		return runRepair(*providers, *models, *replicas, *faultAt)
+	}
+	if *rebalance {
+		return runRebalance(*providers, *models, *replicas, *out)
 	}
 
 	reg := metrics.Default

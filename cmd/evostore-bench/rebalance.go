@@ -1,0 +1,317 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/ownermap"
+	"repro/internal/placement"
+)
+
+// rebalanceEntry is one tracked migration result in BENCH_rebalance.json.
+type rebalanceEntry struct {
+	Op           string  `json:"op"`    // "drain" or "join"
+	Phase        string  `json:"phase"` // "after" (re-measured every run)
+	Models       int     `json:"models"`
+	Migrated     int     `json:"migrated"`
+	Evicted      int     `json:"evicted"`
+	PayloadBytes uint64  `json:"payload_bytes"`
+	Ms           float64 `json:"ms"`
+	ModelsPerS   float64 `json:"models_per_s"`
+	MBPerS       float64 `json:"mb_per_s"`
+}
+
+type rebalanceFile struct {
+	Entries []rebalanceEntry `json:"entries"`
+}
+
+// runRebalance is the elasticity acceptance scenario: a deployment serves a
+// live workload while one provider is drained out of the placement table
+// (epoch bump + migration + eviction) and a spare is joined in (second
+// bump). The contract it asserts:
+//
+//   - zero failed requests throughout — reads and writes ride the
+//     dual-epoch union while data moves;
+//   - the drained provider ends the run holding nothing;
+//   - every model's replica set is bit-identical (digest audit) under the
+//     final table;
+//   - the repository still retires-and-drains to zero, so no refcount
+//     delta was lost across two epoch changes.
+//
+// It also re-proves the compatibility golden: the epoch-0 table places
+// exactly like the paper's static modulo scheme, for R=1 and the run's R.
+func runRebalance(providers, models, replicas int, out string) error {
+	if replicas < 2 {
+		replicas = 2
+	}
+	if providers < replicas+2 {
+		// Draining one member must leave at least R survivors plus one, so
+		// the migration has somewhere to put the moved replicas.
+		providers = replicas + 2
+	}
+	if err := goldenEpochZero(providers, []int{1, replicas}); err != nil {
+		return err
+	}
+	fmt.Printf("\n=== Elastic rebalance: %d providers + 1 spare, R=%d, drain provider 1 then join provider %d mid-workload ===\n",
+		providers, replicas, providers)
+	fmt.Printf("epoch-0 golden: placement matches static modulo for R=1 and R=%d over 4096 model IDs\n", replicas)
+
+	reg := metrics.Default
+	repo, err := core.Open(core.Options{
+		Providers:      providers,
+		SpareProviders: 1,
+		Replicas:       replicas,
+	})
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	ctx := context.Background()
+
+	flat, err := model.Flatten(model.Sequential("bench", 8,
+		model.Dense{In: 8, Out: 8, Activation: "relu", UseBias: true},
+		model.Dense{In: 8, Out: 8, Activation: "relu"},
+		model.Dense{In: 8, Out: 4},
+	))
+	if err != nil {
+		return err
+	}
+	last := graph.VertexID(flat.Graph.NumVertices() - 1)
+
+	// Seed models, half LCP-derived, so migrations move inherited
+	// cross-model segments and not just self-owned ones.
+	var ids []core.ModelID
+	for i := 0; i < models; i++ {
+		ws := model.Materialize(flat, uint64(i+1))
+		var id core.ModelID
+		if i%2 == 1 {
+			anc, found, err := repo.BestAncestor(ctx, flat)
+			if err != nil {
+				return fmt.Errorf("ancestor query for seed %d: %w", i, err)
+			}
+			if found {
+				if err := repo.TransferPrefix(ctx, flat, ws, anc); err != nil {
+					return fmt.Errorf("transfer for seed %d: %w", i, err)
+				}
+				ws[last] = model.Materialize(flat, uint64(1000+i))[last]
+				if id, err = repo.StoreDerived(ctx, flat, ws, 0.5, anc, nil); err != nil {
+					return fmt.Errorf("derived seed %d: %w", i, err)
+				}
+				ids = append(ids, id)
+				continue
+			}
+		}
+		if id, err = repo.Store(ctx, flat, ws, 0.5); err != nil {
+			return fmt.Errorf("seed %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("seeded %d models\n", len(ids))
+
+	// Live workload across both migrations: stores and loads that must all
+	// succeed — a single failure fails the whole scenario.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ops, fails atomic.Int64
+	var mu sync.Mutex
+	var extra []core.ModelID
+	var firstErr error
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if i%3 == 0 {
+					var id core.ModelID
+					id, err = repo.Store(ctx, flat, model.Materialize(flat, uint64(10000+w*100000+i)), 0.5)
+					if err == nil {
+						mu.Lock()
+						extra = append(extra, id)
+						mu.Unlock()
+					}
+				} else {
+					_, _, err = repo.Load(ctx, ids[i%len(ids)])
+				}
+				if err != nil {
+					fails.Add(1)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	moved := reg.Counter("client.repair_payload_bytes")
+	measure := func(op string, members []int) (rebalanceEntry, error) {
+		before := moved.Load()
+		stats, err := repo.Rebalance(ctx, members)
+		if err != nil {
+			return rebalanceEntry{}, fmt.Errorf("%s: %w", op, err)
+		}
+		bytes := moved.Load() - before
+		secs := stats.Elapsed.Seconds()
+		e := rebalanceEntry{
+			Op: op, Phase: "after",
+			Models: stats.Models, Migrated: stats.Migrated, Evicted: stats.Evicted,
+			PayloadBytes: bytes, Ms: secs * 1e3,
+		}
+		if secs > 0 {
+			e.ModelsPerS = float64(stats.Migrated) / secs
+			e.MBPerS = float64(bytes) / 1e6 / secs
+		}
+		fmt.Printf("%s -> %s: %s (%.1f models/s, %.1f MB/s migrated)\n",
+			op, repo.PlacementTable(), stats, e.ModelsPerS, e.MBPerS)
+		return e, nil
+	}
+
+	// Drain provider 1: epoch bump removing it, migrate, evict its copies.
+	cur := repo.PlacementTable()
+	var without []int
+	for _, m := range cur.Members {
+		if m != 1 {
+			without = append(without, m)
+		}
+	}
+	drainE, err := measure("drain", without)
+	if err != nil {
+		return err
+	}
+	st := repo.Providers()[1].Stats()
+	if st.Models != 0 || st.Segments != 0 {
+		return fmt.Errorf("drained provider 1 still holds %d models / %d segments", st.Models, st.Segments)
+	}
+	fmt.Println("drained provider 1 holds nothing")
+
+	// Join the spare (ID = providers): second bump, data rebalances onto it.
+	joinE, err := measure("join", append(append([]int{}, without...), providers))
+	if err != nil {
+		return err
+	}
+
+	close(stop)
+	wg.Wait()
+	if n := fails.Load(); n != 0 {
+		return fmt.Errorf("%d/%d workload requests failed across the migrations (want 0); first: %v",
+			n, ops.Load(), firstErr)
+	}
+	fmt.Printf("workload: %d requests across both migrations, 0 failures\n", ops.Load())
+
+	// Digest audit under the final table: every replica set bit-identical.
+	all, err := repo.ListModels(ctx)
+	if err != nil {
+		return err
+	}
+	provs := repo.Providers()
+	for _, id := range all {
+		set := repo.ReplicaSet(id)
+		d0 := provs[set[0]].Digest(id)
+		for _, pi := range set[1:] {
+			if di := provs[pi].Digest(id); !d0.Converged(di) {
+				return fmt.Errorf("model %d: replica %d digest %+v != replica %d digest %+v",
+					id, set[0], d0, pi, di)
+			}
+		}
+	}
+	fmt.Printf("digest audit: %d models bit-identical across their post-migration replica sets\n", len(all))
+
+	// Retire everything and drain to zero: two epoch changes must not have
+	// lost a single refcount delta.
+	for _, id := range all {
+		if _, err := repo.Retire(ctx, id); err != nil {
+			return fmt.Errorf("retire %d: %w", id, err)
+		}
+	}
+	stats, err := repo.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if stats.Models != 0 || stats.Segments != 0 || stats.LiveRefs != 0 {
+		return fmt.Errorf("refcount drift: repository did not drain after rebalancing: %+v", *stats)
+	}
+	fmt.Printf("retired %d models (%d stored mid-migration); repository drained completely\n",
+		len(all), len(extra))
+
+	fmt.Println("\nRebalance counters:")
+	reg.Render(os.Stdout)
+
+	if out == "" {
+		return nil
+	}
+	return writeRebalanceFile(out, []rebalanceEntry{drainE, joinE})
+}
+
+// goldenEpochZero asserts the epoch-0 table places exactly like the
+// paper's static scheme — home = id mod N, replicas on the next R-1
+// successors — for every requested replication factor.
+func goldenEpochZero(n int, factors []int) error {
+	for _, r := range factors {
+		t := placement.New(n, r)
+		rr := r
+		if rr > n {
+			rr = n
+		}
+		for id := 0; id < 4096; id++ {
+			got := t.ReplicaSet(ownermap.ModelID(id))
+			if len(got) != rr {
+				return fmt.Errorf("epoch-0 golden: n=%d r=%d id=%d: got %d replicas, want %d", n, r, id, len(got), rr)
+			}
+			for k := 0; k < rr; k++ {
+				if want := (id + k) % n; got[k] != want {
+					return fmt.Errorf("epoch-0 golden: n=%d r=%d id=%d replica %d: got provider %d, want %d (static modulo)",
+						n, r, id, k, got[k], want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeRebalanceFile merges this run's migration numbers into the tracked
+// JSON file, following the BENCH_bulk.json convention: "before" baseline
+// entries are permanent, "after" entries for re-measured ops are replaced.
+func writeRebalanceFile(out string, entries []rebalanceEntry) error {
+	reran := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		reran[e.Op] = true
+	}
+	merged := rebalanceFile{}
+	if prev, err := os.ReadFile(out); err == nil {
+		var old rebalanceFile
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("existing %s is not a rebalance benchmark file: %w", out, err)
+		}
+		for _, e := range old.Entries {
+			if e.Phase == "before" || !reran[e.Op] {
+				merged.Entries = append(merged.Entries, e)
+			}
+		}
+	}
+	merged.Entries = append(merged.Entries, entries...)
+	data, err := json.MarshalIndent(&merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

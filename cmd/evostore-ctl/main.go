@@ -15,10 +15,16 @@
 //	evostore-ctl -providers ... digest <modelID>      # per-replica repair digests
 //	evostore-ctl -providers ... check                 # list diverged replica sets
 //	evostore-ctl -providers ... repair                # one anti-entropy pass
+//	evostore-ctl -providers ... placement show        # per-provider placement views
+//	evostore-ctl -providers ... placement add <id>    # join provider <id> (epoch bump + migration)
+//	evostore-ctl -providers ... placement remove <id> # retire provider <id> (alias: drain)
 //
 // The -providers list must match the deployment's canonical order, and
 // -replicas must match the deployment's replication factor (reads fail
 // over between replicas; mutations like retire fan out to all of them).
+// When the list includes spares that are not yet placement members, pass
+// -deploy-size with the member count. The tool syncs the deployment's
+// current placement epoch before running any subcommand.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
+	"repro/internal/placement"
 	"repro/internal/proto"
 	"repro/internal/resilient"
 	"repro/internal/rpc"
@@ -46,13 +53,14 @@ func main() {
 	retries := flag.Int("retries", 3, "attempts per call, including the first")
 	threshold := flag.Int("breaker-threshold", 5, "consecutive transport failures that open a provider's circuit breaker (-1 = off)")
 	replicas := flag.Int("replicas", 1, "deployment replication factor R (must match every other client)")
+	deploySize := flag.Int("deploy-size", 0, "epoch-0 member count when -providers includes spares (0 = every address is a member)")
 	stripeChunk := flag.Int("stripe-chunk", 0, "stripe owner-group reads larger than this many bytes into parallel ranged chunks (0 = off)")
 	stripePar := flag.Int("stripe-parallel", 4, "max in-flight ranged chunks per striped read")
 	poolSize := flag.Int("pool", 2, "TCP connections per provider (striped reads fan ranged chunks across them)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|load|arch|metrics|replicas|digest|check|repair} [args]")
+		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|load|arch|metrics|replicas|digest|check|repair|placement} [args]")
 		os.Exit(2)
 	}
 
@@ -70,13 +78,23 @@ func main() {
 		Retryable:      proto.Retryable,
 	})
 	copts := []client.Option{client.WithReplicas(*replicas)}
+	if *deploySize > 0 {
+		copts = []client.Option{client.WithPlacement(placement.New(*deploySize, *replicas))}
+	}
 	if *stripeChunk > 0 {
 		copts = append(copts, client.WithStripedReads(*stripeChunk, *stripePar))
 	}
 	cli := client.New(conns, copts...)
 	ctx := context.Background()
 
-	if err := run(ctx, cli, args); err != nil {
+	// Adopt the deployment's current placement epoch before doing anything;
+	// best-effort (a provider that predates the placement RPC just means
+	// the configured epoch-0 table stands).
+	if _, err := cli.SyncPlacement(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "evostore-ctl: placement sync:", err)
+	}
+
+	if err := run(ctx, cli, conns, args); err != nil {
 		fmt.Fprintln(os.Stderr, "evostore-ctl:", err)
 		os.Exit(1)
 	}
@@ -87,7 +105,7 @@ func parseID(s string) (ownermap.ModelID, error) {
 	return ownermap.ModelID(n), err
 }
 
-func run(ctx context.Context, cli *client.Client, args []string) error {
+func run(ctx context.Context, cli *client.Client, conns []rpc.Conn, args []string) error {
 	switch args[0] {
 	case "list":
 		ids, err := cli.ListModels(ctx)
@@ -327,6 +345,80 @@ func run(ctx context.Context, cli *client.Client, args []string) error {
 		fmt.Printf("checked %d model(s): repaired %d, skipped %d (unhealthy replicas)\n",
 			stats.Checked, stats.Repaired, stats.Skipped)
 		return nil
+
+	case "placement":
+		return placementCmd(ctx, cli, conns, args[1:])
 	}
 	return fmt.Errorf("unknown subcommand %q", args[0])
+}
+
+// placementCmd inspects and drives the epoch-versioned placement table:
+// show prints every provider's view, add/remove (drain is an alias for
+// remove) bump the epoch and run the full migration — data moves to the
+// new replica sets while the deployment keeps serving, then departed
+// providers are emptied.
+func placementCmd(ctx context.Context, cli *client.Client, conns []rpc.Conn, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("placement needs a subcommand: show | add <providerID> | remove <providerID> | drain <providerID>")
+	}
+	switch args[0] {
+	case "show":
+		results := rpc.Broadcast(ctx, conns, proto.RPCPlacement, rpc.Message{})
+		tbl := metrics.NewTable("Provider", "View")
+		for i, r := range results {
+			if r.Err != nil {
+				tbl.Add(i, fmt.Sprintf("unreachable: %v", r.Err))
+				continue
+			}
+			st, err := placement.DecodeState(r.Resp.Meta)
+			switch {
+			case err != nil:
+				tbl.Add(i, fmt.Sprintf("undecodable: %v", err))
+			case st == nil || st.Cur == nil:
+				tbl.Add(i, "unguarded (accepts any model)")
+			case st.Migrating():
+				tbl.Add(i, fmt.Sprintf("%s migrating from %s", st.Cur, st.Prev))
+			default:
+				tbl.Add(i, st.Cur.String())
+			}
+		}
+		tbl.Render(os.Stdout)
+		st := cli.Placement()
+		fmt.Printf("client view: %s", st.Cur)
+		if st.Migrating() {
+			fmt.Printf(" migrating from %s", st.Prev)
+		}
+		fmt.Println()
+		return nil
+
+	case "add", "remove", "drain":
+		if len(args) < 2 {
+			return fmt.Errorf("placement %s needs a provider ID", args[0])
+		}
+		pid, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("provider ID %q: %w", args[1], err)
+		}
+		cur := cli.PlacementTable()
+		var next *placement.Table
+		if args[0] == "add" {
+			if pid >= len(conns) {
+				return fmt.Errorf("provider %d is not in the -providers list (%d addresses): the joiner must be dialable", pid, len(conns))
+			}
+			next, err = cur.WithMember(pid)
+		} else {
+			next, err = cur.WithoutMember(pid)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("migrating %s -> %s\n", cur, next)
+		stats, err := client.NewRebalancer(cli).Rebalance(ctx, next)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats)
+		return nil
+	}
+	return fmt.Errorf("unknown placement subcommand %q", args[0])
 }

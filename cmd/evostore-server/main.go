@@ -16,9 +16,22 @@
 // With -deploy-size (and the deployment's -replicas) the provider arms its
 // replica-placement guard: writes for models whose replica set does not
 // include this provider are rejected, catching clients configured with a
-// wrong address list or replication factor. -metrics-interval periodically
-// logs the process metrics counters; the same snapshot is always available
-// to evostore-ctl via the metrics RPC.
+// wrong address list or replication factor. The guard is epoch-aware — a
+// rebalance (evostore-ctl placement add/remove/drain) installs newer
+// tables over the set_placement RPC, and rejected clients receive the
+// current table so they self-update. The flag combination is validated at
+// startup and inconsistencies are fatal, never silently clamped.
+//
+// Elasticity:
+//
+//	-join   start as a spare: -id may lie outside [0..deploy-size); the
+//	        provider rejects writes until a placement add makes it a member
+//	-drain  on SIGTERM/SIGINT, migrate this provider's models to the rest
+//	        of the deployment (an epoch bump removing it) before exiting;
+//	        needs -repair-peers and -deploy-size
+//
+// -metrics-interval periodically logs the process metrics counters; the
+// same snapshot is always available to evostore-ctl via the metrics RPC.
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 	"repro/internal/provider"
 	"repro/internal/proto"
 	"repro/internal/resilient"
@@ -59,8 +73,47 @@ func main() {
 	repairEvery := flag.Duration("repair-interval", 0,
 		"run an in-process anti-entropy repairer over the whole deployment this often (0 = off; needs -repair-peers)")
 	repairPeers := flag.String("repair-peers", "",
-		"comma-separated full deployment address list, in canonical order (required by -repair-interval)")
+		"comma-separated full deployment address list, in canonical order (required by -repair-interval and -drain)")
+	join := flag.Bool("join", false,
+		"start as a spare outside the epoch-0 member list (-id may be >= -deploy-size); reject writes until a placement add joins this provider")
+	drain := flag.Bool("drain", false,
+		"on shutdown, migrate this provider's models to the remaining members before exiting (needs -repair-peers and -deploy-size)")
 	flag.Parse()
+
+	// Fail fast on inconsistent deployment flags instead of silently
+	// clamping: every client and provider of one deployment must agree on
+	// these numbers, and a clamp here would hide the disagreement until it
+	// corrupts placement.
+	if *replicas < 1 {
+		log.Fatalf("-replicas %d: the replication factor must be at least 1", *replicas)
+	}
+	if *deploySize > 0 && *replicas > *deploySize {
+		log.Fatalf("-replicas %d exceeds -deploy-size %d: a model cannot have more replicas than the deployment has members", *replicas, *deploySize)
+	}
+	if *replicas > 1 && *deploySize == 0 {
+		log.Fatalf("-replicas %d needs -deploy-size: without the member count the placement guard cannot be armed", *replicas)
+	}
+	if *id < 0 {
+		log.Fatalf("-id %d: provider IDs are non-negative", *id)
+	}
+	if *join && *deploySize == 0 {
+		log.Fatalf("-join needs -deploy-size (the epoch-0 member count this spare is joining)")
+	}
+	if *deploySize > 0 && *id >= *deploySize && !*join {
+		log.Fatalf("-id %d is outside the deployment [0..%d): pass -join to start as a spare awaiting a placement add", *id, *deploySize)
+	}
+	if *repairPeers != "" {
+		n := len(strings.Split(*repairPeers, ","))
+		if *deploySize > 0 && n < *deploySize {
+			log.Fatalf("-repair-peers lists %d addresses but -deploy-size is %d: the list must cover every member", n, *deploySize)
+		}
+		if *id >= n {
+			log.Fatalf("-repair-peers lists %d addresses but -id is %d: the list must include this provider at its own index", n, *id)
+		}
+	}
+	if *drain && (*repairPeers == "" || *deploySize == 0) {
+		log.Fatalf("-drain needs -repair-peers and -deploy-size to run the self-drain migration on shutdown")
+	}
 
 	var kv kvstore.KV
 	if *data == "" {
@@ -80,7 +133,11 @@ func main() {
 	p.SetDedupTTL(*dedupTTL)
 	if *deploySize > 0 {
 		p.SetPlacement(*deploySize, *replicas)
-		log.Printf("provider %d: placement guard armed (deployment %d, R=%d)", *id, *deploySize, *replicas)
+		if *join {
+			log.Printf("provider %d: spare awaiting join (deployment %d, R=%d); rejecting writes until a placement add", *id, *deploySize, *replicas)
+		} else {
+			log.Printf("provider %d: placement guard armed (deployment %d, R=%d)", *id, *deploySize, *replicas)
+		}
 	}
 	srv := rpc.NewServer()
 	srv.SetRequestTimeout(*reqTimeout)
@@ -114,8 +171,21 @@ func main() {
 			DefaultTimeout: *reqTimeout,
 			Retryable:      proto.Retryable,
 		})
-		cli := client.New(conns, client.WithReplicas(*replicas))
-		go client.NewRepairer(cli).Run(repairCtx, *repairEvery)
+		copts := []client.Option{client.WithReplicas(*replicas)}
+		if *deploySize > 0 {
+			// The peer list may include spares beyond the member list; the
+			// explicit table keeps them out of the epoch-0 placement.
+			copts = []client.Option{client.WithPlacement(placement.New(*deploySize, *replicas))}
+		}
+		cli := client.New(conns, copts...)
+		go func() {
+			// Adopt whatever epoch the deployment has reached before the
+			// first sweep; later bumps are adopted off wrong-epoch errors.
+			if _, err := cli.SyncPlacement(repairCtx); err != nil {
+				log.Printf("provider %d: placement sync: %v", *id, err)
+			}
+			client.NewRepairer(cli).Run(repairCtx, *repairEvery)
+		}()
 		log.Printf("provider %d: anti-entropy repairer running every %s over %d peers",
 			*id, *repairEvery, len(conns))
 	}
@@ -125,11 +195,56 @@ func main() {
 	<-sig
 	stopRepair()
 	close(stopMetrics)
+	if *drain {
+		log.Printf("provider %d: draining before shutdown", *id)
+		if err := drainSelf(*id, *deploySize, *replicas, *repairPeers, *reqTimeout); err != nil {
+			log.Printf("provider %d: drain failed (data stays; re-run the drain via evostore-ctl placement drain): %v", *id, err)
+		}
+	}
 	log.Printf("provider %d: shutting down", *id)
 	lis.Close()
 	st := p.Stats()
 	log.Printf("provider %d: %d models, %d segments, %d bytes",
 		*id, st.Models, st.Segments, st.SegmentBytes)
+}
+
+// drainSelf retires this provider from the placement table: it syncs the
+// deployment's current epoch, builds the successor table without this
+// provider, and runs the rebalancer — migrating every model it owns to
+// the surviving members — before the process exits. The migration is
+// convergent; if it fails partway the deployment is left dual-epoch and
+// an operator can finish it with evostore-ctl placement drain.
+func drainSelf(id, deploySize, replicas int, peers string, timeout time.Duration) error {
+	var conns []rpc.Conn
+	for _, a := range strings.Split(peers, ",") {
+		conns = append(conns, rpc.NewPool(strings.TrimSpace(a), 1, rpc.DialTCP))
+	}
+	conns = resilient.WrapAll(conns, resilient.Options{
+		DefaultTimeout: timeout,
+		Retryable:      proto.Retryable,
+	})
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	cli := client.New(conns, client.WithPlacement(placement.New(deploySize, replicas)))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	st, err := cli.SyncPlacement(ctx)
+	if err != nil {
+		return err
+	}
+	next, err := st.Cur.WithoutMember(id)
+	if err != nil {
+		return err
+	}
+	stats, err := client.NewRebalancer(cli).Rebalance(ctx, next)
+	if err != nil {
+		return err
+	}
+	log.Printf("provider %d: drained: %s", id, stats)
+	return nil
 }
 
 // logMetrics periodically logs the non-zero metrics counters (retries,

@@ -1,11 +1,15 @@
 // Package client implements the EvoStore client library: the application-
-// side half of the repository. It maps model IDs to providers with static
-// hashing (optionally replicated N ways onto the hash successors),
-// consolidates modified tensors into single bulk writes, follows owner
-// maps to scatter partial reads across providers in parallel — failing
-// reads over to sibling replicas when a provider misbehaves — broadcasts
-// collective LCP queries and reduces their results, and drives distributed
-// retirement (metadata removal + reference-count decrements).
+// side half of the repository. It maps model IDs to providers through an
+// epoch-versioned placement table (internal/placement; the epoch-0 table
+// reproduces the paper's static modulo hash bit-for-bit, optionally
+// replicated N ways onto the hash successors), consolidates modified
+// tensors into single bulk writes, follows owner maps to scatter partial
+// reads across providers in parallel — failing reads over to sibling
+// replicas when a provider misbehaves — broadcasts collective LCP queries
+// and reduces their results, and drives distributed retirement (metadata
+// removal + reference-count decrements). During a membership change the
+// table is dual-epoch and the client reads through both epochs and writes
+// through their union until the migration drains (see rebalance.go).
 //
 // Paper counterpart: the EvoStore client library of §4.1 linked into every
 // NAS worker.
@@ -38,6 +42,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
+	"repro/internal/placement"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 )
@@ -61,11 +66,15 @@ func nextReqID() uint64 {
 }
 
 // Client talks to a fixed set of providers. Index i of conns is provider i;
-// model IDs are mapped to providers by static hashing (paper §4.1), with an
-// optional N-way replica set on the hash successors (see replication.go).
+// model IDs are mapped to providers by the active placement table — by
+// default the epoch-0 table over all connections, which is the paper's
+// static modulo hash (§4.1) with an optional N-way replica set on the hash
+// successors (see replication.go and placement.go).
 type Client struct {
 	conns    []rpc.Conn
 	replicas int
+	explicit *placement.Table                // WithPlacement override for the initial table
+	place    atomic.Pointer[placement.State] // active placement view; never nil after New
 	reg      *metrics.Registry
 
 	stripeChunk uint64 // striped-read chunk size; 0 disables striping
@@ -81,6 +90,8 @@ type Client struct {
 	stripedReads *metrics.Counter // owner-group reads served via range striping
 	partialAcc   *metrics.Counter // partial writes accepted for repair
 	repairDrops  *metrics.Counter // repair targets dropped on a full queue
+	epochAdopts  *metrics.Counter // newer placement views adopted from rejections or sync
+	deferred     *metrics.Counter // mutations accepted with catching-up replicas left to repair
 }
 
 // New wraps provider connections. The slice order defines provider IDs and
@@ -94,20 +105,36 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	tbl := c.explicit
+	if tbl == nil {
+		r := c.replicas
+		if r > len(conns) {
+			r = len(conns)
+		}
+		tbl = placement.New(len(conns), r)
+	}
+	st := &placement.State{Cur: tbl}
+	if err := c.checkState(st); err != nil {
+		panic("client: " + err.Error())
+	}
+	c.place.Store(st)
 	c.failovers = c.reg.Counter("client.read_failover")
 	c.breakerSkips = c.reg.Counter("client.replica_breaker_skip")
 	c.stripedReads = c.reg.Counter("client.striped_read")
 	c.partialAcc = c.reg.Counter("client.partial_write")
 	c.repairDrops = c.reg.Counter("client.repair_queue_drop")
+	c.epochAdopts = c.reg.Counter("client.epoch_adopt")
+	c.deferred = c.reg.Counter("client.migration_deferred")
 	return c
 }
 
 // NumProviders returns the deployment size.
 func (c *Client) NumProviders() int { return len(c.conns) }
 
-// HomeProvider returns the provider index a model ID hashes to.
+// HomeProvider returns the model's preferred provider under the active
+// placement table (on the epoch-0 table: the modulo hash home).
 func (c *Client) HomeProvider(id ownermap.ModelID) int {
-	return int(uint64(id) % uint64(len(c.conns)))
+	return c.place.Load().Cur.ReplicaSet(id)[0]
 }
 
 // ModelData is a fully resolved model: metadata plus one consolidated

@@ -74,18 +74,25 @@ func (c *Client) acceptPartial(op string, id ownermap.ModelID, err error) bool {
 		return false
 	}
 	c.partialAcc.Inc()
+	c.queueRepair(op, id)
+	return true
+}
+
+// queueRepair enqueues a model for the next repair pass (deduplicated;
+// dropped under pressure — the queue accelerates RepairAll, it is not the
+// source of truth).
+func (c *Client) queueRepair(op string, id ownermap.ModelID) {
 	c.repairMu.Lock()
 	defer c.repairMu.Unlock()
 	if c.repairSeen[id] {
-		return true
+		return
 	}
 	if len(c.repairQ) >= repairQueueCap {
 		c.repairDrops.Inc()
-		return true
+		return
 	}
 	c.repairSeen[id] = true
 	c.repairQ = append(c.repairQ, RepairTarget{Model: id, Op: op})
-	return true
 }
 
 // DrainRepairTargets returns and clears the models queued by accepted
@@ -124,6 +131,7 @@ type Repairer struct {
 	skipped   *metrics.Counter // models skipped on an unhealthy replica
 	absolute  *metrics.Counter // repairs that used the absolute fallback
 	failures  *metrics.Counter // repair passes that errored
+	moved     *metrics.Counter // payload bytes shipped between replicas by repair
 }
 
 // NewRepairer returns a Repairer over c's providers and metrics registry.
@@ -136,6 +144,7 @@ func NewRepairer(c *Client) *Repairer {
 		skipped:   c.reg.Counter("client.repair_skip_unhealthy"),
 		absolute:  c.reg.Counter("client.repair_absolute"),
 		failures:  c.reg.Counter("client.repair_error"),
+		moved:     c.reg.Counter("client.repair_payload_bytes"),
 	}
 }
 
@@ -198,7 +207,13 @@ func (r *Repairer) ModelDigests(ctx context.Context, id ownermap.ModelID) ([]int
 // ErrReplicaUnhealthy without touching anything when a replica is behind
 // an open breaker.
 func (r *Repairer) RepairModel(ctx context.Context, id ownermap.ModelID) (bool, error) {
-	set := r.c.ReplicaSet(id)
+	return r.repairSet(ctx, id, r.c.ReplicaSet(id))
+}
+
+// repairSet is RepairModel over an explicit provider set — the rebalancer
+// converges a migrating model across the union of both epochs' replica
+// sets with the same machinery RepairModel applies to the current set.
+func (r *Repairer) repairSet(ctx context.Context, id ownermap.ModelID, set []int) (bool, error) {
 	if len(set) == 1 {
 		return false, nil
 	}
@@ -403,6 +418,11 @@ func (r *Repairer) fillPayloads(ctx context.Context, id ownermap.ModelID, set []
 		if err != nil {
 			return nil, fmt.Errorf("payload pull from provider %d: %w", pj, err)
 		}
+		var moved uint64
+		for _, p := range payloads {
+			moved += uint64(len(p))
+		}
+		r.moved.Add(moved)
 		resp, err := r.apply(ctx, set[i], &proto.RepairApplyReq{Model: id, Segments: pull.Segments}, payloads)
 		if err != nil {
 			return nil, err

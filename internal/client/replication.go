@@ -8,29 +8,40 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
+	"repro/internal/placement"
 	"repro/internal/rpc"
 )
 
-// Replica placement: a model's replica set is its home provider (static
-// modulo hash, paper §4.1) plus the next R-1 successors modulo the
-// deployment size. Every client and provider of a deployment must agree on
-// R; the wire format is unchanged, so R=1 interoperates bit-for-bit with
-// pre-replication binaries.
+// Replica placement: a model's replica set comes from the client's active
+// placement table (internal/placement). The default epoch-0 table places
+// exactly like the paper's static scheme — home provider = id mod N plus
+// the next R-1 successors — so R=1 interoperates bit-for-bit with
+// pre-replication binaries; later epochs use rendezvous hashing over the
+// surviving member list. Every client and provider of a deployment must
+// agree on R and converge on the same epoch (see placement.go).
 //
 // Writes (StoreModel, IncRef, DecRef, Retire) fan out to every replica in
 // parallel, all carrying the same ReqID: each replica's dedup table
 // independently absorbs retries, so a retried fan-out leg can never
 // double-apply a refcount change. A write succeeds only when every replica
 // accepted it, which keeps replicas bit-identical and makes any single
-// replica authoritative for reads.
+// replica authoritative for reads. Mid-migration the fan-out covers the
+// union of both epochs' sets, and a leg rejected by a replica still
+// catching up on the model counts as deferred, not failed — its delta is
+// journaled on the members that hold the model and replayed by the
+// rebalancer.
 //
 // Reads (GetMeta, ReadSegments) try one replica at a time, preferring the
-// home provider, and fail over to the next on a transient error. Replica
-// order is breaker-aware: replicas whose resilient.Conn breaker is open are
-// tried last, so a partitioned provider is skipped without waiting out its
+// new epoch's set and falling back to previous-epoch owners mid-migration,
+// failing over to the next on a transient error. Replica order is
+// breaker-aware: replicas whose resilient.Conn breaker is open are tried
+// last, so a partitioned provider is skipped without waiting out its
 // cooldown. Remote (application) errors are authoritative and never fail
 // over — with all-replica writes, "not found" on one replica means "not
-// found" everywhere.
+// found" everywhere — with two exceptions handled in readCall: a
+// wrong-epoch rejection updates the client's table and re-resolves, and a
+// catching-up replica's "not migrated" miss fails over to an owner that
+// has the model.
 
 // Option configures a Client beyond its connection list.
 type Option func(*Client)
@@ -46,6 +57,14 @@ func WithReplicas(r int) Option {
 	}
 }
 
+// WithPlacement pins the client's initial placement table instead of the
+// epoch-0 table over all connections — for deployments whose member list
+// is sparse (spare providers awaiting a join) or already past epoch 0.
+// Overrides WithReplicas. Member indices must address connections.
+func WithPlacement(t *placement.Table) Option {
+	return func(c *Client) { c.explicit = t }
+}
+
 // WithRegistry routes the client's replication counters (read failovers,
 // breaker-skipped replicas) to reg instead of metrics.Default.
 func WithRegistry(reg *metrics.Registry) Option {
@@ -59,34 +78,25 @@ type healthReporter interface {
 	Healthy() bool
 }
 
-// Replicas returns the configured replication factor (clamped to the
-// deployment size).
-func (c *Client) Replicas() int {
-	if c.replicas > len(c.conns) {
-		return len(c.conns)
-	}
-	return c.replicas
-}
+// Replicas returns the active replication factor (the table's, clamped to
+// its member count).
+func (c *Client) Replicas() int { return c.place.Load().Cur.R() }
 
 // ReplicaSet returns the provider indices holding id's metadata and
-// segments, preferred (home) first.
+// segments under the current epoch, preferred (home) first.
 func (c *Client) ReplicaSet(id ownermap.ModelID) []int {
-	n := len(c.conns)
-	r := c.Replicas()
-	home := c.HomeProvider(id)
-	set := make([]int, r)
-	for i := range set {
-		set[i] = (home + i) % n
-	}
-	return set
+	return c.place.Load().ReplicaSet(id)
 }
 
-// readOrder is ReplicaSet reordered so replicas behind an open breaker sort
-// last (stable within each class, so the home provider stays preferred
-// among healthy replicas). The unhealthy tail is kept as a last resort: if
-// every replica is shedding, the caller still gets a real error chain.
+// readOrder is the placement read order (current epoch's set first, then
+// previous-epoch owners mid-migration) reordered so replicas behind an
+// open breaker sort last. The partition is stable within each class: when
+// every replica is behind an open breaker, the unhealthy tail preserves
+// placement order, so the home provider is still dialed first and a full
+// outage degrades to the same preference order as a healthy cluster
+// rather than an arbitrary one (pinned by TestReadOrderAllBreakersOpen).
 func (c *Client) readOrder(id ownermap.ModelID) []int {
-	set := c.ReplicaSet(id)
+	set := c.place.Load().ReadOrder(id)
 	if len(set) == 1 {
 		return set
 	}
@@ -108,25 +118,49 @@ func (c *Client) readOrder(id ownermap.ModelID) []int {
 // readCall performs a read with replica failover: replicas are tried in
 // breaker-aware preference order; transient failures move on to the next
 // replica, remote errors and caller cancellation return immediately.
+// Two placement-shaped rejections bend those rules: a catching-up
+// replica's "not migrated" miss fails over (a previous-epoch owner has
+// the model), and a wrong-epoch rejection refreshes the client's table
+// and — if that changed where the model lives — re-resolves the whole
+// read, so a stale client self-updates instead of failing.
 func (c *Client) readCall(ctx context.Context, name string, id ownermap.ModelID, req rpc.Message) (rpc.Message, error) {
-	order := c.readOrder(id)
-	var failed []error
-	for i, pi := range order {
-		resp, err := c.conns[pi].Call(ctx, name, req)
-		if err == nil {
-			if i > 0 {
-				c.failovers.Inc()
+	for attempt := 0; ; attempt++ {
+		st := c.place.Load()
+		order := c.readOrder(id)
+		var failed []error
+		var staleTbl *placement.Table
+		stale := false
+		for i, pi := range order {
+			resp, err := c.conns[pi].Call(ctx, name, req)
+			if err == nil {
+				if i > 0 {
+					c.failovers.Inc()
+				}
+				if stale {
+					// An earlier replica rejected us as stale even though a
+					// later one answered: adopt the newer table now so the
+					// next call resolves right the first time.
+					c.refreshPlacement(ctx, staleTbl)
+				}
+				return resp, nil
 			}
-			return resp, nil
+			if t, ok := placement.TableFromError(err); ok {
+				stale, staleTbl = true, t
+			} else if !placement.IsNotMigrated(err) && !rpc.IsTransient(err) {
+				// Authoritative handler answer, or the caller gave up:
+				// replicas are write-synchronized, so no other replica
+				// would say better.
+				return rpc.Message{}, fmt.Errorf("provider %d: %w", pi, err)
+			}
+			failed = append(failed, fmt.Errorf("replica on provider %d: %w", pi, err))
 		}
-		if !rpc.IsTransient(err) {
-			// Authoritative handler answer, or the caller gave up: replicas
-			// are write-synchronized, so no other replica would say better.
-			return rpc.Message{}, fmt.Errorf("provider %d: %w", pi, err)
+		if stale && attempt < placementRetries {
+			if c.refreshPlacement(ctx, staleTbl) || c.place.Load() != st {
+				continue
+			}
 		}
-		failed = append(failed, fmt.Errorf("replica on provider %d: %w", pi, err))
+		return rpc.Message{}, errors.Join(failed...)
 	}
-	return rpc.Message{}, errors.Join(failed...)
 }
 
 // PartialMutateError reports a replicated mutation that some replicas
@@ -169,15 +203,45 @@ func (e *PartialMutateError) Transient() bool {
 	return true
 }
 
-// mutateCall fans a mutating request out to every replica of id in
-// parallel. The request bytes (including the ReqID) are shared, so each
-// replica deduplicates retries independently. All replicas must accept for
-// a nil error; a mix of outcomes returns the first successful response
-// alongside a *PartialMutateError naming both camps (legs are
-// deterministic, so all successful responses agree), and a total failure
-// returns every leg's error joined and annotated with its provider.
+// mutateCall fans a mutating request out to every replica of id —
+// mid-migration, to the union of both epochs' replica sets — retrying the
+// whole fan-out after a wrong-epoch rejection taught the client a newer
+// table that changes where the model lives. The request bytes (including
+// the ReqID) are shared, so each replica deduplicates retries
+// independently and a re-fanned leg can never double-apply.
 func (c *Client) mutateCall(ctx context.Context, name string, id ownermap.ModelID, req rpc.Message) (rpc.Message, error) {
-	set := c.ReplicaSet(id)
+	for attempt := 0; ; attempt++ {
+		st := c.place.Load()
+		resp, err := c.mutateOnce(ctx, name, id, st, req)
+		if err == nil {
+			return resp, nil
+		}
+		tbl, ok := placement.TableFromError(err)
+		if !ok || attempt >= placementRetries {
+			return resp, err
+		}
+		if !c.refreshPlacement(ctx, tbl) && c.place.Load() == st {
+			// Nothing newer to learn: the rejection stands.
+			return resp, err
+		}
+	}
+}
+
+// mutateOnce runs one fan-out over st's write set. All replicas must
+// accept for a nil error, with one placement-shaped exception: legs
+// rejected by replicas still catching up on this model's migration count
+// as deferred, and if every failed leg was deferred while at least one
+// replica accepted, the mutation succeeds — the delta is journaled on the
+// accepting members and the rebalancer's converge pass replays it onto
+// the stragglers (the model is also queued for in-process repair). A mix
+// of real outcomes returns the first successful response alongside a
+// *PartialMutateError naming both camps (legs are deterministic, so all
+// successful responses agree); deferred legs inside such a mix are marked
+// transient so partial-writes acceptance still applies during a combined
+// outage and migration. A total failure returns every leg's error joined
+// and annotated with its provider.
+func (c *Client) mutateOnce(ctx context.Context, name string, id ownermap.ModelID, st *placement.State, req rpc.Message) (rpc.Message, error) {
+	set := st.WriteSet(id)
 	if len(set) == 1 {
 		return c.conns[set[0]].Call(ctx, name, req)
 	}
@@ -195,10 +259,17 @@ func (c *Client) mutateCall(ctx context.Context, name string, id ownermap.ModelI
 	firstOK := -1
 	var succeeded, failedAt []int
 	var failed []error
+	deferredOnly := true
 	for i, err := range errs {
 		if err != nil {
+			leg := fmt.Errorf("replica on provider %d: %w", set[i], err)
+			if placement.IsNotMigrated(err) {
+				leg = rpc.MarkTransient(leg)
+			} else {
+				deferredOnly = false
+			}
 			failedAt = append(failedAt, set[i])
-			failed = append(failed, fmt.Errorf("replica on provider %d: %w", set[i], err))
+			failed = append(failed, leg)
 			continue
 		}
 		if firstOK < 0 {
@@ -208,6 +279,11 @@ func (c *Client) mutateCall(ctx context.Context, name string, id ownermap.ModelI
 	}
 	if len(failed) == 0 {
 		return resps[0], nil
+	}
+	if firstOK >= 0 && deferredOnly {
+		c.deferred.Inc()
+		c.queueRepair(name, id)
+		return resps[firstOK], nil
 	}
 	if firstOK < 0 {
 		return rpc.Message{}, errors.Join(failed...)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/model"
 	"repro/internal/ownermap"
+	"repro/internal/placement"
 	"repro/internal/proto"
 	"repro/internal/provider"
 	"repro/internal/resilient"
@@ -48,6 +49,9 @@ type Repository struct {
 	repOnce  sync.Once
 	repairer *client.Repairer
 
+	rebOnce    sync.Once
+	rebalancer *client.Rebalancer
+
 	// embedded deployment resources (nil when attached to remote providers)
 	owned  []*provider.Provider
 	net    *rpc.InprocNet
@@ -59,6 +63,12 @@ type Repository struct {
 type Options struct {
 	// Providers is the number of storage providers. Default 4.
 	Providers int
+	// SpareProviders adds providers (IDs Providers..Providers+Spare-1)
+	// that run and are dialed but start outside the placement table: they
+	// hold no data and reject writes until a rebalance (Rebalance, or
+	// evostore-ctl placement add) joins them. The elasticity harnesses use
+	// a spare as the join target.
+	SpareProviders int
 	// Backend constructs the KV store of provider i. Default: MemKV, the
 	// analogue of the paper's in-memory synchronized pools.
 	Backend func(i int) kvstore.KV
@@ -110,11 +120,18 @@ func Open(opts Options) (*Repository, error) {
 	if opts.Replicas > opts.Providers {
 		opts.Replicas = opts.Providers
 	}
+	if opts.SpareProviders < 0 {
+		opts.SpareProviders = 0
+	}
 	net := rpc.NewInprocNet()
 	r := &Repository{net: net}
-	conns := make([]rpc.Conn, opts.Providers)
-	for i := 0; i < opts.Providers; i++ {
+	total := opts.Providers + opts.SpareProviders
+	conns := make([]rpc.Conn, total)
+	for i := 0; i < total; i++ {
 		p := provider.New(i, opts.Backend(i))
+		// Spares get the same epoch-0 table: not being members, they reject
+		// writes (and tell stale clients the current table) until a
+		// rebalance adds them.
 		p.SetPlacement(opts.Providers, opts.Replicas)
 		srv := rpc.NewServer()
 		p.Register(srv)
@@ -146,7 +163,9 @@ func Open(opts Options) (*Repository, error) {
 		conns = resilient.WrapAll(conns, ro)
 	}
 	r.conns = conns
-	copts := []client.Option{client.WithReplicas(opts.Replicas)}
+	// The explicit table keeps spares out of placement: the client knows
+	// total connections but the epoch-0 member list is [0..Providers-1].
+	copts := []client.Option{client.WithPlacement(placement.New(opts.Providers, opts.Replicas))}
 	if opts.StripeChunkBytes > 0 {
 		copts = append(copts, client.WithStripedReads(opts.StripeChunkBytes, opts.StripeParallel))
 	}
@@ -450,6 +469,32 @@ func (r *Repository) RepairCheck(ctx context.Context) ([]ModelID, error) {
 // partial writes (see Options.PartialWrites).
 func (r *Repository) DrainRepairTargets() []client.RepairTarget {
 	return r.cli.DrainRepairTargets()
+}
+
+// --- elastic placement ---------------------------------------------------------
+
+// Rebalancer returns the deployment's migration driver, created on first
+// use.
+func (r *Repository) Rebalancer() *client.Rebalancer {
+	r.rebOnce.Do(func() { r.rebalancer = client.NewRebalancer(r.cli) })
+	return r.rebalancer
+}
+
+// PlacementTable returns the current-epoch placement table.
+func (r *Repository) PlacementTable() *placement.Table {
+	return r.cli.PlacementTable()
+}
+
+// Rebalance migrates the deployment to the given member list (an epoch
+// bump; same replication factor): data moves to the new replica sets
+// while reads and writes keep succeeding, then departed providers are
+// drained of every model they held.
+func (r *Repository) Rebalance(ctx context.Context, members []int) (*client.RebalanceStats, error) {
+	next, err := r.cli.PlacementTable().Next(members)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebalance: %w", err)
+	}
+	return r.Rebalancer().Rebalance(ctx, next)
 }
 
 // --- provenance ------------------------------------------------------------------

@@ -1,0 +1,485 @@
+// Package placement computes and carries EvoStore's epoch-versioned
+// placement table: the single structure clients, providers and tools agree
+// on to decide which providers hold a model's metadata and segments.
+//
+// The paper (§4.1) pins a model to provider `id mod N` forever; PR 2
+// extended that to the next R-1 modulo successors. Both are special cases
+// of a Table whose member list is exactly [0..N-1]: for such *dense*
+// tables ReplicaSet reproduces the legacy modulo arithmetic bit for bit,
+// so epoch 0 of any never-resized deployment is wire- and
+// placement-compatible with every earlier binary. Once membership changes
+// (a provider drained away or a fresh one joined), the member list stops
+// being dense and ReplicaSet switches to rendezvous (highest-random-
+// weight) hashing over the members, which moves only the models whose
+// replica sets must move.
+//
+// A Table is immutable once built. Membership changes produce a new Table
+// with Epoch+1 (WithMember / WithoutMember); during the migration both
+// tables stay active as a State{Cur, Prev} pair: reads prefer the new
+// epoch's replicas and fall back to the old, writes fan out to the union,
+// and providers accept writes valid in either epoch. The client.Rebalancer
+// drives the transition (see internal/client/rebalance.go).
+//
+// Contracts:
+//   - Thread safety: Tables and States are immutable after construction;
+//     share them freely.
+//   - Determinism: ReplicaSet is a pure function of (Members, Replicas,
+//     id). Two parties holding equal tables always agree on placement.
+//   - Wire: Encode/DecodeState ride rpc.Message.Meta; the typed
+//     WrongEpochError embeds its table into the error *text* so it
+//     survives the RPC layer's text-only remote errors (see
+//     TableFromError).
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ownermap"
+	"repro/internal/wire"
+)
+
+// Table is one epoch's placement view: an ordered member list and the
+// replication factor applied over it. Members are provider indices into
+// the deployment's canonical address list — membership can shrink or grow,
+// the address list only grows.
+type Table struct {
+	Epoch    uint64
+	Members  []int // sorted ascending, unique, non-negative
+	Replicas int   // requested R; effective R is min(Replicas, len(Members))
+}
+
+// New returns the epoch-0 table of a fresh deployment: providers 0..n-1,
+// replication factor r. Its placement is bit-identical to the legacy
+// static-modulo scheme.
+func New(n, r int) *Table {
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	t, err := Make(0, members, r)
+	if err != nil {
+		panic("placement: " + err.Error()) // n<=0 or r<1: caller bug
+	}
+	return t
+}
+
+// Make validates and builds a table. The member list is copied and sorted.
+func Make(epoch uint64, members []int, replicas int) (*Table, error) {
+	if len(members) == 0 {
+		return nil, errors.New("placement: empty member list")
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("placement: replication factor %d < 1", replicas)
+	}
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	for i, m := range ms {
+		if m < 0 {
+			return nil, fmt.Errorf("placement: negative member %d", m)
+		}
+		if i > 0 && ms[i-1] == m {
+			return nil, fmt.Errorf("placement: duplicate member %d", m)
+		}
+	}
+	return &Table{Epoch: epoch, Members: ms, Replicas: replicas}, nil
+}
+
+// R returns the effective replication factor: Replicas clamped to the
+// member count.
+func (t *Table) R() int {
+	if t.Replicas > len(t.Members) {
+		return len(t.Members)
+	}
+	return t.Replicas
+}
+
+// dense reports whether Members is exactly [0..n-1] — the legacy layout
+// whose placement must stay bit-identical to the static modulo hash.
+func (t *Table) dense() bool {
+	for i, m := range t.Members {
+		if m != i {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplicaSet returns the providers holding id under this table, preferred
+// (home) first. Dense tables reproduce the legacy scheme — home = id mod N
+// plus the next R-1 successors; sparse tables rank members by rendezvous
+// hash so a membership change moves only the models it must.
+func (t *Table) ReplicaSet(id ownermap.ModelID) []int {
+	n := len(t.Members)
+	r := t.R()
+	set := make([]int, r)
+	if t.dense() {
+		home := int(uint64(id) % uint64(n))
+		for i := range set {
+			set[i] = (home + i) % n
+		}
+		return set
+	}
+	type scored struct {
+		member int
+		score  uint64
+	}
+	ranked := make([]scored, n)
+	for i, m := range t.Members {
+		ranked[i] = scored{m, rendezvousScore(uint64(id), uint64(m))}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].member < ranked[j].member
+	})
+	for i := range set {
+		set[i] = ranked[i].member
+	}
+	return set
+}
+
+// rendezvousScore is the highest-random-weight score of (model, member):
+// FNV-1a over the two 64-bit words. Each member scores independently, so
+// removing one member only re-homes the models it ranked first for, and
+// adding one only claims the models it now out-scores everyone on.
+func rendezvousScore(id, member uint64) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for _, w := range [2]uint64{id, member} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Contains reports whether provider is in id's replica set under this
+// table.
+func (t *Table) Contains(provider int, id ownermap.ModelID) bool {
+	for _, pi := range t.ReplicaSet(id) {
+		if pi == provider {
+			return true
+		}
+	}
+	return false
+}
+
+// Member reports whether provider is in the member list at all.
+func (t *Table) Member(provider int) bool {
+	i := sort.SearchInts(t.Members, provider)
+	return i < len(t.Members) && t.Members[i] == provider
+}
+
+// WithMember returns the next-epoch table with provider added. Adding a
+// present member is an error (an epoch bump must change placement).
+func (t *Table) WithMember(provider int) (*Table, error) {
+	if provider < 0 {
+		return nil, fmt.Errorf("placement: negative member %d", provider)
+	}
+	if t.Member(provider) {
+		return nil, fmt.Errorf("placement: provider %d is already a member of epoch %d", provider, t.Epoch)
+	}
+	return Make(t.Epoch+1, append(append([]int(nil), t.Members...), provider), t.Replicas)
+}
+
+// WithoutMember returns the next-epoch table with provider removed.
+func (t *Table) WithoutMember(provider int) (*Table, error) {
+	if !t.Member(provider) {
+		return nil, fmt.Errorf("placement: provider %d is not a member of epoch %d", provider, t.Epoch)
+	}
+	if len(t.Members) == 1 {
+		return nil, errors.New("placement: cannot remove the last member")
+	}
+	ms := make([]int, 0, len(t.Members)-1)
+	for _, m := range t.Members {
+		if m != provider {
+			ms = append(ms, m)
+		}
+	}
+	return Make(t.Epoch+1, ms, t.Replicas)
+}
+
+// Next returns the epoch+1 table over an arbitrary member list (same R).
+func (t *Table) Next(members []int) (*Table, error) {
+	return Make(t.Epoch+1, members, t.Replicas)
+}
+
+// Equal reports whether two tables are identical (epoch, members, R).
+func (t *Table) Equal(o *Table) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Epoch != o.Epoch || t.Replicas != o.Replicas || len(t.Members) != len(o.Members) {
+		return false
+	}
+	for i, m := range t.Members {
+		if o.Members[i] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the table in the canonical "table{epoch=E r=R
+// members=a,b,c}" form that TableFromError parses back out of error text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "table{epoch=%d r=%d members=", t.Epoch, t.Replicas)
+	for i, m := range t.Members {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(m))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// --- dual-epoch state ---------------------------------------------------------
+
+// State is a provider's or client's placement view: the current table
+// plus, while a migration is draining, the previous one. Prev == nil means
+// no migration is in flight.
+type State struct {
+	Cur  *Table
+	Prev *Table
+}
+
+// Migrating reports whether two epochs are active.
+func (s *State) Migrating() bool { return s != nil && s.Prev != nil }
+
+// ReplicaSet is the current epoch's replica set (where data will live once
+// any in-flight migration completes).
+func (s *State) ReplicaSet(id ownermap.ModelID) []int { return s.Cur.ReplicaSet(id) }
+
+// ReadOrder returns the read-preference order for id: the current epoch's
+// replicas first (data is migrating toward them), then any previous-epoch
+// replicas not in the current set (where the data still is until the drain
+// completes).
+func (s *State) ReadOrder(id ownermap.ModelID) []int {
+	set := s.Cur.ReplicaSet(id)
+	if s.Prev == nil {
+		return set
+	}
+	in := make(map[int]bool, len(set))
+	for _, pi := range set {
+		in[pi] = true
+	}
+	for _, pi := range s.Prev.ReplicaSet(id) {
+		if !in[pi] {
+			set = append(set, pi)
+		}
+	}
+	return set
+}
+
+// WriteSet returns the providers a mutation of id must fan out to: the
+// union of the active epochs' replica sets (current epoch first). Writing
+// through both epochs is what lets no request fail during a migration.
+func (s *State) WriteSet(id ownermap.ModelID) []int { return s.ReadOrder(id) }
+
+// Contains reports whether provider is in id's replica set under any
+// active epoch.
+func (s *State) Contains(provider int, id ownermap.ModelID) bool {
+	if s.Cur.Contains(provider, id) {
+		return true
+	}
+	return s.Prev != nil && s.Prev.Contains(provider, id)
+}
+
+// CatchingUp reports whether provider joined id's replica set in the
+// current epoch while the previous epoch is still active — i.e. the
+// provider legitimately may not hold id's state yet because the rebalancer
+// has not backfilled it. Misses there mean "ask the previous owners", not
+// "does not exist".
+func (s *State) CatchingUp(provider int, id ownermap.ModelID) bool {
+	return s.Prev != nil && s.Cur.Contains(provider, id) && !s.Prev.Contains(provider, id)
+}
+
+// --- wire codec ---------------------------------------------------------------
+
+func (t *Table) encodeTo(w *wire.Writer) {
+	w.U64(t.Epoch)
+	w.U32(uint32(t.Replicas))
+	w.U32(uint32(len(t.Members)))
+	for _, m := range t.Members {
+		w.U32(uint32(m))
+	}
+}
+
+func decodeTable(r *wire.Reader) (*Table, error) {
+	epoch := r.U64()
+	replicas := int(r.U32())
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/4+1 {
+		return nil, wire.ErrTruncated
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = int(r.U32())
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return Make(epoch, members, replicas)
+}
+
+// EncodeState serializes a placement state (nil allowed: an unguarded
+// provider reports "no table").
+func EncodeState(s *State) []byte {
+	w := wire.NewWriter(64)
+	var flags uint8
+	if s != nil && s.Cur != nil {
+		flags |= 1
+	}
+	if s != nil && s.Prev != nil {
+		flags |= 2
+	}
+	w.U8(flags)
+	if flags&1 != 0 {
+		s.Cur.encodeTo(w)
+	}
+	if flags&2 != 0 {
+		s.Prev.encodeTo(w)
+	}
+	return w.Bytes()
+}
+
+// DecodeState parses EncodeState's output. A "no table" encoding decodes
+// to nil.
+func DecodeState(b []byte) (*State, error) {
+	r := wire.NewReader(b)
+	flags := r.U8()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if flags&1 == 0 {
+		return nil, nil
+	}
+	s := &State{}
+	var err error
+	if s.Cur, err = decodeTable(r); err != nil {
+		return nil, err
+	}
+	if flags&2 != 0 {
+		if s.Prev, err = decodeTable(r); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// --- typed errors over a text-only wire ---------------------------------------
+
+// ErrWrongEpoch is the sentinel a WrongEpochError wraps, for local
+// errors.Is matching.
+var ErrWrongEpoch = errors.New("placement: wrong epoch")
+
+// wrongEpochMarker prefixes the embedded table in a WrongEpochError's
+// text. The RPC layer flattens remote errors to text, so the marker (not
+// the type) is what crosses the wire; TableFromError parses it back.
+const wrongEpochMarker = "wrong epoch (current "
+
+// WrongEpochError rejects a request placed under an epoch this provider no
+// longer (or does not yet) serve, carrying the provider's current table so
+// a stale client can adopt it and retry without an extra round trip.
+type WrongEpochError struct{ Table *Table }
+
+// Error renders "placement: wrong epoch (current table{...})" — parseable
+// by TableFromError even after crossing the wire as plain text.
+func (e *WrongEpochError) Error() string {
+	return "placement: " + wrongEpochMarker + e.Table.String() + ")"
+}
+
+// Is matches ErrWrongEpoch.
+func (e *WrongEpochError) Is(target error) bool { return target == ErrWrongEpoch }
+
+// TableFromError extracts the placement table embedded in a wrong-epoch
+// rejection, whether the error is the local typed value or its text-only
+// remote form.
+func TableFromError(err error) (*Table, bool) {
+	if err == nil {
+		return nil, false
+	}
+	var we *WrongEpochError
+	if errors.As(err, &we) {
+		return we.Table, true
+	}
+	text := err.Error()
+	i := strings.Index(text, wrongEpochMarker)
+	if i < 0 {
+		return nil, false
+	}
+	return parseTable(text[i+len(wrongEpochMarker):])
+}
+
+// parseTable parses the leading "table{epoch=E r=R members=a,b,c}" of s.
+func parseTable(s string) (*Table, bool) {
+	const prefix = "table{epoch="
+	if !strings.HasPrefix(s, prefix) {
+		return nil, false
+	}
+	s = s[len(prefix):]
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return nil, false
+	}
+	s = s[:end]
+	epochStr, rest, ok := strings.Cut(s, " r=")
+	if !ok {
+		return nil, false
+	}
+	rStr, memberStr, ok := strings.Cut(rest, " members=")
+	if !ok {
+		return nil, false
+	}
+	epoch, err1 := strconv.ParseUint(epochStr, 10, 64)
+	r, err2 := strconv.Atoi(rStr)
+	if err1 != nil || err2 != nil {
+		return nil, false
+	}
+	var members []int
+	for _, part := range strings.Split(memberStr, ",") {
+		m, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, false
+		}
+		members = append(members, m)
+	}
+	t, err := Make(epoch, members, r)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// notMigratedText is the marker a catching-up replica's misses carry; like
+// the wrong-epoch marker it must survive text-only remote errors.
+const notMigratedText = "placement: not migrated here yet"
+
+// ErrNotMigrated marks a read or refcount miss on a replica that joined
+// the model's set in the current epoch but has not been backfilled yet;
+// callers should fall back to (or let repair replay from) the previous
+// epoch's owners.
+var ErrNotMigrated = errors.New(notMigratedText)
+
+// IsNotMigrated reports whether err is a catching-up replica's miss, local
+// or text-only remote.
+func IsNotMigrated(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrNotMigrated) {
+		return true
+	}
+	return strings.Contains(err.Error(), notMigratedText)
+}

@@ -42,6 +42,13 @@ const (
 	RPCListModels   = "evostore.list_models"
 	RPCStats        = "evostore.stats"
 	RPCMetrics      = "evostore.metrics"
+
+	// Elastic placement (PR 5): read a provider's placement state, install
+	// a new epoch on it, and drop a model's state from a former owner.
+	// Payloads are placement.EncodeState / EncodeModelID; no extra codecs.
+	RPCPlacement    = "evostore.placement"
+	RPCSetPlacement = "evostore.set_placement"
+	RPCEvict        = "evostore.evict"
 )
 
 // Idempotent reports whether the named RPC can be blindly re-executed
@@ -49,7 +56,7 @@ const (
 func Idempotent(name string) bool {
 	switch name {
 	case RPCGetMeta, RPCReadSegments, RPCLCPQuery, RPCListModels, RPCStats, RPCMetrics,
-		RPCRepairList, RPCDigest, RPCRepairPull:
+		RPCRepairList, RPCDigest, RPCRepairPull, RPCPlacement:
 		return true
 	}
 	return false
@@ -71,6 +78,10 @@ func Retryable(name string) bool {
 	case RPCRepairApply:
 		// Convergent rather than idempotent: re-applying the same repair
 		// state is a no-op, so no dedup ReqID is needed.
+		return true
+	case RPCSetPlacement, RPCEvict:
+		// Convergent like RepairApply: installing an epoch twice, or
+		// evicting already-absent state, is a no-op.
 		return true
 	}
 	return false

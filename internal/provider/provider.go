@@ -28,12 +28,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
+	"repro/internal/placement"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 )
@@ -96,12 +98,13 @@ type Provider struct {
 	// allocations.
 	kvB kvstore.ByteKeyGetter
 
-	// Placement guard (SetPlacement): when deploySize > 0 the provider
-	// rejects writes for models whose replica set — home hash plus the next
-	// replicaFactor-1 successors — does not include it. Zero means accept
-	// everything (the pre-replication wire behaviour).
-	deploySize    int
-	replicaFactor int
+	// place is the epoch-versioned placement guard (see SetPlacement /
+	// SetPlacementState): writes for models whose replica set under no
+	// active epoch includes this provider are rejected with a typed
+	// wrong-epoch error carrying the current table. nil means accept
+	// everything (the pre-replication wire behaviour). An atomic pointer
+	// so the hot paths read it without taking p.mu.
+	place atomic.Pointer[placement.State]
 
 	// reg is the registry the Metrics RPC snapshots (default
 	// metrics.Default, which the resilience middleware also writes to).
@@ -151,21 +154,26 @@ func New(id int, kv kvstore.KV) *Provider {
 // ID returns the provider index.
 func (p *Provider) ID() int { return p.id }
 
-// SetPlacement arms the replica-placement guard: the provider will accept
-// writes only for models whose replica set (home hash plus the next
-// replicas-1 successors modulo deploySize) includes this provider's ID.
-// Replication moved writes beyond the home hash, so the guard is what
-// still catches a client whose address list disagrees with the
-// deployment's. Call before serving; deploySize <= 0 disables the guard.
+// SetPlacement arms the replica-placement guard with the legacy epoch-0
+// table: the provider will accept writes only for models whose replica set
+// (home hash plus the next replicas-1 successors modulo deploySize)
+// includes this provider's ID. Replication moved writes beyond the home
+// hash, so the guard is what still catches a client whose address list
+// disagrees with the deployment's. Call before serving; deploySize <= 0
+// disables the guard. Membership changes replace the table via
+// SetPlacementState (the evostore.set_placement RPC).
 func (p *Provider) SetPlacement(deploySize, replicas int) {
+	if deploySize <= 0 {
+		p.place.Store(nil)
+		return
+	}
 	if replicas < 1 {
 		replicas = 1
 	}
 	if replicas > deploySize {
 		replicas = deploySize
 	}
-	p.deploySize = deploySize
-	p.replicaFactor = replicas
+	p.place.Store(&placement.State{Cur: placement.New(deploySize, replicas)})
 }
 
 // SetMetricsRegistry points the Metrics RPC at reg (default
@@ -185,19 +193,38 @@ func (p *Provider) SetDedupTTL(ttl time.Duration) { p.dedup.setTTL(ttl) }
 
 // acceptsWrite reports whether the placement guard admits a write keyed by
 // id (a model being stored/retired, or the owner of refcounted segments).
+// During a migration both active epochs admit writes; outside one only the
+// current table does. Rejections carry the current table so a stale client
+// can self-update and retry (placement.TableFromError).
 func (p *Provider) acceptsWrite(id ownermap.ModelID) error {
-	if p.deploySize <= 0 {
+	st := p.place.Load()
+	if st == nil || st.Contains(p.id, id) {
 		return nil
 	}
-	home := int(uint64(id) % uint64(p.deploySize))
-	for i := 0; i < p.replicaFactor; i++ {
-		if (home+i)%p.deploySize == p.id {
-			return nil
-		}
-	}
 	p.reg.Counter("provider.placement_reject").Inc()
-	return fmt.Errorf("provider %d: not a replica of model %d (home %d, R=%d, deployment %d)",
-		p.id, id, home, p.replicaFactor, p.deploySize)
+	return fmt.Errorf("provider %d: not a replica of model %d in any active epoch: %w",
+		p.id, id, &placement.WrongEpochError{Table: st.Cur})
+}
+
+// missErr classifies a state miss for a model this provider was asked
+// about: a provider outside the model's replica set under every active
+// epoch answers wrong-epoch (the caller's table is stale — self-update and
+// retry elsewhere); a replica that joined the set in the current epoch and
+// has not been backfilled yet answers not-migrated (the caller should use
+// the previous epoch's owners); otherwise the miss is genuine and nil is
+// returned so the caller reports plain not-found.
+func (p *Provider) missErr(id ownermap.ModelID) error {
+	st := p.place.Load()
+	if st == nil {
+		return nil
+	}
+	if !st.Contains(p.id, id) {
+		return fmt.Errorf("provider %d: model %d: %w", p.id, id, &placement.WrongEpochError{Table: st.Cur})
+	}
+	if st.CatchingUp(p.id, id) {
+		return fmt.Errorf("provider %d: model %d: %w", p.id, id, placement.ErrNotMigrated)
+	}
+	return nil
 }
 
 // dedupHit records a retried mutation answered from the dedup table — the
@@ -220,6 +247,9 @@ func (p *Provider) Register(srv *rpc.Server) {
 	srv.Register(proto.RPCDigest, p.handleDigest)
 	srv.Register(proto.RPCRepairPull, p.handleRepairPull)
 	srv.Register(proto.RPCRepairApply, p.handleRepairApply)
+	srv.Register(proto.RPCPlacement, p.handlePlacement)
+	srv.Register(proto.RPCSetPlacement, p.handleSetPlacement)
+	srv.Register(proto.RPCEvict, p.handleEvict)
 }
 
 // --- store -------------------------------------------------------------------
@@ -334,6 +364,9 @@ func (p *Provider) GetMeta(id ownermap.ModelID) (*proto.ModelMeta, error) {
 	meta := p.models[id]
 	p.mu.RUnlock()
 	if meta == nil {
+		if err := p.missErr(id); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("provider %d: model %d not found", p.id, id)
 	}
 	return &proto.ModelMeta{
@@ -447,6 +480,9 @@ func (p *Provider) ReadSegments(owner ownermap.ModelID, vertices []graph.VertexI
 			return nil, nil, fmt.Errorf("provider %d: reading %s: %w", p.id, k, err)
 		}
 		if !ok {
+			if err := p.missErr(owner); err != nil {
+				return nil, nil, err
+			}
 			return nil, nil, fmt.Errorf("provider %d: segment %d/%d not found", p.id, owner, v)
 		}
 		table = append(table, proto.SegmentRef{Vertex: v, Length: uint32(len(seg))})
@@ -495,6 +531,12 @@ func (p *Provider) incRef(owner ownermap.ModelID, vertices []graph.VertexID, req
 	// Validate first so the operation is all-or-nothing.
 	for _, v := range vertices {
 		if p.refs[owner][v] == 0 {
+			if err := p.missErr(owner); err != nil {
+				// A replica catching up on this owner's migration: the delta
+				// is journaled on the previous epoch's owners and replayed
+				// here by the rebalancer's converge pass.
+				return fmt.Errorf("inc_ref %d/%d: %w", owner, v, err)
+			}
 			return fmt.Errorf("provider %d: inc_ref on missing segment %d/%d", p.id, owner, v)
 		}
 	}
@@ -547,6 +589,9 @@ func (p *Provider) decRef(owner ownermap.ModelID, vertices []graph.VertexID, req
 	for _, v := range vertices {
 		if _, ok := p.refs[owner][v]; !ok {
 			p.mu.Unlock()
+			if err := p.missErr(owner); err != nil {
+				return 0, fmt.Errorf("dec_ref %d/%d: %w", owner, v, err)
+			}
 			return 0, fmt.Errorf("provider %d: dec_ref on missing segment %d/%d", p.id, owner, v)
 		}
 	}
@@ -608,6 +653,9 @@ func (p *Provider) Retire(id ownermap.ModelID) (*ownermap.Map, error) {
 		p.mu.Unlock()
 		if dead {
 			return nil, fmt.Errorf("provider %d: retire: model %d already retired", p.id, id)
+		}
+		if err := p.missErr(id); err != nil {
+			return nil, fmt.Errorf("retire: %w", err)
 		}
 		return nil, fmt.Errorf("provider %d: retire: model %d not found", p.id, id)
 	}
