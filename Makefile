@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-faults bench-repair bench-rebalance
+.PHONY: build test check bench bench-faults bench-repair bench-rebalance bench-dedup docs-check
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,23 @@ test:
 # detector, a 1-iteration smoke run of the tracked bulk benchmarks so the
 # suite can't rot, the replica-repair convergence scenario (kill a
 # replica mid-workload, heal, assert digests converge with zero lost
-# refcount deltas), and the elasticity scenario (drain a provider and
-# join a spare mid-workload with zero failed requests). This is what CI
-# should run.
+# refcount deltas), the elasticity scenario (drain a provider and join a
+# spare mid-workload with zero failed requests), a scaled-down dedup
+# lineage run (verifies every restored model bit-identical), and the
+# docs-vs-code identifier check. This is what CI should run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench Bulk -benchtime 1x ./internal/bulkbench
 	$(GO) run ./cmd/evostore-bench faults -repair -models 10
 	$(GO) run ./cmd/evostore-bench faults -rebalance -models 10
+	$(GO) run ./cmd/evostore-bench dedup -steps 4 -layers 8 -dim 128
+	./scripts/docscheck.sh
+
+# Fail if a `pkg.Identifier` code span in docs/ARCHITECTURE.md or
+# README.md names an exported identifier that no longer exists.
+docs-check:
+	./scripts/docscheck.sh
 
 # End-to-end repair proof on its own: partial writes during an outage,
 # anti-entropy convergence after healing.
@@ -42,3 +50,10 @@ bench-faults:
 # and MB/s moved per epoch change.
 bench-rebalance:
 	$(GO) run ./cmd/evostore-bench faults -rebalance -models 64 -out BENCH_rebalance.json
+
+# Tracked dedup numbers (BENCH_dedup.json): the 10-step fine-tune lineage
+# stored raw vs delta-encoded + content-addressed, with bit-identical
+# restore verification. Targets: >= 3x bytes reduction, <= 2x restore
+# slowdown.
+bench-dedup:
+	$(GO) run ./cmd/evostore-bench dedup -out BENCH_dedup.json

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bulkbench"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// dedupFile is the tracked BENCH_dedup.json: one lineage workload, run
+// twice — raw (structural dedup only, the pre-dedup system) and dedup
+// (delta encoding + content-addressed chunks) — on identical logical
+// writes, so the stored-bytes ratio is the capacity win and the restore
+// ratio is its read-path cost.
+type dedupFile struct {
+	// Workload parameters, recorded so cross-PR comparisons know what was
+	// measured.
+	Steps      int     `json:"steps"`
+	Layers     int     `json:"layers"`
+	Dim        int     `json:"dim"`
+	TouchFrac  float64 `json:"touch_frac"`
+	ChangeFrac float64 `json:"change_frac"`
+
+	Models       int   `json:"models"`
+	LogicalBytes int64 `json:"logical_bytes"` // sum of all models' full weights
+
+	RawBytes   int64 `json:"raw_bytes"`   // physical bytes, dedup off
+	DedupBytes int64 `json:"dedup_bytes"` // physical bytes, dedup on
+
+	// DedupRatio = RawBytes / DedupBytes: ≥ 3 is this workload's target.
+	DedupRatio float64 `json:"dedup_ratio"`
+
+	RestoreRawMBps   float64 `json:"restore_raw_mb_s"`
+	RestoreDedupMBps float64 `json:"restore_dedup_mb_s"`
+	// RestoreRatio = raw MB/s ÷ dedup MB/s: the resolution slowdown
+	// factor (1 = free; the target is ≤ 2).
+	RestoreRatio float64 `json:"restore_ratio"`
+}
+
+// runDedup runs the lineage workload with and without the dedup layer
+// and reports bytes stored, dedup ratio, and restore throughput.
+func runDedup(args []string) error {
+	fs := flag.NewFlagSet("dedup", flag.ExitOnError)
+	out := fs.String("out", "", "write results to this JSON file (empty = print only)")
+	steps := fs.Int("steps", 0, "fine-tune steps (0 = tracked default)")
+	layers := fs.Int("layers", 0, "dense layers per model (0 = tracked default)")
+	dim := fs.Int("dim", 0, "layer width (0 = tracked default)")
+	touch := fs.Float64("touch-frac", 0, "fraction of layers modified per step (0 = tracked default)")
+	change := fs.Float64("change-frac", 0, "fraction of bytes changed per touched tensor (0 = tracked default)")
+	fs.Parse(args)
+
+	cfg := bulkbench.DefaultLineageConfig()
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *layers > 0 {
+		cfg.Layers = *layers
+	}
+	if *dim > 0 {
+		cfg.Dim = *dim
+	}
+	if *touch > 0 {
+		cfg.TouchFrac = *touch
+	}
+	if *change > 0 {
+		cfg.ChangeFrac = *change
+	}
+
+	ctx := context.Background()
+	rawCfg := cfg
+	rawCfg.Opts = core.Options{Providers: 4}
+	raw, err := bulkbench.RunLineage(ctx, rawCfg)
+	if err != nil {
+		return fmt.Errorf("raw lineage run: %w", err)
+	}
+	dedCfg := cfg
+	dedCfg.Opts = core.Options{Providers: 4, Dedup: true, ColdCompress: true}
+	ded, err := bulkbench.RunLineage(ctx, dedCfg)
+	if err != nil {
+		return fmt.Errorf("dedup lineage run: %w", err)
+	}
+
+	f := &dedupFile{
+		Steps: cfg.Steps, Layers: cfg.Layers, Dim: cfg.Dim,
+		TouchFrac: cfg.TouchFrac, ChangeFrac: cfg.ChangeFrac,
+		Models:       ded.Models,
+		LogicalBytes: ded.LogicalBytes,
+		RawBytes:     raw.StoredBytes,
+		DedupBytes:   ded.StoredBytes,
+
+		RestoreRawMBps:   raw.RestoreMBps(),
+		RestoreDedupMBps: ded.RestoreMBps(),
+	}
+	if f.DedupBytes > 0 {
+		f.DedupRatio = float64(f.RawBytes) / float64(f.DedupBytes)
+	}
+	if f.RestoreDedupMBps > 0 {
+		f.RestoreRatio = f.RestoreRawMBps / f.RestoreDedupMBps
+	}
+
+	fmt.Println("\n=== Lineage dedup benchmark ===")
+	tbl := metrics.NewTable("Metric", "raw", "dedup")
+	tbl.Add("stored bytes", f.RawBytes, f.DedupBytes)
+	tbl.Add("vs logical", ratioStr(f.LogicalBytes, f.RawBytes), ratioStr(f.LogicalBytes, f.DedupBytes))
+	tbl.Add("restore MB/s", fmt.Sprintf("%.0f", f.RestoreRawMBps), fmt.Sprintf("%.0f", f.RestoreDedupMBps))
+	tbl.Render(os.Stdout)
+	fmt.Printf("dedup ratio %.2fx (target >= 3), restore slowdown %.2fx (target <= 2)\n",
+		f.DedupRatio, f.RestoreRatio)
+
+	if *out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+func ratioStr(logical, stored int64) string {
+	if stored == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(logical)/float64(stored))
+}

@@ -57,6 +57,8 @@ func main() {
 		err = runStrategies(args)
 	case "faults":
 		err = runFaults(args)
+	case "dedup":
+		err = runDedup(args)
 	case "bulk":
 		err = runBulk(args)
 	case "all":
@@ -79,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|bulk|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|bulk|dedup|all} [flags]")
 }
 
 func parseInts(s string) []int {

@@ -8,10 +8,18 @@
 //
 //	evostore-server -listen :7070 -id 0 [-data /path/to/dir] [-request-timeout 30s]
 //	                [-deploy-size N -replicas R] [-metrics-interval 1m] [-dedup-ttl 2m]
+//	                [-dedup] [-cold-sweep-interval 1h] [-repair-interval 30s -repair-peers a,b]
 //
 // Without -data the provider uses the in-memory backend (the paper's
 // synchronized-pool mode); with -data it persists segments in an LSM store
 // (the RocksDB-like mode).
+//
+// -dedup wraps the backend with content-addressed chunk storage: identical
+// 64 KiB chunks across segments are stored once (see internal/dedup).
+// -cold-sweep-interval additionally DEFLATE-compresses entries idle for at
+// least that long, in place; reads inflate transparently. Both are local
+// storage concerns — the wire format and replica digests are unchanged, so
+// a deployment may mix dedup and plain providers.
 //
 // With -deploy-size (and the deployment's -replicas) the provider arms its
 // replica-placement guard: writes for models whose replica set does not
@@ -47,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/dedup"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -78,6 +87,10 @@ func main() {
 		"start as a spare outside the epoch-0 member list (-id may be >= -deploy-size); reject writes until a placement add joins this provider")
 	drain := flag.Bool("drain", false,
 		"on shutdown, migrate this provider's models to the remaining members before exiting (needs -repair-peers and -deploy-size)")
+	dedupStore := flag.Bool("dedup", false,
+		"wrap the backend with content-addressed chunk storage: identical segment chunks are stored once (internal/dedup)")
+	coldSweep := flag.Duration("cold-sweep-interval", 0,
+		"DEFLATE-compress segments and chunks idle for at least this long, sweeping at the same interval (0 = off; implies -dedup's wrapper)")
 	flag.Parse()
 
 	// Fail fast on inconsistent deployment flags instead of silently
@@ -129,6 +142,13 @@ func main() {
 		log.Printf("provider %d: LSM backend at %s", *id, *data)
 	}
 
+	var cas *dedup.KV
+	if *dedupStore || *coldSweep > 0 {
+		cas = dedup.Wrap(kv, dedup.Options{ColdCompress: *coldSweep > 0})
+		kv = cas
+		log.Printf("provider %d: content-addressed chunk storage on (cold sweep: %s)", *id, coldSweep)
+	}
+
 	p := provider.New(*id, kv)
 	p.SetDedupTTL(*dedupTTL)
 	if *deploySize > 0 {
@@ -152,6 +172,24 @@ func main() {
 	stopMetrics := make(chan struct{})
 	if *metricsEvery > 0 {
 		go logMetrics(*id, *metricsEvery, stopMetrics)
+	}
+	if cas != nil && *coldSweep > 0 {
+		go func() {
+			t := time.NewTicker(*coldSweep)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopMetrics:
+					return
+				case <-t.C:
+					if n, err := cas.SweepCold(*coldSweep); err != nil {
+						log.Printf("provider %d: cold sweep: %v", *id, err)
+					} else if n > 0 {
+						log.Printf("provider %d: cold sweep compressed %d entries", *id, n)
+					}
+				}
+			}
+		}()
 	}
 
 	// Optional in-server anti-entropy: one provider (usually provider 0)

@@ -1,0 +1,198 @@
+package bulkbench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// LineageConfig describes the fine-tune chain workload behind
+// `evostore-bench dedup`: one base model, then Steps sequential
+// fine-tunes, each touching a rotating TouchFrac of the layers and
+// changing ChangeFrac of the bytes inside each touched tensor — the
+// LoRA-style sparse-update shape the delta encoder targets.
+type LineageConfig struct {
+	Steps      int     // fine-tune steps after the base model
+	Layers     int     // dense layers per model
+	Dim        int     // layer width; one segment is ~Dim*Dim*4 bytes
+	TouchFrac  float64 // fraction of layers each step modifies
+	ChangeFrac float64 // fraction of bytes changed in a touched tensor
+	Opts       core.Options
+}
+
+// DefaultLineageConfig is the tracked 10-step lineage: 16 dense 256-wide
+// layers (~256 KiB segments, ~4 MiB models), half the layers touched per
+// step, 5% of the bytes moved per touched tensor.
+func DefaultLineageConfig() LineageConfig {
+	return LineageConfig{
+		Steps:      10,
+		Layers:     16,
+		Dim:        256,
+		TouchFrac:  0.5,
+		ChangeFrac: 0.05,
+		Opts:       core.Options{Providers: 4},
+	}
+}
+
+// LineageResult reports one lineage run.
+type LineageResult struct {
+	Models        int   // models stored (base + steps)
+	LogicalBytes  int64 // sum of every model's full weight payload
+	StoredBytes   int64 // physical bytes on the providers after the run
+	RestoredBytes int64 // logical bytes read back by restoring every model
+	RestoreNs     int64 // wall time of those restores
+}
+
+// RestoreMBps returns the restore throughput in MB/s.
+func (r *LineageResult) RestoreMBps() float64 {
+	if r.RestoreNs == 0 {
+		return 0
+	}
+	return float64(r.RestoredBytes) / 1e6 / (float64(r.RestoreNs) / 1e9)
+}
+
+// RunLineage drives the workload end to end through the core API — LCP
+// query, prefix transfer, fingerprint diff, derived store — so a dedup
+// deployment exercises the real delta path, and then restores every
+// model once, verifying each restored weight set against the weights
+// that were stored.
+func RunLineage(ctx context.Context, cfg LineageConfig) (*LineageResult, error) {
+	if cfg.Steps <= 0 || cfg.Layers <= 0 || cfg.Dim <= 0 {
+		return nil, fmt.Errorf("bulkbench: lineage config needs positive steps/layers/dim")
+	}
+	repo, err := core.Open(cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	defer repo.Close()
+
+	layers := make([]model.Layer, cfg.Layers)
+	for i := range layers {
+		layers[i] = model.Dense{In: cfg.Dim, Out: cfg.Dim, UseBias: true}
+	}
+	f, err := model.Flatten(model.Sequential("lineage", cfg.Dim, layers...))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LineageResult{}
+	ws := model.Materialize(f, 1)
+	baseID, err := repo.Store(ctx, f, ws, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	ids := []core.ModelID{baseID}
+	wsByID := map[core.ModelID]model.WeightSet{baseID: ws.Clone()}
+	res.LogicalBytes += ws.SizeBytes()
+
+	// Which vertices carry parameters (the Input vertex does not).
+	var paramVs []graph.VertexID
+	for v := range ws {
+		if len(ws[v]) > 0 {
+			paramVs = append(paramVs, graph.VertexID(v))
+		}
+	}
+	touch := int(cfg.TouchFrac * float64(len(paramVs)))
+	if touch < 1 {
+		touch = 1
+	}
+
+	for step := 1; step <= cfg.Steps; step++ {
+		anc, found, err := repo.BestAncestorRecent(ctx, f)
+		if err != nil {
+			return nil, fmt.Errorf("bulkbench: lineage step %d: %w", step, err)
+		}
+		if !found {
+			return nil, fmt.Errorf("bulkbench: lineage step %d: no ancestor found", step)
+		}
+		cur := model.Materialize(f, 1) // placeholder shapes; prefix overwrites
+		if err := repo.TransferPrefix(ctx, f, cur, anc); err != nil {
+			return nil, fmt.Errorf("bulkbench: lineage step %d: %w", step, err)
+		}
+		for i := 0; i < touch; i++ {
+			v := paramVs[(step*touch+i)%len(paramVs)]
+			for ti, t := range cur[v] {
+				sparsePerturb(t.Data, cfg.ChangeFrac, uint64(step)<<32^uint64(v)<<8^uint64(ti))
+			}
+		}
+		id, err := repo.StoreDerived(ctx, f, cur, 0.9, anc, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bulkbench: lineage step %d: %w", step, err)
+		}
+		ids = append(ids, id)
+		wsByID[id] = cur.Clone()
+		res.LogicalBytes += cur.SizeBytes()
+	}
+	res.Models = len(ids)
+
+	st, err := repo.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.StoredBytes = int64(st.SegmentBytes)
+
+	// Restore every model and verify the weights came back bit-identical —
+	// a wrong delta resolution must fail the benchmark, not skew it. One
+	// untimed warm-up pass first: the raw and dedup runs share a process,
+	// and whichever goes first would otherwise absorb the allocator and
+	// page-fault warm-up, skewing the restore ratio either way.
+	for _, id := range ids {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			return nil, fmt.Errorf("bulkbench: restoring model %d: %w", id, err)
+		}
+	}
+	// Several timed passes from a freshly collected heap: one pass over
+	// the lineage takes ~10 ms warm, short enough for a single GC pause
+	// to dominate the measurement.
+	runtime.GC()
+	const restorePasses = 3
+	start := time.Now()
+	loaded := make([]model.WeightSet, len(ids))
+	for pass := 0; pass < restorePasses; pass++ {
+		for i, id := range ids {
+			_, got, err := repo.Load(ctx, id)
+			if err != nil {
+				return nil, fmt.Errorf("bulkbench: restoring model %d: %w", id, err)
+			}
+			loaded[i] = got
+			res.RestoredBytes += got.SizeBytes()
+		}
+	}
+	res.RestoreNs = time.Since(start).Nanoseconds()
+	for i, id := range ids {
+		if !loaded[i].Equal(wsByID[id]) {
+			return nil, fmt.Errorf("bulkbench: model %d restored with wrong weights", id)
+		}
+	}
+	return res, nil
+}
+
+// sparsePerturb XORs one 8-byte word every 8/frac bytes — a scattered
+// update leaving long unchanged runs between changes, which is what a
+// small training step does to a big tensor.
+func sparsePerturb(data []byte, frac float64, seed uint64) {
+	if len(data) == 0 || frac <= 0 {
+		return
+	}
+	stride := int(8 / frac)
+	if stride < 8 {
+		stride = 8
+	}
+	for off := 0; off+8 <= len(data); off += stride {
+		x := seed ^ uint64(off)*0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		data[off] ^= byte(x) | 1
+		data[off+1] ^= byte(x >> 8)
+		data[off+2] ^= byte(x >> 16)
+		data[off+3] ^= byte(x >> 24)
+		data[off+4] ^= byte(x >> 32)
+		data[off+5] ^= byte(x >> 40)
+		data[off+6] ^= byte(x >> 48)
+		data[off+7] ^= byte(x >> 56)
+	}
+}

@@ -85,13 +85,21 @@ type Client struct {
 	repairQ       []RepairTarget
 	repairSeen    map[ownermap.ModelID]bool
 
-	failovers    *metrics.Counter // reads served by a non-preferred replica
-	breakerSkips *metrics.Counter // replicas skipped on an open breaker
-	stripedReads *metrics.Counter // owner-group reads served via range striping
-	partialAcc   *metrics.Counter // partial writes accepted for repair
-	repairDrops  *metrics.Counter // repair targets dropped on a full queue
-	epochAdopts  *metrics.Counter // newer placement views adopted from rejections or sync
-	deferred     *metrics.Counter // mutations accepted with catching-up replicas left to repair
+	deltaRatio    float64 // WithDedup: max envelope/raw ratio worth storing; 0 disables delta writes
+	deltaMaxDepth int     // WithDedup: delta-chain bound; writes at the bound rebase to raw
+	resolved      *segCache
+
+	failovers     *metrics.Counter // reads served by a non-preferred replica
+	breakerSkips  *metrics.Counter // replicas skipped on an open breaker
+	stripedReads  *metrics.Counter // owner-group reads served via range striping
+	partialAcc    *metrics.Counter // partial writes accepted for repair
+	repairDrops   *metrics.Counter // repair targets dropped on a full queue
+	epochAdopts   *metrics.Counter // newer placement views adopted from rejections or sync
+	deferred      *metrics.Counter // mutations accepted with catching-up replicas left to repair
+	deltaWrites   *metrics.Counter // segments shipped delta-encoded
+	deltaRebases  *metrics.Counter // segments rebased to raw at the chain-depth bound
+	deltaRejects  *metrics.Counter // deltas that missed the ratio gate and shipped raw
+	resolvedReads *metrics.Counter // enveloped segments resolved on the read path
 }
 
 // New wraps provider connections. The slice order defines provider IDs and
@@ -101,7 +109,8 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 		panic("client: need at least one provider connection")
 	}
 	c := &Client{conns: conns, replicas: 1, reg: metrics.Default,
-		repairSeen: make(map[ownermap.ModelID]bool)}
+		repairSeen: make(map[ownermap.ModelID]bool),
+		resolved:   newSegCache(defaultSegCacheBytes)}
 	for _, o := range opts {
 		o(c)
 	}
@@ -125,6 +134,10 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 	c.repairDrops = c.reg.Counter("client.repair_queue_drop")
 	c.epochAdopts = c.reg.Counter("client.epoch_adopt")
 	c.deferred = c.reg.Counter("client.migration_deferred")
+	c.deltaWrites = c.reg.Counter("client.delta_write")
+	c.deltaRebases = c.reg.Counter("client.delta_rebase")
+	c.deltaRejects = c.reg.Counter("client.delta_reject")
+	c.resolvedReads = c.reg.Counter("client.delta_resolve")
 	return c
 }
 
@@ -161,6 +174,14 @@ func ownerGroups(om *ownermap.Map) []ownermap.OwnerGroup { return om.Owners() }
 // now depends on; if pinning fails the store is aborted and already-taken
 // pins are rolled back.
 func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]byte) error {
+	return c.store(ctx, meta, segments, nil)
+}
+
+// store is Store plus extra pin groups: delta-encoded segments reference
+// base segments on other owners' providers, and those references are
+// pinned exactly like inherited tensors — before the write, rolled back
+// with it (see StoreWithPlans).
+func (c *Client) store(ctx context.Context, meta *proto.ModelMeta, segments [][]byte, extraPins []ownermap.OwnerGroup) error {
 	n := meta.Graph.NumVertices()
 	if meta.OwnerMap.Len() != n || len(segments) != n {
 		return fmt.Errorf("client: store %d: graph %d vertices, owner map %d, segments %d",
@@ -210,6 +231,15 @@ func (c *Client) Store(ctx context.Context, meta *proto.ModelMeta, segments [][]
 		if err := c.refCall(ctx, proto.RPCIncRef, g.Owner, g.Vertices); err != nil {
 			rollback()
 			return fmt.Errorf("client: store %d: pinning inherited tensors of %d: %w", meta.Model, g.Owner, err)
+		}
+		pinned = append(pinned, g)
+	}
+	// Delta bases pin the same way; a failed pin aborts the store before
+	// anything ships, so no delta can ever reference an unpinned base.
+	for _, g := range extraPins {
+		if err := c.refCall(ctx, proto.RPCIncRef, g.Owner, g.Vertices); err != nil {
+			rollback()
+			return fmt.Errorf("client: store %d: pinning delta bases of %d: %w", meta.Model, g.Owner, err)
 		}
 		pinned = append(pinned, g)
 	}
@@ -309,20 +339,39 @@ func (c *Client) LoadVertices(ctx context.Context, meta *proto.ModelMeta, vertic
 // readByOwner groups vertices by owner and issues the per-provider bulk
 // reads concurrently. want==nil selects every vertex.
 func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[graph.VertexID]bool) ([][]byte, error) {
+	segs, _, err := c.readByOwnerInfo(ctx, om, want)
+	return segs, err
+}
+
+// readByOwnerInfo additionally reports each vertex's stored delta-chain
+// depth (0 for raw). Returned segments are always *logical* bytes:
+// enveloped segments are resolved before returning (see dedup.go).
+func (c *Client) readByOwnerInfo(ctx context.Context, om *ownermap.Map, want map[graph.VertexID]bool) ([][]byte, []uint8, error) {
 	segs := make([][]byte, om.Len())
+	depths := make([]uint8, om.Len())
+	refs := make([]segRef, om.Len())
+	cached := make([]bool, om.Len())
 	groups := ownerGroups(om)
 	var wg sync.WaitGroup
 	errs := make([]error, len(groups))
 	var mu sync.Mutex // guards segs writes (distinct indices, but keep the race detector certain)
 	for gi, g := range groups {
-		vs := g.Vertices
-		if want != nil {
-			vs = nil
-			for _, v := range g.Vertices {
-				if want[v] {
-					vs = append(vs, v)
-				}
+		var vs []graph.VertexID
+		for _, v := range g.Vertices {
+			if want != nil && !want[v] {
+				continue
 			}
+			refs[v] = segRef{g.Owner, v}
+			// A segment resolved by an earlier load is still current —
+			// stored segments are immutable and model IDs never reused —
+			// so a cache hit skips the provider round trip entirely.
+			if ent, ok := c.resolved.get(refs[v]); ok {
+				segs[v] = ent.b
+				depths[v] = ent.depth
+				cached[v] = true
+				continue
+			}
+			vs = append(vs, v)
 		}
 		if len(vs) == 0 {
 			continue
@@ -352,9 +401,22 @@ func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[gra
 		}
 	}
 	if len(failed) > 0 {
-		return nil, errors.Join(failed...)
+		return nil, nil, errors.Join(failed...)
 	}
-	return segs, nil
+	// Record each fetched vertex's stored chain depth, then resolve
+	// envelopes to logical bytes. Depth comes from the stored form — it
+	// is what a derived store needs to bound its own chain. Cache-served
+	// vertices already carry logical bytes and their recorded depth.
+	for v, b := range segs {
+		if !cached[v] {
+			depths[v] = storedDepth(b)
+		}
+	}
+	resolved, err := c.resolveStored(ctx, segs, refs, cached)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resolved, depths, nil
 }
 
 // --- collective LCP query ----------------------------------------------------------
@@ -472,32 +534,56 @@ func (c *Client) Retire(ctx context.Context, id ownermap.ModelID) (uint64, error
 		return 0, fmt.Errorf("client: retire %d: decoding owner map: %w", id, err)
 	}
 
-	groups := ownerGroups(om)
-	freed := make([]uint64, len(groups))
-	errs := make([]error, len(groups))
-	var wg sync.WaitGroup
-	for gi, g := range groups {
-		wg.Add(1)
-		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
-			defer wg.Done()
-			req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
-			resp, err := c.mutateCall(ctx, proto.RPCDecRef, owner, rpc.Message{Meta: req.Encode()})
-			if err != nil && !c.acceptPartial(proto.RPCDecRef, owner, err) {
-				errs[gi] = err
-				return
-			}
-			freed[gi], errs[gi] = proto.DecodeU64(resp.Meta)
-		}(gi, g.Owner, g.Vertices)
-	}
-	wg.Wait()
+	// Each DecRef round may free delta-encoded segments whose envelopes
+	// referenced base segments on other owners; the providers report those
+	// bases in the response trailer and the next round decrements them.
+	// Rounds are bounded by the delta-chain depth: every freed base is one
+	// hop closer to a raw segment, so the cascade always terminates (the
+	// maxResolveDepth cap is a corruption guard, not a working limit).
 	var total uint64
 	var leaked []RetireLeak
-	for gi, g := range groups {
-		if errs[gi] != nil {
-			leaked = append(leaked, RetireLeak{Owner: g.Owner, Vertices: g.Vertices, Err: errs[gi]})
-			continue
+	groups := ownerGroups(om)
+	for round := 0; len(groups) > 0; round++ {
+		if round > maxResolveDepth {
+			for _, g := range groups {
+				leaked = append(leaked, RetireLeak{Owner: g.Owner, Vertices: g.Vertices,
+					Err: fmt.Errorf("delta-base cascade exceeded %d rounds", maxResolveDepth)})
+			}
+			break
 		}
-		total += freed[gi]
+		freed := make([]uint64, len(groups))
+		bases := make([][]proto.SegBase, len(groups))
+		errs := make([]error, len(groups))
+		var wg sync.WaitGroup
+		for gi, g := range groups {
+			wg.Add(1)
+			go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
+				defer wg.Done()
+				req := &proto.RefReq{Owner: owner, Vertices: vs, ReqID: nextReqID()}
+				resp, err := c.mutateCall(ctx, proto.RPCDecRef, owner, rpc.Message{Meta: req.Encode()})
+				if err != nil && !c.acceptPartial(proto.RPCDecRef, owner, err) {
+					errs[gi] = err
+					return
+				}
+				freed[gi], bases[gi], errs[gi] = proto.DecodeFreedResp(resp.Meta)
+			}(gi, g.Owner, g.Vertices)
+		}
+		wg.Wait()
+		next := make(map[ownermap.ModelID][]graph.VertexID)
+		for gi, g := range groups {
+			if errs[gi] != nil {
+				leaked = append(leaked, RetireLeak{Owner: g.Owner, Vertices: g.Vertices, Err: errs[gi]})
+				continue
+			}
+			total += freed[gi]
+			for _, b := range bases[gi] {
+				next[b.Owner] = append(next[b.Owner], b.Vertex)
+			}
+		}
+		groups = groups[:0]
+		for owner, vs := range next {
+			groups = append(groups, ownermap.OwnerGroup{Owner: owner, Vertices: vs})
+		}
 	}
 	if len(leaked) > 0 {
 		return total, &PartialRetireError{Model: id, Leaked: leaked}

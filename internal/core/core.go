@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/client"
+	"repro/internal/dedup"
 	"repro/internal/graph"
 	"repro/internal/kvstore"
 	"repro/internal/model"
@@ -57,6 +59,9 @@ type Repository struct {
 	net    *rpc.InprocNet
 	conns  []rpc.Conn
 	faults []*rpc.FaultConn
+
+	dedupOn bool        // Options.Dedup: build delta plans in StoreDerived
+	cas     []*dedup.KV // per-provider CAS wrappers (nil entries where unwrapped)
 }
 
 // Options configures an embedded (in-process) deployment.
@@ -101,6 +106,24 @@ type Options struct {
 	// anti-entropy repair (client.Repairer) instead of the write being
 	// undone. Only meaningful with Replicas > 1 and a running repairer.
 	PartialWrites bool
+	// Dedup enables the content-level capacity layer (internal/dedup): the
+	// client delta-encodes modified tensors against their LCP ancestor's
+	// segments, and every provider backend is wrapped with content-addressed
+	// chunk storage. Reads always resolve encoded segments, so flipping this
+	// on or off never breaks existing data.
+	Dedup bool
+	// DeltaMaxRatio is the largest (stored bytes / raw bytes) ratio worth
+	// delta-encoding; larger deltas ship raw. 0 selects
+	// client.DefaultDeltaMaxRatio. Only meaningful with Dedup.
+	DeltaMaxRatio float64
+	// DeltaMaxDepth bounds delta chains: a write whose base already sits at
+	// the bound rebases to raw. 0 selects client.DefaultDeltaMaxDepth.
+	// Only meaningful with Dedup.
+	DeltaMaxDepth int
+	// ColdCompress arms transparent cold-segment compression in the
+	// providers' dedup wrappers: SweepCold DEFLATE-compresses segments and
+	// chunks idle past a threshold. Implies wrapping backends like Dedup.
+	ColdCompress bool
 }
 
 // Open creates an embedded deployment: providers and clients live in this
@@ -124,11 +147,17 @@ func Open(opts Options) (*Repository, error) {
 		opts.SpareProviders = 0
 	}
 	net := rpc.NewInprocNet()
-	r := &Repository{net: net}
+	r := &Repository{net: net, dedupOn: opts.Dedup}
 	total := opts.Providers + opts.SpareProviders
 	conns := make([]rpc.Conn, total)
 	for i := 0; i < total; i++ {
-		p := provider.New(i, opts.Backend(i))
+		kv := opts.Backend(i)
+		if opts.Dedup || opts.ColdCompress {
+			cas := dedup.Wrap(kv, dedup.Options{ColdCompress: opts.ColdCompress})
+			r.cas = append(r.cas, cas)
+			kv = cas
+		}
+		p := provider.New(i, kv)
 		// Spares get the same epoch-0 table: not being members, they reject
 		// writes (and tell stale clients the current table) until a
 		// rebalance adds them.
@@ -172,8 +201,30 @@ func Open(opts Options) (*Repository, error) {
 	if opts.PartialWrites {
 		copts = append(copts, client.WithPartialWrites())
 	}
+	if opts.Dedup {
+		copts = append(copts, client.WithDedup(opts.DeltaMaxRatio, opts.DeltaMaxDepth))
+	}
 	r.cli = client.New(conns, copts...)
 	return r, nil
+}
+
+// SweepCold runs one cold-compression sweep over every wrapped provider
+// backend, compressing entries idle for at least minIdle. It returns the
+// number of entries compressed; a no-op (0, nil) without
+// Options.ColdCompress.
+func (r *Repository) SweepCold(minIdle time.Duration) (int, error) {
+	total := 0
+	for _, cas := range r.cas {
+		if cas == nil {
+			continue
+		}
+		n, err := cas.SweepCold(minIdle)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // FaultConns exposes the per-provider fault wrappers installed via
@@ -263,6 +314,13 @@ type Ancestor struct {
 	// TransferPrefix time, enabling automatic modified-tensor detection in
 	// StoreDerived.
 	prefixFPs map[graph.VertexID]uint64
+
+	// prefixSegs / prefixDepths keep the transferred segments' logical
+	// bytes and stored delta-chain depths (dedup deployments only): a
+	// modified prefix vertex can then be stored as a delta against the
+	// segment it was fine-tuned from, without refetching it.
+	prefixSegs   map[graph.VertexID][]byte
+	prefixDepths map[graph.VertexID]uint8
 }
 
 // PrefixBytes returns the parameter payload of the shared prefix.
@@ -319,16 +377,24 @@ func (r *Repository) bestAncestor(ctx context.Context, f *model.Flat, exclude []
 // Only the prefix vertices' tensors move over the network; they are
 // fetched from their owners' providers in parallel.
 func (r *Repository) TransferPrefix(ctx context.Context, f *model.Flat, ws model.WeightSet, anc *Ancestor) error {
-	segs, err := r.cli.LoadVertices(ctx, anc.Meta, anc.Prefix)
+	segs, depths, err := r.cli.LoadVerticesInfo(ctx, anc.Meta, anc.Prefix)
 	if err != nil {
 		return fmt.Errorf("core: transferring prefix from %d: %w", anc.Meta.Model, err)
 	}
 	anc.prefixFPs = make(map[graph.VertexID]uint64, len(anc.Prefix))
+	if r.dedupOn {
+		anc.prefixSegs = make(map[graph.VertexID][]byte, len(anc.Prefix))
+		anc.prefixDepths = make(map[graph.VertexID]uint8, len(anc.Prefix))
+	}
 	for _, v := range anc.Prefix {
 		if err := ws.DecodeVertexInto(f, v, segs[v]); err != nil {
 			return fmt.Errorf("core: installing transferred vertex %d: %w", v, err)
 		}
 		anc.prefixFPs[v] = vertexFP(ws, v)
+		if r.dedupOn {
+			anc.prefixSegs[v] = segs[v]
+			anc.prefixDepths[v] = depths[v]
+		}
 	}
 	return nil
 }
@@ -385,13 +451,31 @@ func (r *Repository) StoreDerived(ctx context.Context, f *model.Flat, ws model.W
 		OwnerMap: om,
 	}
 	// Only self-owned segments are shipped; inherited slots may stay nil.
+	// On a dedup deployment, a modified prefix vertex gets a delta plan:
+	// TransferPrefix kept the ancestor segment it was fine-tuned from, so
+	// the client can ship an XOR delta against that base instead of the
+	// full tensors (the base is named by the *ancestor's* owner of the
+	// vertex — the model that physically stores it).
 	segs := make([][]byte, f.Graph.NumVertices())
+	var plans map[graph.VertexID]client.SegmentPlan
 	for v := range segs {
-		if om.Entries[v].Owner == id {
-			segs[v] = tensor.EncodeSet(ws[graph.VertexID(v)])
+		if om.Entries[v].Owner != id {
+			continue
+		}
+		segs[v] = tensor.EncodeSet(ws[graph.VertexID(v)])
+		if base, ok := anc.prefixSegs[graph.VertexID(v)]; ok && r.dedupOn {
+			if plans == nil {
+				plans = make(map[graph.VertexID]client.SegmentPlan)
+			}
+			plans[graph.VertexID(v)] = client.SegmentPlan{
+				BaseOwner:  anc.Meta.OwnerMap.Entries[v].Owner,
+				BaseVertex: graph.VertexID(v),
+				Base:       base,
+				BaseDepth:  anc.prefixDepths[graph.VertexID(v)],
+			}
 		}
 	}
-	if err := r.cli.Store(ctx, meta, segs); err != nil {
+	if err := r.cli.StoreWithPlans(ctx, meta, segs, plans); err != nil {
 		return 0, err
 	}
 	return id, nil

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func openDedupRepo(t testing.TB, opts Options) *Repository {
+	t.Helper()
+	r, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// nudge flips a few bytes in every tensor of up to n parameter vertices —
+// the small-training-step shape the delta encoder targets — and returns
+// how many vertices changed.
+func nudge(ws model.WeightSet, n int) int {
+	changed := 0
+	for v := range ws {
+		if len(ws[v]) == 0 || changed == n {
+			continue
+		}
+		for _, tns := range ws[v] {
+			if len(tns.Data) >= 16 {
+				tns.Data[0] ^= 0x7f
+				tns.Data[8] ^= 0x33
+			}
+		}
+		changed++
+	}
+	return changed
+}
+
+// derive fine-tunes the latest stored model of architecture f: transfer
+// the prefix, nudge touch vertices, store derived with automatic diff.
+func derive(t *testing.T, repo *Repository, f *model.Flat, touch int) (ModelID, model.WeightSet) {
+	t.Helper()
+	ctx := context.Background()
+	anc, found, err := repo.BestAncestorRecent(ctx, f)
+	if err != nil || !found {
+		t.Fatalf("BestAncestorRecent: found=%v err=%v", found, err)
+	}
+	ws := model.Materialize(f, 0) // placeholder; the prefix overwrites it
+	if err := repo.TransferPrefix(ctx, f, ws, anc); err != nil {
+		t.Fatal(err)
+	}
+	if got := nudge(ws, touch); got != touch {
+		t.Fatalf("nudged %d vertices, want %d", got, touch)
+	}
+	id, err := repo.StoreDerived(ctx, f, ws, 0.9, anc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id, ws.Clone()
+}
+
+// A dedup deployment must be invisible to readers: a derived model whose
+// modified tensors shipped as deltas loads back bit-identical, and the
+// delta actually saved bytes versus storing the lineage raw.
+func TestDedupDerivedLoadRoundtrip(t *testing.T) {
+	ctx := context.Background()
+	f := mlp(t, 4, 32, 16)
+	base := model.Materialize(f, 1)
+
+	run := func(t *testing.T, opts Options) uint64 {
+		repo := openDedupRepo(t, opts)
+		baseID, err := repo.Store(ctx, f, base.Clone(), 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		childID, want := derive(t, repo, f, 2)
+		for id, wantWS := range map[ModelID]model.WeightSet{baseID: base, childID: want} {
+			_, got, err := repo.Load(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(wantWS) {
+				t.Fatalf("model %d restored with wrong weights", id)
+			}
+		}
+		st, err := repo.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.SegmentBytes
+	}
+	rawBytes := run(t, Options{Providers: 3})
+	dedupBytes := run(t, Options{Providers: 3, Dedup: true})
+	if dedupBytes >= rawBytes {
+		t.Fatalf("dedup stored %d bytes, raw %d — the deltas saved nothing", dedupBytes, rawBytes)
+	}
+}
+
+// Retiring an ancestor before its delta children must not strand the
+// chain: the children's pins keep the base segments alive, and retiring
+// the last child cascades the release so everything is freed.
+func TestDedupRetireAncestorFirst(t *testing.T) {
+	ctx := context.Background()
+	repo := openDedupRepo(t, Options{Providers: 3, Dedup: true})
+	f := mlp(t, 4, 32, 16)
+	base := model.Materialize(f, 1)
+	baseID, err := repo.Store(ctx, f, base.Clone(), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childID, want := derive(t, repo, f, 2)
+
+	if _, err := repo.Retire(ctx, baseID); err != nil {
+		t.Fatal(err)
+	}
+	// The child's delta bases (and inherited tensors) are pinned: still
+	// loadable, bit-identical.
+	_, got, err := repo.Load(ctx, childID)
+	if err != nil {
+		t.Fatalf("child unloadable after ancestor retire: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("child restored with wrong weights after ancestor retire")
+	}
+	st, err := repo.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentBytes == 0 {
+		t.Fatal("pinned ancestor segments were freed early")
+	}
+	// Retiring the child cascades: its freed deltas release their bases,
+	// draining the stores completely.
+	if _, err := repo.Retire(ctx, childID); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = repo.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentBytes != 0 {
+		t.Fatalf("%d segment bytes stranded after retiring the whole lineage", st.SegmentBytes)
+	}
+}
+
+// A lineage deeper than DeltaMaxDepth forces store-time rebases to raw;
+// every generation must still restore bit-identical.
+func TestDedupChainDepthRebase(t *testing.T) {
+	ctx := context.Background()
+	repo := openDedupRepo(t, Options{Providers: 2, Dedup: true, DeltaMaxDepth: 2})
+	f := mlp(t, 4, 32, 16)
+	base := model.Materialize(f, 1)
+	baseID, err := repo.Store(ctx, f, base.Clone(), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ModelID]model.WeightSet{baseID: base}
+	for step := 0; step < 5; step++ {
+		// Touch every parameter vertex so each generation chains on the
+		// last and the depth bound actually engages.
+		id, ws := derive(t, repo, f, 4)
+		want[id] = ws
+	}
+	for id, wantWS := range want {
+		_, got, err := repo.Load(ctx, id)
+		if err != nil {
+			t.Fatalf("load %d: %v", id, err)
+		}
+		if !got.Equal(wantWS) {
+			t.Fatalf("model %d restored with wrong weights", id)
+		}
+	}
+}

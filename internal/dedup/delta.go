@@ -1,0 +1,193 @@
+package dedup
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/proto"
+)
+
+// DefaultChunkSize is the content-addressing granularity: segments are
+// chunked at this boundary both for digests and for the CAS wrapper.
+// 64 KiB keeps recipe overhead (12 bytes/chunk) below 0.02% while still
+// catching sub-tensor repetition.
+const DefaultChunkSize = 64 << 10
+
+// ChunkDigests splits b into chunkSize-byte chunks (the last one may be
+// short) and returns one FNV-1a-64 content digest per chunk, reusing the
+// repair subsystem's hash (proto.HashBytes). chunkSize <= 0 selects
+// DefaultChunkSize. An empty b yields no chunks.
+func ChunkDigests(b []byte, chunkSize int) []uint64 {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, (len(b)+chunkSize-1)/chunkSize)
+	for off := 0; off < len(b); off += chunkSize {
+		end := off + chunkSize
+		if end > len(b) {
+			end = len(b)
+		}
+		out = append(out, proto.HashBytes(proto.HashSeed, b[off:end]))
+	}
+	return out
+}
+
+// Delta format: uvarint(targetLen), then alternating run pairs
+// uvarint(zeroRun) uvarint(litLen) <litLen XOR bytes> until targetLen
+// bytes are covered. A zero run means "copy from base"; literal bytes are
+// target XOR base (plain target bytes past the end of base). The format
+// is self-delimiting and length-checked on decode.
+
+// EncodeDelta encodes target as a delta against base. It never fails and
+// always round-trips through DecodeDelta(base, ...), for any inputs; it
+// only *pays off* when most bytes are unchanged, which the caller gates
+// with a ratio check against len(target).
+func EncodeDelta(base, target []byte) []byte {
+	// Worst case (every byte differs): 1 run pair + the literal bytes.
+	out := make([]byte, 0, len(target)+2*binary.MaxVarintLen64+4)
+	out = binary.AppendUvarint(out, uint64(len(target)))
+	i := 0
+	for i < len(target) {
+		runStart := i
+		for i < len(target) && xorAt(base, target, i) == 0 {
+			i++
+		}
+		zeros := i - runStart
+		litStart := i
+		// A literal run ends at a stretch of zeros long enough that
+		// switching back to run-length encoding wins (the two varints of a
+		// new pair cost ~2-4 bytes; require 8 zero bytes so tiny gaps stay
+		// literal).
+		for i < len(target) {
+			if xorAt(base, target, i) != 0 {
+				i++
+				continue
+			}
+			j := i
+			for j < len(target) && j < i+8 && xorAt(base, target, j) == 0 {
+				j++
+			}
+			if j-i >= 8 || j == len(target) {
+				break
+			}
+			i = j
+		}
+		out = binary.AppendUvarint(out, uint64(zeros))
+		out = binary.AppendUvarint(out, uint64(i-litStart))
+		for k := litStart; k < i; k++ {
+			out = append(out, xorAt(base, target, k))
+		}
+	}
+	return out
+}
+
+// xorAt returns target[i] XOR base[i], treating base as zero-padded.
+func xorAt(base, target []byte, i int) byte {
+	if i < len(base) {
+		return target[i] ^ base[i]
+	}
+	return target[i]
+}
+
+// DecodeDelta reconstructs the target bytes from base and a delta
+// produced by EncodeDelta(base, target).
+func DecodeDelta(base, delta []byte) ([]byte, error) {
+	targetLen, n := binary.Uvarint(delta)
+	if n <= 0 {
+		return nil, fmt.Errorf("dedup: delta header truncated")
+	}
+	delta = delta[n:]
+	out := make([]byte, targetLen)
+	pos := 0
+	for pos < int(targetLen) {
+		zeros, n := binary.Uvarint(delta)
+		if n <= 0 {
+			return nil, fmt.Errorf("dedup: delta run truncated at byte %d", pos)
+		}
+		delta = delta[n:]
+		lits, n := binary.Uvarint(delta)
+		if n <= 0 {
+			return nil, fmt.Errorf("dedup: delta literal length truncated at byte %d", pos)
+		}
+		delta = delta[n:]
+		if uint64(pos)+zeros+lits > targetLen || uint64(len(delta)) < lits {
+			return nil, fmt.Errorf("dedup: delta overruns %d-byte target at byte %d", targetLen, pos)
+		}
+		// Zero run: bytes equal base (zero-padded past its end). Zero runs
+		// are the bulk of a sparse delta, so this must be a memcpy, not a
+		// byte loop — it is the restore path's hot spot.
+		if run := int(zeros); run > 0 {
+			if pos < len(base) {
+				copy(out[pos:pos+run], base[pos:])
+			}
+			pos += run
+		}
+		// Literal run: target = delta XOR base, word-at-a-time.
+		lit := delta[:lits]
+		k := 0
+		for ; k+8 <= len(lit) && pos+8 <= len(base); k += 8 {
+			binary.LittleEndian.PutUint64(out[pos:],
+				binary.LittleEndian.Uint64(lit[k:])^binary.LittleEndian.Uint64(base[pos:]))
+			pos += 8
+		}
+		for ; k < len(lit); k++ {
+			out[pos] = lit[k]
+			if pos < len(base) {
+				out[pos] ^= base[pos]
+			}
+			pos++
+		}
+		delta = delta[lits:]
+	}
+	if len(delta) != 0 {
+		return nil, fmt.Errorf("dedup: %d trailing delta bytes", len(delta))
+	}
+	return out, nil
+}
+
+// Compress DEFLATE-compresses b (the cold-segment encoding). It returns
+// the compressed bytes and true, or (nil, false) when compression does
+// not shrink the input — callers then keep the original.
+func Compress(b []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	buf.Grow(len(b) / 2)
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := zw.Write(b); err != nil {
+		return nil, false
+	}
+	if err := zw.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(b) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// Decompress inflates bytes produced by Compress. rawLen is the expected
+// inflated size (from the caller's envelope or recipe); a mismatch is an
+// error, and rawLen < 0 skips the check.
+func Decompress(b []byte, rawLen int) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(b))
+	defer zr.Close()
+	var buf bytes.Buffer
+	if rawLen > 0 {
+		buf.Grow(rawLen)
+	}
+	if _, err := io.Copy(&buf, zr); err != nil {
+		return nil, fmt.Errorf("dedup: inflating %d bytes: %w", len(b), err)
+	}
+	if rawLen >= 0 && buf.Len() != rawLen {
+		return nil, fmt.Errorf("dedup: inflated to %d bytes, want %d", buf.Len(), rawLen)
+	}
+	return buf.Bytes(), nil
+}

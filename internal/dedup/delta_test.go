@@ -1,0 +1,187 @@
+package dedup
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func roundTrip(t *testing.T, name string, base, target []byte) []byte {
+	t.Helper()
+	delta := EncodeDelta(base, target)
+	got, err := DecodeDelta(base, delta)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", name, err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("%s: round trip lost bytes (%d got, %d want)", name, len(got), len(target))
+	}
+	return delta
+}
+
+func TestDeltaIdenticalTensor(t *testing.T) {
+	target := bytes.Repeat([]byte{7}, 100_000)
+	delta := roundTrip(t, "identical", target, target)
+	// An unchanged tensor is one all-zeros run: a handful of varints.
+	if len(delta) > 16 {
+		t.Fatalf("identical-tensor delta is %d bytes, want a few varints", len(delta))
+	}
+}
+
+func TestDeltaEmptyTarget(t *testing.T) {
+	roundTrip(t, "empty target", []byte("base"), nil)
+	roundTrip(t, "empty both", nil, nil)
+}
+
+func TestDeltaFullyChanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]byte, 4096)
+	target := make([]byte, 4096)
+	rng.Read(base)
+	for i := range target {
+		target[i] = ^base[i] // every byte differs
+	}
+	delta := roundTrip(t, "100% changed", base, target)
+	// All-literal: roughly target-sized. The ratio gate upstream rejects
+	// it; here we only require correctness and no pathological blow-up.
+	if len(delta) > len(target)+64 {
+		t.Fatalf("fully-changed delta is %d bytes for a %d-byte target", len(delta), len(target))
+	}
+}
+
+func TestDeltaLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := make([]byte, 1000)
+	rng.Read(base)
+	// Target longer than base: the tail past base's end is plain bytes.
+	long := append(append([]byte(nil), base...), []byte("grown tail, beyond the base")...)
+	roundTrip(t, "target longer", base, long)
+	// Target shorter than base.
+	roundTrip(t, "target shorter", base, base[:137])
+	// No base at all: the delta degenerates to (XOR-with-zero) literals.
+	roundTrip(t, "nil base", nil, base)
+}
+
+func TestDeltaChunkBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, size := range []int{DefaultChunkSize - 1, DefaultChunkSize, DefaultChunkSize + 1, 3 * DefaultChunkSize} {
+		base := make([]byte, size)
+		rng.Read(base)
+		target := append([]byte(nil), base...)
+		// Flip bytes straddling every chunk boundary plus both ends.
+		for _, off := range []int{0, DefaultChunkSize - 1, DefaultChunkSize, size - 1} {
+			if off < len(target) {
+				target[off] ^= 0xff
+			}
+		}
+		delta := roundTrip(t, "chunk boundary", base, target)
+		if len(delta) > 128 {
+			t.Fatalf("size %d: sparse 4-byte change encoded to %d bytes", size, len(delta))
+		}
+	}
+}
+
+func TestDeltaSparseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		base := make([]byte, rng.Intn(10_000))
+		rng.Read(base)
+		target := append([]byte(nil), base...)
+		for i := 0; i < rng.Intn(20); i++ {
+			if len(target) > 0 {
+				target[rng.Intn(len(target))] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		roundTrip(t, "sparse random", base, target)
+	}
+}
+
+func TestDecodeDeltaRejectsCorruption(t *testing.T) {
+	base := bytes.Repeat([]byte{1}, 256)
+	target := bytes.Repeat([]byte{2}, 256)
+	delta := EncodeDelta(base, target)
+	if _, err := DecodeDelta(base, nil); err == nil {
+		t.Fatal("empty delta decoded")
+	}
+	if _, err := DecodeDelta(base, delta[:len(delta)/2]); err == nil {
+		t.Fatal("truncated delta decoded")
+	}
+	if _, err := DecodeDelta(base, append(append([]byte(nil), delta...), 0, 0)); err == nil {
+		t.Fatal("delta with trailing bytes decoded")
+	}
+}
+
+// TestDeltaConcurrent exercises the codec from many goroutines sharing one
+// base buffer — the read path decodes sibling segments in parallel, so the
+// codec must be safe on shared immutable inputs (run under -race).
+func TestDeltaConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := make([]byte, 100_000)
+	rng.Read(base)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		target := append([]byte(nil), base...)
+		target[g*1000] ^= 0x55
+		wg.Add(1)
+		go func(target []byte) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				delta := EncodeDelta(base, target)
+				got, err := DecodeDelta(base, delta)
+				if err != nil || !bytes.Equal(got, target) {
+					t.Errorf("concurrent round trip failed: %v", err)
+					return
+				}
+			}
+		}(target)
+	}
+	wg.Wait()
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	compressible := bytes.Repeat([]byte("evostore "), 1000)
+	z, ok := Compress(compressible)
+	if !ok || len(z) >= len(compressible) {
+		t.Fatalf("compressible input: ok=%v len=%d", ok, len(z))
+	}
+	got, err := Decompress(z, len(compressible))
+	if err != nil || !bytes.Equal(got, compressible) {
+		t.Fatalf("inflate: %v", err)
+	}
+	if _, err := Decompress(z, len(compressible)-1); err == nil {
+		t.Fatal("wrong rawLen accepted")
+	}
+	if got, err := Decompress(z, -1); err != nil || !bytes.Equal(got, compressible) {
+		t.Fatalf("rawLen -1 must skip the length check: %v", err)
+	}
+	// Random bytes do not shrink: the caller keeps the original.
+	rng := rand.New(rand.NewSource(6))
+	noise := make([]byte, 4096)
+	rng.Read(noise)
+	if _, ok := Compress(noise); ok {
+		t.Fatal("incompressible input reported as shrunk")
+	}
+}
+
+func TestChunkDigests(t *testing.T) {
+	b := make([]byte, 2*DefaultChunkSize+100)
+	rand.New(rand.NewSource(7)).Read(b)
+	ds := ChunkDigests(b, 0)
+	if len(ds) != 3 {
+		t.Fatalf("got %d digests, want 3", len(ds))
+	}
+	// Identical chunks share a digest; a one-byte change moves it.
+	same := append(append([]byte(nil), b[:DefaultChunkSize]...), b[:DefaultChunkSize]...)
+	ds2 := ChunkDigests(same, 0)
+	if ds2[0] != ds2[1] || ds2[0] != ds[0] {
+		t.Fatal("identical chunks digest differently")
+	}
+	same[3] ^= 1
+	if ChunkDigests(same, 0)[0] == ds[0] {
+		t.Fatal("changed chunk kept its digest")
+	}
+	if ChunkDigests(nil, 0) != nil {
+		t.Fatal("empty input produced digests")
+	}
+}

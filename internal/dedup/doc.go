@@ -1,0 +1,37 @@
+// Package dedup implements the content-level capacity layer of EvoStore:
+// the codecs and storage wrapper that shrink what a provider physically
+// stores below what owner maps already dedup structurally.
+//
+// Owner maps share *unmodified* tensors between derived models by
+// reference; this package attacks the remaining copies — tensors a
+// fine-tune touched only slightly, segments that repeat across models on
+// one provider, and segments nobody has read in a while:
+//
+//   - Delta encoding (EncodeDelta/DecodeDelta): a fine-tuned segment is
+//     stored as an XOR + zero-run/varint delta against the logical bytes
+//     of its LCP ancestor's segment. Sparse updates (a LoRA-style touch
+//     of a fraction of the values) collapse to a small fraction of the
+//     raw size; writers gate on a configurable ratio and bound chain
+//     depth by rebasing to raw at K hops (see internal/client).
+//   - Chunk addressing (ChunkDigests): fixed-size chunks keyed by
+//     FNV-1a-64 content digest — the same digest machinery the repair
+//     subsystem hashes state with (internal/proto HashBytes).
+//   - Content-addressed storage (Wrap): a kvstore.KV wrapper that stores
+//     each distinct chunk once under cas/<digest> with chunk-granularity
+//     refcounts, and a value as a recipe of digests. Deleting one key
+//     only frees the chunks no surviving recipe references.
+//   - Cold compression (Compress/Decompress, KV.SweepCold): values not
+//     read recently are DEFLATE-compressed in place and inflated
+//     transparently on the next read.
+//
+// Contracts:
+//   - Codecs are pure functions, safe for concurrent use; DecodeDelta
+//     validates framing and never reads outside its inputs.
+//   - The KV wrapper is safe for concurrent use and preserves the
+//     kvstore.KV contract (Put copies, Get views are immutable), but its
+//     chunk refcounts are in-memory: like provider catalogs, they do not
+//     survive a process restart.
+//   - EncodeDelta(base, target) is always decodable by
+//     DecodeDelta(base, delta), for any pair of byte strings, including
+//     empty and length-mismatched ones.
+package dedup

@@ -1,0 +1,442 @@
+package dedup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// Stored-representation markers. Like the proto segment envelope, both
+// open with 0xF5 so they cannot begin a plausible raw tensor segment;
+// the fifth byte distinguishes recipe ('r') from compressed blob ('z').
+var (
+	recipeMagic = []byte{0xf5, 'C', 'a', 'S', 'r', 0x01}
+	flateMagic  = []byte{0xf5, 'C', 'a', 'S', 'z', 0x01}
+)
+
+// casPrefix namespaces chunk entries inside the wrapped store. Logical
+// keys must not start with it (provider segment keys are "seg/...").
+const casPrefix = "cas/"
+
+// Options configures a content-addressed KV wrapper.
+type Options struct {
+	// ChunkSize is the content-addressing granularity (default
+	// DefaultChunkSize). Values shorter than one chunk are stored inline.
+	ChunkSize int
+	// ColdCompress enables SweepCold: values and chunks not read for the
+	// sweep's idle threshold are DEFLATE-compressed in place.
+	ColdCompress bool
+}
+
+// KV content-addresses the values of an underlying kvstore.KV: each
+// distinct chunk is stored once under cas/<digest> with an in-memory
+// refcount, a value is stored as a recipe of chunk digests, and cold
+// entries can be compressed in place (SweepCold). Readers see logical
+// bytes; SizeBytes reports what is physically stored — the dedup win.
+type KV struct {
+	kv   kvstore.KV
+	kvB  kvstore.ByteKeyGetter
+	o    Options
+	mu   sync.Mutex     // serializes mutations (chunk refcounts, sweeps)
+	refs map[uint64]int // live references per chunk digest
+	// chunks counts live cas/ entries so Len can report logical keys.
+	chunks int
+	// access records the last read/write per physical key (unix nanos);
+	// SweepCold compresses entries idle past its threshold.
+	access sync.Map
+
+	dedupHits  atomic.Uint64 // chunks answered by an existing copy
+	compressed atomic.Uint64 // entries compressed by sweeps
+}
+
+// Wrap layers content addressing over kv. The wrapper owns kv's key
+// space: keys beginning "cas/" are reserved for chunks.
+func Wrap(kv kvstore.KV, o Options) *KV {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	kvB, _ := kv.(kvstore.ByteKeyGetter)
+	return &KV{kv: kv, kvB: kvB, o: o, refs: make(map[uint64]int)}
+}
+
+// CASStats reports the wrapper's content-addressing effectiveness.
+type CASStats struct {
+	Chunks     int    // live distinct chunks
+	DedupHits  uint64 // chunk stores answered by an existing copy
+	Compressed uint64 // entries compressed by cold sweeps
+}
+
+// Stats snapshots the wrapper counters.
+func (d *KV) Stats() CASStats {
+	d.mu.Lock()
+	chunks := d.chunks
+	d.mu.Unlock()
+	return CASStats{Chunks: chunks, DedupHits: d.dedupHits.Load(), Compressed: d.compressed.Load()}
+}
+
+func chunkKey(digest uint64) string {
+	var b [4 + 16]byte
+	copy(b[:4], casPrefix)
+	const hex = "0123456789abcdef"
+	for i := 0; i < 16; i++ {
+		b[4+i] = hex[(digest>>uint(60-4*i))&0xf]
+	}
+	return string(b[:])
+}
+
+func hasMagic(b, magic []byte) bool {
+	if len(b) < len(magic) {
+		return false
+	}
+	for i, c := range magic {
+		if b[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *KV) touch(key string) { d.access.Store(key, time.Now().UnixNano()) }
+
+// Put implements kvstore.KV: values of at least one chunk are stored as
+// cas recipes; shorter ones pass through inline.
+func (d *KV) Put(key string, value []byte) error {
+	if strings.HasPrefix(key, casPrefix) {
+		return fmt.Errorf("dedup: key %q collides with the reserved chunk namespace", key)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.releaseLocked(key); err != nil {
+		return err
+	}
+	d.touch(key)
+	if len(value) < d.o.ChunkSize {
+		return d.kv.Put(key, value)
+	}
+	recipe, err := d.storeChunksLocked(value)
+	if err != nil {
+		return err
+	}
+	if recipe == nil {
+		// Digest collision fallback: store the value inline, undeduped.
+		return d.kv.Put(key, value)
+	}
+	return d.kv.Put(key, recipe)
+}
+
+// storeChunksLocked stores value's chunks (reusing existing copies) and
+// returns the recipe. A digest collision — same digest, different bytes —
+// returns (nil, nil) after releasing any references already taken, and
+// the caller stores the value inline.
+func (d *KV) storeChunksLocked(value []byte) ([]byte, error) {
+	digests := ChunkDigests(value, d.o.ChunkSize)
+	recipe := make([]byte, 0, len(recipeMagic)+12+12*len(digests))
+	recipe = append(recipe, recipeMagic...)
+	recipe = binary.LittleEndian.AppendUint64(recipe, uint64(len(value)))
+	recipe = binary.LittleEndian.AppendUint32(recipe, uint32(len(digests)))
+	taken := make([]uint64, 0, len(digests))
+	undo := func() {
+		for _, g := range taken {
+			d.unrefChunkLocked(g) //nolint:errcheck // best-effort rollback
+		}
+	}
+	for ci, g := range digests {
+		off := ci * d.o.ChunkSize
+		end := off + d.o.ChunkSize
+		if end > len(value) {
+			end = len(value)
+		}
+		chunk := value[off:end]
+		if d.refs[g] > 0 {
+			stored, err := d.chunkBytes(g)
+			if err != nil {
+				undo()
+				return nil, err
+			}
+			if !bytesEqual(stored, chunk) {
+				undo()
+				return nil, nil // true collision: fall back to inline
+			}
+			d.refs[g]++
+			d.dedupHits.Add(1)
+		} else {
+			if err := d.kv.Put(chunkKey(g), chunk); err != nil {
+				undo()
+				return nil, err
+			}
+			d.refs[g] = 1
+			d.chunks++
+			d.touch(chunkKey(g))
+		}
+		taken = append(taken, g)
+		recipe = binary.LittleEndian.AppendUint64(recipe, g)
+		recipe = binary.LittleEndian.AppendUint32(recipe, uint32(len(chunk)))
+	}
+	return recipe, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chunkBytes reads one chunk's logical bytes (inflating a cold chunk).
+func (d *KV) chunkBytes(digest uint64) ([]byte, error) {
+	k := chunkKey(digest)
+	v, ok, err := d.kv.Get(k)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("dedup: chunk %016x missing (refcount says live)", digest)
+	}
+	d.touch(k)
+	return d.inflate(v)
+}
+
+// inflate returns a stored entry's logical bytes, transparently
+// decompressing a cold-compressed blob.
+func (d *KV) inflate(v []byte) ([]byte, error) {
+	if !hasMagic(v, flateMagic) {
+		return v, nil
+	}
+	if len(v) < len(flateMagic)+8 {
+		return nil, fmt.Errorf("dedup: torn compressed entry (%d bytes)", len(v))
+	}
+	rawLen := binary.LittleEndian.Uint64(v[len(flateMagic):])
+	return Decompress(v[len(flateMagic)+8:], int(rawLen))
+}
+
+// unrefChunkLocked drops one reference, deleting the chunk at zero.
+func (d *KV) unrefChunkLocked(digest uint64) error {
+	n := d.refs[digest] - 1
+	if n > 0 {
+		d.refs[digest] = n
+		return nil
+	}
+	delete(d.refs, digest)
+	d.chunks--
+	k := chunkKey(digest)
+	d.access.Delete(k)
+	return d.kv.Delete(k)
+}
+
+// releaseLocked undoes the chunk references held by key's current entry,
+// if it is a recipe.
+func (d *KV) releaseLocked(key string) error {
+	v, ok, err := d.kv.Get(key)
+	if err != nil || !ok {
+		return err
+	}
+	if !hasMagic(v, recipeMagic) {
+		return nil
+	}
+	_, digests, _, err := parseRecipe(v)
+	if err != nil {
+		return err
+	}
+	for _, g := range digests {
+		if err := d.unrefChunkLocked(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseRecipe decodes a recipe into (rawLen, digests, chunkLens).
+func parseRecipe(v []byte) (uint64, []uint64, []uint32, error) {
+	b := v[len(recipeMagic):]
+	if len(b) < 12 {
+		return 0, nil, nil, fmt.Errorf("dedup: torn recipe (%d bytes)", len(v))
+	}
+	rawLen := binary.LittleEndian.Uint64(b)
+	n := int(binary.LittleEndian.Uint32(b[8:]))
+	b = b[12:]
+	if len(b) != 12*n {
+		return 0, nil, nil, fmt.Errorf("dedup: recipe wants %d chunk entries, has %d bytes", n, len(b))
+	}
+	digests := make([]uint64, n)
+	lens := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		digests[i] = binary.LittleEndian.Uint64(b[12*i:])
+		lens[i] = binary.LittleEndian.Uint32(b[12*i+8:])
+	}
+	return rawLen, digests, lens, nil
+}
+
+// Get implements kvstore.KV, reassembling recipes and inflating cold
+// entries. Pass-through values are zero-copy views of the inner store;
+// reassembled and inflated values are fresh buffers.
+func (d *KV) Get(key string) ([]byte, bool, error) {
+	v, ok, err := d.kv.Get(key)
+	return d.resolve(key, v, ok, err)
+}
+
+// GetB implements kvstore.ByteKeyGetter when the inner store does.
+func (d *KV) GetB(key []byte) ([]byte, bool, error) {
+	if d.kvB == nil {
+		return d.Get(string(key))
+	}
+	v, ok, err := d.kvB.GetB(key)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	// Only materialize the key string off the fast path (recipes, cold
+	// entries, access tracking are not the hot read shape).
+	return d.resolve(string(key), v, ok, err)
+}
+
+func (d *KV) resolve(key string, v []byte, ok bool, err error) ([]byte, bool, error) {
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	d.touch(key)
+	if hasMagic(v, recipeMagic) {
+		out, err := d.reassemble(v)
+		return out, err == nil, err
+	}
+	out, err := d.inflate(v)
+	return out, err == nil, err
+}
+
+// reassemble concatenates a recipe's chunks into one fresh buffer.
+func (d *KV) reassemble(recipe []byte) ([]byte, error) {
+	rawLen, digests, lens, err := parseRecipe(recipe)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, rawLen)
+	for i, g := range digests {
+		chunk, err := d.chunkBytes(g)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) != int(lens[i]) {
+			return nil, fmt.Errorf("dedup: chunk %016x is %d bytes, recipe says %d", g, len(chunk), lens[i])
+		}
+		out = append(out, chunk...)
+	}
+	if uint64(len(out)) != rawLen {
+		return nil, fmt.Errorf("dedup: reassembled %d bytes, recipe says %d", len(out), rawLen)
+	}
+	return out, nil
+}
+
+// Delete implements kvstore.KV, releasing the entry's chunk references.
+func (d *KV) Delete(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.releaseLocked(key); err != nil {
+		return err
+	}
+	d.access.Delete(key)
+	return d.kv.Delete(key)
+}
+
+// Scan implements kvstore.KV over logical keys and values: chunk entries
+// are hidden, recipes are reassembled, cold entries inflated.
+func (d *KV) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	var ferr error
+	err := d.kv.Scan(prefix, func(key string, value []byte) bool {
+		if strings.HasPrefix(key, casPrefix) {
+			return true
+		}
+		logical, _, err := d.resolve(key, value, true, nil)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		return fn(key, logical)
+	})
+	if ferr != nil {
+		return ferr
+	}
+	return err
+}
+
+// Len implements kvstore.KV: logical entries, excluding chunk storage.
+func (d *KV) Len() int {
+	d.mu.Lock()
+	chunks := d.chunks
+	d.mu.Unlock()
+	return d.kv.Len() - chunks
+}
+
+// SizeBytes implements kvstore.KV and reports *physical* bytes — after
+// chunk sharing and cold compression. This is deliberate: it is the
+// quantity operators and the dedup benchmark care about.
+func (d *KV) SizeBytes() int64 { return d.kv.SizeBytes() }
+
+// Close implements kvstore.KV.
+func (d *KV) Close() error { return d.kv.Close() }
+
+// SweepCold compresses every entry (pass-through values and chunks, not
+// recipes) whose last access is at least minIdle ago. It returns the
+// number of entries compressed. A no-op unless Options.ColdCompress.
+func (d *KV) SweepCold(minIdle time.Duration) (int, error) {
+	if !d.o.ColdCompress {
+		return 0, nil
+	}
+	cutoff := time.Now().Add(-minIdle).UnixNano()
+	// Snapshot candidate keys first; compress under the mutation lock so
+	// a concurrent Put cannot be clobbered by a stale compressed copy.
+	var keys []string
+	if err := d.kv.Scan("", func(key string, value []byte) bool {
+		if !hasMagic(value, recipeMagic) && !hasMagic(value, flateMagic) && len(value) >= 64 {
+			keys = append(keys, key)
+		}
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, key := range keys {
+		d.mu.Lock()
+		if at, ok := d.access.Load(key); ok && at.(int64) > cutoff {
+			d.mu.Unlock()
+			continue
+		}
+		v, ok, err := d.kv.Get(key)
+		if err != nil || !ok || hasMagic(v, recipeMagic) || hasMagic(v, flateMagic) {
+			d.mu.Unlock()
+			if err != nil {
+				return n, err
+			}
+			continue
+		}
+		z, shrank := Compress(v)
+		if !shrank {
+			d.mu.Unlock()
+			continue
+		}
+		blob := make([]byte, 0, len(flateMagic)+8+len(z))
+		blob = append(blob, flateMagic...)
+		blob = binary.LittleEndian.AppendUint64(blob, uint64(len(v)))
+		blob = append(blob, z...)
+		if err := d.kv.Put(key, blob); err != nil {
+			d.mu.Unlock()
+			return n, err
+		}
+		n++
+		d.compressed.Add(1)
+		d.mu.Unlock()
+	}
+	return n, nil
+}
+
+var (
+	_ kvstore.KV            = (*KV)(nil)
+	_ kvstore.ByteKeyGetter = (*KV)(nil)
+)

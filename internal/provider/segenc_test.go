@@ -1,0 +1,145 @@
+package provider
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dedup"
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+)
+
+// deltaEnv builds a delta envelope whose logical bytes are raw, based on
+// an arbitrary (owner, vertex) reference.
+func deltaEnv(raw []byte, owner ownermap.ModelID, v graph.VertexID) []byte {
+	base := []byte("ancestor segment bytes")
+	return (&proto.SegEnvelope{
+		Flags:      proto.SegDelta,
+		Depth:      1,
+		RawLen:     uint32(len(raw)),
+		BaseOwner:  owner,
+		BaseVertex: v,
+		Payload:    dedup.EncodeDelta(base, raw),
+	}).Encode()
+}
+
+// The evostore-ctl digest bugfix pin: a replica holding a segment
+// delta-encoded and a replica holding it raw store different bytes but
+// the same logical segment — their digests must converge, or repair (and
+// the ctl digest report) would flag healthy replicas divergent forever.
+func TestDigestConvergesAcrossEncodings(t *testing.T) {
+	a, b := New(0, kvstore.NewMemKV(4)), New(1, kvstore.NewMemKV(4))
+	g := chainGraph(1, 2, 3)
+	req, segs := storeReq(7, 1, 0.5, g)
+	req.ReqID = 100
+	if err := a.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+	reqB, segsB := storeReq(7, 1, 0.5, g)
+	reqB.ReqID = 100
+	segsB[1] = deltaEnv(segs[1], 3, 9)
+	reqB.Segments[1].Length = uint32(len(segsB[1]))
+	if err := b.StoreModel(reqB, segsB); err != nil {
+		t.Fatal(err)
+	}
+	if len(segsB[1]) == len(segs[1]) {
+		t.Fatal("test is vacuous: stored lengths coincide")
+	}
+	da, db := a.Digest(7), b.Digest(7)
+	if !da.Converged(db) {
+		t.Fatalf("same logical bytes, different encodings, diverged:\n a %+v\n b %+v", da, db)
+	}
+	// Control: an actually different logical length must still diverge.
+	c := New(2, kvstore.NewMemKV(4))
+	reqC, segsC := storeReq(7, 1, 0.5, g)
+	reqC.ReqID = 100
+	grown := append(append([]byte(nil), segs[1]...), "-grown"...)
+	segsC[1] = deltaEnv(grown, 3, 9)
+	reqC.Segments[1].Length = uint32(len(segsC[1]))
+	if err := c.StoreModel(reqC, segsC); err != nil {
+		t.Fatal(err)
+	}
+	if da.Converged(c.Digest(7)) {
+		t.Fatal("different logical bytes reported converged")
+	}
+}
+
+// Repair moves stored bytes verbatim: a delta-encoded segment installed
+// on a fresh replica arrives bit-identical, envelope and all — the
+// provider never decodes what it ships.
+func TestRepairShipsEnvelopesVerbatim(t *testing.T) {
+	a, b := New(0, kvstore.NewMemKV(4)), New(1, kvstore.NewMemKV(4))
+	g := chainGraph(1, 2, 3)
+	req, segs := storeReq(7, 1, 0.5, g)
+	req.ReqID = 100
+	env := deltaEnv(segs[1], 3, 9)
+	segs[1] = env
+	req.Segments[1].Length = uint32(len(env))
+	if err := a.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+	pull, payloads, err := a.RepairPull(&proto.RepairPullReq{Model: 7, WithPayloads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.RepairApply(&proto.RepairApplyReq{
+		Model:    7,
+		Meta:     pull.Meta,
+		Deltas:   pull.Journal,
+		Segments: pull.Segments,
+	}, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.NeedPayload) != 0 {
+		t.Fatalf("NeedPayload = %v", resp.NeedPayload)
+	}
+	if da, db := a.Digest(7), b.Digest(7); !da.Converged(db) {
+		t.Fatalf("replicas diverged after repair:\n a %+v\n b %+v", da, db)
+	}
+	_, parts, err := b.ReadSegments(7, []graph.VertexID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parts[0], env) {
+		t.Fatalf("repaired replica serves %d bytes, want the %d-byte envelope verbatim", len(parts[0]), len(env))
+	}
+}
+
+// Freeing a delta-encoded segment reports its base in the DecRef
+// response, so the caller can cascade the release; raw segments report
+// nothing.
+func TestDecRefReportsFreedDeltaBases(t *testing.T) {
+	p := New(0, kvstore.NewMemKV(4))
+	g := chainGraph(1, 2, 3)
+	req, segs := storeReq(7, 1, 0.5, g)
+	req.ReqID = 100
+	segs[1] = deltaEnv(segs[1], 3, 9)
+	req.Segments[1].Length = uint32(len(segs[1]))
+	if err := p.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+	// Raw vertex 0: freed, no bases.
+	freed, bases, err := p.decRef(7, []graph.VertexID{0}, 101)
+	if err != nil || freed != 1 || len(bases) != 0 {
+		t.Fatalf("raw decRef: freed=%d bases=%v err=%v", freed, bases, err)
+	}
+	// Delta vertex 1: freed, base reported.
+	freed, bases, err = p.decRef(7, []graph.VertexID{1}, 102)
+	if err != nil || freed != 1 {
+		t.Fatalf("delta decRef: freed=%d err=%v", freed, err)
+	}
+	if len(bases) != 1 || bases[0] != (proto.SegBase{Owner: 3, Vertex: 9}) {
+		t.Fatalf("freed bases = %v, want [{3 9}]", bases)
+	}
+	// A decRef that does not free (count still positive) reports nothing.
+	if err := p.incRef(7, []graph.VertexID{2}, 103); err != nil {
+		t.Fatal(err)
+	}
+	freed, bases, err = p.decRef(7, []graph.VertexID{2}, 104)
+	if err != nil || freed != 0 || len(bases) != 0 {
+		t.Fatalf("non-freeing decRef: freed=%d bases=%v err=%v", freed, bases, err)
+	}
+}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# docscheck verifies that documentation stays anchored to the code: every
+# `pkg.Identifier` code span in the checked documents — a lowercase
+# internal package name, a dot, an exported identifier — must name an
+# identifier that still occurs in that package's non-test Go sources.
+# Renaming or deleting an exported identifier without updating the docs
+# fails `make docs-check` (and therefore `make check`).
+#
+# Purely grep-based by design: no build step, no Go toolchain assumptions
+# beyond the source tree layout, and spans that do not look like a package
+# reference (shell snippets, JSON fields, RPC names) are ignored.
+set -eu
+cd "$(dirname "$0")/.."
+
+DOCS="docs/ARCHITECTURE.md README.md"
+fail=0
+
+for doc in $DOCS; do
+    [ -f "$doc" ] || { echo "docscheck: $doc missing" >&2; exit 1; }
+    # `pkg.Ident`, `pkg.Ident.Field`, `pkg.Ident{...}` etc. — capture the
+    # package and the first exported identifier after the dot.
+    spans=$(grep -o '`[a-z][a-z0-9]*\.[A-Z][A-Za-z0-9_]*' "$doc" | tr -d '`' | sort -u)
+    for span in $spans; do
+        pkg=${span%%.*}
+        ident=$(printf '%s' "${span#*.}" | sed 's/\..*//')
+        dir="internal/$pkg"
+        # Not an internal package reference (e.g. `rand.Intn`): skip.
+        [ -d "$dir" ] || continue
+        if ! grep -qw "$ident" "$dir"/*.go 2>/dev/null; then
+            echo "docscheck: $doc references \`$span\` but $dir has no identifier $ident" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docscheck: FAILED — update the docs or restore the identifiers" >&2
+    exit 1
+fi
+echo "docscheck: ok"
