@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-faults bench-repair bench-rebalance bench-dedup docs-check
+.PHONY: build test check bench bench-faults bench-repair bench-rebalance bench-restart bench-dedup docs-check
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,19 @@ test:
 # suite can't rot, the replica-repair convergence scenario (kill a
 # replica mid-workload, heal, assert digests converge with zero lost
 # refcount deltas), the elasticity scenario (drain a provider and join a
-# spare mid-workload with zero failed requests), a scaled-down dedup
-# lineage run (verifies every restored model bit-identical), and the
-# docs-vs-code identifier check. This is what CI should run.
+# spare mid-workload with zero failed requests), the crash-recovery
+# scenario (kill -9 a provider, reopen its directory, assert the durable
+# catalog replays and repair only moves the divergence tail), a
+# scaled-down dedup lineage run (verifies every restored model
+# bit-identical), and the docs-vs-code identifier check. This is what CI
+# should run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench Bulk -benchtime 1x ./internal/bulkbench
 	$(GO) run ./cmd/evostore-bench faults -repair -models 10
 	$(GO) run ./cmd/evostore-bench faults -rebalance -models 10
+	$(GO) run ./cmd/evostore-bench faults -restart -models 10
 	$(GO) run ./cmd/evostore-bench dedup -steps 4 -layers 8 -dim 128
 	./scripts/docscheck.sh
 
@@ -39,6 +43,12 @@ bench-repair:
 # "before" baseline entries are preserved; "after" entries are replaced.
 bench:
 	$(GO) run ./cmd/evostore-bench bulk -out BENCH_bulk.json -benchtime 2s
+
+# Crash-recovery proof on its own: kill -9 one provider mid-workload,
+# reopen its data directory, validate the manifest, replay the durable
+# catalog, and assert one repair pass moves only the outage-era bytes.
+bench-restart:
+	$(GO) run ./cmd/evostore-bench faults -restart
 
 # End-to-end resilience proof: store/load/partition/retire through a
 # fault-injecting fabric; fails on any refcount drift.

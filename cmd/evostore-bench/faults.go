@@ -36,11 +36,15 @@ func runFaults(args []string) error {
 	replicas := fs.Int("replicas", 1, "N-way replication factor (R>1: reads must survive a partitioned provider via failover)")
 	repair := fs.Bool("repair", false, "run the replica-repair scenario instead: kill a replica mid-workload, heal it, and assert anti-entropy converges every digest with zero lost refcount deltas")
 	rebalance := fs.Bool("rebalance", false, "run the elasticity scenario instead: drain one provider and join a spare mid-workload with zero failed requests, then audit digests and drain to zero")
+	restart := fs.Bool("restart", false, "run the crash-recovery scenario instead: kill -9 a provider on a real LSM dir mid-workload, reopen the same dir, and assert the replayed catalog confines repair to the outage's divergence tail")
 	out := fs.String("out", "", "with -rebalance: merge migration throughput into this JSON file (e.g. BENCH_rebalance.json)")
 	fs.Parse(args)
 
 	if *repair {
 		return runRepair(*providers, *models, *replicas, *faultAt)
+	}
+	if *restart {
+		return runRestart(*providers, *models, *replicas, *faultAt)
 	}
 	if *rebalance {
 		return runRebalance(*providers, *models, *replicas, *out)

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// runRestart is the crash-recovery demonstration: providers run on real
+// LSM directories with the durable catalog, one is killed -9 mid-workload
+// (endpoint unbound, store abandoned unflushed — the buffered WAL tail is
+// lost exactly as on a process kill), the workload continues with zero
+// failed requests via partial writes and read failover, and the provider
+// then reopens the SAME directory: the manifest is validated, the catalog
+// journal replays, and one anti-entropy pass converges the replica sets.
+//
+// The headline assertion is the divergence tail: because the reopened
+// catalog still knows everything written before the kill, the repairer
+// must move only the bytes of the models written DURING the outage — a
+// provider that lost its catalog would instead be re-pushed its entire
+// pre-crash share, which busts the byte budget and fails the run.
+func runRestart(providers, models, replicas, target int) error {
+	if replicas < 2 {
+		replicas = 2
+	}
+	if providers < replicas+1 {
+		providers = replicas + 1
+	}
+	if target < 0 || target >= providers {
+		target = 1
+	}
+	if models < 2 {
+		models = 2
+	}
+	const outage = 4 // models stored while the provider is down
+
+	root, err := os.MkdirTemp("", "evostore-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// Real durable backends: small flush threshold so the run exercises
+	// SSTable flushes, WAL rotation, and reopen-time replay, not just an
+	// in-memory memtable.
+	dir := func(i int) string { return filepath.Join(root, fmt.Sprintf("p%d", i)) }
+	open := func(i int) (*kvstore.LSMKV, error) {
+		return kvstore.OpenLSM(dir(i), kvstore.LSMOptions{FlushBytes: 64 << 10})
+	}
+	stores := make([]*kvstore.LSMKV, providers)
+	for i := range stores {
+		if stores[i], err = open(i); err != nil {
+			return fmt.Errorf("opening store %d: %w", i, err)
+		}
+		// Stamp each directory with its identity manifest, as
+		// evostore-server does; the reopen below validates it.
+		err = kvstore.SaveManifest(dir(i), &kvstore.Manifest{
+			FormatVersion: kvstore.ManifestFormatVersion,
+			ProviderID:    uint32(i),
+			Features:      []string{kvstore.FeatureDurableCatalog},
+		})
+		if err != nil {
+			return fmt.Errorf("writing manifest %d: %w", i, err)
+		}
+	}
+
+	reg := metrics.Default
+	repo, err := core.Open(core.Options{
+		Providers:      providers,
+		Replicas:       replicas,
+		PartialWrites:  true,
+		DurableCatalog: true,
+		Backend:        func(i int) kvstore.KV { return stores[i] },
+	})
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+
+	ctx := context.Background()
+	fmt.Printf("\n=== Crash restart: %d providers on LSM dirs, R=%d, kill -9 provider %d mid-workload ===\n",
+		providers, repo.Replicas(), target)
+
+	flat, err := model.Flatten(model.Sequential("bench", 8,
+		model.Dense{In: 8, Out: 8, Activation: "relu", UseBias: true},
+		model.Dense{In: 8, Out: 8, Activation: "relu"},
+		model.Dense{In: 8, Out: 4},
+	))
+	if err != nil {
+		return err
+	}
+
+	// Replica sets are deterministic (home = id % providers, then hash
+	// successors), so the byte budget below can count exactly which models
+	// involve the target.
+	onTarget := func(id core.ModelID) bool {
+		for _, pi := range repo.ReplicaSet(id) {
+			if pi == target {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase 1: healthy writes — the pre-crash state the catalog must carry
+	// across the kill. All from-scratch models of one architecture, so
+	// per-model payload bytes are uniform and the budget is exact.
+	var ids []core.ModelID
+	preOnTarget := 0
+	for i := 0; i < models; i++ {
+		id, err := repo.Store(ctx, flat, model.Materialize(flat, uint64(i+1)), 0.5)
+		if err != nil {
+			return fmt.Errorf("healthy store %d: %w", i, err)
+		}
+		ids = append(ids, id)
+		if onTarget(id) {
+			preOnTarget++
+		}
+	}
+	statsPre, err := repo.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	perModel := statsPre.SegmentBytes / uint64(len(ids)*replicas) // bytes per replica copy
+	fmt.Printf("stored %d models healthy (%d involve provider %d; %d payload bytes per replica copy)\n",
+		len(ids), preOnTarget, target, perModel)
+
+	// Phase 2: kill -9. The endpoint vanishes from the fabric and the LSM
+	// handle is abandoned without Close — whatever sat in the WAL's bufio
+	// buffer is gone. (Every catalog mutation ends in an fsync, so the
+	// durable state is exactly what the provider acknowledged.)
+	if err := repo.KillProvider(target); err != nil {
+		return err
+	}
+	stores[target] = nil // abandoned; reopened below
+	fmt.Printf("killed provider %d (endpoint unbound, store abandoned unflushed)\n", target)
+
+	// The workload continues through the outage with ZERO failed requests:
+	// writes are accepted as partials, reads fail over to survivors.
+	outOnTarget := 0
+	for i := 0; i < outage; i++ {
+		id, err := repo.Store(ctx, flat, model.Materialize(flat, uint64(models+i+1)), 0.5)
+		if err != nil {
+			return fmt.Errorf("store during outage: %w", err)
+		}
+		ids = append(ids, id)
+		if onTarget(id) {
+			outOnTarget++
+		}
+	}
+	// One pre-era retire: its tombstone reaches only survivors and must be
+	// replayed onto the restarted provider by repair, not resurrected.
+	victim := ids[0]
+	if _, err := repo.Retire(ctx, victim); err != nil {
+		return fmt.Errorf("retire during outage: %w", err)
+	}
+	ids = ids[1:]
+	for _, id := range ids {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			return fmt.Errorf("load %d during outage: %w", id, err)
+		}
+	}
+	partials := reg.Counter("client.partial_write").Load()
+	fmt.Printf("outage workload: %d stores, 1 retire, %d loads, 0 failures, %d partial writes accepted\n",
+		outage, len(ids), partials)
+	if partials == 0 {
+		return fmt.Errorf("no partial writes were recorded with a provider down")
+	}
+
+	// Phase 3: restart on the same directory. Manifest first — identity and
+	// format must check out before the store is touched.
+	m, err := kvstore.LoadManifest(dir(target))
+	if err != nil {
+		return fmt.Errorf("reopening manifest: %w", err)
+	}
+	if m == nil || m.ProviderID != uint32(target) {
+		return fmt.Errorf("manifest at %s: got %+v, want provider %d", dir(target), m, target)
+	}
+	reopened, err := open(target)
+	if err != nil {
+		return fmt.Errorf("reopening store %d: %w", target, err)
+	}
+	stores[target] = reopened
+	survivor := (target + 1) % providers
+	st := repo.Providers()[survivor].PlacementState()
+	if err := repo.RestartProvider(target, reopened, st); err != nil {
+		return err
+	}
+	replayed := repo.Providers()[target].Stats().Models
+	fmt.Printf("restarted provider %d: manifest ok (format %d, epoch %d), catalog replayed %d models\n",
+		target, m.FormatVersion, m.PlacementEpoch, replayed)
+	// The replayed catalog must hold the pre-crash era. (The outage-retired
+	// victim may still be among them until repair delivers its tombstone.)
+	if replayed < uint64(preOnTarget) {
+		return fmt.Errorf("catalog replay lost models: %d cataloged, want >= %d pre-crash models", replayed, preOnTarget)
+	}
+
+	// Phase 4: one repair pass converges the divergence tail — and ONLY the
+	// tail. Budget: the models stored during the outage whose replica set
+	// includes the restarted provider, plus the retired victim's segments
+	// if its DecRef hadn't reached the target (repair never pushes payload
+	// for tombstoned models, but allow one model of slack for it). A lost
+	// catalog would instead re-push all preOnTarget models and blow this.
+	movedBefore := reg.Counter("client.repair_payload_bytes").Load()
+	rs, err := repo.RepairAll(ctx)
+	if err != nil {
+		return fmt.Errorf("repair pass: %w", err)
+	}
+	moved := reg.Counter("client.repair_payload_bytes").Load() - movedBefore
+	budget := uint64(outOnTarget+1) * perModel * 5 / 4 // +1 model and 25% slack
+	fmt.Printf("repair pass: checked=%d repaired=%d; moved %d payload bytes (budget %d: %d outage models on provider %d)\n",
+		rs.Checked, rs.Repaired, moved, budget, outOnTarget, target)
+	if moved > budget {
+		return fmt.Errorf("repair moved %d bytes, over the %d-byte divergence-tail budget: the reopened catalog did not carry the pre-crash era",
+			moved, budget)
+	}
+	if preOnTarget > 0 && moved >= uint64(preOnTarget)*perModel {
+		return fmt.Errorf("repair moved %d bytes >= the provider's whole pre-crash share (%d): catalog replay was ineffective",
+			moved, uint64(preOnTarget)*perModel)
+	}
+	if diverged, err := repo.RepairCheck(ctx); err != nil {
+		return fmt.Errorf("post-repair check: %w", err)
+	} else if len(diverged) != 0 {
+		return fmt.Errorf("still diverged after repair: %v", diverged)
+	}
+
+	// Digest audit straight off the provider structs: every replica set
+	// bit-identical, and the outage-retired victim gone everywhere.
+	provs := repo.Providers()
+	for _, id := range ids {
+		set := repo.ReplicaSet(id)
+		d0 := provs[set[0]].Digest(id)
+		for _, pi := range set[1:] {
+			if di := provs[pi].Digest(id); !d0.Converged(di) {
+				return fmt.Errorf("model %d: replica %d digest %+v != replica %d digest %+v",
+					id, set[0], d0, pi, di)
+			}
+		}
+	}
+	if d := provs[target].Digest(victim); d.Present {
+		return fmt.Errorf("retired model %d resurrected on restarted provider %d", victim, target)
+	}
+	fmt.Printf("digest audit: %d models bit-identical across their replica sets; outage retire not resurrected\n", len(ids))
+
+	// Phase 5: retire everything and drain — any delta lost across the
+	// crash/restart leaves refs behind.
+	for _, id := range ids {
+		if _, err := repo.Retire(ctx, id); err != nil {
+			return fmt.Errorf("final retire %d: %w", id, err)
+		}
+	}
+	stats, err := repo.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retired %d models; remaining models=%d segments=%d live refs=%d\n",
+		len(ids), stats.Models, stats.Segments, stats.LiveRefs)
+	if stats.Models != 0 || stats.Segments != 0 || stats.LiveRefs != 0 {
+		return fmt.Errorf("refcount drift: repository did not drain after restart: %+v", *stats)
+	}
+	fmt.Println("repository drained completely: no state lost or duplicated across the crash")
+
+	for i, s := range stores {
+		if s != nil {
+			if err := s.Close(); err != nil {
+				return fmt.Errorf("closing store %d: %w", i, err)
+			}
+		}
+	}
+	fmt.Println("\nRestart counters:")
+	reg.Render(os.Stdout)
+	return nil
+}

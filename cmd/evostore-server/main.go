@@ -12,7 +12,13 @@
 //
 // Without -data the provider uses the in-memory backend (the paper's
 // synchronized-pool mode); with -data it persists segments in an LSM store
-// (the RocksDB-like mode).
+// (the RocksDB-like mode) AND runs the durable catalog: model metadata,
+// refcounts, repair journals and tombstones are written through to the
+// store, an epoch-versioned MANIFEST (format version, provider identity,
+// placement epoch, feature flags) gates reopen, and a crashed provider
+// restarted on the same directory replays its catalog, re-announces itself
+// to -repair-peers (adopting the newest placement epoch), and lets the
+// anti-entropy repairer converge only the writes it missed while down.
 //
 // -dedup wraps the backend with content-addressed chunk storage: identical
 // 64 KiB chunks across segments are stored once (see internal/dedup).
@@ -129,27 +135,61 @@ func main() {
 	}
 
 	var kv kvstore.KV
+	var lsm *kvstore.LSMKV
+	var manifest *kvstore.Manifest
 	if *data == "" {
 		kv = kvstore.NewMemKV(16)
 		log.Printf("provider %d: in-memory backend", *id)
 	} else {
-		lsm, err := kvstore.OpenLSM(*data, kvstore.LSMOptions{})
+		// The manifest gate runs before the LSM opens: a directory written
+		// by another provider, a newer format, or an unknown feature must
+		// refuse service rather than corrupt state it half-understands.
+		m, err := kvstore.LoadManifest(*data)
+		if err != nil {
+			log.Fatalf("loading manifest: %v", err)
+		}
+		if m != nil && m.ProviderID != uint32(*id) {
+			log.Fatalf("manifest at %s belongs to provider %d, not -id %d: refusing to serve another provider's data", *data, m.ProviderID, *id)
+		}
+		manifest = m
+		l, err := kvstore.OpenLSM(*data, kvstore.LSMOptions{})
 		if err != nil {
 			log.Fatalf("opening LSM store: %v", err)
 		}
-		defer lsm.Close()
-		kv = lsm
-		log.Printf("provider %d: LSM backend at %s", *id, *data)
+		defer l.Close()
+		lsm = l
+		kv = l
+		if m != nil {
+			log.Printf("provider %d: LSM backend at %s (manifest format %d, placement epoch %d)",
+				*id, *data, m.FormatVersion, m.PlacementEpoch)
+		} else {
+			log.Printf("provider %d: LSM backend at %s (no manifest: first start)", *id, *data)
+		}
 	}
 
 	var cas *dedup.KV
 	if *dedupStore || *coldSweep > 0 {
 		cas = dedup.Wrap(kv, dedup.Options{ColdCompress: *coldSweep > 0})
 		kv = cas
+		if *data != "" {
+			if err := cas.Recover(); err != nil {
+				log.Fatalf("recovering chunk refcounts: %v", err)
+			}
+		}
 		log.Printf("provider %d: content-addressed chunk storage on (cold sweep: %s)", *id, coldSweep)
 	}
 
-	p := provider.New(*id, kv)
+	var p *provider.Provider
+	if *data != "" {
+		dp, err := provider.NewDurable(*id, kv)
+		if err != nil {
+			log.Fatalf("replaying catalog: %v", err)
+		}
+		p = dp
+		log.Printf("provider %d: durable catalog replayed (%d models)", *id, p.Stats().Models)
+	} else {
+		p = provider.New(*id, kv)
+	}
 	p.SetDedupTTL(*dedupTTL)
 	if *deploySize > 0 {
 		p.SetPlacement(*deploySize, *replicas)
@@ -158,6 +198,38 @@ func main() {
 		} else {
 			log.Printf("provider %d: placement guard armed (deployment %d, R=%d)", *id, *deploySize, *replicas)
 		}
+	}
+	if manifest != nil && len(manifest.Placement) > 0 {
+		// Resume the placement view the manifest recorded before the crash;
+		// SetPlacementState keeps the newest epoch, so this never regresses
+		// the epoch-0 table armed above.
+		st, err := placement.DecodeState(manifest.Placement)
+		if err != nil {
+			log.Fatalf("manifest placement: %v", err)
+		}
+		if st != nil {
+			if err := p.SetPlacementState(st); err != nil {
+				log.Fatalf("manifest placement: %v", err)
+			}
+			log.Printf("provider %d: resumed placement epoch %d from manifest", *id, placement.EpochOf(st))
+		}
+	}
+	saveManifest := func(st *placement.State) {}
+	if *data != "" {
+		saveManifest = func(st *placement.State) {
+			m := &kvstore.Manifest{
+				FormatVersion:  kvstore.ManifestFormatVersion,
+				ProviderID:     uint32(*id),
+				PlacementEpoch: placement.EpochOf(st),
+				Placement:      placement.EncodeState(st),
+				Features:       []string{kvstore.FeatureDurableCatalog},
+			}
+			if err := kvstore.SaveManifest(*data, m); err != nil {
+				log.Printf("provider %d: saving manifest: %v", *id, err)
+			}
+		}
+		p.OnPlacementChange(saveManifest)
+		saveManifest(p.PlacementState())
 	}
 	srv := rpc.NewServer()
 	srv.SetRequestTimeout(*reqTimeout)
@@ -168,6 +240,14 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("provider %d: serving on %s", *id, addr)
+
+	// Restart rejoin: a durable provider announces its recovery to the
+	// deployment and adopts the highest placement epoch any peer reached
+	// while it was down — serving under a stale epoch would bounce writes
+	// until the first wrong-epoch error taught a client to correct it.
+	if *data != "" && *repairPeers != "" {
+		rejoin(p, *id, *repairPeers, *reqTimeout)
+	}
 
 	stopMetrics := make(chan struct{})
 	if *metricsEvery > 0 {
@@ -241,9 +321,75 @@ func main() {
 	}
 	log.Printf("provider %d: shutting down", *id)
 	lis.Close()
+	if lsm != nil {
+		// Clean shutdown: flush the memtable to an SSTable and persist the
+		// final placement view, so the next start replays an empty WAL and
+		// resumes the exact epoch this process last served under.
+		if err := lsm.Flush(); err != nil {
+			log.Printf("provider %d: final flush: %v", *id, err)
+		}
+		saveManifest(p.PlacementState())
+	}
 	st := p.Stats()
 	log.Printf("provider %d: %d models, %d segments, %d bytes",
 		*id, st.Models, st.Segments, st.SegmentBytes)
+}
+
+// rejoin sends the restart-rejoin handshake (proto.RPCHello) to every
+// repair peer and adopts the highest placement epoch heard. Peer failures
+// are logged and skipped — a rejoin against a half-up deployment still
+// converges, and any epoch missed here is adopted later off wrong-epoch
+// errors. The adoption goes through SetPlacementState, so it also rewrites
+// the manifest via the OnPlacementChange hook.
+func rejoin(p *provider.Provider, id int, peers string, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	st := p.PlacementState()
+	req := rpc.Message{Meta: proto.EncodeHello(&proto.Hello{
+		Provider: uint32(id),
+		Format:   kvstore.ManifestFormatVersion,
+		Epoch:    placement.EpochOf(st),
+		Models:   p.Stats().Models,
+	})}
+	var best *placement.State
+	for i, a := range strings.Split(peers, ",") {
+		if i == id {
+			continue
+		}
+		a = strings.TrimSpace(a)
+		c, err := rpc.DialTCP(a)
+		if err != nil {
+			log.Printf("provider %d: rejoin: dial %s: %v", id, a, err)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		resp, err := c.Call(ctx, proto.RPCHello, req)
+		cancel()
+		c.Close()
+		if err != nil {
+			log.Printf("provider %d: rejoin: hello %s: %v", id, a, err)
+			continue
+		}
+		hr, err := proto.DecodeHelloResp(resp.Meta)
+		if err != nil || len(hr.Placement) == 0 {
+			continue
+		}
+		pst, err := placement.DecodeState(hr.Placement)
+		if err != nil || pst == nil {
+			continue
+		}
+		if best == nil || placement.EpochOf(pst) > placement.EpochOf(best) {
+			best = pst
+		}
+	}
+	if best != nil && placement.EpochOf(best) > placement.EpochOf(st) {
+		if err := p.SetPlacementState(best); err != nil {
+			log.Printf("provider %d: rejoin: adopting epoch %d: %v", id, placement.EpochOf(best), err)
+			return
+		}
+		log.Printf("provider %d: rejoined at placement epoch %d", id, placement.EpochOf(best))
+	}
 }
 
 // drainSelf retires this provider from the placement table: it syncs the

@@ -59,6 +59,7 @@ type Repository struct {
 	net    *rpc.InprocNet
 	conns  []rpc.Conn
 	faults []*rpc.FaultConn
+	opts   Options // normalized Open options, kept for RestartProvider
 
 	dedupOn bool        // Options.Dedup: build delta plans in StoreDerived
 	cas     []*dedup.KV // per-provider CAS wrappers (nil entries where unwrapped)
@@ -124,6 +125,15 @@ type Options struct {
 	// providers' dedup wrappers: SweepCold DEFLATE-compresses segments and
 	// chunks idle past a threshold. Implies wrapping backends like Dedup.
 	ColdCompress bool
+	// DurableCatalog builds providers with provider.NewDurable: catalog
+	// state (model metadata, refcounts, journals, tombstones) is written
+	// through to the KV backend and replayed on construction, so a provider
+	// restarted on the same backend (KillProvider/RestartProvider, or an
+	// evostore-server reopening its -data directory) resumes with its
+	// pre-crash catalog instead of an empty one. Pointless on MemKV
+	// backends that die with the provider; pair with durable Backend stores
+	// (kvstore.OpenLSM).
+	DurableCatalog bool
 }
 
 // Open creates an embedded deployment: providers and clients live in this
@@ -147,17 +157,17 @@ func Open(opts Options) (*Repository, error) {
 		opts.SpareProviders = 0
 	}
 	net := rpc.NewInprocNet()
-	r := &Repository{net: net, dedupOn: opts.Dedup}
+	r := &Repository{net: net, dedupOn: opts.Dedup, opts: opts}
 	total := opts.Providers + opts.SpareProviders
 	conns := make([]rpc.Conn, total)
 	for i := 0; i < total; i++ {
-		kv := opts.Backend(i)
-		if opts.Dedup || opts.ColdCompress {
-			cas := dedup.Wrap(kv, dedup.Options{ColdCompress: opts.ColdCompress})
-			r.cas = append(r.cas, cas)
-			kv = cas
+		p, cas, err := r.buildProvider(i, opts.Backend(i))
+		if err != nil {
+			return nil, err
 		}
-		p := provider.New(i, kv)
+		if cas != nil {
+			r.cas = append(r.cas, cas)
+		}
 		// Spares get the same epoch-0 table: not being members, they reject
 		// writes (and tell stale clients the current table) until a
 		// rebalance adds them.
@@ -231,6 +241,88 @@ func (r *Repository) SweepCold(minIdle time.Duration) (int, error) {
 // Options.Faults (index = provider ID; nil where no faults were
 // configured). Tests and benchmarks use them to flip partitions mid-run.
 func (r *Repository) FaultConns() []*rpc.FaultConn { return r.faults }
+
+// buildProvider wraps kv per the deployment options (dedup/cold-compress)
+// and constructs provider i, durable when Options.DurableCatalog.
+func (r *Repository) buildProvider(i int, kv kvstore.KV) (*provider.Provider, *dedup.KV, error) {
+	var cas *dedup.KV
+	if r.opts.Dedup || r.opts.ColdCompress {
+		cas = dedup.Wrap(kv, dedup.Options{ColdCompress: r.opts.ColdCompress})
+		kv = cas
+	}
+	if r.opts.DurableCatalog {
+		p, err := provider.NewDurable(i, kv)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: provider %d: %w", i, err)
+		}
+		return p, cas, nil
+	}
+	return provider.New(i, kv), cas, nil
+}
+
+// --- crash / restart -----------------------------------------------------------
+
+// KillProvider simulates kill -9 of embedded provider i: its endpoint is
+// unbound from the fabric — in-flight and future calls fail transiently,
+// exactly the shape PartialWrites and read failover are built for — and
+// the provider object is abandoned WITHOUT flushing, so buffered state
+// (e.g. an LSM WAL's bufio tail) is lost as it would be on a real crash.
+// The caller keeps ownership of the KV backend and typically reopens it
+// for RestartProvider.
+func (r *Repository) KillProvider(i int) error {
+	if r.owned == nil || i < 0 || i >= len(r.owned) {
+		return fmt.Errorf("core: kill provider %d: not an embedded provider", i)
+	}
+	r.net.Unlisten(fmt.Sprintf("provider-%d", i))
+	r.owned[i] = nil
+	if r.cas != nil {
+		r.cas[i] = nil
+	}
+	return nil
+}
+
+// RestartProvider brings a killed provider back on kv — typically the same
+// LSM directory reopened, modeling a process restart on surviving disk
+// state. The dedup wrapper (when configured) is rebuilt and its refcounts
+// recovered from the store, the provider replays its durable catalog
+// (Options.DurableCatalog), placement is re-armed — st, when non-nil,
+// installs a saved or fetched placement view on top of the epoch-0 default
+// (newest epoch wins) — and the endpoint is rebound so clients reconnect
+// on their next call. Converging the data the provider missed while down
+// is the Repairer's job, driven by the durable catalog's journals.
+func (r *Repository) RestartProvider(i int, kv kvstore.KV, st *placement.State) error {
+	if r.owned == nil || i < 0 || i >= len(r.owned) {
+		return fmt.Errorf("core: restart provider %d: not an embedded provider", i)
+	}
+	p, cas, err := r.buildProvider(i, kv)
+	if err != nil {
+		return fmt.Errorf("core: restart provider %d: %w", i, err)
+	}
+	if cas != nil {
+		if err := cas.Recover(); err != nil {
+			return fmt.Errorf("core: restart provider %d: dedup recover: %w", i, err)
+		}
+	}
+	p.SetPlacement(r.opts.Providers, r.opts.Replicas)
+	if st != nil {
+		if err := p.SetPlacementState(st); err != nil {
+			return fmt.Errorf("core: restart provider %d: %w", i, err)
+		}
+	}
+	srv := rpc.NewServer()
+	p.Register(srv)
+	if err := r.net.Listen(fmt.Sprintf("provider-%d", i), srv); err != nil {
+		return fmt.Errorf("core: restart provider %d: %w", i, err)
+	}
+	r.owned[i] = p
+	if cas != nil {
+		if r.cas == nil {
+			r.cas = make([]*dedup.KV, len(r.owned))
+		}
+		r.cas[i] = cas
+	}
+	return nil
+}
 
 // Attach wraps connections to an externally deployed set of providers
 // (e.g. evostore-server processes over TCP). The connection order defines

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/model"
+)
+
+// TestKillRestartProvider exercises the embedded crash/restart cycle: a
+// killed provider's endpoint vanishes (writes become partials, reads fail
+// over), and a restart on the surviving backend replays the durable
+// catalog so one repair pass reconverges the replica sets.
+func TestKillRestartProvider(t *testing.T) {
+	backends := make([]kvstore.KV, 4)
+	repo, err := Open(Options{
+		Providers:      4,
+		Replicas:       2,
+		PartialWrites:  true,
+		DurableCatalog: true,
+		Backend: func(i int) kvstore.KV {
+			backends[i] = kvstore.NewMemKV(16)
+			return backends[i]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	ctx := context.Background()
+	f := mlp(t, 3, 8, 4)
+	var ids []ModelID
+	for i := 0; i < 6; i++ {
+		id, err := repo.Store(ctx, f, model.Materialize(f, uint64(i+1)), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	const target = 1
+	if err := repo.KillProvider(target); err != nil {
+		t.Fatal(err)
+	}
+	if repo.Providers()[target] != nil {
+		t.Fatal("killed provider still exposed")
+	}
+	// The workload continues: writes partial, reads fail over.
+	outageID, err := repo.Store(ctx, f, model.Materialize(f, 100), 0.5)
+	if err != nil {
+		t.Fatalf("store during outage: %v", err)
+	}
+	ids = append(ids, outageID)
+	for _, id := range ids {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			t.Fatalf("load %d during outage: %v", id, err)
+		}
+	}
+
+	// Restart on the surviving backend (a MemKV here, so "reopening the
+	// data dir" is just reusing the map the catalog was written through).
+	survivorState := repo.Providers()[(target+1)%4].PlacementState()
+	if err := repo.RestartProvider(target, backends[target], survivorState); err != nil {
+		t.Fatal(err)
+	}
+	// The replayed catalog knows the pre-kill era; only the outage store
+	// should diverge.
+	diverged, err := repo.RepairCheck(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range diverged {
+		for _, pre := range ids[:len(ids)-1] {
+			if id == pre && !contains(repo.ReplicaSet(outageID), target) {
+				// Pre-kill models may only diverge if the catalog was lost.
+				t.Errorf("pre-kill model %d diverged after restart: catalog not replayed", id)
+			}
+		}
+	}
+	if _, err := repo.RepairAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if diverged, err := repo.RepairCheck(ctx); err != nil {
+		t.Fatal(err)
+	} else if len(diverged) != 0 {
+		t.Fatalf("still diverged after repair: %v", diverged)
+	}
+	provs := repo.Providers()
+	for _, id := range ids {
+		set := repo.ReplicaSet(id)
+		d0 := provs[set[0]].Digest(id)
+		for _, pi := range set[1:] {
+			if di := provs[pi].Digest(id); !d0.Converged(di) {
+				t.Errorf("model %d digests diverged between replicas %d and %d", id, set[0], pi)
+			}
+		}
+	}
+
+	// Drain: nothing lost or duplicated across the crash.
+	for _, id := range ids {
+		if _, err := repo.Retire(ctx, id); err != nil {
+			t.Fatalf("retire %d: %v", id, err)
+		}
+	}
+	stats, err := repo.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Models != 0 || stats.Segments != 0 || stats.LiveRefs != 0 {
+		t.Errorf("repository did not drain after crash/restart: %+v", stats)
+	}
+}
+
+func contains(set []int, x int) bool {
+	for _, v := range set {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKillRestartBounds: out-of-range and attached-deployment calls fail
+// cleanly instead of panicking.
+func TestKillRestartBounds(t *testing.T) {
+	repo := openRepo(t, 2)
+	if err := repo.KillProvider(7); err == nil {
+		t.Error("KillProvider(7) on a 2-provider deployment succeeded")
+	}
+	if err := repo.RestartProvider(-1, kvstore.NewMemKV(1), nil); err == nil {
+		t.Error("RestartProvider(-1) succeeded")
+	}
+	attached := &Repository{} // attached deployments own no providers
+	if err := attached.KillProvider(0); err == nil {
+		t.Error("KillProvider on an attached deployment succeeded")
+	}
+}

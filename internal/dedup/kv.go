@@ -3,6 +3,7 @@ package dedup
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -381,6 +382,62 @@ func (d *KV) SizeBytes() int64 { return d.kv.SizeBytes() }
 
 // Close implements kvstore.KV.
 func (d *KV) Close() error { return d.kv.Close() }
+
+// Sync implements kvstore.Syncer when the wrapped store does (a no-op
+// otherwise), so the durable provider catalog can fsync through the
+// content-addressing layer.
+func (d *KV) Sync() error {
+	if s, ok := d.kv.(kvstore.Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Recover rebuilds the wrapper's in-memory chunk refcounts by scanning
+// the wrapped store's recipes. Required after reopening a persistent
+// inner store (kvstore.LSMKV): the cas/ chunks and recipes survived the
+// restart, but the refcounts lived in process memory — without recovery
+// a Put of an existing key would fail to release its old chunks, and a
+// release could delete chunks other recipes still reference. Chunks no
+// recipe references (for example a crash between the chunk put and its
+// recipe put) are orphans and are deleted. Call before serving traffic.
+func (d *KV) Recover() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	refs := make(map[uint64]int)
+	var chunkDigests []uint64
+	err := d.kv.Scan("", func(key string, value []byte) bool {
+		if strings.HasPrefix(key, casPrefix) {
+			if g, err := strconv.ParseUint(key[len(casPrefix):], 16, 64); err == nil {
+				chunkDigests = append(chunkDigests, g)
+			}
+			return true
+		}
+		if hasMagic(value, recipeMagic) {
+			if _, digests, _, err := parseRecipe(value); err == nil {
+				for _, g := range digests {
+					refs[g]++
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	d.refs = refs
+	d.chunks = 0
+	for _, g := range chunkDigests {
+		if refs[g] > 0 {
+			d.chunks++
+			continue
+		}
+		if err := d.kv.Delete(chunkKey(g)); err != nil {
+			return fmt.Errorf("dedup: deleting orphan chunk %016x: %w", g, err)
+		}
+	}
+	return nil
+}
 
 // SweepCold compresses every entry (pass-through values and chunks, not
 // recipes) whose last access is at least minIdle ago. It returns the

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -167,6 +168,178 @@ func TestLSMManyReopens(t *testing.T) {
 		if err := kv.Close(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// --- crash-injection matrix ----------------------------------------------
+//
+// Each case arms one crash hook at a durability boundary, drives the store
+// into it, asserts the store fails sticky (every later op returns
+// ErrStoreFailed), then reopens the directory and asserts the surviving
+// state is exactly what the durability contract promises.
+
+// crashErr is what the armed hooks return; the sticky failure must wrap
+// ErrStoreFailed regardless.
+var crashErr = errors.New("injected crash")
+
+func assertSticky(t *testing.T, kv *LSMKV) {
+	t.Helper()
+	if err := kv.Put("post-crash", []byte("x")); !errors.Is(err, ErrStoreFailed) {
+		t.Errorf("Put after crash = %v, want ErrStoreFailed", err)
+	}
+	if err := kv.Delete("post-crash"); !errors.Is(err, ErrStoreFailed) {
+		t.Errorf("Delete after crash = %v, want ErrStoreFailed", err)
+	}
+	if err := kv.Sync(); !errors.Is(err, ErrStoreFailed) {
+		t.Errorf("Sync after crash = %v, want ErrStoreFailed", err)
+	}
+	if err := kv.Flush(); !errors.Is(err, ErrStoreFailed) {
+		t.Errorf("Flush after crash = %v, want ErrStoreFailed", err)
+	}
+}
+
+func TestCrashAfterTableSyncRecovers(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenLSM(dir, LSMOptions{FlushBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := kv.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashAfterTableSync = func() error { return crashErr }
+	defer func() { crashAfterTableSync = nil }()
+	if err := kv.Flush(); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("Flush with crash hook = %v, want ErrStoreFailed", err)
+	}
+	assertSticky(t, kv)
+	kv.Close()
+	crashAfterTableSync = nil
+
+	// The table was durable before the "crash" and the WAL still exists;
+	// replaying both must yield every record exactly once.
+	kv2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer kv2.Close()
+	for i := 0; i < 10; i++ {
+		v, ok, err := kv2.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Errorf("k%02d after crash-reopen: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+func TestCrashAfterWALRemoveRecovers(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenLSM(dir, LSMOptions{FlushBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := kv.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashAfterWALRemove = func() error { return crashErr }
+	defer func() { crashAfterWALRemove = nil }()
+	if err := kv.Flush(); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("Flush with crash hook = %v, want ErrStoreFailed", err)
+	}
+	assertSticky(t, kv)
+	kv.Close()
+	crashAfterWALRemove = nil
+
+	// No WAL on disk, but the SSTable made it: nothing may be lost.
+	kv2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer kv2.Close()
+	for i := 0; i < 10; i++ {
+		v, ok, err := kv2.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Errorf("k%02d after crash-reopen: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+func TestCrashMidCompactionNoResurrection(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenLSM(dir, LSMOptions{FlushBytes: 1 << 30, CompactAfter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: k1 live. Table 2: k1's tombstone + k2. The compaction merges
+	// them into a table holding only k2 (tombstones dropped).
+	if err := kv.Put("k1", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("k2", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashMidCompaction = func() error { return crashErr }
+	defer func() { crashMidCompaction = nil }()
+	// The merged table and its commit marker are durable; the crash lands
+	// before the superseded tables (including k1's only tombstone) are
+	// removed.
+	if err := kv.Compact(); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("Compact with crash hook = %v, want ErrStoreFailed", err)
+	}
+	assertSticky(t, kv)
+	kv.Close()
+	crashMidCompaction = nil
+
+	// Without the marker, reopen would load the pre-compaction tables next
+	// to the merged one — and since the merged table dropped the tombstone,
+	// k1 would come back from the dead.
+	kv2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer kv2.Close()
+	if v, ok, _ := kv2.Get("k1"); ok {
+		t.Errorf("deleted key resurrected after crash mid-compaction: k1 = %q", v)
+	}
+	if v, ok, err := kv2.Get("k2"); err != nil || !ok || string(v) != "kept" {
+		t.Errorf("k2 after crash-reopen: %q ok=%v err=%v", v, ok, err)
+	}
+	if markers, _ := filepath.Glob(filepath.Join(dir, "*.sst.compact")); len(markers) != 0 {
+		t.Errorf("compaction markers survived recovery: %v", markers)
+	}
+}
+
+// TestDeleteHeavyFlush pins the memLen accounting fix: tombstones carry
+// key + overhead cost, so a delete-only workload must still cross
+// FlushBytes and flush (before the fix, Delete never checked the
+// threshold and tombstones accounted zero bytes, growing the memtable and
+// WAL without bound).
+func TestDeleteHeavyFlush(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenLSM(dir, LSMOptions{FlushBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	for i := 0; i < 200; i++ {
+		if err := kv.Delete(fmt.Sprintf("some/reasonably/long/deleted/key/%06d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := kv.TableCount(); got == 0 {
+		t.Errorf("TableCount = 0 after 200 deletes with a 4 KiB threshold: delete path never flushes")
 	}
 }
 

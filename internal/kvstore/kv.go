@@ -34,6 +34,14 @@ type KV interface {
 	Close() error
 }
 
+// Syncer is an optional durability interface: Sync makes every write
+// acknowledged so far durable (fsync) without other side effects. LSMKV
+// implements it by flushing and fsyncing its WAL; purely in-memory stores
+// (MemKV) do not implement it and callers treat that as a no-op.
+type Syncer interface {
+	Sync() error
+}
+
 // ByteKeyGetter is an optional fast-path interface for stores that can look
 // a key up from a byte slice without materializing a string. Callers on hot
 // read paths (provider segment reads) type-assert for it and fall back to

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,47 @@ import (
 	"strings"
 	"sync"
 )
+
+// ErrStoreFailed marks an LSMKV that hit an unrecoverable error at a
+// durability boundary (the WAL could not be rotated after a flush, or a
+// crash-injection hook fired). Accepting further writes would risk
+// acknowledging data into a dead file descriptor, so every subsequent
+// operation fails with this error; the on-disk state is intact and a
+// reopen recovers it.
+var ErrStoreFailed = errors.New("kvstore: store failed; reopen the directory to recover")
+
+// Crash-injection hooks for the recovery test matrix. When non-nil, the
+// hook runs at its durability boundary; a non-nil return simulates the
+// process dying right there: the operation aborts, the store is marked
+// failed (as a crashed process would be unusable), and the test reopens
+// the directory to assert convergence. Always nil in production.
+var (
+	// crashAfterTableSync fires in flushLocked after the new SSTable and
+	// its directory entry are durable but before the WAL is removed.
+	crashAfterTableSync func() error
+	// crashAfterWALRemove fires in flushLocked after wal.log has been
+	// removed (and the removal fsynced) but before a fresh WAL exists.
+	crashAfterWALRemove func() error
+	// crashMidCompaction fires in compactLocked after the merged table
+	// and its commit marker are durable but before the superseded tables
+	// are removed.
+	crashMidCompaction func() error
+)
+
+// syncDir fsyncs a directory so that entry creations/removals inside it
+// are durable. Rename/remove durability requires this on POSIX; without
+// it a crash can lose a just-flushed SSTable or resurrect a removed WAL.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
 
 // LSMKV is a persistent log-structured merge store: the analogue of the
 // paper's RocksDB provider backend. Writes go to a WAL and an in-memory
@@ -25,6 +67,8 @@ type LSMKV struct {
 	log    *wal
 	tables []*sstable // newest last
 	nextID int
+	closed bool
+	failed error // non-nil after an unrecoverable durability error
 }
 
 // memEntry is one memtable slot: either a value or a tombstone. Keeping an
@@ -67,21 +111,58 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMKV, error) {
 	}
 	kv := &LSMKV{dir: dir, opts: opts, mem: make(map[string]memEntry)}
 
+	// Crash-mid-compaction recovery: a `<id>.sst.compact` marker means the
+	// table with that id supersedes every older table (compaction dropped
+	// their tombstones, so replaying the old tables would resurrect deleted
+	// keys). Finish the interrupted removal, then drop the marker.
+	cutoff := -1
+	markers, err := filepath.Glob(filepath.Join(dir, "*.sst.compact"))
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range markers {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(m), "%06d.sst.compact", &id); err != nil {
+			continue
+		}
+		if _, err := os.Stat(strings.TrimSuffix(m, ".compact")); err == nil && id > cutoff {
+			cutoff = id
+		}
+		// Marker without its table cannot occur (the marker is written
+		// after the table is durable); treat it as stale either way.
+	}
+
 	names, err := filepath.Glob(filepath.Join(dir, "*.sst"))
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(names) // IDs are zero-padded so lexical = numeric order
 	for _, name := range names {
+		var id int
+		fmt.Sscanf(filepath.Base(name), "%06d.sst", &id)
+		if id < cutoff {
+			if err := os.Remove(name); err != nil {
+				return nil, fmt.Errorf("kvstore: removing superseded %s: %w", name, err)
+			}
+			continue
+		}
 		t, err := openSSTable(name)
 		if err != nil {
 			return nil, fmt.Errorf("kvstore: opening %s: %w", name, err)
 		}
 		kv.tables = append(kv.tables, t)
-		var id int
-		fmt.Sscanf(filepath.Base(name), "%06d.sst", &id)
 		if id >= kv.nextID {
 			kv.nextID = id + 1
+		}
+	}
+	for _, m := range markers {
+		if err := os.Remove(m); err != nil {
+			return nil, err
+		}
+	}
+	if cutoff >= 0 || len(markers) > 0 {
+		if err := syncDir(dir); err != nil {
+			return nil, err
 		}
 	}
 
@@ -104,25 +185,54 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMKV, error) {
 	return kv, nil
 }
 
-// memApply installs an entry into the memtable, tracking payload size.
-// Caller holds mu (or is single-threaded during open).
+// memEntryCost is the accounted per-entry overhead beyond the value
+// payload (map slot, tombstone flag, WAL header). Charging it — and the
+// key bytes — for every entry means delete-heavy workloads (mass Retire)
+// grow memLen too and reach the flush threshold, instead of accumulating
+// tombstones unboundedly.
+const memEntryCost = 32
+
+// memApply installs an entry into the memtable, tracking its accounted
+// size (key + overhead + value; tombstones carry no value). Caller holds
+// mu (or is single-threaded during open).
 func (kv *LSMKV) memApply(key string, value []byte, tomb bool) {
 	if old, ok := kv.mem[key]; ok {
-		kv.memLen -= int64(len(old.val))
+		kv.memLen -= int64(len(key)) + memEntryCost + int64(len(old.val))
 	}
 	if tomb {
 		kv.mem[key] = memEntry{tomb: true}
+		kv.memLen += int64(len(key)) + memEntryCost
 		return
 	}
 	cp := append([]byte(nil), value...)
 	kv.mem[key] = memEntry{val: cp}
-	kv.memLen += int64(len(cp))
+	kv.memLen += int64(len(key)) + memEntryCost + int64(len(cp))
+}
+
+// usableLocked gates mutations on store health. Caller holds mu.
+func (kv *LSMKV) usableLocked() error {
+	if kv.failed != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrStoreFailed, kv.failed)
+	}
+	if kv.closed || kv.log == nil {
+		return fmt.Errorf("%w (store closed)", ErrStoreFailed)
+	}
+	return nil
+}
+
+// failLocked marks the store permanently failed. Caller holds mu.
+func (kv *LSMKV) failLocked(cause error) error {
+	kv.failed = cause
+	return fmt.Errorf("%w: %v", ErrStoreFailed, cause)
 }
 
 // Put implements KV.
 func (kv *LSMKV) Put(key string, value []byte) error {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	if err := kv.usableLocked(); err != nil {
+		return err
+	}
 	if err := kv.log.append(walOpPut, key, value); err != nil {
 		return err
 	}
@@ -142,11 +252,31 @@ func (kv *LSMKV) Put(key string, value []byte) error {
 func (kv *LSMKV) Delete(key string) error {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	if err := kv.usableLocked(); err != nil {
+		return err
+	}
 	if err := kv.log.append(walOpDelete, key, nil); err != nil {
 		return err
 	}
 	kv.memApply(key, nil, true)
+	if kv.memLen >= kv.opts.FlushBytes {
+		return kv.flushLocked()
+	}
 	return nil
+}
+
+// Sync makes every acknowledged write durable (WAL flush + fsync) without
+// forcing a memtable flush. The durable provider catalog calls this after
+// catalog mutations so acknowledged state survives kill −9; because the
+// WAL is sequential, the sync also hardens all earlier unsynced appends
+// (segment payloads included).
+func (kv *LSMKV) Sync() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if err := kv.usableLocked(); err != nil {
+		return err
+	}
+	return kv.log.sync()
 }
 
 // Get implements KV: memtable first, then SSTables newest-first.
@@ -234,6 +364,9 @@ func (kv *LSMKV) Flush() error {
 }
 
 func (kv *LSMKV) flushLocked() error {
+	if err := kv.usableLocked(); err != nil {
+		return err
+	}
 	if len(kv.mem) == 0 {
 		return nil
 	}
@@ -247,24 +380,53 @@ func (kv *LSMKV) flushLocked() error {
 	kv.nextID++
 	t, err := writeSSTable(path, entries)
 	if err != nil {
+		// Memtable and WAL are untouched: nothing is lost, the flush can
+		// simply be retried. Clear any partial table file.
+		os.Remove(path)
 		return err
+	}
+	// The table's directory entry must be durable before the WAL (which
+	// still covers its contents) goes away.
+	if err := syncDir(kv.dir); err != nil {
+		t.close()
+		os.Remove(path)
+		return err
+	}
+	if hook := crashAfterTableSync; hook != nil {
+		if err := hook(); err != nil {
+			return kv.failLocked(err)
+		}
 	}
 	kv.tables = append(kv.tables, t)
 	kv.mem = make(map[string]memEntry)
 	kv.memLen = 0
 
-	// Truncate the WAL: its contents are now durable in the SSTable.
-	if err := kv.log.close(); err != nil {
-		return err
+	// Rotate the WAL: its contents are now durable in the SSTable. From
+	// here on a failure leaves no usable log handle, so instead of letting
+	// later Puts write into a dead descriptor the store is marked failed
+	// (writes error with ErrStoreFailed; on-disk state stays recoverable).
+	log := kv.log
+	kv.log = nil
+	if err := log.close(); err != nil {
+		return kv.failLocked(fmt.Errorf("closing wal: %w", err))
 	}
 	walPath := filepath.Join(kv.dir, "wal.log")
 	if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
-		return err
+		return kv.failLocked(fmt.Errorf("removing wal: %w", err))
 	}
-	kv.log, err = createWAL(walPath)
+	if err := syncDir(kv.dir); err != nil {
+		return kv.failLocked(fmt.Errorf("syncing dir after wal removal: %w", err))
+	}
+	if hook := crashAfterWALRemove; hook != nil {
+		if err := hook(); err != nil {
+			return kv.failLocked(err)
+		}
+	}
+	nl, err := createWAL(walPath)
 	if err != nil {
-		return err
+		return kv.failLocked(fmt.Errorf("recreating wal: %w", err))
 	}
+	kv.log = nl
 	if len(kv.tables) > kv.opts.CompactAfter {
 		return kv.compactLocked()
 	}
@@ -310,7 +472,32 @@ func (kv *LSMKV) compactLocked() error {
 	kv.nextID++
 	nt, err := writeSSTable(path, entries)
 	if err != nil {
+		os.Remove(path)
 		return err
+	}
+	if err := syncDir(kv.dir); err != nil {
+		nt.close()
+		os.Remove(path)
+		return err
+	}
+	// Commit marker: compaction dropped tombstones, so a crash after some
+	// old tables are gone but others remain would resurrect deleted keys
+	// on replay. The durable `<id>.sst.compact` marker tells OpenLSM that
+	// this table supersedes every older one; it is removed only after all
+	// superseded tables are.
+	marker := path + ".compact"
+	if err := writeFileSync(marker); err != nil {
+		nt.close()
+		os.Remove(path)
+		return err
+	}
+	if err := syncDir(kv.dir); err != nil {
+		return kv.failLocked(err)
+	}
+	if hook := crashMidCompaction; hook != nil {
+		if err := hook(); err != nil {
+			return kv.failLocked(err)
+		}
 	}
 	old := kv.tables
 	kv.tables = []*sstable{nt}
@@ -318,24 +505,45 @@ func (kv *LSMKV) compactLocked() error {
 		t.close()
 		os.Remove(t.path)
 	}
+	os.Remove(marker)
+	if err := syncDir(kv.dir); err != nil {
+		return kv.failLocked(err)
+	}
 	return nil
 }
 
-// Close flushes and releases all resources. Closing twice is a no-op.
+// writeFileSync durably creates an empty file (the compaction marker).
+func writeFileSync(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Close flushes and releases all resources. Closing twice is a no-op, and
+// closing a failed store still releases its table handles.
 func (kv *LSMKV) Close() error {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	if kv.log == nil {
+	if kv.closed {
 		return nil
 	}
-	if err := kv.log.sync(); err != nil {
-		return err
-	}
-	if err := kv.log.close(); err != nil {
-		return err
-	}
-	kv.log = nil
+	kv.closed = true
 	var first error
+	if kv.log != nil {
+		if err := kv.log.sync(); err != nil {
+			first = err
+		}
+		if err := kv.log.close(); err != nil && first == nil {
+			first = err
+		}
+		kv.log = nil
+	}
 	for _, t := range kv.tables {
 		if err := t.close(); err != nil && first == nil {
 			first = err

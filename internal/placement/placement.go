@@ -274,6 +274,16 @@ func (s *State) CatchingUp(provider int, id ownermap.ModelID) bool {
 	return s.Prev != nil && s.Cur.Contains(provider, id) && !s.Prev.Contains(provider, id)
 }
 
+// EpochOf returns s's current epoch, tolerating nil states and tables (0
+// means "no placement armed"). Manifest writers and the restart-rejoin
+// handshake use it to compare placement views without nil checks.
+func EpochOf(s *State) uint64 {
+	if s == nil || s.Cur == nil {
+		return 0
+	}
+	return s.Cur.Epoch
+}
+
 // --- wire codec ---------------------------------------------------------------
 
 func (t *Table) encodeTo(w *wire.Writer) {

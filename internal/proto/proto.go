@@ -49,6 +49,12 @@ const (
 	RPCPlacement    = "evostore.placement"
 	RPCSetPlacement = "evostore.set_placement"
 	RPCEvict        = "evostore.evict"
+
+	// Restart rejoin (PR 7): a provider reopening its data dir announces
+	// itself to its peers and learns the cluster's current placement
+	// epoch, so a manifest written before a membership change never
+	// leaves it serving a stale table. Payloads: Hello / HelloResp.
+	RPCHello = "evostore.hello"
 )
 
 // Idempotent reports whether the named RPC can be blindly re-executed
@@ -56,7 +62,7 @@ const (
 func Idempotent(name string) bool {
 	switch name {
 	case RPCGetMeta, RPCReadSegments, RPCLCPQuery, RPCListModels, RPCStats, RPCMetrics,
-		RPCRepairList, RPCDigest, RPCRepairPull, RPCPlacement:
+		RPCRepairList, RPCDigest, RPCRepairPull, RPCPlacement, RPCHello:
 		return true
 	}
 	return false

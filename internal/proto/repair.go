@@ -232,6 +232,32 @@ func readDeltas(r *wire.Reader) ([]RefDelta, error) {
 	return ds, nil
 }
 
+// EncodeRefDelta serializes one journal delta as a standalone record (the
+// durable provider catalog persists one delta per KV key).
+func EncodeRefDelta(d *RefDelta) []byte {
+	w := wire.NewWriter(16 + 4*len(d.Vertices))
+	appendDelta(w, d)
+	return w.Bytes()
+}
+
+// DecodeRefDelta parses an EncodeRefDelta record.
+func DecodeRefDelta(b []byte) (RefDelta, error) {
+	return readDelta(wire.NewReader(b))
+}
+
+// EncodeRefCounts serializes a refcount table as a standalone record (the
+// durable provider catalog persists one table per owner).
+func EncodeRefCounts(cs []RefCount) []byte {
+	w := wire.NewWriter(4 + 12*len(cs))
+	appendCounts(w, cs)
+	return w.Bytes()
+}
+
+// DecodeRefCounts parses an EncodeRefCounts record.
+func DecodeRefCounts(b []byte) ([]RefCount, error) {
+	return readCounts(wire.NewReader(b))
+}
+
 // RefCount is one vertex's absolute refcount, used by the trimmed-journal
 // fallback (RepairApplyReq.SetCounts) and by RepairPullResp.
 type RefCount struct {

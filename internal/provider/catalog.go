@@ -1,0 +1,484 @@
+package provider
+
+// Durable catalog: write-through persistence of the provider's metadata
+// state — model catalog entries, refcounts, repair journals, retire
+// tombstones — into the same kvstore.KV that holds segment payloads, so a
+// crashed provider recovers everything a repairer needs by reopening its
+// data directory (ROADMAP "Durable providers"; the paper's RocksDB
+// deployment mode made persistent end to end).
+//
+// Keyspace (all under the "cat/" prefix, disjoint from "seg/" payloads
+// and the dedup wrapper's "cas/" chunks):
+//
+//	cat/m/<model16>          catalog entry: encoded ModelMeta + segment table
+//	cat/r/<owner16>          live refcounts (proto.EncodeRefCounts)
+//	cat/j/<owner16>/<idx16>  one journal delta (proto.EncodeRefDelta); idx
+//	                         is the delta's monotonic append index
+//	cat/jm/<owner16>         journal meta: u64 appended | u8 trimmed
+//	cat/t/<model16>          retire tombstone: u64 seq
+//
+// Journal persistence is incremental: the in-memory journal holds the
+// index window [appended-len(deltas), appended), and the catalog tracks
+// the persisted window per owner, deleting keys that trimmed out and
+// appending only new deltas — so a steady-state mutation persists O(1)
+// catalog keys, not the whole journal.
+//
+// Durability contract: catalog mutations are persisted under p.mu and
+// made durable with one kvstore.Syncer fsync per request before the
+// request is acknowledged. Segment payloads are written to the same
+// sequential WAL *before* that sync, so an acknowledged store is fully
+// durable; payloads of unacknowledged requests may be lost on kill −9
+// and reconverge via the repairer's NeedPayload backfill. If a catalog
+// write fails mid-request the in-memory state stays applied and the
+// request errors: the divergence is exactly a partial write, which the
+// anti-entropy repairer already converges.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+	"repro/internal/ownermap"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+const (
+	catModelPrefix = "cat/m/"
+	catRefsPrefix  = "cat/r/"
+	catJrnPrefix   = "cat/j/"
+	catJMetaPrefix = "cat/jm/"
+	catTombPrefix  = "cat/t/"
+)
+
+// jspan is the persisted journal-index window [lo, hi) of one owner.
+type jspan struct {
+	lo, hi uint64
+}
+
+// catalogStore is the provider's write-through catalog persistence state.
+type catalogStore struct {
+	kv   kvstore.KV
+	sync func() error // fsync hook; no-op when the KV is not a Syncer
+	// jspans tracks the persisted journal window per owner (guarded by
+	// the provider's mu, like every other catalog structure).
+	jspans map[ownermap.ModelID]jspan
+}
+
+// NewDurable creates a provider whose catalog is persisted write-through
+// in kv and recovered from it on open. Use with a persistent backend
+// (kvstore.LSMKV): the recovered provider resumes with the exact models,
+// refcounts, journals and tombstones it had acknowledged before a crash,
+// so repair only converges the divergent tail.
+func NewDurable(id int, kv kvstore.KV) (*Provider, error) {
+	p := New(id, kv)
+	cs := &catalogStore{kv: kv, jspans: make(map[ownermap.ModelID]jspan)}
+	if s, ok := kv.(kvstore.Syncer); ok {
+		cs.sync = s.Sync
+	} else {
+		cs.sync = func() error { return nil }
+	}
+	p.cat = cs
+	if err := p.loadCatalog(); err != nil {
+		return nil, fmt.Errorf("provider %d: recovering catalog: %w", id, err)
+	}
+	return p, nil
+}
+
+// --- keys --------------------------------------------------------------------
+
+func catKey(prefix string, id uint64) string {
+	b := make([]byte, len(prefix)+16)
+	copy(b, prefix)
+	putHex(b[len(prefix):], id)
+	return string(b)
+}
+
+func catJrnKey(owner ownermap.ModelID, idx uint64) string {
+	b := make([]byte, len(catJrnPrefix)+16+1+16)
+	copy(b, catJrnPrefix)
+	putHex(b[len(catJrnPrefix):len(catJrnPrefix)+16], uint64(owner))
+	b[len(catJrnPrefix)+16] = '/'
+	putHex(b[len(catJrnPrefix)+17:], idx)
+	return string(b)
+}
+
+// --- write-through persistence ------------------------------------------------
+//
+// All cat*Locked helpers are no-ops on a volatile provider (p.cat == nil)
+// and are called with p.mu held, after the in-memory mutation applied.
+
+// catPersistModelLocked rewrites id's catalog entry record.
+func (p *Provider) catPersistModelLocked(id ownermap.ModelID) error {
+	if p.cat == nil {
+		return nil
+	}
+	meta := p.models[id]
+	if meta == nil {
+		return p.cat.kv.Delete(catKey(catModelPrefix, uint64(id)))
+	}
+	enc := p.encodeMetaLocked(id, meta)
+	w := wire.NewWriter(8 + len(enc) + 8*len(meta.segments))
+	w.Bytes32(enc)
+	w.U32(uint32(len(meta.segments)))
+	vs := make([]graph.VertexID, 0, len(meta.segments))
+	for v := range meta.segments {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		w.U32(uint32(v))
+		w.U32(meta.segments[v])
+	}
+	return p.cat.kv.Put(catKey(catModelPrefix, uint64(id)), w.Bytes())
+}
+
+// catPersistRefsLocked rewrites owner's refcount record (deleting it when
+// no refs remain).
+func (p *Provider) catPersistRefsLocked(owner ownermap.ModelID) error {
+	if p.cat == nil {
+		return nil
+	}
+	live := p.refs[owner]
+	if len(live) == 0 {
+		return p.cat.kv.Delete(catKey(catRefsPrefix, uint64(owner)))
+	}
+	cs := make([]proto.RefCount, 0, len(live))
+	for _, v := range sortedRefVertices(live) {
+		cs = append(cs, proto.RefCount{Vertex: v, Count: uint64(live[v])})
+	}
+	return p.cat.kv.Put(catKey(catRefsPrefix, uint64(owner)), proto.EncodeRefCounts(cs))
+}
+
+// catPersistJournalLocked reconciles owner's persisted journal window with
+// the in-memory one: deltas that trimmed out are deleted, new deltas are
+// appended, and the journal-meta record is rewritten. A window that moved
+// backwards (an absolute ReplaceJournal rewrote history) is dropped and
+// re-persisted wholesale.
+func (p *Provider) catPersistJournalLocked(owner ownermap.ModelID) error {
+	if p.cat == nil {
+		return nil
+	}
+	jl := p.journals[owner]
+	if jl == nil {
+		return p.catDropJournalLocked(owner)
+	}
+	memHi := jl.appended
+	memLo := memHi - uint64(len(jl.deltas))
+	span, havePrev := p.cat.jspans[owner]
+	if havePrev && (memLo < span.lo || memHi < span.hi) {
+		if err := p.catDropJournalLocked(owner); err != nil {
+			return err
+		}
+		span, havePrev = jspan{}, false
+	}
+	if !havePrev {
+		span = jspan{lo: memLo, hi: memLo}
+	}
+	for i := span.lo; i < memLo && i < span.hi; i++ {
+		if err := p.cat.kv.Delete(catJrnKey(owner, i)); err != nil {
+			return err
+		}
+	}
+	start := span.hi
+	if start < memLo {
+		start = memLo
+	}
+	for i := start; i < memHi; i++ {
+		d := &jl.deltas[i-memLo]
+		if err := p.cat.kv.Put(catJrnKey(owner, i), proto.EncodeRefDelta(d)); err != nil {
+			return err
+		}
+	}
+	p.cat.jspans[owner] = jspan{lo: memLo, hi: memHi}
+	w := wire.NewWriter(9)
+	w.U64(jl.appended)
+	if jl.trimmed {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	return p.cat.kv.Put(catKey(catJMetaPrefix, uint64(owner)), w.Bytes())
+}
+
+// catDropJournalLocked deletes every persisted journal key of owner.
+func (p *Provider) catDropJournalLocked(owner ownermap.ModelID) error {
+	if p.cat == nil {
+		return nil
+	}
+	span, ok := p.cat.jspans[owner]
+	if ok {
+		for i := span.lo; i < span.hi; i++ {
+			if err := p.cat.kv.Delete(catJrnKey(owner, i)); err != nil {
+				return err
+			}
+		}
+		delete(p.cat.jspans, owner)
+	}
+	return p.cat.kv.Delete(catKey(catJMetaPrefix, uint64(owner)))
+}
+
+// catPersistTombLocked writes id's retire tombstone.
+func (p *Provider) catPersistTombLocked(id ownermap.ModelID) error {
+	if p.cat == nil {
+		return nil
+	}
+	seq, ok := p.retired[id]
+	if !ok {
+		return p.cat.kv.Delete(catKey(catTombPrefix, uint64(id)))
+	}
+	w := wire.NewWriter(8)
+	w.U64(seq)
+	return p.cat.kv.Put(catKey(catTombPrefix, uint64(id)), w.Bytes())
+}
+
+// catDropTombLocked removes an evicted tombstone's record (best-effort
+// callers count failures instead of failing the foreground request: a
+// stale persisted tombstone only re-rejects a late store after recovery).
+func (p *Provider) catDropTombLocked(id ownermap.ModelID) error {
+	if p.cat == nil {
+		return nil
+	}
+	return p.cat.kv.Delete(catKey(catTombPrefix, uint64(id)))
+}
+
+// catDropModelAllLocked deletes every catalog record of id (eviction).
+func (p *Provider) catDropModelAllLocked(id ownermap.ModelID) error {
+	if p.cat == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	keep(p.cat.kv.Delete(catKey(catModelPrefix, uint64(id))))
+	keep(p.cat.kv.Delete(catKey(catRefsPrefix, uint64(id))))
+	keep(p.catDropJournalLocked(id))
+	keep(p.cat.kv.Delete(catKey(catTombPrefix, uint64(id))))
+	return first
+}
+
+// catEvictErr records a failed best-effort catalog cleanup.
+func (p *Provider) catEvictErr() { p.reg.Counter("provider.catalog_evict_err").Inc() }
+
+// catSync makes all catalog (and earlier payload) writes of the current
+// request durable. Call once per mutation, after the persists.
+func (p *Provider) catSync() error {
+	if p.cat == nil {
+		return nil
+	}
+	if err := p.cat.sync(); err != nil {
+		return fmt.Errorf("provider %d: catalog sync: %w", p.id, err)
+	}
+	return nil
+}
+
+// --- recovery ----------------------------------------------------------------
+
+// loadCatalog rebuilds the in-memory catalog from the cat/ keyspace. It
+// runs once, from NewDurable, before the provider serves traffic.
+func (p *Provider) loadCatalog() error {
+	type jacc struct {
+		deltas  []proto.RefDelta
+		lo, hi  uint64
+		gap     bool
+		haveJM  bool
+		applied uint64 // jm.appended
+		trimmed bool
+	}
+	jaccs := make(map[ownermap.ModelID]*jacc)
+	type tomb struct {
+		id  ownermap.ModelID
+		seq uint64
+	}
+	var tombs []tomb
+	var firstErr error
+	scanErr := p.kv.Scan("cat/", func(key string, value []byte) bool {
+		var err error
+		switch {
+		case strings.HasPrefix(key, catModelPrefix):
+			err = p.loadModelRecord(key[len(catModelPrefix):], value)
+		case strings.HasPrefix(key, catRefsPrefix):
+			err = p.loadRefsRecord(key[len(catRefsPrefix):], value)
+		case strings.HasPrefix(key, catJMetaPrefix):
+			var owner uint64
+			if owner, err = parseHex16(key[len(catJMetaPrefix):]); err == nil {
+				r := wire.NewReader(value)
+				appended, trimmed := r.U64(), r.U8() != 0
+				if err = r.Err(); err == nil {
+					ja := jaccAt(jaccs, ownermap.ModelID(owner))
+					ja.haveJM, ja.applied, ja.trimmed = true, appended, trimmed
+				}
+			}
+		case strings.HasPrefix(key, catJrnPrefix):
+			rest := key[len(catJrnPrefix):]
+			if len(rest) != 33 || rest[16] != '/' {
+				err = fmt.Errorf("malformed journal key %q", key)
+				break
+			}
+			var owner, idx uint64
+			if owner, err = parseHex16(rest[:16]); err != nil {
+				break
+			}
+			if idx, err = parseHex16(rest[17:]); err != nil {
+				break
+			}
+			var d proto.RefDelta
+			if d, err = proto.DecodeRefDelta(value); err != nil {
+				break
+			}
+			ja := jaccAt(jaccs, ownermap.ModelID(owner))
+			if len(ja.deltas) == 0 {
+				ja.lo = idx
+			} else if idx != ja.hi {
+				ja.gap = true
+			}
+			ja.hi = idx + 1
+			ja.deltas = append(ja.deltas, d)
+		case strings.HasPrefix(key, catTombPrefix):
+			var id uint64
+			if id, err = parseHex16(key[len(catTombPrefix):]); err == nil {
+				r := wire.NewReader(value)
+				seq := r.U64()
+				if err = r.Err(); err == nil {
+					tombs = append(tombs, tomb{ownermap.ModelID(id), seq})
+				}
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("catalog key %q: %w", key, err)
+		}
+		return firstErr == nil
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	for owner, ja := range jaccs {
+		jl := &refJournal{
+			deltas:  ja.deltas,
+			seen:    make(map[uint64]struct{}, len(ja.deltas)),
+			trimmed: ja.trimmed,
+		}
+		for _, d := range ja.deltas {
+			if d.ReqID != 0 {
+				jl.seen[d.ReqID] = struct{}{}
+			}
+		}
+		// The journal-meta record and the last delta are written in the
+		// same request, but a crash can tear between them; reconcile
+		// conservatively — when the accounting disagrees, keep the deltas
+		// we have and mark the journal trimmed so repair falls back to an
+		// absolute push instead of trusting incomplete history.
+		hi := ja.hi
+		if len(ja.deltas) == 0 {
+			hi = ja.applied
+			jl.trimmed = jl.trimmed || !ja.haveJM
+		}
+		jl.appended = hi
+		if ja.gap || !ja.haveJM || ja.applied != hi {
+			jl.trimmed = true
+		}
+		p.journals[owner] = jl
+		lo := hi - uint64(len(ja.deltas))
+		p.cat.jspans[owner] = jspan{lo: lo, hi: hi}
+	}
+
+	// Tombstone FIFO order is not persisted; seq order is the best
+	// available approximation for cap eviction.
+	sort.Slice(tombs, func(i, j int) bool {
+		if tombs[i].seq != tombs[j].seq {
+			return tombs[i].seq < tombs[j].seq
+		}
+		return tombs[i].id < tombs[j].id
+	})
+	for _, t := range tombs {
+		p.retired[t.id] = t.seq
+		p.retiredOrder = append(p.retiredOrder, t.id)
+	}
+	return nil
+}
+
+func (p *Provider) loadModelRecord(hexID string, value []byte) error {
+	id, err := parseHex16(hexID)
+	if err != nil {
+		return err
+	}
+	r := wire.NewReader(value)
+	enc := r.Bytes32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m, err := proto.DecodeModelMeta(enc)
+	if err != nil {
+		return err
+	}
+	meta := &modelMeta{
+		graph:   m.Graph,
+		om:      m.OwnerMap,
+		quality: m.Quality,
+		seq:     m.Seq,
+	}
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/8+1 {
+		return wire.ErrTruncated
+	}
+	meta.segments = make(map[graph.VertexID]uint32, n)
+	for i := 0; i < n; i++ {
+		v := graph.VertexID(r.U32())
+		meta.segments[v] = r.U32()
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	p.models[ownermap.ModelID(id)] = meta
+	return nil
+}
+
+func (p *Provider) loadRefsRecord(hexID string, value []byte) error {
+	owner, err := parseHex16(hexID)
+	if err != nil {
+		return err
+	}
+	cs, err := proto.DecodeRefCounts(value)
+	if err != nil {
+		return err
+	}
+	if len(cs) == 0 {
+		return nil
+	}
+	vs := make(map[graph.VertexID]int, len(cs))
+	for _, c := range cs {
+		if c.Count > 0 {
+			vs[c.Vertex] = int(c.Count)
+		}
+	}
+	if len(vs) > 0 {
+		p.refs[ownermap.ModelID(owner)] = vs
+	}
+	return nil
+}
+
+func parseHex16(s string) (uint64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("bad hex id %q", s)
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+func jaccAt[T any](m map[ownermap.ModelID]*T, id ownermap.ModelID) *T {
+	ja := m[id]
+	if ja == nil {
+		ja = new(T)
+		m[id] = ja
+	}
+	return ja
+}

@@ -38,6 +38,7 @@ func (p *Provider) SetPlacementState(st *placement.State) error {
 		}
 		if p.place.CompareAndSwap(old, st) {
 			p.reg.Counter("provider.placement_epoch_install").Inc()
+			p.notifyPlacement(st)
 			return nil
 		}
 	}
@@ -68,12 +69,19 @@ func (p *Provider) Evict(id ownermap.ModelID) (uint64, error) {
 	// The retiredOrder FIFO keeps a ghost entry; popping a ghost during cap
 	// eviction deletes an already-absent key, which is harmless.
 	delete(p.retired, id)
+	catErr := p.catDropModelAllLocked(id)
 	p.mu.Unlock()
+	if catErr != nil {
+		return 0, fmt.Errorf("provider %d: evict %d: catalog: %w", p.id, id, catErr)
+	}
 
 	for _, k := range dels {
 		if err := p.kv.Delete(k.String()); err != nil {
 			return 0, fmt.Errorf("provider %d: evict %d: deleting %s: %w", p.id, id, k, err)
 		}
+	}
+	if err := p.catSync(); err != nil {
+		return 0, err
 	}
 	if len(dels) > 0 {
 		p.reg.Counter("provider.placement_evict").Inc()

@@ -131,6 +131,16 @@ type Provider struct {
 	// dedup answers retried non-idempotent requests (by proto ReqID) from
 	// their recorded responses instead of re-executing them.
 	dedup *dedupTable
+
+	// cat, when non-nil, write-through-persists every catalog mutation
+	// into the KV under cat/ keys and recovers them at open — the durable
+	// deployment mode (see catalog.go). Volatile providers leave it nil.
+	cat *catalogStore
+
+	// onPlacement, when set, observes every placement install (SetPlacement
+	// and SetPlacementState); the server uses it to persist the new state
+	// into its data dir's manifest.
+	onPlacement atomic.Pointer[func(*placement.State)]
 }
 
 // New creates a provider with the given index backed by kv (segments are
@@ -165,6 +175,7 @@ func (p *Provider) ID() int { return p.id }
 func (p *Provider) SetPlacement(deploySize, replicas int) {
 	if deploySize <= 0 {
 		p.place.Store(nil)
+		p.notifyPlacement(nil)
 		return
 	}
 	if replicas < 1 {
@@ -173,7 +184,22 @@ func (p *Provider) SetPlacement(deploySize, replicas int) {
 	if replicas > deploySize {
 		replicas = deploySize
 	}
-	p.place.Store(&placement.State{Cur: placement.New(deploySize, replicas)})
+	st := &placement.State{Cur: placement.New(deploySize, replicas)}
+	p.place.Store(st)
+	p.notifyPlacement(st)
+}
+
+// OnPlacementChange registers fn to run after every placement install
+// (including the initial SetPlacement). The server persists the installed
+// state into its manifest here, so a restart rejoins at the right epoch.
+func (p *Provider) OnPlacementChange(fn func(*placement.State)) {
+	p.onPlacement.Store(&fn)
+}
+
+func (p *Provider) notifyPlacement(st *placement.State) {
+	if fn := p.onPlacement.Load(); fn != nil {
+		(*fn)(st)
+	}
 }
 
 // SetMetricsRegistry points the Metrics RPC at reg (default
@@ -250,6 +276,31 @@ func (p *Provider) Register(srv *rpc.Server) {
 	srv.Register(proto.RPCPlacement, p.handlePlacement)
 	srv.Register(proto.RPCSetPlacement, p.handleSetPlacement)
 	srv.Register(proto.RPCEvict, p.handleEvict)
+	srv.Register(proto.RPCHello, p.handleHello)
+}
+
+// handleHello answers the restart-rejoin handshake: a recovering peer
+// announces its manifest epoch and learns this provider's placement view,
+// adopting the newest epoch it hears before serving traffic.
+func (p *Provider) handleHello(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	if _, err := proto.DecodeHello(req.Meta); err != nil {
+		return rpc.Message{}, fmt.Errorf("provider %d: hello: %w", p.id, err)
+	}
+	p.reg.Counter("provider.hello").Inc()
+	st := p.place.Load()
+	p.mu.RLock()
+	models := uint64(len(p.models))
+	p.mu.RUnlock()
+	resp := &proto.HelloResp{
+		Hello: proto.Hello{
+			Provider: uint32(p.id),
+			Format:   kvstore.ManifestFormatVersion,
+			Epoch:    placement.EpochOf(st),
+			Models:   models,
+		},
+		Placement: placement.EncodeState(st),
+	}
+	return rpc.Message{Meta: resp.Encode()}, nil
 }
 
 // --- store -------------------------------------------------------------------
@@ -333,7 +384,19 @@ func (p *Provider) StoreModel(q *proto.StoreModelReq, segs [][]byte) error {
 		stored = append(stored, s.Vertex)
 	}
 	p.recordDeltaLocked(q.Model, q.ReqID, false, stored)
+	err := p.catPersistModelLocked(q.Model)
+	if err == nil {
+		err = p.catPersistRefsLocked(q.Model)
+	}
+	if err == nil {
+		err = p.catPersistJournalLocked(q.Model)
+	}
 	p.mu.Unlock()
+	if err != nil {
+		// In-memory state stays applied; the divergence is a partial write
+		// the repairer converges (see catalog.go's durability contract).
+		return fmt.Errorf("provider %d: store %d: catalog: %w", p.id, q.Model, err)
+	}
 
 	// Persist segment payloads outside the lock; the KV is thread-safe.
 	for i, s := range q.Segments {
@@ -341,7 +404,9 @@ func (p *Provider) StoreModel(q *proto.StoreModelReq, segs [][]byte) error {
 			return fmt.Errorf("provider %d: persisting segment %d/%d: %w", p.id, q.Model, s.Vertex, err)
 		}
 	}
-	return nil
+	// One fsync covers the catalog records and every payload appended
+	// above (sequential WAL), making the acknowledged store durable.
+	return p.catSync()
 }
 
 // --- metadata reads ------------------------------------------------------------
@@ -544,7 +609,13 @@ func (p *Provider) incRef(owner ownermap.ModelID, vertices []graph.VertexID, req
 		p.refAddLocked(owner, v, 1)
 	}
 	p.recordDeltaLocked(owner, reqID, false, vertices)
-	return nil
+	if err := p.catPersistRefsLocked(owner); err != nil {
+		return fmt.Errorf("provider %d: inc_ref %d: catalog: %w", p.id, owner, err)
+	}
+	if err := p.catPersistJournalLocked(owner); err != nil {
+		return fmt.Errorf("provider %d: inc_ref %d: catalog: %w", p.id, owner, err)
+	}
+	return p.catSync()
 }
 
 func (p *Provider) handleDecRef(_ context.Context, req rpc.Message) (rpc.Message, error) {
@@ -607,13 +678,24 @@ func (p *Provider) decRef(owner ownermap.ModelID, vertices []graph.VertexID, req
 		}
 	}
 	// If the owner is still cataloged here, forget its freed segment sizes.
-	if meta := p.models[owner]; meta != nil {
+	meta := p.models[owner]
+	if meta != nil {
 		for _, k := range toDelete {
 			delete(meta.segments, k.vertex)
 		}
 	}
 	p.recordDeltaLocked(owner, reqID, true, vertices)
+	catErr := p.catPersistRefsLocked(owner)
+	if catErr == nil && meta != nil && len(toDelete) > 0 {
+		catErr = p.catPersistModelLocked(owner)
+	}
+	if catErr == nil {
+		catErr = p.catPersistJournalLocked(owner)
+	}
 	p.mu.Unlock()
+	if catErr != nil {
+		return 0, nil, fmt.Errorf("provider %d: dec_ref %d: catalog: %w", p.id, owner, catErr)
+	}
 
 	// Before a freed segment disappears, harvest its delta base (if any)
 	// so the caller can release the base's pinned reference.
@@ -627,6 +709,9 @@ func (p *Provider) decRef(owner ownermap.ModelID, vertices []graph.VertexID, req
 		if err := p.kv.Delete(k.String()); err != nil {
 			return 0, bases, fmt.Errorf("provider %d: deleting %s: %w", p.id, k, err)
 		}
+	}
+	if err := p.catSync(); err != nil {
+		return 0, bases, err
 	}
 	return uint64(len(toDelete)), bases, nil
 }
@@ -675,7 +760,17 @@ func (p *Provider) Retire(id ownermap.ModelID) (*ownermap.Map, error) {
 	}
 	delete(p.models, id)
 	p.tombstoneLocked(id, meta.seq)
+	err := p.catPersistModelLocked(id)
+	if err == nil {
+		err = p.catPersistTombLocked(id)
+	}
 	p.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("provider %d: retire %d: catalog: %w", p.id, id, err)
+	}
+	if err := p.catSync(); err != nil {
+		return nil, err
+	}
 	return meta.om, nil
 }
 

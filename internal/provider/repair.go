@@ -83,6 +83,12 @@ func (p *Provider) evictJournalsLocked() {
 	for id := range p.journals {
 		if p.models[id] == nil && len(p.refs[id]) == 0 {
 			delete(p.journals, id)
+			if p.catDropJournalLocked(id) != nil {
+				// Best-effort: a stale persisted journal resurrects at
+				// recovery as a drained owner's history, which repair
+				// treats as converged-by-emptiness.
+				p.catEvictErr()
+			}
 			p.reg.Counter("provider.journal_evict").Inc()
 		}
 	}
@@ -143,6 +149,9 @@ func (p *Provider) tombstoneLocked(id ownermap.ModelID, seq uint64) {
 	p.retiredOrder = append(p.retiredOrder, id)
 	for len(p.retiredOrder) > tombstoneCap {
 		delete(p.retired, p.retiredOrder[0])
+		if p.catDropTombLocked(p.retiredOrder[0]) != nil {
+			p.catEvictErr() // best-effort: see catDropTombLocked
+		}
 		p.retiredOrder = p.retiredOrder[1:]
 	}
 }
@@ -337,8 +346,10 @@ func (p *Provider) RepairApply(q *proto.RepairApplyReq, segs [][]byte) (*proto.R
 	}
 	// 3. Refcounts: absolute replacement (trimmed-journal fallback) or
 	// delta merge by ReqID.
+	journalReplaced := false
 	jl := p.journalLocked(q.Model)
 	if q.ReplaceJournal {
+		journalReplaced = true
 		next := make(map[graph.VertexID]int, len(q.SetCounts))
 		for _, c := range q.SetCounts {
 			if c.Count > 0 {
@@ -425,7 +436,32 @@ func (p *Provider) RepairApply(q *proto.RepairApplyReq, segs [][]byte) (*proto.R
 			meta.segments[s.Vertex] = s.Length
 		}
 	}
+	// Write-through the catalog state this apply touched. An absolute
+	// journal replacement rewrote history, so its persisted window is
+	// dropped wholesale first (the incremental reconciler must never keep
+	// stale delta keys under a replaced index range).
+	var catErr error
+	if p.cat != nil {
+		if journalReplaced {
+			catErr = p.catDropJournalLocked(q.Model)
+		}
+		if catErr == nil && q.Tombstone {
+			catErr = p.catPersistTombLocked(q.Model)
+		}
+		if catErr == nil {
+			catErr = p.catPersistModelLocked(q.Model)
+		}
+		if catErr == nil {
+			catErr = p.catPersistRefsLocked(q.Model)
+		}
+		if catErr == nil {
+			catErr = p.catPersistJournalLocked(q.Model)
+		}
+	}
 	p.mu.Unlock()
+	if catErr != nil {
+		return nil, fmt.Errorf("provider %d: repair_apply %d: catalog: %w", p.id, q.Model, catErr)
+	}
 
 	// Persist outside the lock, like the foreground write path.
 	for _, k := range dels {
@@ -437,6 +473,9 @@ func (p *Provider) RepairApply(q *proto.RepairApplyReq, segs [][]byte) (*proto.R
 		if err := p.kv.Put(k.String(), putVals[i]); err != nil {
 			return nil, fmt.Errorf("provider %d: repair_apply: persisting %s: %w", p.id, k, err)
 		}
+	}
+	if err := p.catSync(); err != nil {
+		return nil, err
 	}
 
 	// 5. Report the post-apply state plus any live-but-payload-less
