@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-faults bench-repair bench-rebalance bench-restart bench-dedup docs-check
+.PHONY: build test check bench bench-faults bench-repair bench-rebalance bench-restart bench-dedup bench-frontdoor docs-check
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ check:
 	$(GO) run ./cmd/evostore-bench faults -rebalance -models 10
 	$(GO) run ./cmd/evostore-bench faults -restart -models 10
 	$(GO) run ./cmd/evostore-bench dedup -steps 4 -layers 8 -dim 128
+	$(GO) run ./cmd/evostore-bench frontdoor -smoke
 	./scripts/docscheck.sh
 
 # Fail if a `pkg.Identifier` code span in docs/ARCHITECTURE.md or
@@ -60,6 +61,13 @@ bench-faults:
 # and MB/s moved per epoch change.
 bench-rebalance:
 	$(GO) run ./cmd/evostore-bench faults -rebalance -models 64 -out BENCH_rebalance.json
+
+# Tracked front-door numbers (BENCH_frontdoor.json): zipfian fan-in
+# reduction from coalescing + the client segment cache, throttled-tenant
+# isolation (noisy tenant held at its bucket rate, quiet tenant p99 flat),
+# and read-path allocations with pooled receive frames vs BENCH_bulk.json.
+bench-frontdoor:
+	$(GO) run ./cmd/evostore-bench frontdoor -out BENCH_frontdoor.json -benchtime 2s
 
 # Tracked dedup numbers (BENCH_dedup.json): the 10-step fine-tune lineage
 # stored raw vs delta-encoded + content-addressed, with bit-identical

@@ -8,6 +8,7 @@
 //	evostore-bench fig6|fig7|fig8|fig9|fig10 [-budget N] [-workers N]
 //	evostore-bench ablations
 //	evostore-bench faults [-providers N] [-replicas R] [-drop P] [-fault-provider I] [-partition]
+//	evostore-bench frontdoor [-smoke] [-out BENCH_frontdoor.json]
 //	evostore-bench all
 //
 // Scaled-down defaults finish in seconds; pass the paper's parameters
@@ -61,6 +62,8 @@ func main() {
 		err = runDedup(args)
 	case "bulk":
 		err = runBulk(args)
+	case "frontdoor":
+		err = runFrontdoor(args)
 	case "all":
 		for _, sub := range []func([]string) error{
 			runFig4, runFig5, runFig6, runFig7, runFig8, runFig9, runFig10,
@@ -81,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|bulk|dedup|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|bulk|frontdoor|dedup|all} [flags]")
 }
 
 func parseInts(s string) []int {

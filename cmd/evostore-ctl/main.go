@@ -57,6 +57,8 @@ func main() {
 	stripeChunk := flag.Int("stripe-chunk", 0, "stripe owner-group reads larger than this many bytes into parallel ranged chunks (0 = off)")
 	stripePar := flag.Int("stripe-parallel", 4, "max in-flight ranged chunks per striped read")
 	poolSize := flag.Int("pool", 2, "TCP connections per provider (striped reads fan ranged chunks across them)")
+	tenant := flag.String("tenant", "", "tenant ID stamped on reads, charged against the providers' per-tenant admission buckets (-throttle-* on evostore-server)")
+	segCache := flag.Int64("seg-cache", 0, "client segment-cache bound in bytes (0 = 64 MiB default, negative = caching off)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -83,6 +85,12 @@ func main() {
 	}
 	if *stripeChunk > 0 {
 		copts = append(copts, client.WithStripedReads(*stripeChunk, *stripePar))
+	}
+	if *tenant != "" {
+		copts = append(copts, client.WithTenant(*tenant))
+	}
+	if *segCache != 0 {
+		copts = append(copts, client.WithSegCacheBytes(*segCache))
 	}
 	cli := client.New(conns, copts...)
 	ctx := context.Background()

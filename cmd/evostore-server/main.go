@@ -9,6 +9,7 @@
 //	evostore-server -listen :7070 -id 0 [-data /path/to/dir] [-request-timeout 30s]
 //	                [-deploy-size N -replicas R] [-metrics-interval 1m] [-dedup-ttl 2m]
 //	                [-dedup] [-cold-sweep-interval 1h] [-repair-interval 30s -repair-peers a,b]
+//	                [-throttle-ops N -throttle-bytes N -throttle-window 60s]
 //
 // Without -data the provider uses the in-memory backend (the paper's
 // synchronized-pool mode); with -data it persists segments in an LSM store
@@ -26,6 +27,14 @@
 // least that long, in place; reads inflate transparently. Both are local
 // storage concerns — the wire format and replica digests are unchanged, so
 // a deployment may mix dedup and plain providers.
+//
+// -throttle-ops / -throttle-bytes arm per-tenant read admission control
+// (the front door, see internal/frontdoor): each tenant gets token buckets
+// refilled at the configured rates with a -throttle-window burst, and a
+// read over budget is refused with a typed retry-after error that clients
+// back off on without tripping their circuit breakers. Clients name their
+// tenant via client.WithTenant (evostore-ctl -tenant); untagged clients
+// share the anonymous tenant's budget.
 //
 // With -deploy-size (and the deployment's -replicas) the provider arms its
 // replica-placement guard: writes for models whose replica set does not
@@ -62,6 +71,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/dedup"
+	"repro/internal/frontdoor"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -97,6 +107,12 @@ func main() {
 		"wrap the backend with content-addressed chunk storage: identical segment chunks are stored once (internal/dedup)")
 	coldSweep := flag.Duration("cold-sweep-interval", 0,
 		"DEFLATE-compress segments and chunks idle for at least this long, sweeping at the same interval (0 = off; implies -dedup's wrapper)")
+	throttleOps := flag.Float64("throttle-ops", 0,
+		"per-tenant read admission limit in ops/sec (0 = unlimited on this axis; throttling is off when both -throttle-* rates are 0)")
+	throttleBytes := flag.Float64("throttle-bytes", 0,
+		"per-tenant read admission limit in bytes/sec (0 = unlimited on this axis)")
+	throttleWindow := flag.Duration("throttle-window", 0,
+		"burst window of the admission buckets: capacity = rate * window (0 = 60s default)")
 	flag.Parse()
 
 	// Fail fast on inconsistent deployment flags instead of silently
@@ -191,6 +207,15 @@ func main() {
 		p = provider.New(*id, kv)
 	}
 	p.SetDedupTTL(*dedupTTL)
+	if *throttleOps > 0 || *throttleBytes > 0 {
+		p.SetThrottle(frontdoor.Limits{
+			OpsPerSec:   *throttleOps,
+			BytesPerSec: *throttleBytes,
+			Window:      *throttleWindow,
+		})
+		log.Printf("provider %d: per-tenant read throttle armed (%g ops/s, %g B/s, window %s)",
+			*id, *throttleOps, *throttleBytes, *throttleWindow)
+	}
 	if *deploySize > 0 {
 		p.SetPlacement(*deploySize, *replicas)
 		if *join {

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/frontdoor"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
@@ -88,6 +89,11 @@ type Client struct {
 	deltaRatio    float64 // WithDedup: max envelope/raw ratio worth storing; 0 disables delta writes
 	deltaMaxDepth int     // WithDedup: delta-chain bound; writes at the bound rebase to raw
 	resolved      *segCache
+	segCacheMax   int64 // WithSegCacheBytes bound; 0 disables the cache
+
+	tenant     string                           // WithTenant: admission-control identity on segment reads
+	selfWaiter *frontdoor.Waiter                // WithSelfThrottle: client-side pacing; nil disables
+	flights    frontdoor.Group[string, groupRead] // coalesces concurrent identical owner-group reads
 
 	failovers     *metrics.Counter // reads served by a non-preferred replica
 	breakerSkips  *metrics.Counter // replicas skipped on an open breaker
@@ -100,6 +106,8 @@ type Client struct {
 	deltaRebases  *metrics.Counter // segments rebased to raw at the chain-depth bound
 	deltaRejects  *metrics.Counter // deltas that missed the ratio gate and shipped raw
 	resolvedReads *metrics.Counter // enveloped segments resolved on the read path
+	coalesced     *metrics.Counter // reads served by joining another caller's in-flight fetch
+	throttled     *metrics.Counter // self-throttle waits plus provider throttle refusals
 }
 
 // New wraps provider connections. The slice order defines provider IDs and
@@ -109,10 +117,19 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 		panic("client: need at least one provider connection")
 	}
 	c := &Client{conns: conns, replicas: 1, reg: metrics.Default,
-		repairSeen: make(map[ownermap.ModelID]bool),
-		resolved:   newSegCache(defaultSegCacheBytes)}
+		repairSeen:  make(map[ownermap.ModelID]bool),
+		segCacheMax: defaultSegCacheBytes}
 	for _, o := range opts {
 		o(c)
+	}
+	c.resolved = newSegCache(c.segCacheMax)
+	// Every waiter that joins a flight takes its own reference on the
+	// shared receive frame, granted before the waiter can observe the
+	// result — see frontdoor.Group.OnShare.
+	c.flights.OnShare = func(g groupRead) {
+		if g.frame != nil {
+			g.frame.Retain()
+		}
 	}
 	tbl := c.explicit
 	if tbl == nil {
@@ -138,6 +155,10 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 	c.deltaRebases = c.reg.Counter("client.delta_rebase")
 	c.deltaRejects = c.reg.Counter("client.delta_reject")
 	c.resolvedReads = c.reg.Counter("client.delta_resolve")
+	c.coalesced = c.reg.Counter("client.coalesced_read")
+	c.throttled = c.reg.Counter("client.throttled")
+	c.resolved.hits = c.reg.Counter("client.segcache_hit")
+	c.resolved.misses = c.reg.Counter("client.segcache_miss")
 	return c
 }
 
@@ -152,9 +173,26 @@ func (c *Client) HomeProvider(id ownermap.ModelID) int {
 
 // ModelData is a fully resolved model: metadata plus one consolidated
 // tensor segment per vertex (empty for parameter-free leaves).
+//
+// Segments fetched over the TCP transport may be views into pooled receive
+// frames held by the embedded lease. Call Release once the segments are no
+// longer needed (after decoding the tensors, or copying what must outlive
+// the model) to return the buffers to the receive pool; touching Segments
+// after Release is a use-after-free. Never calling Release is safe — the
+// buffers just stay out of the pool until the GC collects them.
 type ModelData struct {
 	Meta     *proto.ModelMeta
 	Segments [][]byte
+
+	lease *Lease
+}
+
+// Release returns the pooled receive buffers backing Segments (if any).
+// Idempotent; safe on a nil or lease-less ModelData.
+func (d *ModelData) Release() {
+	if d != nil {
+		d.lease.Release()
+	}
 }
 
 // ownerGroups partitions a model's vertices by owning model, ascending.
@@ -314,11 +352,13 @@ func (c *Client) Load(ctx context.Context, id ownermap.ModelID) (*ModelData, err
 	if err != nil {
 		return nil, err
 	}
-	segs, err := c.readByOwner(ctx, meta.OwnerMap, nil)
+	lease := &Lease{}
+	segs, _, err := c.readByOwnerInfo(ctx, meta.OwnerMap, nil, lease)
 	if err != nil {
+		lease.Release()
 		return nil, fmt.Errorf("client: load %d: %w", id, err)
 	}
-	return &ModelData{Meta: meta, Segments: segs}, nil
+	return &ModelData{Meta: meta, Segments: segs, lease: lease}, nil
 }
 
 // LoadVertices reads only the given vertices of a model (the partial-read
@@ -339,14 +379,18 @@ func (c *Client) LoadVertices(ctx context.Context, meta *proto.ModelMeta, vertic
 // readByOwner groups vertices by owner and issues the per-provider bulk
 // reads concurrently. want==nil selects every vertex.
 func (c *Client) readByOwner(ctx context.Context, om *ownermap.Map, want map[graph.VertexID]bool) ([][]byte, error) {
-	segs, _, err := c.readByOwnerInfo(ctx, om, want)
+	segs, _, err := c.readByOwnerInfo(ctx, om, want, nil)
 	return segs, err
 }
 
 // readByOwnerInfo additionally reports each vertex's stored delta-chain
 // depth (0 for raw). Returned segments are always *logical* bytes:
 // enveloped segments are resolved before returning (see dedup.go).
-func (c *Client) readByOwnerInfo(ctx context.Context, om *ownermap.Map, want map[graph.VertexID]bool) ([][]byte, []uint8, error) {
+// A non-nil lease opts the fetches into pooled receive frames and receives
+// one reference per frame backing the returned segments (see frontdoor.go);
+// with a nil lease every returned buffer is a plain allocation or a
+// deliberately unpooled frame, safe to hold forever.
+func (c *Client) readByOwnerInfo(ctx context.Context, om *ownermap.Map, want map[graph.VertexID]bool, lease *Lease) ([][]byte, []uint8, error) {
 	segs := make([][]byte, om.Len())
 	depths := make([]uint8, om.Len())
 	refs := make([]segRef, om.Len())
@@ -365,7 +409,7 @@ func (c *Client) readByOwnerInfo(ctx context.Context, om *ownermap.Map, want map
 			// A segment resolved by an earlier load is still current —
 			// stored segments are immutable and model IDs never reused —
 			// so a cache hit skips the provider round trip entirely.
-			if ent, ok := c.resolved.get(refs[v]); ok {
+			if ent, ok := c.resolved.get(refs[v], lease); ok {
 				segs[v] = ent.b
 				depths[v] = ent.depth
 				cached[v] = true
@@ -379,7 +423,7 @@ func (c *Client) readByOwnerInfo(ctx context.Context, om *ownermap.Map, want map
 		wg.Add(1)
 		go func(gi int, owner ownermap.ModelID, vs []graph.VertexID) {
 			defer wg.Done()
-			table, parts, err := c.readGroup(ctx, owner, vs)
+			table, parts, err := c.readGroup(ctx, owner, vs, lease)
 			if err != nil {
 				errs[gi] = err
 				return
@@ -412,7 +456,7 @@ func (c *Client) readByOwnerInfo(ctx context.Context, om *ownermap.Map, want map
 			depths[v] = storedDepth(b)
 		}
 	}
-	resolved, err := c.resolveStored(ctx, segs, refs, cached)
+	resolved, err := c.resolveStored(ctx, segs, refs, cached, lease)
 	if err != nil {
 		return nil, nil, err
 	}

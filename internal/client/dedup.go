@@ -25,8 +25,10 @@ import (
 
 	"repro/internal/dedup"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ownermap"
 	"repro/internal/proto"
+	"repro/internal/rpc"
 )
 
 // maxResolveDepth bounds read-path delta-chain recursion. It is a
@@ -135,26 +137,40 @@ type segRef struct {
 
 // cachedSeg is one resolved stored segment: its logical bytes plus the
 // stored form's delta-chain depth (0 for raw), which derived stores need
-// to bound their own chains.
+// to bound their own chains. frame, when non-nil, is the pooled receive
+// frame b aliases; the cache holds its own reference on it, dropped at
+// eviction.
 type cachedSeg struct {
 	b     []byte
 	depth uint8
+	frame *rpc.Frame
 }
 
-// segCache holds resolved (logical) bytes of enveloped segments — delta
-// bases and decoded top-level segments alike — shared across loads. Safe
+// segCache is the client-wide read-through segment cache: logical bytes of
+// every fetched segment — raw segments straight off the wire, delta bases
+// and decoded top-level segments alike — shared across loads. Safe
 // because stored segments are immutable: an (owner, vertex) pair is
 // written once and model IDs are never reused, so an entry can go stale
 // only by pointing at a freed segment — wasted memory, never wrong
 // bytes. Bounded by total payload size with FIFO eviction; lineage
 // sweeps touch entries oldest-first, so FIFO approximates LRU here
 // without per-hit bookkeeping.
+//
+// Note one deliberate accounting simplification: an entry backed by a
+// frame pins the frame's whole buffer, which may be larger than the entry
+// (sibling segments of one group read share a frame). Sizing still counts
+// len(b) — the duplicate-pinning window is bounded by the eviction of the
+// sibling entries, which arrived together and leave together under FIFO.
 type segCache struct {
 	mu      sync.Mutex
 	max     int64
 	size    int64
 	entries map[segRef]cachedSeg
 	order   []segRef
+
+	// hits/misses are the client.segcache_* counters; nil (bare tests)
+	// disables counting.
+	hits, misses *metrics.Counter
 }
 
 // defaultSegCacheBytes bounds the resolved-segment cache. Sized to hold
@@ -166,28 +182,59 @@ func newSegCache(max int64) *segCache {
 	return &segCache{max: max, entries: make(map[segRef]cachedSeg)}
 }
 
-func (sc *segCache) get(ref segRef) (cachedSeg, bool) {
+// get returns ref's entry, taking one reference on its backing frame for
+// the caller — transferred to lease, or deliberately leaked when lease is
+// nil (the caller may hold the bytes forever; a pinned-out-of-pool frame
+// is safe where a recycled-under-use one is not). The retain happens under
+// the cache lock, so it cannot race a concurrent eviction's release.
+func (sc *segCache) get(ref segRef, lease *Lease) (cachedSeg, bool) {
 	sc.mu.Lock()
 	e, ok := sc.entries[ref]
+	if ok && e.frame != nil {
+		e.frame.Retain()
+		lease.add(e.frame)
+	}
 	sc.mu.Unlock()
+	switch {
+	case ok && sc.hits != nil:
+		sc.hits.Inc()
+	case !ok && sc.misses != nil:
+		sc.misses.Inc()
+	}
 	return e, ok
 }
 
-func (sc *segCache) put(ref segRef, b []byte, depth uint8) {
+// put inserts ref unless present. An entry that cannot fit even an empty
+// cache is rejected outright — the old behaviour evicted the whole working
+// set and then inserted the oversized entry anyway, leaving size > max.
+// frame, when non-nil, backs b; the cache retains its own reference,
+// released when the entry is evicted.
+func (sc *segCache) put(ref segRef, b []byte, depth uint8, frame *rpc.Frame) {
+	n := int64(len(b))
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	if n > sc.max || sc.max <= 0 {
+		return
+	}
 	if _, ok := sc.entries[ref]; ok {
 		return
 	}
-	for sc.size+int64(len(b)) > sc.max && len(sc.order) > 0 {
+	for sc.size+n > sc.max && len(sc.order) > 0 {
 		old := sc.order[0]
 		sc.order = sc.order[1:]
-		sc.size -= int64(len(sc.entries[old].b))
+		oe := sc.entries[old]
+		sc.size -= int64(len(oe.b))
+		if oe.frame != nil {
+			oe.frame.Release()
+		}
 		delete(sc.entries, old)
 	}
-	sc.entries[ref] = cachedSeg{b: b, depth: depth}
+	if frame != nil {
+		frame.Retain()
+	}
+	sc.entries[ref] = cachedSeg{b: b, depth: depth, frame: frame}
 	sc.order = append(sc.order, ref)
-	sc.size += int64(len(b))
+	sc.size += n
 }
 
 // storedDepth reads the delta-chain depth off a segment's stored form
@@ -205,6 +252,11 @@ func storedDepth(b []byte) uint8 {
 type resolver struct {
 	c     *Client
 	cache map[segRef][]byte
+	// lease receives references on the pooled frames backing any base
+	// bytes this resolution touches (cache hits and base fetches alike),
+	// so a cache eviction mid-decode cannot recycle a buffer under the
+	// XOR loop. nil opts out of pooling.
+	lease *Lease
 }
 
 // resolveStored maps stored segment bytes (nil entries preserved) to
@@ -214,7 +266,7 @@ type resolver struct {
 // (owner, vertex) identity so decoded results land in the client-wide
 // cache; skip marks entries that are already logical bytes (served from
 // that cache) and must not be parsed. Both may be nil.
-func (c *Client) resolveStored(ctx context.Context, stored [][]byte, refs []segRef, skip []bool) ([][]byte, error) {
+func (c *Client) resolveStored(ctx context.Context, stored [][]byte, refs []segRef, skip []bool, lease *Lease) ([][]byte, error) {
 	anyEnv := false
 	for i, b := range stored {
 		if (skip == nil || !skip[i]) && proto.IsSegEnvelope(b) {
@@ -225,7 +277,7 @@ func (c *Client) resolveStored(ctx context.Context, stored [][]byte, refs []segR
 	if !anyEnv { // the common all-raw case: no allocation, no copies
 		return stored, nil
 	}
-	r := &resolver{c: c, cache: make(map[segRef][]byte)}
+	r := &resolver{c: c, cache: make(map[segRef][]byte), lease: lease}
 	return r.resolveBatch(ctx, stored, refs, skip, 0)
 }
 
@@ -263,7 +315,7 @@ func (r *resolver) resolveBatch(ctx context.Context, stored [][]byte, refs []seg
 		if _, ok := r.cache[ref]; ok {
 			continue
 		}
-		if ent, ok := r.c.resolved.get(ref); ok {
+		if ent, ok := r.c.resolved.get(ref, r.lease); ok {
 			r.cache[ref] = ent.b
 			continue
 		}
@@ -271,7 +323,7 @@ func (r *resolver) resolveBatch(ctx context.Context, stored [][]byte, refs []seg
 		needed[e.BaseOwner] = append(needed[e.BaseOwner], e.BaseVertex)
 	}
 	for owner, vs := range needed {
-		table, parts, err := r.c.readGroup(ctx, owner, vs)
+		table, parts, err := r.c.readGroup(ctx, owner, vs, r.lease)
 		if err != nil {
 			return nil, fmt.Errorf("client: fetching delta bases from owner %d: %w", owner, err)
 		}
@@ -285,8 +337,11 @@ func (r *resolver) resolveBatch(ctx context.Context, stored [][]byte, refs []seg
 			// Base segments recur across loads of a lineage (every child of a
 			// model chases the same bases), so keep the resolved bytes in the
 			// client-wide cache. Callers already treat returned segments as
-			// immutable views, so sharing the buffer is safe.
-			r.c.resolved.put(sr, logical[i], storedDepth(parts[i]))
+			// immutable views, so sharing the buffer is safe. Raw bases were
+			// already cached (with their frame) by readGroup's read-through
+			// fill; this put covers decoded envelopes, whose logical bytes
+			// are fresh allocations — hence no frame.
+			r.c.resolved.put(sr, logical[i], storedDepth(parts[i]), nil)
 		}
 	}
 	// Decode every envelope; with all bases cached the decodes are
@@ -340,7 +395,7 @@ func (r *resolver) resolveBatch(ctx context.Context, stored [][]byte, refs []seg
 				// Decoded segments are as reusable as their bases: the next
 				// load of this model (or a deeper child) finds the logical
 				// bytes without refetching or redecoding.
-				r.c.resolved.put(refs[i], payload, e.Depth)
+				r.c.resolved.put(refs[i], payload, e.Depth, nil)
 			}
 			r.c.resolvedReads.Inc()
 		}(i, e)
@@ -365,5 +420,5 @@ func (c *Client) LoadVerticesInfo(ctx context.Context, meta *proto.ModelMeta, ve
 		}
 		want[v] = true
 	}
-	return c.readByOwnerInfo(ctx, meta.OwnerMap, want)
+	return c.readByOwnerInfo(ctx, meta.OwnerMap, want, nil)
 }

@@ -49,54 +49,83 @@ func WithStripedReads(chunkBytes int, parallel int) Option {
 	}
 }
 
-// readGroup fetches one owner group's segments, choosing between the
-// single-response path and the striped path by configuration and payload
-// size. The returned parts alias the response buffers; callers own them.
-func (c *Client) readGroup(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID) ([]proto.SegmentRef, [][]byte, error) {
+// readGroupWire fetches one owner group's segments off the wire, choosing
+// between the single-response path and the striped path by configuration
+// and payload size. The returned parts alias the response buffers; callers
+// own them. With framed set, a full read's parts are views into the
+// returned pooled frame, on which the caller owns one reference (striped
+// reads assemble into a plain buffer and return a nil frame). Callers go
+// through readGroup (frontdoor.go), which adds coalescing, caching and
+// self-throttling on top.
+func (c *Client) readGroupWire(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID, framed bool) ([]proto.SegmentRef, [][]byte, *rpc.Frame, error) {
 	if c.stripeChunk == 0 {
-		return c.readGroupFull(ctx, owner, vs)
+		return c.readGroupFull(ctx, owner, vs, framed)
 	}
 	// Probe: table only. Cheap (no bulk), and tells us whether striping is
 	// worth the extra round trip for this group.
-	req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs, Mode: proto.ReadTable}
+	req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs, Mode: proto.ReadTable, Tenant: c.tenant}
 	resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	table, err := proto.DecodeSegTable(resp.Meta)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var total uint64
 	for _, ref := range table {
 		total += uint64(ref.Length)
 	}
 	if total <= c.stripeChunk {
-		return c.readGroupFull(ctx, owner, vs)
+		return c.readGroupFull(ctx, owner, vs, framed)
 	}
 	parts, err := c.readGroupStriped(ctx, owner, vs, table, total)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return table, parts, nil
+	return table, parts, nil, nil
 }
 
-// readGroupFull is the classic single-response read.
-func (c *Client) readGroupFull(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID) ([]proto.SegmentRef, [][]byte, error) {
-	req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs}
+// readGroupFull is the classic single-response read. With framed set the
+// response bulk arrives as a pooled receive frame; the caller owns one
+// reference on it and every returned part aliases it.
+func (c *Client) readGroupFull(ctx context.Context, owner ownermap.ModelID, vs []graph.VertexID, framed bool) ([]proto.SegmentRef, [][]byte, *rpc.Frame, error) {
+	req := &proto.ReadSegmentsReq{Owner: owner, Vertices: vs, Tenant: c.tenant}
+	var sink *rpc.FrameSink
+	if framed {
+		ctx, sink = rpc.WithFrameSink(ctx)
+	}
 	resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
 	if err != nil {
-		return nil, nil, err
+		dropFrame(sink)
+		return nil, nil, nil, err
 	}
 	table, err := proto.DecodeSegTable(resp.Meta)
 	if err != nil {
-		return nil, nil, err
+		dropFrame(sink)
+		return nil, nil, nil, err
 	}
 	parts, err := proto.SplitBulkMsg(table, resp)
 	if err != nil {
-		return nil, nil, err
+		dropFrame(sink)
+		return nil, nil, nil, err
 	}
-	return table, parts, nil
+	var frame *rpc.Frame
+	if sink != nil {
+		frame = sink.Take()
+	}
+	return table, parts, frame, nil
+}
+
+// dropFrame releases whatever frame a failed call may have deposited
+// before the error (e.g. a response that arrived but failed validation).
+func dropFrame(sink *rpc.FrameSink) {
+	if sink == nil {
+		return
+	}
+	if f := sink.Take(); f != nil {
+		f.Release()
+	}
 }
 
 // readGroupStriped pulls the group's consolidated payload as concurrent
@@ -133,14 +162,21 @@ func (c *Client) readGroupStriped(ctx context.Context, owner ownermap.ModelID, v
 			req := &proto.ReadSegmentsReq{
 				Owner: owner, Vertices: vs,
 				Mode: proto.ReadRange, RangeOff: off, RangeLen: length,
+				Tenant: c.tenant,
 			}
-			resp, err := c.readCall(ctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
+			// Chunk bytes are copied into the assembly buffer and never
+			// escape this goroutine, so the receive frame can go straight
+			// back to the pool — no lease needed on this path.
+			cctx, sink := rpc.WithFrameSink(ctx)
+			resp, err := c.readCall(cctx, proto.RPCReadSegments, owner, rpc.Message{Meta: req.Encode()})
 			if err != nil {
+				dropFrame(sink)
 				errs[ci] = fmt.Errorf("chunk %d [%d,%d): %w", ci, off, off+length, err)
 				cancel()
 				return
 			}
 			if got := uint64(resp.BulkLen()); got != length {
+				dropFrame(sink)
 				errs[ci] = fmt.Errorf("chunk %d: provider returned %d bytes, want %d", ci, got, length)
 				cancel()
 				return
@@ -150,6 +186,7 @@ func (c *Client) readGroupStriped(ctx context.Context, owner ownermap.ModelID, v
 				copy(dst, s)
 				dst = dst[len(s):]
 			}
+			dropFrame(sink)
 		}(ci, off, length)
 	}
 	wg.Wait()

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/dedup"
+	"repro/internal/frontdoor"
 	"repro/internal/graph"
 	"repro/internal/kvstore"
 	"repro/internal/model"
@@ -125,6 +126,22 @@ type Options struct {
 	// providers' dedup wrappers: SweepCold DEFLATE-compresses segments and
 	// chunks idle past a threshold. Implies wrapping backends like Dedup.
 	ColdCompress bool
+	// SegCacheBytes bounds the client's read-through segment cache, the
+	// front door's caching layer (see docs/ARCHITECTURE.md). 0 keeps the
+	// client default (64 MiB); negative disables caching.
+	SegCacheBytes int64
+	// Tenant stamps every read this handle issues, so the providers'
+	// per-tenant admission control charges the right budget. Empty shares
+	// the anonymous tenant's budget.
+	Tenant string
+	// ThrottleOpsPerSec / ThrottleBytesPerSec arm per-tenant token-bucket
+	// read admission on every embedded provider. 0 on an axis leaves that
+	// axis unlimited; both 0 leaves throttling off entirely.
+	ThrottleOpsPerSec   float64
+	ThrottleBytesPerSec float64
+	// ThrottleWindow is the admission buckets' burst window (capacity =
+	// rate x window). 0 selects the frontdoor default (60s).
+	ThrottleWindow time.Duration
 	// DurableCatalog builds providers with provider.NewDurable: catalog
 	// state (model metadata, refcounts, journals, tombstones) is written
 	// through to the KV backend and replayed on construction, so a provider
@@ -172,6 +189,7 @@ func Open(opts Options) (*Repository, error) {
 		// writes (and tell stale clients the current table) until a
 		// rebalance adds them.
 		p.SetPlacement(opts.Providers, opts.Replicas)
+		p.SetThrottle(r.throttleLimits())
 		srv := rpc.NewServer()
 		p.Register(srv)
 		addr := fmt.Sprintf("provider-%d", i)
@@ -214,6 +232,12 @@ func Open(opts Options) (*Repository, error) {
 	if opts.Dedup {
 		copts = append(copts, client.WithDedup(opts.DeltaMaxRatio, opts.DeltaMaxDepth))
 	}
+	if opts.SegCacheBytes != 0 {
+		copts = append(copts, client.WithSegCacheBytes(opts.SegCacheBytes))
+	}
+	if opts.Tenant != "" {
+		copts = append(copts, client.WithTenant(opts.Tenant))
+	}
 	r.cli = client.New(conns, copts...)
 	return r, nil
 }
@@ -241,6 +265,17 @@ func (r *Repository) SweepCold(minIdle time.Duration) (int, error) {
 // Options.Faults (index = provider ID; nil where no faults were
 // configured). Tests and benchmarks use them to flip partitions mid-run.
 func (r *Repository) FaultConns() []*rpc.FaultConn { return r.faults }
+
+// throttleLimits assembles the per-tenant admission limits from the Open
+// options (the zero value disarms throttling; provider.SetThrottle treats
+// it as "unlimited").
+func (r *Repository) throttleLimits() frontdoor.Limits {
+	return frontdoor.Limits{
+		OpsPerSec:   r.opts.ThrottleOpsPerSec,
+		BytesPerSec: r.opts.ThrottleBytesPerSec,
+		Window:      r.opts.ThrottleWindow,
+	}
+}
 
 // buildProvider wraps kv per the deployment options (dedup/cold-compress)
 // and constructs provider i, durable when Options.DurableCatalog.
@@ -304,6 +339,7 @@ func (r *Repository) RestartProvider(i int, kv kvstore.KV, st *placement.State) 
 		}
 	}
 	p.SetPlacement(r.opts.Providers, r.opts.Replicas)
+	p.SetThrottle(r.throttleLimits())
 	if st != nil {
 		if err := p.SetPlacementState(st); err != nil {
 			return fmt.Errorf("core: restart provider %d: %w", i, err)

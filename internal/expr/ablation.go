@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/archgen"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kvstore"
@@ -155,7 +156,10 @@ func newTCPRepo(providers int) (*core.Repository, func(), error) {
 		closers = append(closers, func() { pool.Close(); lis.Close() })
 		conns[i] = rpc.WithLatency(pool, ablationRTT)
 	}
-	repo := core.Attach(conns)
+	// These ablations time repeated reads of the same model over the wire;
+	// the client's read-through segment cache would absorb every rep after
+	// the first and measure lookups instead of transport.
+	repo := core.Attach(conns, client.WithSegCacheBytes(-1))
 	return repo, func() {
 		for _, c := range closers {
 			c()

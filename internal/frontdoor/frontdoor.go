@@ -1,0 +1,397 @@
+// Package frontdoor is the multi-tenant admission layer in front of the
+// EvoStore data path. It supplies the three mechanisms that keep a
+// model-hub access pattern — many clients pulling the same hot lineages —
+// from melting a provider:
+//
+//   - Singleflight coalescing (Group): concurrent identical reads collapse
+//     into one execution whose result every waiter shares. The client uses
+//     it to issue one provider round trip per hot owner-group; the provider
+//     uses it to execute one KV read for duplicate requests arriving from
+//     distinct clients.
+//   - Token-bucket throttling (Bucket, Throttler): per-tenant ops/s and
+//     bytes/s admission buckets following kopia's blob/throttling shape —
+//     capacity is rate × a sliding window (default 60s) and a fresh bucket
+//     starts at a fractional fill so a cold tenant cannot burst a full
+//     window's budget at once. Rejections carry a retry-after hint in a
+//     ThrottledError that survives the RPC layer's text-only remote errors
+//     (RetryAfterFromError), so the resilience middleware can pace retries
+//     without tripping its circuit breaker: a throttled provider is
+//     healthy, just busy.
+//   - Client-side self-throttle (Waiter): the cooperative half of the same
+//     contract — a client that knows its budget sleeps locally instead of
+//     burning provider admission checks.
+//
+// The package depends only on the standard library so every layer (rpc,
+// resilient, client, provider) can import it without cycles.
+package frontdoor
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Window is the default token-bucket accounting window: bucket capacity is
+// rate × Window seconds. A long window lets legitimate bursts (one model's
+// segments arriving back to back) through while still capping the
+// sustained rate; the value follows kopia's throttlingWindow.
+const Window = 60 * time.Second
+
+// InitialFill is the fraction of capacity a fresh bucket starts with, so a
+// brand-new (or long-idle, freshly pruned) tenant gets a useful burst but
+// not a whole window's budget in one shot. Follows kopia's
+// throttleBucketInitialFill.
+const InitialFill = 0.1
+
+// --- token bucket --------------------------------------------------------------
+
+// Bucket is a token bucket: capacity rate×window tokens, refilled
+// continuously at rate tokens/second. Not safe for concurrent use; the
+// Throttler and Waiter wrap it with their own locks.
+type Bucket struct {
+	rate float64 // tokens per second
+	cap  float64 // rate * window seconds
+	fill float64 // current tokens; may go negative (debt) via Force
+	last time.Time
+}
+
+// NewBucket builds a bucket admitting rate tokens/second over window
+// (<= 0 selects Window). rate <= 0 returns nil: an absent bucket admits
+// everything.
+func NewBucket(rate float64, window time.Duration) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if window <= 0 {
+		window = Window
+	}
+	c := rate * window.Seconds()
+	f := c * InitialFill
+	// A fresh bucket always affords one op: without the floor, a small
+	// rate × window product would refuse a brand-new tenant's first
+	// request, which reads as an outage rather than pacing.
+	if f < 1 {
+		f = 1
+		if f > c {
+			f = c
+		}
+	}
+	return &Bucket{rate: rate, cap: c, fill: f}
+}
+
+// advance refills for the time elapsed since the last event, capped at
+// capacity.
+func (b *Bucket) advance(now time.Time) {
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.fill += dt * b.rate
+			if b.fill > b.cap {
+				b.fill = b.cap
+			}
+		}
+	}
+	b.last = now
+}
+
+// Take tries to take n tokens at time now. On success it returns (0,
+// true). On refusal it returns how long the caller should wait before the
+// tokens will be available. A request larger than the whole capacity is
+// admitted once the bucket is full and pushes the fill negative, so a
+// single oversized op cannot be starved forever yet still pays its cost
+// against future admissions.
+func (b *Bucket) Take(now time.Time, n float64) (time.Duration, bool) {
+	if b == nil || n <= 0 {
+		return 0, true
+	}
+	b.advance(now)
+	need := n
+	if need > b.cap {
+		need = b.cap
+	}
+	if b.fill >= need {
+		b.fill -= n
+		return 0, true
+	}
+	d := time.Duration((need - b.fill) / b.rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d, false
+}
+
+// Force takes n tokens unconditionally, letting the fill go negative. Used
+// to charge costs only known after the fact (response bytes): the op
+// already happened, so the debt is settled by throttling what follows.
+func (b *Bucket) Force(now time.Time, n float64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.advance(now)
+	b.fill -= n
+}
+
+// --- per-tenant throttler ------------------------------------------------------
+
+// Limits configures a Throttler: per-tenant sustained rates. Zero rates
+// leave that dimension unthrottled.
+type Limits struct {
+	OpsPerSec   float64       // read operations per second per tenant
+	BytesPerSec float64       // response payload bytes per second per tenant
+	Window      time.Duration // accounting window; 0 selects Window (60s)
+}
+
+// enabled reports whether any dimension is limited.
+func (l Limits) enabled() bool { return l.OpsPerSec > 0 || l.BytesPerSec > 0 }
+
+// maxTenants bounds the per-tenant bucket map; beyond it, buckets idle for
+// more than a window are pruned. Protects the provider from a tenant-ID
+// cardinality attack without an eviction policy worth tuning.
+const maxTenants = 4096
+
+type tenantBuckets struct {
+	ops   *Bucket
+	bytes *Bucket
+	seen  time.Time
+}
+
+// Throttler applies per-tenant admission Limits. Safe for concurrent use.
+// The zero tenant ID ("") is a tenant like any other, so anonymous clients
+// share one budget instead of escaping throttling.
+type Throttler struct {
+	limits Limits
+	now    func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantBuckets
+}
+
+// NewThrottler builds a throttler; nil when no dimension is limited, and a
+// nil *Throttler admits everything, so callers can hold one pointer and
+// skip the feature test.
+func NewThrottler(l Limits) *Throttler {
+	if !l.enabled() {
+		return nil
+	}
+	return &Throttler{limits: l, now: time.Now, tenants: make(map[string]*tenantBuckets)}
+}
+
+// SetClock injects a time source (tests).
+func (t *Throttler) SetClock(now func() time.Time) {
+	if t != nil && now != nil {
+		t.now = now
+	}
+}
+
+func (t *Throttler) bucketsFor(tenant string, now time.Time) *tenantBuckets {
+	tb := t.tenants[tenant]
+	if tb == nil {
+		if len(t.tenants) >= maxTenants {
+			w := t.limits.Window
+			if w <= 0 {
+				w = Window
+			}
+			for id, old := range t.tenants {
+				if now.Sub(old.seen) > w {
+					delete(t.tenants, id)
+				}
+			}
+		}
+		tb = &tenantBuckets{
+			ops:   NewBucket(t.limits.OpsPerSec, t.limits.Window),
+			bytes: NewBucket(t.limits.BytesPerSec, t.limits.Window),
+		}
+		t.tenants[tenant] = tb
+	}
+	tb.seen = now
+	return tb
+}
+
+// Admit charges one operation against tenant's ops bucket and verifies the
+// bytes bucket is out of debt. On refusal it returns a *ThrottledError
+// carrying the longer retry-after of the two dimensions. Response bytes
+// are charged after the fact with ChargeBytes, since a read's size is only
+// known once it has been served.
+func (t *Throttler) Admit(tenant string) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	tb := t.bucketsFor(tenant, now)
+	opsWait, opsOK := tb.ops.Take(now, 1)
+	bytesWait, bytesOK := tb.bytes.Take(now, 0.0001) // probe: refuses only while in debt
+	if opsOK && bytesOK {
+		return nil
+	}
+	if !opsOK && opsWait > bytesWait {
+		return &ThrottledError{RetryAfter: opsWait}
+	}
+	if !opsOK && !bytesOK {
+		return &ThrottledError{RetryAfter: bytesWait}
+	}
+	if !opsOK {
+		return &ThrottledError{RetryAfter: opsWait}
+	}
+	return &ThrottledError{RetryAfter: bytesWait}
+}
+
+// ChargeBytes debits n response bytes against tenant's bytes bucket,
+// possibly into debt — the next Admit then refuses until the debt refills.
+func (t *Throttler) ChargeBytes(tenant string, n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.bucketsFor(tenant, now).bytes.Force(now, float64(n))
+}
+
+// --- client-side self-throttle -------------------------------------------------
+
+// Waiter is the cooperative client-side half of throttling: it sleeps
+// locally until its own budget admits an operation instead of sending a
+// request the provider would refuse. Safe for concurrent use.
+type Waiter struct {
+	mu    sync.Mutex
+	ops   *Bucket
+	bytes *Bucket
+	now   func() time.Time
+	// sleep is swappable for tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewWaiter builds a self-throttle from l; nil when no dimension is
+// limited (a nil *Waiter admits everything immediately).
+func NewWaiter(l Limits) *Waiter {
+	if !l.enabled() {
+		return nil
+	}
+	return &Waiter{
+		ops:   NewBucket(l.OpsPerSec, l.Window),
+		bytes: NewBucket(l.BytesPerSec, l.Window),
+		now:   time.Now,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}
+}
+
+// Wait blocks until one operation is admitted (both buckets out of debt)
+// or ctx is done. It returns ctx's error on cancellation and the number of
+// sleeps it needed (0 = admitted immediately) otherwise.
+func (w *Waiter) Wait(ctx context.Context) (int, error) {
+	if w == nil {
+		return 0, nil
+	}
+	waits := 0
+	for {
+		w.mu.Lock()
+		now := w.now()
+		opsWait, opsOK := w.ops.Take(now, 1)
+		bytesWait, bytesOK := w.bytes.Take(now, 0.0001)
+		w.mu.Unlock()
+		if opsOK && bytesOK {
+			return waits, nil
+		}
+		d := opsWait
+		if bytesWait > d {
+			d = bytesWait
+		}
+		waits++
+		if err := w.sleep(ctx, d); err != nil {
+			return waits, err
+		}
+	}
+}
+
+// ChargeBytes debits n received bytes, possibly into debt.
+func (w *Waiter) ChargeBytes(n int) {
+	if w == nil || n <= 0 {
+		return
+	}
+	w.mu.Lock()
+	w.bytes.Force(w.now(), float64(n))
+	w.mu.Unlock()
+}
+
+// --- typed throttle error over a text-only wire --------------------------------
+
+// ErrThrottled is the sentinel every ThrottledError matches with
+// errors.Is, for callers that only care about the class.
+var ErrThrottled = errors.New("frontdoor: throttled")
+
+// throttledMarker prefixes the retry-after hint in a ThrottledError's
+// text. Like placement's wrong-epoch marker, the marker (not the type) is
+// what crosses the RPC layer's text-only remote errors, and
+// RetryAfterFromError parses it back.
+const throttledMarker = "throttled, retry after "
+
+// ThrottledError is an admission refusal carrying how long the caller
+// should back off. The resilience middleware treats it as a pacing signal:
+// sleep RetryAfter and retry, without counting the refusal against the
+// provider's circuit breaker (the provider answered; it is healthy).
+type ThrottledError struct{ RetryAfter time.Duration }
+
+// Error renders "frontdoor: throttled, retry after 250ms" — parseable by
+// RetryAfterFromError even after crossing the wire as plain text.
+func (e *ThrottledError) Error() string {
+	return "frontdoor: " + throttledMarker + e.RetryAfter.String()
+}
+
+// Is matches ErrThrottled.
+func (e *ThrottledError) Is(target error) bool { return target == ErrThrottled }
+
+// RetryAfterFromError extracts the retry-after hint from a throttle
+// refusal, whether err is the local typed value or its text-only remote
+// form. (false, 0) for anything else, including nil.
+func RetryAfterFromError(err error) (time.Duration, bool) {
+	if err == nil {
+		return 0, false
+	}
+	var te *ThrottledError
+	if errors.As(err, &te) {
+		return te.RetryAfter, true
+	}
+	text := err.Error()
+	i := strings.Index(text, throttledMarker)
+	if i < 0 {
+		return 0, false
+	}
+	rest := text[i+len(throttledMarker):]
+	// The duration runs until the first byte time.ParseDuration rejects;
+	// remote errors may append context after it.
+	end := len(rest)
+	for j := 0; j < len(rest); j++ {
+		c := rest[j]
+		if (c < '0' || c > '9') && c != '.' && !isUnitByte(c) {
+			end = j
+			break
+		}
+	}
+	d, perr := time.ParseDuration(rest[:end])
+	if perr != nil || d < 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// isUnitByte reports bytes that can appear in a time.Duration unit
+// (ns, us, µs, ms, s, m, h — µ is multi-byte UTF-8).
+func isUnitByte(c byte) bool {
+	switch c {
+	case 'n', 'u', 's', 'm', 'h':
+		return true
+	}
+	return c >= 0x80 // UTF-8 continuation/lead bytes of µ
+}

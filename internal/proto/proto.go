@@ -369,27 +369,38 @@ type ReadSegmentsReq struct {
 	// RangeOff/RangeLen bound a ReadRange request (ignored otherwise).
 	RangeOff uint64
 	RangeLen uint64
+	// Tenant attributes the read to an admission-control tenant: the
+	// provider's front door charges its per-tenant token buckets under
+	// this ID ("" shares the anonymous tenant's budget). Rides a second
+	// optional trailer after the mode fields, so tenant-less encoders stay
+	// wire-identical to older binaries.
+	Tenant string
 }
 
 // Encode serializes the request. The mode trailer is appended only for
-// non-ReadFull modes, keeping the ReadFull encoding canonical.
+// non-ReadFull modes or when a tenant rides behind it, keeping the plain
+// ReadFull encoding canonical.
 func (q *ReadSegmentsReq) Encode() []byte {
-	w := wire.NewWriter(36 + 4*len(q.Vertices))
+	w := wire.NewWriter(36 + 4*len(q.Vertices) + len(q.Tenant))
 	w.U64(uint64(q.Owner))
 	w.U32(uint32(len(q.Vertices)))
 	for _, v := range q.Vertices {
 		w.U32(uint32(v))
 	}
-	if q.Mode != ReadFull {
+	if q.Mode != ReadFull || q.Tenant != "" {
 		w.U8(q.Mode)
 		w.U64(q.RangeOff)
 		w.U64(q.RangeLen)
+	}
+	if q.Tenant != "" {
+		w.String(q.Tenant)
 	}
 	return w.Bytes()
 }
 
 // DecodeReadSegmentsReq parses the request, tolerating the legacy
-// trailer-free encoding (Mode = ReadFull) but rejecting a torn trailer.
+// trailer-free encoding (Mode = ReadFull) and the tenant-less mode trailer
+// but rejecting a torn trailer of either kind.
 func DecodeReadSegmentsReq(b []byte) (*ReadSegmentsReq, error) {
 	r := wire.NewReader(b)
 	q := &ReadSegmentsReq{Owner: ownermap.ModelID(r.U64())}
@@ -407,6 +418,9 @@ func DecodeReadSegmentsReq(b []byte) (*ReadSegmentsReq, error) {
 			q.Mode = r.U8()
 			q.RangeOff = r.U64()
 			q.RangeLen = r.U64()
+			if r.Remaining() > 0 {
+				q.Tenant = r.Str()
+			}
 		case r.Remaining() != 0:
 			return nil, wire.ErrTruncated
 		}

@@ -383,6 +383,39 @@ func TestReadSegmentsReqModeTrailer(t *testing.T) {
 	}
 }
 
+func TestReadSegmentsReqTenantTrailer(t *testing.T) {
+	// A tenant on a ReadFull request forces the mode trailer so the tenant
+	// field has a fixed offset, and round-trips intact.
+	req := &ReadSegmentsReq{Owner: 7, Vertices: []graph.VertexID{1, 2}, Tenant: "team-a"}
+	got, err := DecodeReadSegmentsReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != "team-a" || got.Mode != ReadFull {
+		t.Fatalf("tenant round trip: %+v", got)
+	}
+
+	// Tenant composes with a non-full mode trailer.
+	rng := &ReadSegmentsReq{Owner: 9, Vertices: []graph.VertexID{0}, Mode: ReadRange, RangeOff: 8, RangeLen: 16, Tenant: "t"}
+	got, err = DecodeReadSegmentsReq(rng.Encode())
+	if err != nil || got.Tenant != "t" || got.Mode != ReadRange || got.RangeLen != 16 {
+		t.Fatalf("tenant+range round trip: %+v %v", got, err)
+	}
+
+	// No tenant: encoding is byte-identical to the pre-tenant format.
+	plain := &ReadSegmentsReq{Owner: 7, Vertices: []graph.VertexID{1, 2}}
+	if len(plain.Encode()) != 8+4+4*2 {
+		t.Fatal("tenant-less encoding grew")
+	}
+
+	// A torn tenant trailer is an error, not an empty tenant.
+	torn := req.Encode()
+	torn = torn[:len(torn)-2]
+	if _, err := DecodeReadSegmentsReq(torn); err == nil {
+		t.Error("torn tenant trailer accepted")
+	}
+}
+
 func TestSplitBulkMsg(t *testing.T) {
 	segs := []SegmentRef{{Vertex: 0, Length: 3}, {Vertex: 1, Length: 2}, {Vertex: 2, Length: 0}}
 	payload := []byte{1, 2, 3, 4, 5}

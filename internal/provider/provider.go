@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/frontdoor"
 	"repro/internal/graph"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
@@ -141,6 +142,18 @@ type Provider struct {
 	// and SetPlacementState); the server uses it to persist the new state
 	// into its data dir's manifest.
 	onPlacement atomic.Pointer[func(*placement.State)]
+
+	// throttle, when armed via SetThrottle, applies per-tenant token-bucket
+	// admission to segment reads (the front door). nil admits everything.
+	// An atomic pointer so the read path never takes p.mu for it.
+	throttle atomic.Pointer[frontdoor.Throttler]
+
+	// readFlights collapses concurrent identical segment reads into one
+	// execution (the provider half of front-door coalescing; the client
+	// coalesces its own duplicate reads before they reach the wire, this
+	// catches duplicates across distinct clients). Keyed by the canonical
+	// request encoding with the tenant cleared — see readFlightKey.
+	readFlights frontdoor.Group[string, rpc.Message]
 }
 
 // New creates a provider with the given index backed by kv (segments are
@@ -450,6 +463,50 @@ func (p *Provider) handleReadSegments(_ context.Context, req rpc.Message) (rpc.M
 	if err != nil {
 		return rpc.Message{}, err
 	}
+	p.reg.Counter("provider.read_request").Inc()
+	// Admission precedes coalescing: a throttled tenant must not ride
+	// another tenant's in-flight read past its own budget.
+	if th := p.throttle.Load(); th != nil {
+		if err := th.Admit(q.Tenant); err != nil {
+			p.reg.Counter("provider.throttled").Inc()
+			return rpc.Message{}, fmt.Errorf("provider %d: read %d: %w", p.id, q.Owner, err)
+		}
+	}
+	resp, shared, err := p.readFlights.Do(readFlightKey(q), func() (rpc.Message, error) {
+		p.reg.Counter("provider.read_exec").Inc()
+		p.reg.Counter("provider.read_segments_exec").Add(uint64(len(q.Vertices)))
+		return p.readSegmentsResp(q)
+	})
+	if shared {
+		p.reg.Counter("provider.read_coalesced").Inc()
+	}
+	if err != nil {
+		return rpc.Message{}, err
+	}
+	// Bytes are charged after the read (the request doesn't carry its
+	// response size); the bucket absorbs the debt and delays the tenant's
+	// next admission instead — see frontdoor.Bucket.Force.
+	if th := p.throttle.Load(); th != nil {
+		th.ChargeBytes(q.Tenant, resp.BulkLen())
+	}
+	return resp, nil
+}
+
+// readFlightKey is the coalescing key: the canonical request encoding with
+// the tenant cleared, so distinct tenants asking for the same bytes share
+// one execution (per-tenant admission has already run by then).
+func readFlightKey(q *proto.ReadSegmentsReq) string {
+	if q.Tenant == "" {
+		return string(q.Encode())
+	}
+	c := *q
+	c.Tenant = ""
+	return string(c.Encode())
+}
+
+// readSegmentsResp executes one segment read and shapes the response for
+// the request's mode. Runs at most once per coalesced flight.
+func (p *Provider) readSegmentsResp(q *proto.ReadSegmentsReq) (rpc.Message, error) {
 	table, segs, err := p.ReadSegments(q.Owner, q.Vertices)
 	if err != nil {
 		return rpc.Message{}, err

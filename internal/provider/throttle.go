@@ -1,0 +1,17 @@
+package provider
+
+import "repro/internal/frontdoor"
+
+// SetThrottle arms the provider's front-door admission control: every
+// segment read is charged against its tenant's token buckets (ops on
+// admission, bytes after the response is sized) and refused with a typed
+// retry-after error once a bucket runs dry. Zero limits disarm the front
+// door. Safe to call while serving; in-flight reads finish under the
+// throttler they were admitted by.
+//
+// Throttling composes with read coalescing in a fixed order — admit first,
+// coalesce second — so a refused tenant cannot piggyback on another
+// tenant's identical in-flight read.
+func (p *Provider) SetThrottle(l frontdoor.Limits) {
+	p.throttle.Store(frontdoor.NewThrottler(l))
+}

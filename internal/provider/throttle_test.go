@@ -1,0 +1,201 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/frontdoor"
+	"repro/internal/graph"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// gateKV wraps a KV and blocks every Get until the gate channel closes, so a
+// test can pile up concurrent readers behind one storage access.
+type gateKV struct {
+	kvstore.KV
+	gate <-chan struct{}
+}
+
+func (g *gateKV) Get(key string) ([]byte, bool, error) {
+	<-g.gate
+	return g.KV.Get(key)
+}
+
+func TestProviderReadCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	kv := &gateKV{KV: kvstore.NewMemKV(4), gate: gate}
+	p := New(0, kv)
+	reg := metrics.NewRegistry()
+	p.SetMetricsRegistry(reg)
+
+	g := chainGraph(1, 2, 3)
+	req, segs := storeReq(7, 1, 0.5, g)
+	if err := p.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+
+	// K identical reads from distinct tenants pile up behind the gated KV:
+	// the tenant is excluded from the flight key, so they all join one
+	// flight and the store is read exactly once.
+	const k = 16
+	var (
+		wg      sync.WaitGroup
+		started sync.WaitGroup
+		mu      sync.Mutex
+		errs    []error
+	)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rq := &proto.ReadSegmentsReq{Owner: 7, Vertices: []graph.VertexID{0, 1, 2}, Tenant: string(rune('a' + i%4))}
+			started.Done()
+			resp, err := p.handleReadSegments(context.Background(), rpc.Message{Meta: rq.Encode()})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			if got := resp.BulkLen(); got == 0 {
+				errs = append(errs, errors.New("empty coalesced response"))
+			}
+		}(i)
+	}
+	started.Wait()
+	// Give the stragglers time to reach Do before opening the gate; a
+	// latecomer that misses the flight only costs an extra exec, which the
+	// assertion below bounds rather than pins to exactly one.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	exec := reg.Counter("provider.read_exec").Load()
+	coal := reg.Counter("provider.read_coalesced").Load()
+	if exec != 1 {
+		t.Errorf("read_exec = %d, want 1 (one flight for %d identical reads)", exec, k)
+	}
+	if exec+coal != k {
+		t.Errorf("exec+coalesced = %d, want %d", exec+coal, k)
+	}
+	if got := reg.Counter("provider.read_request").Load(); got != k {
+		t.Errorf("read_request = %d, want %d", got, k)
+	}
+}
+
+func TestProviderThrottleIsolation(t *testing.T) {
+	p := New(0, kvstore.NewMemKV(4))
+	reg := metrics.NewRegistry()
+	p.SetMetricsRegistry(reg)
+	g := chainGraph(1, 2)
+	req, segs := storeReq(3, 1, 0.5, g)
+	if err := p.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+	// 2 ops/s over a 1s window: capacity 2 ops, initial fill 1 op.
+	p.SetThrottle(frontdoor.Limits{OpsPerSec: 2, Window: time.Second})
+
+	read := func(tenant string) error {
+		rq := &proto.ReadSegmentsReq{Owner: 3, Vertices: []graph.VertexID{0}, Tenant: tenant}
+		_, err := p.handleReadSegments(context.Background(), rpc.Message{Meta: rq.Encode()})
+		return err
+	}
+
+	if err := read("noisy"); err != nil {
+		t.Fatalf("first read throttled: %v", err)
+	}
+	var throttledErr error
+	for i := 0; i < 8; i++ {
+		if err := read("noisy"); err != nil {
+			throttledErr = err
+			break
+		}
+	}
+	if throttledErr == nil {
+		t.Fatal("noisy tenant never throttled at 2 ops/s")
+	}
+	if !errors.Is(throttledErr, frontdoor.ErrThrottled) {
+		t.Fatalf("throttled error not typed: %v", throttledErr)
+	}
+	if d, ok := frontdoor.RetryAfterFromError(throttledErr); !ok || d <= 0 {
+		t.Fatalf("no retry-after in %v", throttledErr)
+	}
+	// The quiet tenant's bucket is untouched by the noisy one.
+	if err := read("quiet"); err != nil {
+		t.Fatalf("quiet tenant collaterally throttled: %v", err)
+	}
+	if got := reg.Counter("provider.throttled").Load(); got == 0 {
+		t.Error("provider.throttled counter never incremented")
+	}
+
+	// Disarming re-admits everyone.
+	p.SetThrottle(frontdoor.Limits{})
+	for i := 0; i < 32; i++ {
+		if err := read("noisy"); err != nil {
+			t.Fatalf("read throttled after disarm: %v", err)
+		}
+	}
+}
+
+// TestThrottleBeforeCoalesce pins the ordering contract: a tenant refused at
+// the front door must not receive the bytes of another tenant's identical
+// in-flight read.
+func TestThrottleBeforeCoalesce(t *testing.T) {
+	gate := make(chan struct{})
+	kv := &gateKV{KV: kvstore.NewMemKV(4), gate: gate}
+	p := New(0, kv)
+	p.SetMetricsRegistry(metrics.NewRegistry())
+	g := chainGraph(1, 2)
+	req, segs := storeReq(3, 1, 0.5, g)
+	if err := p.StoreModel(req, segs); err != nil {
+		t.Fatal(err)
+	}
+	p.SetThrottle(frontdoor.Limits{OpsPerSec: 1, Window: time.Second})
+
+	rq := func(tenant string) rpc.Message {
+		q := &proto.ReadSegmentsReq{Owner: 3, Vertices: []graph.VertexID{0}, Tenant: tenant}
+		return rpc.Message{Meta: q.Encode()}
+	}
+
+	// Tenant A's read is in flight, parked on the gated KV.
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.handleReadSegments(context.Background(), rq("a"))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	// Tenant B exhausts its bucket: the drain reads park behind the gate
+	// too, but their admission is charged up front, which is all the test
+	// needs. Then B issues the identical read A has in flight — it must be
+	// refused at the door, not coalesced into A's flight.
+	var drain sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			q := &proto.ReadSegmentsReq{Owner: 99, Vertices: []graph.VertexID{0}, Tenant: "b"}
+			p.handleReadSegments(context.Background(), rpc.Message{Meta: q.Encode()})
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	_, err := p.handleReadSegments(context.Background(), rq("b"))
+	if err == nil || !errors.Is(err, frontdoor.ErrThrottled) {
+		t.Fatalf("exhausted tenant joined another tenant's flight: err=%v", err)
+	}
+
+	close(gate)
+	drain.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight read failed: %v", err)
+	}
+}

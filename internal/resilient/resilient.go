@@ -18,6 +18,12 @@
 //     transport failures the breaker opens and calls are shed immediately
 //     with rpc.ErrUnavailable; after Cooldown one probe call is let
 //     through (half-open) and its outcome closes or re-opens the breaker.
+//   - Throttle-aware pacing: a front-door admission refusal carrying a
+//     retry-after hint (see the frontdoor package) is retried after the
+//     server-chosen pause instead of exponential backoff, and counts as a
+//     breaker success — a provider refusing authoritatively is healthy,
+//     and opening the breaker on throttling would turn pacing into an
+//     outage.
 //
 // Paper counterpart: none — this is the productionization layer the
 // ROADMAP's north star asks for on top of the paper's Mercury/Thallium
@@ -36,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/frontdoor"
 	"repro/internal/metrics"
 	"repro/internal/rpc"
 )
@@ -141,6 +148,7 @@ type Conn struct {
 
 	retries, shed            *metrics.Counter
 	opened, halfOpen, closed *metrics.Counter
+	throttled                *metrics.Counter
 }
 
 // SetStateListener installs fn to be called — synchronously, off the
@@ -178,6 +186,7 @@ func Wrap(conn rpc.Conn, o Options) *Conn {
 		opened:   reg.Counter("rpc.breaker_open"),
 		halfOpen: reg.Counter("rpc.breaker_half_open"),
 		closed:   reg.Counter("rpc.breaker_close"),
+		throttled: reg.Counter("rpc.throttle_backoff"),
 	}
 }
 
@@ -211,14 +220,25 @@ func (c *Conn) backoff(retry int) time.Duration {
 }
 
 // Call implements rpc.Conn: breaker check, per-attempt deadline, bounded
-// retries with backoff on transient errors of retryable operations.
+// retries with backoff on transient errors of retryable operations. A
+// front-door throttle refusal (frontdoor.RetryAfterFromError) is treated as
+// pacing, not failure: the server-chosen retry-after replaces the
+// exponential backoff and the breaker records a success, since an
+// authoritative refusal proves the provider healthy.
 func (c *Conn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
 	retryable := c.opts.Retryable == nil || c.opts.Retryable(name)
 	var lastErr error
+	// throttleWait, when set, replaces the next retry's exponential backoff
+	// with the server-directed pause from the previous attempt's refusal.
+	var throttleWait time.Duration
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Inc()
-			if err := c.opts.Clock.Sleep(ctx, c.backoff(attempt-1)); err != nil {
+			d := c.backoff(attempt - 1)
+			if throttleWait > 0 {
+				d, throttleWait = throttleWait, 0
+			}
+			if err := c.opts.Clock.Sleep(ctx, d); err != nil {
 				return rpc.Message{}, err
 			}
 		}
@@ -240,6 +260,23 @@ func (c *Conn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Mess
 		}
 
 		resp, err := c.attempt(ctx, name, req)
+		if ra, ok := frontdoor.RetryAfterFromError(err); ok {
+			// Throttled: the provider is reachable and answering, so the
+			// breaker must not accumulate failures (an open breaker would
+			// turn pacing into an outage). Honor the server's retry-after
+			// (clamped) instead of exponential backoff.
+			if c.breaker.onSuccess() {
+				c.closed.Inc()
+				c.notifyState("closed")
+			}
+			c.throttled.Inc()
+			lastErr = err
+			if !retryable {
+				break
+			}
+			throttleWait = clampRetryAfter(ra)
+			continue
+		}
 		if err == nil || !rpc.IsTransient(err) {
 			// Success, or the handler answered authoritatively: the
 			// provider is reachable either way.
@@ -259,6 +296,20 @@ func (c *Conn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Mess
 		}
 	}
 	return rpc.Message{}, lastErr
+}
+
+// clampRetryAfter bounds a server-provided retry-after to a sane pause: a
+// floor keeps a zero hint from becoming a busy-loop, a ceiling keeps one
+// deep-in-debt bucket from parking a call for its entire refill window.
+func clampRetryAfter(d time.Duration) time.Duration {
+	const floor, ceil = time.Millisecond, 5 * time.Second
+	if d < floor {
+		return floor
+	}
+	if d > ceil {
+		return ceil
+	}
+	return d
 }
 
 // attempt runs one try under the per-attempt default deadline.

@@ -15,10 +15,13 @@ import (
 // ownership contract (see the package comment) forbids anyone from still
 // aliasing the request.
 //
-// Client-side response buffers are deliberately NOT pooled: Call hands them
-// to the caller, who may retain them indefinitely (tensor.Decode and
-// proto.SplitBulk alias their inputs), so the transport never sees a safe
-// recycle point for them.
+// Client-side response buffers are pooled only on request: by default Call
+// hands the caller a fresh allocation it may retain indefinitely
+// (tensor.Decode and proto.SplitBulk alias their inputs — the transport
+// never sees a safe recycle point). A caller that attaches a frame sink
+// (WithFrameSink, see frame.go) receives the bulk payload as a refcounted
+// Frame lease on a pooled buffer instead and defines the recycle point
+// itself by releasing the last reference.
 
 const (
 	// bufPoolMinClass and bufPoolMaxClass bound the pooled size classes:

@@ -1,0 +1,105 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestFrameLeaseOverTCP proves the opt-in contract: without a sink the
+// bulk is a plain allocation and no frame appears; with one, the bulk
+// aliases a pooled frame whose final release recycles the buffer.
+func TestFrameLeaseOverTCP(t *testing.T) {
+	srv := NewServer()
+	payload := bytes.Repeat([]byte{0xAB}, 10<<10)
+	srv.Register("echo", func(_ context.Context, req Message) (Message, error) {
+		return Message{Meta: []byte("ok"), Bulk: payload}, nil
+	})
+	lis, addr, err := ListenAndServeTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	conn, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// No sink: no frame machinery involved.
+	resp, err := conn.Call(context.Background(), "echo", Message{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Bulk, payload) {
+		t.Fatal("plain call corrupted bulk")
+	}
+
+	// Sink attached: bulk aliases the frame, refcount 1, release recycles.
+	ctx, sink := WithFrameSink(context.Background())
+	resp, err = conn.Call(ctx, "echo", Message{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sink.Take()
+	if f == nil {
+		t.Fatal("no frame deposited for a bulk response")
+	}
+	if &resp.Bulk[0] != &f.Bytes()[0] {
+		t.Fatal("response bulk does not alias the leased frame")
+	}
+	if !bytes.Equal(resp.Bulk, payload) {
+		t.Fatal("leased call corrupted bulk")
+	}
+	if f.Refs() != 1 {
+		t.Fatalf("fresh frame refcount %d, want 1", f.Refs())
+	}
+	f.Retain()
+	f.Release()
+	if f.Refs() != 1 {
+		t.Fatalf("refcount after retain+release %d, want 1", f.Refs())
+	}
+	f.Release()
+	if f.Refs() != 0 {
+		t.Fatalf("refcount after final release %d, want 0", f.Refs())
+	}
+	if f.Bytes() != nil {
+		t.Fatal("released frame still exposes its buffer")
+	}
+
+	// A meta-only response deposits nothing.
+	srv.Register("meta", func(_ context.Context, req Message) (Message, error) {
+		return Message{Meta: []byte("m")}, nil
+	})
+	ctx, sink = WithFrameSink(context.Background())
+	if _, err := conn.Call(ctx, "meta", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if f := sink.Take(); f != nil {
+		t.Fatal("frame deposited for a bulk-less response")
+	}
+}
+
+// TestFrameSinkReplacesStaleFrame pins the retry contract: a second
+// deposit releases the first frame (a middleware discarded that attempt's
+// response), so retries cannot strand pooled buffers.
+func TestFrameSinkReplacesStaleFrame(t *testing.T) {
+	s := &FrameSink{}
+	f1 := NewFrame(make([]byte, 8))
+	f2 := NewFrame(make([]byte, 8))
+	s.set(f1)
+	s.set(f2)
+	if f1.Refs() != 0 {
+		t.Fatalf("stale frame refcount %d, want 0", f1.Refs())
+	}
+	if got := s.Take(); got != f2 {
+		t.Fatal("sink lost the live frame")
+	}
+	if f2.Refs() != 1 {
+		t.Fatalf("live frame refcount %d, want 1", f2.Refs())
+	}
+	f2.Release()
+	if s.Take() != nil {
+		t.Fatal("Take did not clear the sink")
+	}
+}

@@ -309,10 +309,18 @@ func (c *tcpConn) Call(ctx context.Context, name string, req Message) (Message, 
 			c.dead = true
 			return Message{}, err
 		}
-		bulk, err := readSized64(c.r, false)
+		// With a frame sink on the context the caller has opted into
+		// leased receive frames: the bulk payload lands in a pooled
+		// buffer whose recycle point is the lease's final release,
+		// instead of a one-shot allocation the GC has to chew through.
+		sink := frameSinkFrom(ctx)
+		bulk, err := readSized64(c.r, sink != nil)
 		if err != nil {
 			c.dead = true
 			return Message{}, err
+		}
+		if sink != nil && len(bulk) > 0 {
+			sink.set(NewFrame(bulk))
 		}
 		return Message{Meta: meta, Bulk: bulk}, nil
 	case 1:
