@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frontdoor"
+	"repro/internal/heat"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// autobalanceEntry is one measured phase in BENCH_autobalance.json.
+type autobalanceEntry struct {
+	Phase        string  `json:"phase"` // "baseline" (no controller) or "controller"
+	Reads        int     `json:"reads"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Fails        int64   `json:"fails"`
+	Epoch        uint64  `json:"epoch"`
+	Widened      int     `json:"widened"`
+	Packed       int     `json:"packed"`
+	PayloadBytes uint64  `json:"payload_bytes"`
+	BudgetBps    float64 `json:"budget_bps"`
+}
+
+type autobalanceFile struct {
+	Entries []autobalanceEntry `json:"entries"`
+}
+
+// runAutobalance is the heat-driven rebalancing acceptance scenario: a
+// zipfian read workload concentrates heat on a few models, and the
+// internal/heat controller must react — widening the hot models' replica
+// sets and packing the cold ones — while the workload keeps running. The
+// contract it asserts:
+//
+//   - the controller bumps the epoch at least once, with at least one model
+//     widened above the base R and (packing enabled) at least one packed;
+//   - zero failed requests throughout — reads ride the dual-epoch union
+//     while the controller's migration moves data;
+//   - the controller phase's p99 read latency stays within 20% of the
+//     no-migration baseline (plus a 2ms absolute floor for timer noise);
+//   - migration payload bytes stay within the token-bucket budget's hard
+//     bound (rate × elapsed plus one burst window).
+func runAutobalance(providers, models, replicas, reads int, budget float64, out string) error {
+	if replicas < 2 {
+		replicas = 2
+	}
+	if providers < replicas+1 {
+		providers = replicas + 1
+	}
+	if models < 8 {
+		models = 8
+	}
+	fmt.Printf("\n=== Heat-driven autobalance: %d providers, R=%d, %d models, zipfian reads, budget %g B/s ===\n",
+		providers, replicas, models, budget)
+
+	reg := metrics.Default
+	// The client segment cache would absorb the repeat reads that make a
+	// model hot; disable it so heat reaches the providers.
+	repo, err := core.Open(core.Options{
+		Providers:     providers,
+		Replicas:      replicas,
+		SegCacheBytes: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	ctx := context.Background()
+
+	flat, err := model.Flatten(model.Sequential("bench", 8,
+		model.Dense{In: 8, Out: 8, Activation: "relu", UseBias: true},
+		model.Dense{In: 8, Out: 8, Activation: "relu"},
+		model.Dense{In: 8, Out: 4},
+	))
+	if err != nil {
+		return err
+	}
+	var ids []core.ModelID
+	for i := 0; i < models; i++ {
+		id, err := repo.Store(ctx, flat, model.Materialize(flat, uint64(i+1)), 0.5)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("seeded %d models\n", len(ids))
+
+	// Zipfian read phase: rank 0 (ids[0]) takes the bulk of the traffic.
+	// Each phase uses the same seed, so both measure the same access
+	// pattern and the latency comparison is apples to apples.
+	const workers = 2
+	runPhase := func() (lats []float64, fails int64) {
+		var mu sync.Mutex
+		var failsA atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w + 1)))
+				zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(ids)-1))
+				local := make([]float64, 0, reads/workers)
+				for i := 0; i < reads/workers; i++ {
+					id := ids[zipf.Uint64()]
+					start := time.Now()
+					if _, _, err := repo.Load(ctx, id); err != nil {
+						failsA.Add(1)
+						continue
+					}
+					local = append(local, time.Since(start).Seconds()*1e3)
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		sort.Float64s(lats)
+		return lats, failsA.Load()
+	}
+
+	// Phase 1: baseline — the same workload with no controller running.
+	baseLats, baseFails := runPhase()
+	baseP50 := metrics.Percentile(baseLats, 0.50)
+	baseP99 := metrics.Percentile(baseLats, 0.99)
+	fmt.Printf("baseline: %d reads, p50 %.2fms p99 %.2fms, %d fails\n",
+		len(baseLats), baseP50, baseP99, baseFails)
+	baseline := autobalanceEntry{
+		Phase: "baseline", Reads: len(baseLats),
+		P50Ms: baseP50, P99Ms: baseP99, Fails: baseFails,
+		Epoch: repo.PlacementTable().Epoch,
+	}
+
+	// Phase 2: the same workload with the controller stepping concurrently.
+	// The baseline phase already skewed the EWMA heat, so the controller
+	// has signal from its first cycle.
+	ctl := heat.New(repo.Client(), heat.Config{
+		PackTo:            1,
+		BudgetBytesPerSec: budget,
+	}, reg)
+	moved := reg.Counter("client.repair_payload_bytes")
+	movedBefore := moved.Load()
+	phaseStart := time.Now()
+
+	stop := make(chan struct{})
+	var ctlErr error
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				if err := ctl.Step(ctx); err != nil {
+					ctlErr = err
+					return
+				}
+			}
+		}
+	}()
+	ctlLats, ctlFails := runPhase()
+	close(stop)
+	ctlWG.Wait()
+	if ctlErr == nil && repo.PlacementTable().Epoch == 0 {
+		// Smoke-scale read phases can finish before the first controller
+		// tick; the EWMA heat survives the phase, so one explicit step
+		// still exercises the full plan → rebalance → migrate path.
+		ctlErr = ctl.Step(ctx)
+	}
+	if ctlErr != nil {
+		return fmt.Errorf("controller step: %w", ctlErr)
+	}
+	elapsed := time.Since(phaseStart)
+	movedBytes := moved.Load() - movedBefore
+	ctlP50 := metrics.Percentile(ctlLats, 0.50)
+	ctlP99 := metrics.Percentile(ctlLats, 0.99)
+
+	tbl := repo.PlacementTable()
+	widened, packed := 0, 0
+	for _, r := range tbl.Overrides {
+		if r > tbl.R() {
+			widened++
+		} else if r < tbl.R() {
+			packed++
+		}
+	}
+	fmt.Printf("controller: %d reads, p50 %.2fms p99 %.2fms, %d fails; %s, %d widened, %d packed, %s migrated\n",
+		len(ctlLats), ctlP50, ctlP99, ctlFails, tbl, widened, packed, metrics.HumanBytes(int64(movedBytes)))
+
+	// Contract checks.
+	if baseFails != 0 || ctlFails != 0 {
+		return fmt.Errorf("%d baseline + %d controller-phase reads failed (want 0)", baseFails, ctlFails)
+	}
+	if tbl.Epoch < 1 {
+		return fmt.Errorf("controller never rebalanced: still at %s", tbl)
+	}
+	if widened < 1 {
+		return fmt.Errorf("no model widened above R=%d under a zipfian workload: %s", tbl.R(), tbl)
+	}
+	if packed < 1 {
+		return fmt.Errorf("no cold model packed with PackTo=1: %s", tbl)
+	}
+	if hotSet := tbl.ReplicaSet(ids[0]); len(hotSet) <= replicas {
+		return fmt.Errorf("hottest model %d still has %d replicas (want > %d)", ids[0], len(hotSet), replicas)
+	}
+	// p99 bound: within 20% of the no-migration baseline, with a small
+	// absolute floor so microsecond-scale baselines don't fail on noise.
+	if limit := baseP99*1.2 + 2.0; ctlP99 > limit {
+		return fmt.Errorf("controller-phase p99 %.2fms exceeds %.2fms (baseline %.2fms + 20%% + 2ms)",
+			ctlP99, limit, baseP99)
+	}
+	// Budget bound: the token bucket admits at most rate × elapsed plus one
+	// burst window (capacity = rate × frontdoor.Window) of payload bytes.
+	if budget > 0 {
+		bound := budget * (elapsed.Seconds() + frontdoor.Window.Seconds())
+		if float64(movedBytes) > bound {
+			return fmt.Errorf("migration moved %d payload bytes, over the budget bound %.0f (%g B/s for %.2fs + one window)",
+				movedBytes, bound, budget, elapsed.Seconds())
+		}
+	}
+	// The workload keeps serving under the new table.
+	for _, id := range ids {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			return fmt.Errorf("load %d under the rebalanced table: %w", id, err)
+		}
+	}
+	fmt.Printf("contract holds: 0 failed reads, hot widened, cold packed, p99 within bound, payload within budget (heat.rebalances=%d lost_race=%d)\n",
+		reg.Counter("heat.rebalances").Load(), reg.Counter("heat.lost_race").Load())
+
+	if out == "" {
+		return nil
+	}
+	entries := []autobalanceEntry{baseline, {
+		Phase: "controller", Reads: len(ctlLats),
+		P50Ms: ctlP50, P99Ms: ctlP99, Fails: ctlFails,
+		Epoch: tbl.Epoch, Widened: widened, Packed: packed,
+		PayloadBytes: movedBytes, BudgetBps: budget,
+	}}
+	data, err := json.MarshalIndent(&autobalanceFile{Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

@@ -37,7 +37,10 @@ func runFaults(args []string) error {
 	repair := fs.Bool("repair", false, "run the replica-repair scenario instead: kill a replica mid-workload, heal it, and assert anti-entropy converges every digest with zero lost refcount deltas")
 	rebalance := fs.Bool("rebalance", false, "run the elasticity scenario instead: drain one provider and join a spare mid-workload with zero failed requests, then audit digests and drain to zero")
 	restart := fs.Bool("restart", false, "run the crash-recovery scenario instead: kill -9 a provider on a real LSM dir mid-workload, reopen the same dir, and assert the replayed catalog confines repair to the outage's divergence tail")
-	out := fs.String("out", "", "with -rebalance: merge migration throughput into this JSON file (e.g. BENCH_rebalance.json)")
+	autobalance := fs.Bool("autobalance", false, "run the heat-driven autobalance scenario instead: a zipfian read workload skews per-model heat, the controller widens hot models and packs cold ones with zero failed requests, bounded p99 impact, and budgeted migration bytes")
+	reads := fs.Int("reads", 2000, "with -autobalance: zipfian reads per measured phase")
+	budget := fs.Float64("budget", 8e6, "with -autobalance: migration payload budget in bytes/sec (0 = unpaced)")
+	out := fs.String("out", "", "with -rebalance/-autobalance: write benchmark results into this JSON file (e.g. BENCH_rebalance.json)")
 	fs.Parse(args)
 
 	if *repair {
@@ -48,6 +51,9 @@ func runFaults(args []string) error {
 	}
 	if *rebalance {
 		return runRebalance(*providers, *models, *replicas, *out)
+	}
+	if *autobalance {
+		return runAutobalance(*providers, *models, *replicas, *reads, *budget, *out)
 	}
 
 	reg := metrics.Default

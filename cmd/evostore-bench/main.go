@@ -8,6 +8,7 @@
 //	evostore-bench fig6|fig7|fig8|fig9|fig10 [-budget N] [-workers N]
 //	evostore-bench ablations
 //	evostore-bench faults [-providers N] [-replicas R] [-drop P] [-fault-provider I] [-partition]
+//	evostore-bench faults -autobalance [-reads N] [-budget BPS] [-out BENCH_autobalance.json]
 //	evostore-bench frontdoor [-smoke] [-out BENCH_frontdoor.json]
 //	evostore-bench all
 //

@@ -82,7 +82,13 @@ type Client struct {
 	stripePar   int    // max concurrent chunk fetches per owner group
 
 	partialWrites bool // accept outage-shaped partial mutations (see repair.go)
-	repairMu      sync.Mutex
+	// rebalanceMu serializes placement transitions driven through this
+	// client: concurrent Rebalancer.Rebalance calls (controller cycle vs
+	// manual operator push) run one at a time, so exactly one epoch bump
+	// wins and the loser observes the new epoch instead of corrupting the
+	// migration.
+	rebalanceMu sync.Mutex
+	repairMu    sync.Mutex
 	repairQ       []RepairTarget
 	repairSeen    map[ownermap.ModelID]bool
 
@@ -707,6 +713,23 @@ func (c *Client) Metrics(ctx context.Context) (snaps []map[string]uint64, errs [
 		snaps[i], errs[i] = proto.DecodeCounters(r.Resp.Meta)
 	}
 	return snaps, errs
+}
+
+// Heat fetches every provider's per-model heat trailer from the Metrics
+// RPC. heats[i] is provider i's samples (nil for providers that predate
+// heat or are unreachable — the matching errs[i] says which).
+func (c *Client) Heat(ctx context.Context) (heats [][]proto.ModelHeat, errs []error) {
+	results := rpc.Broadcast(ctx, c.conns, proto.RPCMetrics, rpc.Message{})
+	heats = make([][]proto.ModelHeat, len(results))
+	errs = make([]error, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			errs[i] = fmt.Errorf("client: heat on provider %d: %w", i, r.Err)
+			continue
+		}
+		_, heats[i], errs[i] = proto.DecodeCountersHeat(r.Resp.Meta)
+	}
+	return heats, errs
 }
 
 // Stats aggregates storage statistics across all providers. With

@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ownermap"
+	"repro/internal/placement"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// methodFaultConn fails the first `fails` calls of one named RPC and
+// passes everything else through — a surgical fault for exercising
+// pushState's partial-failure handling without disturbing data traffic.
+type methodFaultConn struct {
+	rpc.Conn
+	method string
+	fails  atomic.Int64 // remaining injected failures; calls decrement
+	hits   atomic.Int64 // total calls of method observed
+}
+
+func (f *methodFaultConn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
+	if name == f.method {
+		f.hits.Add(1)
+		if f.fails.Add(-1) >= 0 {
+			return rpc.Message{}, fmt.Errorf("injected: %s dropped", name)
+		}
+	}
+	return f.Conn.Call(ctx, name, req)
+}
+
+// faultyClient dials a client over ec's providers with conn[target]
+// wrapped to fail RPCSetPlacement `fails` times.
+func (ec *elasticCluster) faultyClient(t testing.TB, tbl *placement.Table, target int, fails int64) (*Client, *methodFaultConn) {
+	t.Helper()
+	conns := make([]rpc.Conn, len(ec.provs))
+	var fc *methodFaultConn
+	for i := range conns {
+		c, err := ec.net.Dial(fmt.Sprintf("p%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == target {
+			fc = &methodFaultConn{Conn: c, method: proto.RPCSetPlacement}
+			fc.fails.Store(fails)
+			conns[i] = fc
+		} else {
+			conns[i] = c
+		}
+	}
+	return New(conns, WithPlacement(tbl), WithRegistry(ec.reg)), fc
+}
+
+// TestPushStatePartialFailureTyped pins the satellite-2 contract: when a
+// required member never accepts the placement push, Rebalance fails with a
+// *PushStateError naming exactly that straggler, the migration does not
+// proceed (no provider committed the new single epoch), and re-running the
+// same rebalance once the member heals converges the deployment.
+func TestPushStatePartialFailureTyped(t *testing.T) {
+	ec := newElasticCluster(t, 3, 1, 2)
+	ctx := context.Background()
+	for _, id := range []ownermap.ModelID{1, 2, 3, 4, 5, 6} {
+		ec.store(t, ec.cli, id)
+	}
+	epoch0 := ec.cli.Placement().Cur
+	next, err := epoch0.WithMember(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Provider 1 drops every placement push this client sends.
+	cli, fc := ec.faultyClient(t, epoch0, 1, 1<<30)
+	reb := NewRebalancer(cli)
+	_, err = reb.Rebalance(ctx, next)
+	if err == nil {
+		t.Fatal("rebalance with unreachable member succeeded")
+	}
+	var pse *PushStateError
+	if !errors.As(err, &pse) {
+		t.Fatalf("error is %T (%v), want *PushStateError", err, err)
+	}
+	if !reflect.DeepEqual(pse.Stragglers, []int{1}) {
+		t.Errorf("Stragglers = %v, want [1]", pse.Stragglers)
+	}
+	if pse.Epoch != next.Epoch {
+		t.Errorf("PushStateError.Epoch = %d, want %d", pse.Epoch, next.Epoch)
+	}
+	if got := fc.hits.Load(); got < int64(pushStateAttempts) {
+		t.Errorf("straggler retried %d times, want >= %d", got, pushStateAttempts)
+	}
+	// The failed arm must not commit anywhere: a provider either still
+	// holds single epoch 0 (the straggler) or the dual {1,0} view — never
+	// single epoch 1, which would reject the straggler's epoch-0 writes
+	// while it cannot learn why. Dual is safe: reads and writes span both
+	// epochs until the re-run converges or the operator backs out.
+	for i, p := range ec.provs {
+		st := p.PlacementState()
+		if !st.Migrating() && st.Cur.Epoch != epoch0.Epoch {
+			t.Errorf("provider %d committed single epoch %d after failed arm", i, st.Cur.Epoch)
+		}
+	}
+	if st := ec.provs[1].PlacementState(); st.Migrating() || st.Cur.Epoch != epoch0.Epoch {
+		t.Errorf("straggler provider 1 state = %v despite dropping every push", st)
+	}
+	// The client did not install the dual view either — its next attempt
+	// takes the fresh-migration path.
+	if cli.Placement().Migrating() {
+		t.Error("client installed dual state despite failed arm")
+	}
+
+	// Heal and re-run: same target, full convergence.
+	fc.fails.Store(0)
+	stats, err := reb.Rebalance(ctx, next)
+	if err != nil {
+		t.Fatalf("healed rebalance: %v", err)
+	}
+	if stats.Epoch != next.Epoch {
+		t.Errorf("stats.Epoch = %d, want %d", stats.Epoch, next.Epoch)
+	}
+	for i, p := range ec.provs {
+		st := p.PlacementState()
+		if st.Migrating() || st.Cur.Epoch != next.Epoch {
+			t.Errorf("provider %d state = %v after healed rebalance", i, st)
+		}
+	}
+	ec.cli.SetPlacementState(next, nil)
+	for _, id := range []ownermap.ModelID{1, 2, 3, 4, 5, 6} {
+		ec.assertConverged(t, id)
+	}
+}
+
+// TestPushStateRetriesToConvergence pins the retry half: a member that
+// drops the push transiently (fewer failures than pushState's retry
+// budget) is converged by the retries and the migration completes with no
+// error surfaced at all.
+func TestPushStateRetriesToConvergence(t *testing.T) {
+	ec := newElasticCluster(t, 3, 1, 2)
+	ctx := context.Background()
+	for _, id := range []ownermap.ModelID{1, 2, 3} {
+		ec.store(t, ec.cli, id)
+	}
+	epoch0 := ec.cli.Placement().Cur
+	next, err := epoch0.WithMember(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two injected failures per push round out of pushStateAttempts: the
+	// arm push eats both, the commit push runs clean.
+	cli, fc := ec.faultyClient(t, epoch0, 2, 2)
+	reb := NewRebalancer(cli)
+	stats, err := reb.Rebalance(ctx, next)
+	if err != nil {
+		t.Fatalf("rebalance with transient push faults: %v", err)
+	}
+	if stats.Epoch != next.Epoch {
+		t.Errorf("stats.Epoch = %d, want %d", stats.Epoch, next.Epoch)
+	}
+	if got := fc.hits.Load(); got < 3 {
+		t.Errorf("faulted conn saw %d placement pushes, want >= 3 (2 drops + success)", got)
+	}
+	for i, p := range ec.provs {
+		st := p.PlacementState()
+		if st.Migrating() || st.Cur.Epoch != next.Epoch {
+			t.Errorf("provider %d state = %v, want committed epoch %d", i, st, next.Epoch)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ownermap"
@@ -55,6 +56,15 @@ func NewRebalancer(c *Client) *Rebalancer {
 	return &Rebalancer{c: c, r: NewRepairer(c)}
 }
 
+// SetPayloadBudget bounds the migration's payload bandwidth to bytesPerSec
+// (0 removes the bound): phase 2/3 data movement is paced against a token
+// bucket so a rebalance cannot saturate the fabric foreground reads run
+// on. Placement pushes, listings and digests are not budgeted — only
+// payload bytes, which dominate.
+func (b *Rebalancer) SetPayloadBudget(bytesPerSec float64) {
+	b.r.SetPayloadBudget(bytesPerSec)
+}
+
 // RebalanceStats summarizes one completed migration.
 type RebalanceStats struct {
 	Epoch    uint64        // the epoch migrated to
@@ -74,6 +84,12 @@ func (s *RebalanceStats) String() string {
 // WithoutMember or Next); re-running a migration that previously failed
 // partway — the client is still dual on the same target — resumes it.
 func (b *Rebalancer) Rebalance(ctx context.Context, next *placement.Table) (*RebalanceStats, error) {
+	// One migration at a time per client: a controller cycle racing a
+	// manual push serializes here, and the loser fails the successor-epoch
+	// check below instead of double-arming the deployment.
+	b.c.rebalanceMu.Lock()
+	defer b.c.rebalanceMu.Unlock()
+
 	start := time.Now()
 	cur := b.c.Placement()
 	old := cur.Cur
@@ -165,9 +181,41 @@ func (b *Rebalancer) Rebalance(ctx context.Context, next *placement.Table) (*Reb
 	}, nil
 }
 
+// PushStateError reports a placement push that failed to reach every
+// required member: after retries, the providers in Stragglers still do not
+// hold the pushed state, while the rest of the deployment does. The
+// migration must not proceed past this split — re-run Rebalance with the
+// same target once the stragglers are reachable; the resume path converges
+// them (providers treat re-pushes of the same or older epochs as no-ops).
+type PushStateError struct {
+	Epoch      uint64  // epoch of the state being pushed
+	Stragglers []int   // required providers that never accepted it
+	errs       []error // one failure per straggler, same order
+}
+
+func (e *PushStateError) Error() string {
+	return fmt.Sprintf("placement push for epoch %d incomplete: providers %v still on the old state: %v",
+		e.Epoch, e.Stragglers, errors.Join(e.errs...))
+}
+
+// Unwrap exposes the per-straggler failures to errors.Is/As.
+func (e *PushStateError) Unwrap() []error { return e.errs }
+
+// pushStateAttempts bounds how many rounds pushState retries required
+// members that failed the broadcast before giving up with a typed error.
+const pushStateAttempts = 4
+
 // pushState installs st on every provider. Members of any epoch in st
 // must accept (they enforce the write guard and serve the data being
 // moved); pushes to non-member connections are best-effort.
+//
+// A partial push is the dangerous outcome: some members armed on the new
+// state, others still guarding the old one, and writes splitting across
+// the two views. Failed required members are therefore retried to
+// convergence — installs are idempotent, providers ignore stale epochs —
+// and if any still fail after pushStateAttempts rounds, the caller gets a
+// *PushStateError naming them instead of a flat error join, so operators
+// know exactly which providers hold the deployment back.
 func (b *Rebalancer) pushState(ctx context.Context, st *placement.State) error {
 	required := make(map[int]bool)
 	for _, t := range []*placement.Table{st.Cur, st.Prev} {
@@ -180,13 +228,42 @@ func (b *Rebalancer) pushState(ctx context.Context, st *placement.State) error {
 	}
 	req := rpc.Message{Meta: placement.EncodeState(st)}
 	results := rpc.Broadcast(ctx, b.c.conns, proto.RPCSetPlacement, req)
-	var errs []error
+	failed := make(map[int]error)
 	for i, r := range results {
 		if r.Err != nil && required[i] {
-			errs = append(errs, fmt.Errorf("provider %d: %w", i, r.Err))
+			failed[i] = r.Err
 		}
 	}
-	return errors.Join(errs...)
+	for attempt := 1; attempt < pushStateAttempts && len(failed) > 0; attempt++ {
+		select {
+		case <-time.After(time.Duration(attempt) * 5 * time.Millisecond):
+		case <-ctx.Done():
+			return b.pushStateError(st, failed)
+		}
+		for pi := range failed {
+			if _, err := b.c.conns[pi].Call(ctx, proto.RPCSetPlacement, req); err != nil {
+				failed[pi] = err
+			} else {
+				delete(failed, pi)
+			}
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	return b.pushStateError(st, failed)
+}
+
+func (b *Rebalancer) pushStateError(st *placement.State, failed map[int]error) error {
+	e := &PushStateError{Epoch: st.Cur.Epoch}
+	for pi := range failed {
+		e.Stragglers = append(e.Stragglers, pi)
+	}
+	sort.Ints(e.Stragglers)
+	for _, pi := range e.Stragglers {
+		e.errs = append(e.errs, fmt.Errorf("provider %d: %w", pi, failed[pi]))
+	}
+	return e
 }
 
 // equalInts reports whether two int slices are element-wise equal.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dedup"
 	"repro/internal/frontdoor"
 	"repro/internal/graph"
+	"repro/internal/heat"
 	"repro/internal/kvstore"
 	"repro/internal/model"
 	"repro/internal/ownermap"
@@ -54,6 +55,10 @@ type Repository struct {
 
 	rebOnce    sync.Once
 	rebalancer *client.Rebalancer
+
+	balOnce  sync.Once
+	balancer *heat.Controller
+	balStop  context.CancelFunc // cancels the AutoBalance loop; nil when not running
 
 	// embedded deployment resources (nil when attached to remote providers)
 	owned  []*provider.Provider
@@ -142,6 +147,28 @@ type Options struct {
 	// ThrottleWindow is the admission buckets' burst window (capacity =
 	// rate x window). 0 selects the frontdoor default (60s).
 	ThrottleWindow time.Duration
+	// AutoBalance starts the heat-driven rebalancing controller
+	// (internal/heat) on Open: it periodically reads every provider's
+	// per-model heat, widens hot models' replica sets, packs cold ones,
+	// and drives the epoch bumps itself. The loop stops at Close. Leave
+	// false to run the controller manually via AutoBalancer.
+	AutoBalance bool
+	// AutoBalanceInterval is the controller cycle period (default 5s).
+	AutoBalanceInterval time.Duration
+	// HeatHotFactor / HeatColdFactor are the skew thresholds: a model
+	// widens above HotFactor x mean heat, packs below ColdFactor x mean.
+	// 0 selects the internal/heat defaults (4 and 0.25).
+	HeatHotFactor  float64
+	HeatColdFactor float64
+	// HeatWiden / HeatPack are the replica counts hot and cold models
+	// converge to. HeatWiden 0 means base R+1; HeatPack 0 disables
+	// packing.
+	HeatWiden int
+	HeatPack  int
+	// MigrationBudgetBytesPerSec paces rebalance payload movement (both
+	// controller-driven and Rebalancer-driven via AutoBalancer's
+	// rebalancer); 0 leaves migrations unpaced.
+	MigrationBudgetBytesPerSec float64
 	// DurableCatalog builds providers with provider.NewDurable: catalog
 	// state (model metadata, refcounts, journals, tombstones) is written
 	// through to the KV backend and replayed on construction, so a provider
@@ -239,6 +266,11 @@ func Open(opts Options) (*Repository, error) {
 		copts = append(copts, client.WithTenant(opts.Tenant))
 	}
 	r.cli = client.New(conns, copts...)
+	if opts.AutoBalance {
+		ctx, cancel := context.WithCancel(context.Background())
+		r.balStop = cancel
+		go r.AutoBalancer().Run(ctx)
+	}
 	return r, nil
 }
 
@@ -369,15 +401,48 @@ func Attach(conns []rpc.Conn, opts ...client.Option) *Repository {
 	return &Repository{cli: client.New(conns, opts...), conns: conns}
 }
 
-// Close releases client connections (and nothing else: embedded providers
-// hold no external resources beyond their KV backends, which the caller
-// owns if it supplied them).
+// Close stops the auto-balance loop (if running) and releases client
+// connections (and nothing else: embedded providers hold no external
+// resources beyond their KV backends, which the caller owns if it
+// supplied them).
 func (r *Repository) Close() error {
+	if r.balStop != nil {
+		r.balStop()
+	}
 	for _, c := range r.conns {
 		c.Close()
 	}
 	return nil
 }
+
+// AutoBalancer returns the deployment's heat-driven rebalancing
+// controller, building it on first use from the heat-related Options.
+// Drive it manually with Step/Run, or set Options.AutoBalance to have
+// Open run it. The controller shares the deployment's client, so its
+// epoch bumps serialize with manual Rebalance calls.
+func (r *Repository) AutoBalancer() *heat.Controller {
+	r.balOnce.Do(func() {
+		r.balancer = heat.New(r.cli, heat.Config{
+			Interval:          r.opts.AutoBalanceInterval,
+			HotFactor:         r.opts.HeatHotFactor,
+			ColdFactor:        r.opts.HeatColdFactor,
+			WidenTo:           r.opts.HeatWiden,
+			PackTo:            r.opts.HeatPack,
+			BudgetBytesPerSec: r.opts.MigrationBudgetBytesPerSec,
+		}, nil)
+	})
+	return r.balancer
+}
+
+// Heat returns every provider's per-model heat samples (see client.Heat).
+func (r *Repository) Heat(ctx context.Context) ([][]proto.ModelHeat, []error) {
+	return r.cli.Heat(ctx)
+}
+
+// Client exposes the underlying deployment client, for callers that need
+// layers the Repository facade does not re-export (heat snapshots, custom
+// rebalancing controllers).
+func (r *Repository) Client() *client.Client { return r.cli }
 
 // NumProviders returns the deployment size.
 func (r *Repository) NumProviders() int { return r.cli.NumProviders() }

@@ -121,15 +121,66 @@ func (b *Bucket) Take(now time.Time, n float64) (time.Duration, bool) {
 	return d, false
 }
 
+// refund returns tokens a refused admission attempt took, capped at
+// capacity. A refused request performs no work, so it must not consume
+// budget: without the refund, a client retrying against one exhausted
+// dimension silently drains the other, turning a bytes-debt pause into an
+// ops outage.
+func (b *Bucket) refund(n float64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.fill += n
+	if b.fill > b.cap {
+		b.fill = b.cap
+	}
+}
+
 // Force takes n tokens unconditionally, letting the fill go negative. Used
 // to charge costs only known after the fact (response bytes): the op
 // already happened, so the debt is settled by throttling what follows.
+// Debt is clamped at one full window (-cap): the tenant pays for at most
+// one window of history, so a single huge response delays it by a bounded
+// interval instead of forever, and the clamp is what keeps a later Resize
+// from carrying an unbounded debt into a smaller bucket.
 func (b *Bucket) Force(now time.Time, n float64) {
 	if b == nil || n <= 0 {
 		return
 	}
 	b.advance(now)
 	b.fill -= n
+	if b.fill < -b.cap {
+		b.fill = -b.cap
+	}
+}
+
+// Resize re-rates the bucket at time now, preserving the accumulated fill
+// — debt included — clamped to the new capacity bounds [-cap, cap]. It
+// returns the bucket to use afterwards: nil when rate disables the
+// dimension, a fresh bucket when b was nil. Preserving fill across a
+// limit change is the point: replacing the bucket wholesale would forgive
+// every tenant's outstanding byte debt (rewarding whoever was deepest in
+// the red) or, worse, carry a debt larger than the new capacity that the
+// shrunken refill rate takes near-forever to pay off.
+func (b *Bucket) Resize(now time.Time, rate float64, window time.Duration) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	nb := NewBucket(rate, window)
+	if b == nil {
+		return nb
+	}
+	b.advance(now)
+	f := b.fill
+	if f > nb.cap {
+		f = nb.cap
+	}
+	if f < -nb.cap {
+		f = -nb.cap
+	}
+	nb.fill = f
+	nb.last = now
+	return nb
 }
 
 // --- per-tenant throttler ------------------------------------------------------
@@ -208,11 +259,20 @@ func (t *Throttler) bucketsFor(tenant string, now time.Time) *tenantBuckets {
 	return tb
 }
 
+// bytesProbe is the token charge Admit and Wait place against the bytes
+// bucket up front: near-zero, so it refuses only while the bucket is in
+// debt (real byte costs are only known after the response is built and
+// are charged by ChargeBytes).
+const bytesProbe = 0.0001
+
 // Admit charges one operation against tenant's ops bucket and verifies the
 // bytes bucket is out of debt. On refusal it returns a *ThrottledError
-// carrying the longer retry-after of the two dimensions. Response bytes
-// are charged after the fact with ChargeBytes, since a read's size is only
-// known once it has been served.
+// carrying the longer retry-after of the two dimensions, and refunds
+// whatever the granted dimension took — a refused request consumes no
+// budget, so retries paced by the hint find the ops bucket where they
+// left it instead of drained. Response bytes are charged after the fact
+// with ChargeBytes, since a read's size is only known once it has been
+// served.
 func (t *Throttler) Admit(tenant string) error {
 	if t == nil {
 		return nil
@@ -222,20 +282,41 @@ func (t *Throttler) Admit(tenant string) error {
 	now := t.now()
 	tb := t.bucketsFor(tenant, now)
 	opsWait, opsOK := tb.ops.Take(now, 1)
-	bytesWait, bytesOK := tb.bytes.Take(now, 0.0001) // probe: refuses only while in debt
+	bytesWait, bytesOK := tb.bytes.Take(now, bytesProbe)
 	if opsOK && bytesOK {
 		return nil
 	}
-	if !opsOK && opsWait > bytesWait {
-		return &ThrottledError{RetryAfter: opsWait}
+	if opsOK {
+		tb.ops.refund(1)
 	}
-	if !opsOK && !bytesOK {
-		return &ThrottledError{RetryAfter: bytesWait}
+	if bytesOK {
+		tb.bytes.refund(bytesProbe)
 	}
-	if !opsOK {
-		return &ThrottledError{RetryAfter: opsWait}
+	wait := opsWait
+	if bytesWait > wait {
+		wait = bytesWait
 	}
-	return &ThrottledError{RetryAfter: bytesWait}
+	return &ThrottledError{RetryAfter: wait}
+}
+
+// SetLimits replaces the throttler's limits in place, resizing every live
+// tenant's buckets while preserving their fill and debt (clamped to the
+// new capacity — see Bucket.Resize). Returns false when l disables
+// throttling entirely; the caller should then drop the throttler (a nil
+// *Throttler admits everything).
+func (t *Throttler) SetLimits(l Limits) bool {
+	if t == nil || !l.enabled() {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.limits = l
+	for _, tb := range t.tenants {
+		tb.ops = tb.ops.Resize(now, l.OpsPerSec, l.Window)
+		tb.bytes = tb.bytes.Resize(now, l.BytesPerSec, l.Window)
+	}
+	return true
 }
 
 // ChargeBytes debits n response bytes against tenant's bytes bucket,
@@ -299,11 +380,21 @@ func (w *Waiter) Wait(ctx context.Context) (int, error) {
 		w.mu.Lock()
 		now := w.now()
 		opsWait, opsOK := w.ops.Take(now, 1)
-		bytesWait, bytesOK := w.bytes.Take(now, 0.0001)
-		w.mu.Unlock()
+		bytesWait, bytesOK := w.bytes.Take(now, bytesProbe)
 		if opsOK && bytesOK {
+			w.mu.Unlock()
 			return waits, nil
 		}
+		// Same refund contract as Throttler.Admit: a sleep iteration that
+		// admitted nothing must not burn an op token per lap, or the loop
+		// itself lengthens the wait it is sitting out.
+		if opsOK {
+			w.ops.refund(1)
+		}
+		if bytesOK {
+			w.bytes.refund(bytesProbe)
+		}
+		w.mu.Unlock()
 		d := opsWait
 		if bytesWait > d {
 			d = bytesWait

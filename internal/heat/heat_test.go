@@ -1,0 +1,121 @@
+package heat_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/heat"
+	"repro/internal/ownermap"
+	"repro/internal/placement"
+	"repro/internal/proto"
+)
+
+func TestAggregateSumsAcrossProviders(t *testing.T) {
+	heats := [][]proto.ModelHeat{
+		{{Model: 1, ReadBps: 100, WriteBps: 10}, {Model: 2, ReadBps: 5}},
+		nil, // unreachable provider
+		{{Model: 1, ReadBps: 50}},
+	}
+	got := heat.Aggregate(heats)
+	want := map[ownermap.ModelID]float64{1: 160, 2: 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Aggregate = %v, want %v", got, want)
+	}
+}
+
+func TestPlanWidensHotPacksCold(t *testing.T) {
+	cur := placement.New(4, 2)
+	cfg := heat.Config{HotFactor: 4, ColdFactor: 0.25, PackTo: 1}
+	// Mean = (10000+4*1000+1)/6 ≈ 2334: model 7 is >4x mean, model 9 is
+	// <0.25x mean, the 1000s sit mid-band (between 583 and 9334).
+	h := map[ownermap.ModelID]float64{
+		7: 10000, 1: 1000, 2: 1000, 3: 1000, 4: 1000, 9: 1,
+	}
+	got := heat.Plan(cfg, cur, h)
+	want := map[ownermap.ModelID]int{7: 3, 9: 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Plan = %v, want %v", got, want)
+	}
+
+	// Packing disabled: only the hot model appears.
+	cfg.PackTo = 0
+	got = heat.Plan(cfg, cur, h)
+	if !reflect.DeepEqual(got, map[ownermap.ModelID]int{7: 3}) {
+		t.Errorf("Plan without packing = %v", got)
+	}
+
+	// Explicit widen target wins over base R+1.
+	cfg.WidenTo = 4
+	got = heat.Plan(cfg, cur, h)
+	if got[7] != 4 {
+		t.Errorf("Plan with WidenTo=4 gave %v", got)
+	}
+}
+
+func TestPlanQuietDeploymentDecays(t *testing.T) {
+	cur := placement.New(4, 2).WithOverrides(map[ownermap.ModelID]int{7: 3})
+	// Total heat under the floor: the plan clears every override.
+	if got := heat.Plan(heat.Config{MinTotalBps: 100}, cur, map[ownermap.ModelID]float64{7: 1}); got != nil {
+		t.Errorf("quiet plan = %v, want nil", got)
+	}
+	if got := heat.Plan(heat.Config{}, cur, nil); got != nil {
+		t.Errorf("empty-heat plan = %v, want nil", got)
+	}
+}
+
+func TestPlanStableWhenBalanced(t *testing.T) {
+	cur := placement.New(4, 2)
+	h := map[ownermap.ModelID]float64{1: 100, 2: 110, 3: 95, 4: 105}
+	if got := heat.Plan(heat.Config{PackTo: 1}, cur, h); got != nil {
+		t.Errorf("balanced plan = %v, want nil (no churn near the mean)", got)
+	}
+}
+
+func TestPlanCooledModelReturnsToBase(t *testing.T) {
+	// Model 7 is widened but no longer measurable; with traffic elsewhere
+	// keeping the deployment above the quiet floor, its override drops.
+	cur := placement.New(4, 2).WithOverrides(map[ownermap.ModelID]int{7: 3})
+	h := map[ownermap.ModelID]float64{1: 500, 2: 450}
+	if got := heat.Plan(heat.Config{}, cur, h); got != nil {
+		t.Errorf("plan = %v, want nil (cooled override dropped, mid-band untouched)", got)
+	}
+}
+
+func TestPlanMaxChangesBounded(t *testing.T) {
+	cur := placement.New(8, 2)
+	cfg := heat.Config{MaxChanges: 2, PackTo: 1}
+	// Two hot models, three mid-band, five cold: far more change
+	// candidates than the budget of 2. (Mean ≈ 21400: hot > 85600,
+	// cold < 5350.)
+	h := map[ownermap.ModelID]float64{
+		1: 100000, 2: 90000, 3: 8000, 4: 8000, 5: 8000,
+		6: 1, 7: 1, 8: 1, 9: 1, 10: 1,
+	}
+	got := heat.Plan(cfg, cur, h)
+	if len(got) != 2 {
+		t.Fatalf("plan changed %d models with MaxChanges=2: %v", len(got), got)
+	}
+	// Hottest-first: the two hottest models take the slots.
+	if got[1] != 3 || got[2] != 3 {
+		t.Errorf("plan = %v, want the two hottest widened", got)
+	}
+
+	// Existing overrides beyond the budget are kept, not silently dropped.
+	cur2 := cur.WithOverrides(map[ownermap.ModelID]int{6: 1, 7: 1})
+	got2 := heat.Plan(cfg, cur2, h)
+	if got2[6] != 1 || got2[7] != 1 {
+		t.Errorf("plan %v dropped funded overrides it had no budget to change", got2)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cur := placement.New(4, 2)
+	h := map[ownermap.ModelID]float64{1: 9000, 2: 8000, 3: 10, 4: 12, 5: 11, 6: 9}
+	cfg := heat.Config{PackTo: 1, MaxChanges: 3}
+	first := heat.Plan(cfg, cur, h)
+	for i := 0; i < 20; i++ {
+		if got := heat.Plan(cfg, cur, h); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: plan %v != %v", i, got, first)
+		}
+	}
+}

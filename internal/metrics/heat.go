@@ -1,0 +1,171 @@
+package metrics
+
+// Per-model heat: exponentially-weighted moving-average byte rates for
+// reads and writes, the signal the heat-driven rebalancing controller
+// (internal/heat) steers placement by. Counters answer "how much ever
+// happened"; a Rate answers "how much is happening right now", which is
+// what distinguishes a hot lineage burst from a model that was popular
+// last week.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultHeatHalfLife is the decay half-life of a heat gauge: after one
+// half-life of silence a model's measured rate halves. Short enough to
+// track a burst-download of one lineage (the dominant model-hub access
+// shape), long enough that one coalesced read does not read as heat.
+const DefaultHeatHalfLife = 30 * time.Second
+
+// Rate is an EWMA rate gauge: Observe(n) events (or bytes) feed it, Per
+// second reads the current exponentially-decayed rate. Not safe for
+// concurrent use on its own; HeatMap wraps it with a lock.
+type Rate struct {
+	halfLife time.Duration
+	acc      float64   // decayed accumulated quantity
+	last     time.Time // time of the last decay
+}
+
+// NewRate builds a rate gauge with the given half-life (<= 0 selects
+// DefaultHeatHalfLife).
+func NewRate(halfLife time.Duration) *Rate {
+	if halfLife <= 0 {
+		halfLife = DefaultHeatHalfLife
+	}
+	return &Rate{halfLife: halfLife}
+}
+
+// decay ages the accumulator to now.
+func (g *Rate) decay(now time.Time) {
+	if !g.last.IsZero() {
+		if dt := now.Sub(g.last); dt > 0 {
+			g.acc *= math.Exp2(-float64(dt) / float64(g.halfLife))
+		}
+	}
+	g.last = now
+}
+
+// Observe feeds n units (bytes, ops) into the gauge at time now.
+func (g *Rate) Observe(now time.Time, n float64) {
+	if n <= 0 {
+		return
+	}
+	g.decay(now)
+	g.acc += n
+}
+
+// Per returns the decayed rate in units per second as of now. The EWMA
+// accumulator holds roughly one mean lifetime (halfLife/ln 2) of traffic,
+// so the rate is acc divided by that span.
+func (g *Rate) Per(now time.Time) float64 {
+	g.decay(now)
+	return g.acc / (float64(g.halfLife) / math.Ln2 / float64(time.Second))
+}
+
+// HeatSample is one model's current heat as seen by one observer.
+type HeatSample struct {
+	ID       uint64  // model ID (ownermap.ModelID, kept untyped to avoid the import)
+	ReadBps  float64 // read payload bytes per second
+	WriteBps float64 // write payload bytes per second
+}
+
+// heatFloorBps is the rate below which a model's gauges are pruned: its
+// heat has decayed to noise and keeping the entry would only grow the map.
+const heatFloorBps = 1.0 / 1024
+
+// maxHeatModels bounds the per-provider heat map. When full, Observe
+// prunes decayed entries; if everything is genuinely warm, new models go
+// untracked until something cools — the controller only acts on the
+// hottest and coldest tails, so dropping the middle is safe.
+const maxHeatModels = 65536
+
+// HeatMap tracks per-model read/write heat. Safe for concurrent use. The
+// zero value is not ready; use NewHeatMap.
+type HeatMap struct {
+	halfLife time.Duration
+	now      func() time.Time
+
+	mu     sync.Mutex
+	models map[uint64]*modelHeat
+}
+
+type modelHeat struct {
+	read, write Rate
+}
+
+// NewHeatMap builds a heat map with the given gauge half-life (<= 0
+// selects DefaultHeatHalfLife).
+func NewHeatMap(halfLife time.Duration) *HeatMap {
+	if halfLife <= 0 {
+		halfLife = DefaultHeatHalfLife
+	}
+	return &HeatMap{halfLife: halfLife, now: time.Now, models: make(map[uint64]*modelHeat)}
+}
+
+// SetClock injects a time source (tests).
+func (h *HeatMap) SetClock(now func() time.Time) {
+	if h != nil && now != nil {
+		h.now = now
+	}
+}
+
+// ObserveRead feeds n read payload bytes of model id. nil-safe.
+func (h *HeatMap) ObserveRead(id uint64, n int) { h.observe(id, n, false) }
+
+// ObserveWrite feeds n written payload bytes of model id. nil-safe.
+func (h *HeatMap) ObserveWrite(id uint64, n int) { h.observe(id, n, true) }
+
+func (h *HeatMap) observe(id uint64, n int, write bool) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	m := h.models[id]
+	if m == nil {
+		if len(h.models) >= maxHeatModels {
+			h.pruneLocked(now)
+			if len(h.models) >= maxHeatModels {
+				return
+			}
+		}
+		m = &modelHeat{read: Rate{halfLife: h.halfLife}, write: Rate{halfLife: h.halfLife}}
+		h.models[id] = m
+	}
+	if write {
+		m.write.Observe(now, float64(n))
+	} else {
+		m.read.Observe(now, float64(n))
+	}
+}
+
+// pruneLocked drops models whose heat has decayed below the floor.
+func (h *HeatMap) pruneLocked(now time.Time) {
+	for id, m := range h.models {
+		if m.read.Per(now)+m.write.Per(now) < heatFloorBps {
+			delete(h.models, id)
+		}
+	}
+}
+
+// Snapshot returns the current per-model heat, sorted by ID, pruning
+// entries that have decayed to noise. nil-safe (returns nil).
+func (h *HeatMap) Snapshot() []HeatSample {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	h.pruneLocked(now)
+	out := make([]HeatSample, 0, len(h.models))
+	for id, m := range h.models {
+		out = append(out, HeatSample{ID: id, ReadBps: m.read.Per(now), WriteBps: m.write.Per(now)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRateDecaysByHalfLife(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	g := NewRate(10 * time.Second)
+	g.Observe(t0, 1000)
+	r0 := g.Per(t0)
+	if r0 <= 0 {
+		t.Fatalf("rate after observe = %v, want > 0", r0)
+	}
+	r1 := g.Per(t0.Add(10 * time.Second))
+	if got, want := r1/r0, 0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("one half-life decayed ratio = %v, want %v", got, want)
+	}
+	// Steady feeding converges to the true rate: 100 B/s for many
+	// half-lives reads back as ~100 B/s.
+	g = NewRate(10 * time.Second)
+	now := t0
+	for i := 0; i < 600; i++ {
+		now = now.Add(time.Second)
+		g.Observe(now, 100)
+	}
+	if got := g.Per(now); math.Abs(got-100) > 5 {
+		t.Errorf("steady 100 B/s reads as %v B/s", got)
+	}
+}
+
+func TestRateIgnoresNonPositive(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	g := NewRate(time.Second)
+	g.Observe(t0, 0)
+	g.Observe(t0, -5)
+	if got := g.Per(t0); got != 0 {
+		t.Errorf("rate after non-positive observations = %v, want 0", got)
+	}
+}
+
+func TestHeatMapSnapshotSortedAndPruned(t *testing.T) {
+	now := time.Unix(1000, 0)
+	h := NewHeatMap(time.Second)
+	h.SetClock(func() time.Time { return now })
+
+	h.ObserveRead(7, 4096)
+	h.ObserveWrite(3, 2048)
+	h.ObserveRead(3, 1024)
+
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 3 || snap[1].ID != 7 {
+		t.Fatalf("snapshot = %+v, want models [3 7]", snap)
+	}
+	if snap[0].ReadBps <= 0 || snap[0].WriteBps <= 0 || snap[1].ReadBps <= 0 {
+		t.Errorf("expected positive heat, got %+v", snap)
+	}
+	if snap[1].WriteBps != 0 {
+		t.Errorf("model 7 write heat = %v, want 0", snap[1].WriteBps)
+	}
+
+	// Long silence decays everything below the floor; the snapshot prunes.
+	now = now.Add(time.Hour)
+	if snap := h.Snapshot(); len(snap) != 0 {
+		t.Errorf("snapshot after decay = %+v, want empty", snap)
+	}
+}
+
+func TestHeatMapNilSafe(t *testing.T) {
+	var h *HeatMap
+	h.ObserveRead(1, 10)
+	h.ObserveWrite(1, 10)
+	if got := h.Snapshot(); got != nil {
+		t.Errorf("nil heat map snapshot = %v, want nil", got)
+	}
+}

@@ -48,9 +48,11 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-quantile (0≤p≤1) of an ascending-sorted slice
-// using nearest-rank interpolation.
+// using nearest-rank interpolation. Defined for every input: empty slices
+// and NaN quantiles return 0, out-of-range quantiles clamp to the ends —
+// a percentile over a latency sample must never be the thing that panics.
 func Percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	if len(sorted) == 0 || math.IsNaN(p) {
 		return 0
 	}
 	if p <= 0 {

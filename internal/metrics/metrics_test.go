@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -29,6 +30,55 @@ func TestPercentile(t *testing.T) {
 	}
 	if Percentile(nil, 0.5) != 0 {
 		t.Error("empty percentile nonzero")
+	}
+}
+
+// TestPercentileEdgeCases pins the defined-zero-value contract: empty and
+// single-element inputs, out-of-range and NaN quantiles must all return a
+// defined value — never index out of range.
+func TestPercentileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty p=0", nil, 0, 0},
+		{"empty p=0.5", nil, 0.5, 0},
+		{"empty p=1", nil, 1, 0},
+		{"empty p=NaN", nil, nan, 0},
+		{"single p=0", []float64{42}, 0, 42},
+		{"single p=0.5", []float64{42}, 0.5, 42},
+		{"single p=0.99", []float64{42}, 0.99, 42},
+		{"single p=1", []float64{42}, 1, 42},
+		{"single p<0", []float64{42}, -1, 42},
+		{"single p>1", []float64{42}, 2, 42},
+		{"single p=NaN", []float64{42}, nan, 0},
+		{"pair p=NaN", []float64{1, 2}, nan, 0},
+		{"pair p<0 clamps low", []float64{1, 2}, -0.5, 1},
+		{"pair p>1 clamps high", []float64{1, 2}, 1.5, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+// TestSummarizeEdgeCases pins Summarize on degenerate inputs: the empty
+// summary is all zeros, a single element is its own every-statistic.
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+	if s := Summarize([]float64{}); s != (Summary{}) {
+		t.Errorf("Summarize([]) = %+v, want zero Summary", s)
+	}
+	s := Summarize([]float64{7})
+	want := Summary{N: 1, Mean: 7, StdDev: 0, Min: 7, Max: 7, P50: 7, P95: 7}
+	if s != want {
+		t.Errorf("Summarize([7]) = %+v, want %+v", s, want)
 	}
 }
 

@@ -15,10 +15,20 @@ import (
 // replication factor applied over it. Members are provider indices into
 // the deployment's canonical address list — membership can shrink or grow,
 // the address list only grows.
+//
+// Overrides carries per-model replica counts for models whose heat
+// justifies deviating from the base factor: the heat-driven rebalancing
+// controller widens a hot model's set beyond R and packs a cold one below
+// it (floor 1). A model absent from Overrides replicates at R, so a table
+// without overrides behaves (and encodes, and renders) exactly as before.
 type Table struct {
 	Epoch    uint64
 	Members  []int // sorted ascending, unique, non-negative
 	Replicas int   // requested R; effective R is min(Replicas, len(Members))
+	// Overrides maps model ID → replica count for that model (normalized:
+	// clamped to [1, len(Members)], entries equal to the effective R are
+	// dropped). nil means every model uses the base factor.
+	Overrides map[ownermap.ModelID]int
 }
 
 // New returns the epoch-0 table of a fresh deployment: providers 0..n-1,
@@ -66,6 +76,63 @@ func (t *Table) R() int {
 	return t.Replicas
 }
 
+// ReplicasFor returns the effective replica count of one model: its
+// override when present (clamped to the member count), else R().
+func (t *Table) ReplicasFor(id ownermap.ModelID) int {
+	if r, ok := t.Overrides[id]; ok {
+		if r < 1 {
+			r = 1
+		}
+		if r > len(t.Members) {
+			r = len(t.Members)
+		}
+		return r
+	}
+	return t.R()
+}
+
+// normalizeOverrides clamps ov's counts to [1, n] members and drops
+// entries equal to base (the table's effective R) — a no-op override and
+// an absent one must compare, render and encode identically. Returns nil
+// when nothing survives.
+func normalizeOverrides(ov map[ownermap.ModelID]int, n, base int) map[ownermap.ModelID]int {
+	var out map[ownermap.ModelID]int
+	for id, r := range ov {
+		if r < 1 {
+			r = 1
+		}
+		if r > n {
+			r = n
+		}
+		if r == base {
+			continue
+		}
+		if out == nil {
+			out = make(map[ownermap.ModelID]int, len(ov))
+		}
+		out[id] = r
+	}
+	return out
+}
+
+// WithOverrides returns a copy of t (same epoch) carrying the normalized
+// override map. NextOverrides is the epoch-bumping form the heat
+// controller uses.
+func (t *Table) WithOverrides(ov map[ownermap.ModelID]int) *Table {
+	c := *t
+	c.Overrides = normalizeOverrides(ov, len(t.Members), t.R())
+	return &c
+}
+
+// NextOverrides returns the epoch+1 table with the same members and base
+// factor but the given per-model overrides — the successor table a
+// heat-driven rebalance migrates to.
+func (t *Table) NextOverrides(ov map[ownermap.ModelID]int) *Table {
+	n := t.WithOverrides(ov)
+	n.Epoch = t.Epoch + 1
+	return n
+}
+
 // dense reports whether Members is exactly [0..n-1] — the legacy layout
 // whose placement must stay bit-identical to the static modulo hash.
 func (t *Table) dense() bool {
@@ -83,7 +150,7 @@ func (t *Table) dense() bool {
 // hash so a membership change moves only the models it must.
 func (t *Table) ReplicaSet(id ownermap.ModelID) []int {
 	n := len(t.Members)
-	r := t.R()
+	r := t.ReplicasFor(id)
 	set := make([]int, r)
 	if t.dense() {
 		home := int(uint64(id) % uint64(n))
@@ -149,7 +216,8 @@ func (t *Table) Member(provider int) bool {
 }
 
 // WithMember returns the next-epoch table with provider added. Adding a
-// present member is an error (an epoch bump must change placement).
+// present member is an error (an epoch bump must change placement). Heat
+// overrides carry forward (re-normalized against the new member count).
 func (t *Table) WithMember(provider int) (*Table, error) {
 	if provider < 0 {
 		return nil, fmt.Errorf("placement: negative member %d", provider)
@@ -157,7 +225,7 @@ func (t *Table) WithMember(provider int) (*Table, error) {
 	if t.Member(provider) {
 		return nil, fmt.Errorf("placement: provider %d is already a member of epoch %d", provider, t.Epoch)
 	}
-	return Make(t.Epoch+1, append(append([]int(nil), t.Members...), provider), t.Replicas)
+	return t.Next(append(append([]int(nil), t.Members...), provider))
 }
 
 // WithoutMember returns the next-epoch table with provider removed.
@@ -174,15 +242,22 @@ func (t *Table) WithoutMember(provider int) (*Table, error) {
 			ms = append(ms, m)
 		}
 	}
-	return Make(t.Epoch+1, ms, t.Replicas)
+	return t.Next(ms)
 }
 
 // Next returns the epoch+1 table over an arbitrary member list (same R).
+// Heat overrides carry forward, re-normalized against the new list.
 func (t *Table) Next(members []int) (*Table, error) {
-	return Make(t.Epoch+1, members, t.Replicas)
+	n, err := Make(t.Epoch+1, members, t.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	n.Overrides = normalizeOverrides(t.Overrides, len(n.Members), n.R())
+	return n, nil
 }
 
-// Equal reports whether two tables are identical (epoch, members, R).
+// Equal reports whether two tables are identical (epoch, members, R and
+// per-model overrides).
 func (t *Table) Equal(o *Table) bool {
 	if t == nil || o == nil {
 		return t == o
@@ -195,11 +270,22 @@ func (t *Table) Equal(o *Table) bool {
 			return false
 		}
 	}
+	if len(t.Overrides) != len(o.Overrides) {
+		return false
+	}
+	for id, r := range t.Overrides {
+		if o.Overrides[id] != r {
+			return false
+		}
+	}
 	return true
 }
 
 // String renders the table in the canonical "table{epoch=E r=R
 // members=a,b,c}" form that TableFromError parses back out of error text.
+// Per-model overrides append an " ov=id:r,id:r" section (sorted by model
+// ID); tables without overrides render exactly as they always have, and
+// both forms survive the text-only wire round trip.
 func (t *Table) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "table{epoch=%d r=%d members=", t.Epoch, t.Replicas)
@@ -208,6 +294,20 @@ func (t *Table) String() string {
 			sb.WriteByte(',')
 		}
 		sb.WriteString(strconv.Itoa(m))
+	}
+	if len(t.Overrides) > 0 {
+		sb.WriteString(" ov=")
+		ids := make([]ownermap.ModelID, 0, len(t.Overrides))
+		for id := range t.Overrides {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for i, id := range ids {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d:%d", id, t.Overrides[id])
+		}
 	}
 	sb.WriteByte('}')
 	return sb.String()
@@ -286,16 +386,36 @@ func EpochOf(s *State) uint64 {
 
 // --- wire codec ---------------------------------------------------------------
 
-func (t *Table) encodeTo(w *wire.Writer) {
+// stateFlagOverrides marks a state encoding whose tables carry per-model
+// override sections. Writers set it only when some table actually has
+// overrides, so override-free states encode bit-identically to the
+// pre-override format — old persisted manifests keep decoding, and old
+// encodings keep comparing equal byte for byte.
+const stateFlagOverrides = 4
+
+func (t *Table) encodeTo(w *wire.Writer, withOverrides bool) {
 	w.U64(t.Epoch)
 	w.U32(uint32(t.Replicas))
 	w.U32(uint32(len(t.Members)))
 	for _, m := range t.Members {
 		w.U32(uint32(m))
 	}
+	if !withOverrides {
+		return
+	}
+	ids := make([]ownermap.ModelID, 0, len(t.Overrides))
+	for id := range t.Overrides {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U64(uint64(id))
+		w.U32(uint32(t.Overrides[id]))
+	}
 }
 
-func decodeTable(r *wire.Reader) (*Table, error) {
+func decodeTable(r *wire.Reader, withOverrides bool) (*Table, error) {
 	epoch := r.U64()
 	replicas := int(r.U32())
 	n := int(r.U32())
@@ -309,7 +429,27 @@ func decodeTable(r *wire.Reader) (*Table, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	return Make(epoch, members, replicas)
+	t, err := Make(epoch, members, replicas)
+	if err != nil {
+		return nil, err
+	}
+	if !withOverrides {
+		return t, nil
+	}
+	k := int(r.U32())
+	if r.Err() != nil || k > r.Remaining()/12+1 {
+		return nil, wire.ErrTruncated
+	}
+	ov := make(map[ownermap.ModelID]int, k)
+	for i := 0; i < k; i++ {
+		id := ownermap.ModelID(r.U64())
+		ov[id] = int(r.U32())
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	t.Overrides = normalizeOverrides(ov, len(t.Members), t.R())
+	return t, nil
 }
 
 // EncodeState serializes a placement state (nil allowed: an unguarded
@@ -323,12 +463,16 @@ func EncodeState(s *State) []byte {
 	if s != nil && s.Prev != nil {
 		flags |= 2
 	}
+	if s != nil && (s.Cur != nil && len(s.Cur.Overrides) > 0 || s.Prev != nil && len(s.Prev.Overrides) > 0) {
+		flags |= stateFlagOverrides
+	}
 	w.U8(flags)
+	withOv := flags&stateFlagOverrides != 0
 	if flags&1 != 0 {
-		s.Cur.encodeTo(w)
+		s.Cur.encodeTo(w, withOv)
 	}
 	if flags&2 != 0 {
-		s.Prev.encodeTo(w)
+		s.Prev.encodeTo(w, withOv)
 	}
 	return w.Bytes()
 }
@@ -344,13 +488,14 @@ func DecodeState(b []byte) (*State, error) {
 	if flags&1 == 0 {
 		return nil, nil
 	}
+	withOv := flags&stateFlagOverrides != 0
 	s := &State{}
 	var err error
-	if s.Cur, err = decodeTable(r); err != nil {
+	if s.Cur, err = decodeTable(r, withOv); err != nil {
 		return nil, err
 	}
 	if flags&2 != 0 {
-		if s.Prev, err = decodeTable(r); err != nil {
+		if s.Prev, err = decodeTable(r, withOv); err != nil {
 			return nil, err
 		}
 	}
@@ -426,6 +571,7 @@ func parseTable(s string) (*Table, bool) {
 	if err1 != nil || err2 != nil {
 		return nil, false
 	}
+	memberStr, ovStr, hasOv := strings.Cut(memberStr, " ov=")
 	var members []int
 	for _, part := range strings.Split(memberStr, ",") {
 		m, err := strconv.Atoi(part)
@@ -437,6 +583,22 @@ func parseTable(s string) (*Table, bool) {
 	t, err := Make(epoch, members, r)
 	if err != nil {
 		return nil, false
+	}
+	if hasOv {
+		ov := make(map[ownermap.ModelID]int)
+		for _, part := range strings.Split(ovStr, ",") {
+			idStr, cntStr, ok := strings.Cut(part, ":")
+			if !ok {
+				return nil, false
+			}
+			id, err1 := strconv.ParseUint(idStr, 10, 64)
+			cnt, err2 := strconv.Atoi(cntStr)
+			if err1 != nil || err2 != nil {
+				return nil, false
+			}
+			ov[ownermap.ModelID(id)] = cnt
+		}
+		t.Overrides = normalizeOverrides(ov, len(t.Members), t.R())
 	}
 	return t, true
 }

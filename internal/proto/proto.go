@@ -750,6 +750,66 @@ func DecodeCounters(b []byte) (map[string]uint64, error) {
 	return snap, r.Err()
 }
 
+// ModelHeat reports one model's EWMA access rates as measured by a
+// provider: bytes per second served to readers and ingested by writers.
+type ModelHeat struct {
+	Model    ownermap.ModelID
+	ReadBps  float64
+	WriteBps float64
+}
+
+// EncodeCountersHeat serializes a metrics snapshot followed by a per-model
+// heat trailer. The prefix is byte-identical to EncodeCounters, and
+// DecodeCounters ignores trailing bytes, so old clients read the counters
+// and never see the heat — the trailer rides the existing Metrics RPC per
+// the package's wire-evolution contract (appended fields are optional
+// trailers).
+func EncodeCountersHeat(snap map[string]uint64, heat []ModelHeat) []byte {
+	w := wire.NewWriter(len(heat)*24 + 4)
+	w.U32(uint32(len(heat)))
+	for _, h := range heat {
+		w.U64(uint64(h.Model))
+		w.F64(h.ReadBps)
+		w.F64(h.WriteBps)
+	}
+	return append(EncodeCounters(snap), w.Bytes()...)
+}
+
+// DecodeCountersHeat parses a metrics snapshot plus its optional heat
+// trailer. Payloads from providers that predate heat decode with a nil
+// heat slice rather than an error.
+func DecodeCountersHeat(b []byte) (map[string]uint64, []ModelHeat, error) {
+	r := wire.NewReader(b)
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining()/12+1 {
+		return nil, nil, wire.ErrTruncated
+	}
+	snap := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		name := string(r.Bytes32())
+		snap[name] = r.U64()
+	}
+	if r.Err() != nil {
+		return nil, nil, r.Err()
+	}
+	if r.Remaining() == 0 {
+		return snap, nil, nil
+	}
+	hn := int(r.U32())
+	if r.Err() != nil || hn > r.Remaining()/24+1 {
+		return nil, nil, wire.ErrTruncated
+	}
+	heat := make([]ModelHeat, hn)
+	for i := range heat {
+		heat[i] = ModelHeat{
+			Model:    ownermap.ModelID(r.U64()),
+			ReadBps:  r.F64(),
+			WriteBps: r.F64(),
+		}
+	}
+	return snap, heat, r.Err()
+}
+
 // ProviderStats summarizes one provider's storage state.
 type ProviderStats struct {
 	Models       uint64

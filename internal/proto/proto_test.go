@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -459,5 +460,60 @@ func TestSplitBulkMsg(t *testing.T) {
 	// Length mismatch is rejected.
 	if _, err := SplitBulkMsg(segs, rpc.Message{BulkVec: [][]byte{payload[:4]}}); err == nil {
 		t.Error("short payload accepted")
+	}
+}
+
+// TestCountersHeatTrailer pins the heat trailer's compatibility contract:
+// the prefix is exactly EncodeCounters (old decoders keep working and skip
+// the trailer), heat-free payloads decode with nil heat, and the trailer
+// round-trips through the new codec.
+func TestCountersHeatTrailer(t *testing.T) {
+	snap := map[string]uint64{"store.segments": 9, "rpc.retry": 2}
+	heat := []ModelHeat{
+		{Model: 3, ReadBps: 1024.5, WriteBps: 0},
+		{Model: 17, ReadBps: 0, WriteBps: 4096},
+	}
+	b := EncodeCountersHeat(snap, heat)
+
+	prefix := EncodeCounters(snap)
+	if !bytes.HasPrefix(b, prefix) {
+		t.Fatal("heat payload does not start with the plain counters encoding")
+	}
+	// Old decoder ignores the trailer.
+	oldSnap, err := DecodeCounters(b)
+	if err != nil {
+		t.Fatalf("legacy DecodeCounters on heat payload: %v", err)
+	}
+	if oldSnap["store.segments"] != 9 {
+		t.Errorf("legacy decode snapshot = %v", oldSnap)
+	}
+
+	gotSnap, gotHeat, err := DecodeCountersHeat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSnap["rpc.retry"] != 2 {
+		t.Errorf("snapshot = %v", gotSnap)
+	}
+	if !reflect.DeepEqual(gotHeat, heat) {
+		t.Errorf("heat = %+v, want %+v", gotHeat, heat)
+	}
+
+	// A provider that predates heat sends bare counters: nil heat, no error.
+	s2, h2, err := DecodeCountersHeat(prefix)
+	if err != nil || h2 != nil || s2["rpc.retry"] != 2 {
+		t.Errorf("heat-free decode = %v %v %v", s2, h2, err)
+	}
+
+	// Empty heat still encodes an explicit zero-count trailer.
+	if _, h3, err := DecodeCountersHeat(EncodeCountersHeat(snap, nil)); err != nil || len(h3) != 0 {
+		t.Errorf("empty heat trailer decode = %v %v", h3, err)
+	}
+
+	// Truncated trailers are rejected, not misread.
+	for cut := len(prefix) + 1; cut < len(b); cut++ {
+		if _, _, err := DecodeCountersHeat(b[:cut]); err == nil {
+			t.Errorf("decoding %d/%d bytes succeeded", cut, len(b))
+		}
 	}
 }

@@ -154,6 +154,11 @@ type Provider struct {
 	// catches duplicates across distinct clients). Keyed by the canonical
 	// request encoding with the tenant cleared — see readFlightKey.
 	readFlights frontdoor.Group[string, rpc.Message]
+
+	// heat tracks per-model EWMA read/write byte rates; exported as an
+	// optional trailer on the Metrics RPC so the rebalancing controller
+	// can see which models are hot without a new wire surface.
+	heat *metrics.HeatMap
 }
 
 // New creates a provider with the given index backed by kv (segments are
@@ -171,6 +176,7 @@ func New(id int, kv kvstore.KV) *Provider {
 		journals: make(map[ownermap.ModelID]*refJournal),
 		retired:  make(map[ownermap.ModelID]uint64),
 		dedup:    newDedupTable(dedupCap),
+		heat:     metrics.NewHeatMap(metrics.DefaultHeatHalfLife),
 	}
 }
 
@@ -412,11 +418,14 @@ func (p *Provider) StoreModel(q *proto.StoreModelReq, segs [][]byte) error {
 	}
 
 	// Persist segment payloads outside the lock; the KV is thread-safe.
+	written := 0
 	for i, s := range q.Segments {
 		if err := p.kv.Put(segKey{q.Model, s.Vertex}.String(), segs[i]); err != nil {
 			return fmt.Errorf("provider %d: persisting segment %d/%d: %w", p.id, q.Model, s.Vertex, err)
 		}
+		written += len(segs[i])
 	}
+	p.heat.ObserveWrite(uint64(q.Model), written)
 	// One fsync covers the catalog records and every payload appended
 	// above (sequential WAL), making the acknowledged store durable.
 	return p.catSync()
@@ -489,6 +498,7 @@ func (p *Provider) handleReadSegments(_ context.Context, req rpc.Message) (rpc.M
 	if th := p.throttle.Load(); th != nil {
 		th.ChargeBytes(q.Tenant, resp.BulkLen())
 	}
+	p.heat.ObserveRead(uint64(q.Owner), resp.BulkLen())
 	return resp, nil
 }
 
@@ -930,7 +940,25 @@ func (p *Provider) handleStats(_ context.Context, _ rpc.Message) (rpc.Message, e
 // can see retries, breaker transitions and replica traffic per provider,
 // not just per client (the server-side half of the stats story).
 func (p *Provider) handleMetrics(_ context.Context, _ rpc.Message) (rpc.Message, error) {
-	return rpc.Message{Meta: proto.EncodeCounters(p.reg.Snapshot())}, nil
+	return rpc.Message{Meta: proto.EncodeCountersHeat(p.reg.Snapshot(), p.HeatSnapshot())}, nil
+}
+
+// HeatSnapshot returns the provider's current per-model heat, hottest
+// models included only while their EWMA rate stays above the noise floor.
+func (p *Provider) HeatSnapshot() []proto.ModelHeat {
+	samples := p.heat.Snapshot()
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make([]proto.ModelHeat, len(samples))
+	for i, s := range samples {
+		out[i] = proto.ModelHeat{
+			Model:    ownermap.ModelID(s.ID),
+			ReadBps:  s.ReadBps,
+			WriteBps: s.WriteBps,
+		}
+	}
+	return out
 }
 
 // Stats summarizes the provider's storage state.

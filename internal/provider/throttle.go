@@ -9,9 +9,18 @@ import "repro/internal/frontdoor"
 // door. Safe to call while serving; in-flight reads finish under the
 // throttler they were admitted by.
 //
+// Re-arming an already-armed provider resizes the live throttler in place,
+// so tenants keep their accumulated fill and outstanding byte debt across
+// a limit change: swapping in a fresh throttler would forgive every debt
+// (letting a shrink reward exactly the tenants being reined in) and grant
+// each returning tenant a fresh burst allowance.
+//
 // Throttling composes with read coalescing in a fixed order — admit first,
 // coalesce second — so a refused tenant cannot piggyback on another
 // tenant's identical in-flight read.
 func (p *Provider) SetThrottle(l frontdoor.Limits) {
+	if p.throttle.Load().SetLimits(l) {
+		return // resized in place; readers keep the same pointer
+	}
 	p.throttle.Store(frontdoor.NewThrottler(l))
 }

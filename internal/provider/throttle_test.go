@@ -199,3 +199,36 @@ func TestThrottleBeforeCoalesce(t *testing.T) {
 		t.Fatalf("in-flight read failed: %v", err)
 	}
 }
+
+// TestSetThrottlePreservesDebtAcrossLimitChange pins the re-arm contract:
+// shrinking a live throttle keeps each tenant's outstanding byte debt
+// (clamped to the new capacity) instead of handing out a fresh throttler
+// whose empty ledger forgives exactly the tenants being reined in.
+func TestSetThrottlePreservesDebtAcrossLimitChange(t *testing.T) {
+	p := New(0, kvstore.NewMemKV(4))
+	p.SetThrottle(frontdoor.Limits{BytesPerSec: 1000, Window: time.Second})
+	th := p.throttle.Load()
+	if th == nil {
+		t.Fatal("throttle not armed")
+	}
+	now := time.Unix(0, 0)
+	th.SetClock(func() time.Time { return now })
+	if err := th.Admit("hog"); err != nil {
+		t.Fatal(err)
+	}
+	th.ChargeBytes("hog", 5000) // deep debt, clamped to one window
+
+	p.SetThrottle(frontdoor.Limits{BytesPerSec: 100, Window: time.Second})
+	if got := p.throttle.Load(); got != th {
+		t.Fatal("limit change replaced the throttler instead of resizing in place")
+	}
+	if err := th.Admit("hog"); err == nil {
+		t.Fatal("shrinking the throttle forgave the tenant's byte debt")
+	}
+
+	// Zero limits disarm entirely.
+	p.SetThrottle(frontdoor.Limits{})
+	if p.throttle.Load() != nil {
+		t.Error("zero limits left the throttle armed")
+	}
+}
