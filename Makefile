@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-faults bench-repair bench-rebalance bench-restart bench-dedup bench-frontdoor bench-autobalance docs-check
+.PHONY: build test check bench bench-faults bench-repair bench-rebalance bench-restart bench-dedup bench-frontdoor bench-autobalance bench-storm docs-check
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,10 @@ test:
 # scenario (kill -9 a provider, reopen its directory, assert the durable
 # catalog replays and repair only moves the divergence tail), a
 # scaled-down dedup lineage run (verifies every restored model
-# bit-identical), and the docs-vs-code identifier check. This is what CI
-# should run.
+# bit-identical), the gray-failure storm scenario (rolling slow nodes, a
+# flapping partition, and a kill/restart under zipfian load: zero failed
+# reads, hedged p99 bounded), and the docs-vs-code identifier check. This
+# is what CI should run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -29,6 +31,7 @@ check:
 	$(GO) run ./cmd/evostore-bench faults -autobalance -models 16 -reads 600
 	$(GO) run ./cmd/evostore-bench dedup -steps 4 -layers 8 -dim 128
 	$(GO) run ./cmd/evostore-bench frontdoor -smoke
+	$(GO) run ./cmd/evostore-bench storm -smoke
 	./scripts/docscheck.sh
 
 # Fail if a `pkg.Identifier` code span in docs/ARCHITECTURE.md or
@@ -76,6 +79,14 @@ bench-frontdoor:
 # 20% of the no-migration baseline, and migration bytes within budget.
 bench-autobalance:
 	$(GO) run ./cmd/evostore-bench faults -autobalance -out BENCH_autobalance.json
+
+# Gray-failure storm proof + tracked tail numbers (BENCH_storm.json):
+# rolling 20x slow-node episodes, a flapping partition, and one provider
+# kill/restart under zipfian load, run unhedged then hedged. Contract:
+# zero failed reads in every phase, hedged storm p99 within 2x the hedged
+# healthy baseline, hedge volume within the token budget.
+bench-storm:
+	$(GO) run ./cmd/evostore-bench storm -out BENCH_storm.json
 
 # Tracked dedup numbers (BENCH_dedup.json): the 10-step fine-tune lineage
 # stored raw vs delta-encoded + content-addressed, with bit-identical

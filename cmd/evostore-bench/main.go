@@ -10,6 +10,7 @@
 //	evostore-bench faults [-providers N] [-replicas R] [-drop P] [-fault-provider I] [-partition]
 //	evostore-bench faults -autobalance [-reads N] [-budget BPS] [-out BENCH_autobalance.json]
 //	evostore-bench frontdoor [-smoke] [-out BENCH_frontdoor.json]
+//	evostore-bench storm [-smoke] [-hedge-budget N] [-out BENCH_storm.json]
 //	evostore-bench all
 //
 // Scaled-down defaults finish in seconds; pass the paper's parameters
@@ -65,6 +66,8 @@ func main() {
 		err = runBulk(args)
 	case "frontdoor":
 		err = runFrontdoor(args)
+	case "storm":
+		err = runStorm(args)
 	case "all":
 		for _, sub := range []func([]string) error{
 			runFig4, runFig5, runFig6, runFig7, runFig8, runFig9, runFig10,
@@ -85,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|bulk|frontdoor|dedup|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evostore-bench {fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablations|zerocost|strategies|faults|bulk|frontdoor|storm|dedup|all} [flags]")
 }
 
 func parseInts(s string) []int {

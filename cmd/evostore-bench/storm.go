@@ -1,0 +1,360 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/resilient"
+	"repro/internal/rpc"
+)
+
+// stormEntry is one measured phase in BENCH_storm.json.
+type stormEntry struct {
+	Phase        string  `json:"phase"` // "healthy" or "storm"
+	Hedged       bool    `json:"hedged"`
+	Reads        int     `json:"reads"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Fails        int64   `json:"fails"`
+	Failovers    uint64  `json:"failovers"`
+	BreakerSkips uint64  `json:"breaker_skips"`
+	ScoreDemotes uint64  `json:"score_demotes"`
+	Hedges       uint64  `json:"hedges"`
+	HedgeWins    uint64  `json:"hedge_wins"`
+	HedgeCancels uint64  `json:"hedge_cancels"`
+	HedgeRefused uint64  `json:"hedge_refused"`
+	BudgetPerSec float64 `json:"budget_per_sec,omitempty"`
+}
+
+type stormFile struct {
+	Entries []stormEntry `json:"entries"`
+}
+
+// stormRun is one full deployment lifetime: seed models, measure a healthy
+// baseline phase, then run the same zipfian read workload through a
+// scripted failure storm — rolling 20x slow-node episodes, a flapping
+// partition, and one provider kill+restart — and measure again. The storm
+// script keeps at most one provider hard-down at any moment, so with R=2
+// every model always has at least one responsive replica and zero failed
+// reads is an achievable (and asserted) contract.
+type stormRunResult struct {
+	healthy, storm stormEntry
+	elapsed        time.Duration // healthy + storm wall clock, for budget bounds
+}
+
+func stormRun(providers, replicas, models int, hedged bool, budget float64, episode time.Duration) (*stormRunResult, error) {
+	reg := metrics.Default
+	kvs := make([]kvstore.KV, providers)
+	for i := range kvs {
+		kvs[i] = kvstore.NewMemKV(16)
+	}
+	// Every connection gets a ~1ms injected base delay: that is the
+	// "healthy" fabric latency the gray multiplier inflates, and it keeps
+	// the in-proc deployment's latencies far enough above scheduler noise
+	// for the percentile comparisons to mean something.
+	repo, err := core.Open(core.Options{
+		Providers:      providers,
+		Replicas:       replicas,
+		SegCacheBytes:  -1, // repeat reads must reach the fabric, not the cache
+		DurableCatalog: true,
+		Backend:        func(i int) kvstore.KV { return kvs[i] },
+		Faults: func(i int) *rpc.FaultConfig {
+			return &rpc.FaultConfig{
+				Seed:        int64(1000 + i),
+				Delay:       time.Millisecond,
+				DelayJitter: 200 * time.Microsecond,
+			}
+		},
+		Resilience: &resilient.Options{
+			DefaultTimeout: 2 * time.Second,
+			MaxAttempts:    1, // replica failover beats in-place retries here
+			Threshold:      5,
+			// The breaker must be able to probe and re-close within the
+			// settle gap the storm script leaves between failure modes.
+			Cooldown: episode / 4,
+		},
+		HedgedReads: hedged,
+		HedgeBudget: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer repo.Close()
+	ctx := context.Background()
+
+	flat, err := model.Flatten(model.Sequential("storm", 8,
+		model.Dense{In: 16, Out: 16, Activation: "relu", UseBias: true},
+		model.Dense{In: 16, Out: 16, Activation: "relu"},
+		model.Dense{In: 16, Out: 8},
+	))
+	if err != nil {
+		return nil, err
+	}
+	var ids []core.ModelID
+	for i := 0; i < models; i++ {
+		id, err := repo.Store(ctx, flat, model.Materialize(flat, uint64(i+1)), 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+
+	// readPhase runs the zipfian workload until the deadline. The seeds are
+	// fixed, so the hedged and unhedged runs measure the same access
+	// pattern.
+	const workers = 3
+	readPhase := func(dur time.Duration) (lats []float64, fails int64, reads int) {
+		var mu sync.Mutex
+		var failsA, readsA atomic.Int64
+		deadline := time.Now().Add(dur)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w + 1)))
+				zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(ids)-1))
+				var local []float64
+				for time.Now().Before(deadline) {
+					id := ids[zipf.Uint64()]
+					readsA.Add(1)
+					start := time.Now()
+					if _, _, err := repo.Load(ctx, id); err != nil {
+						failsA.Add(1)
+						continue
+					}
+					local = append(local, time.Since(start).Seconds()*1e3)
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		sort.Float64s(lats)
+		return lats, failsA.Load(), int(readsA.Load())
+	}
+
+	counters := func() map[string]uint64 {
+		out := map[string]uint64{}
+		for _, name := range []string{
+			"client.read_failover", "client.replica_breaker_skip", "client.score_demote",
+			"client.hedged_read", "client.hedge_won", "client.hedge_cancelled", "client.hedge_refused",
+		} {
+			out[name] = reg.Counter(name).Load()
+		}
+		return out
+	}
+	entry := func(phase string, lats []float64, fails int64, before, after map[string]uint64) stormEntry {
+		return stormEntry{
+			Phase: phase, Hedged: hedged, Reads: len(lats),
+			P50Ms: metrics.Percentile(lats, 0.50), P99Ms: metrics.Percentile(lats, 0.99),
+			Fails:        fails,
+			Failovers:    after["client.read_failover"] - before["client.read_failover"],
+			BreakerSkips: after["client.replica_breaker_skip"] - before["client.replica_breaker_skip"],
+			ScoreDemotes: after["client.score_demote"] - before["client.score_demote"],
+			Hedges:       after["client.hedged_read"] - before["client.hedged_read"],
+			HedgeWins:    after["client.hedge_won"] - before["client.hedge_won"],
+			HedgeCancels: after["client.hedge_cancelled"] - before["client.hedge_cancelled"],
+			HedgeRefused: after["client.hedge_refused"] - before["client.hedge_refused"],
+			BudgetPerSec: budget,
+		}
+	}
+
+	runStart := time.Now()
+
+	// Phase 1: healthy baseline.
+	before := counters()
+	baseLats, baseFails, _ := readPhase(2 * episode)
+	healthy := entry("healthy", baseLats, baseFails, before, counters())
+
+	// Phase 2: the failure storm, scripted while the workload keeps
+	// reading. The script is strictly sequential — never more than one
+	// provider hard-down (partitioned or killed) at once.
+	faults := repo.FaultConns()
+	stormDur := 8 * episode
+	var schedErr error
+	var schedWG sync.WaitGroup
+	schedWG.Add(1)
+	go func() {
+		defer schedWG.Done()
+		slow := &rpc.SlowProfile{
+			Factor:       20,
+			Jitter:       200 * time.Microsecond,
+			BandwidthBps: 16 << 20,
+		}
+		// Rolling gray episodes: providers 0..2 take turns being 20x slow.
+		for k := 0; k < 3; k++ {
+			faults[k].SetSlow(slow)
+			time.Sleep(episode)
+			faults[k].SetSlow(nil)
+		}
+		// Flapping partition on provider 3: down/up twice per episode.
+		for k := 0; k < 4; k++ {
+			faults[3].SetPartitioned(true)
+			time.Sleep(episode / 4)
+			faults[3].SetPartitioned(false)
+			time.Sleep(episode / 4)
+		}
+		// Settle gap: provider 3's breaker may still be open from the
+		// flapping; give it a cooldown's worth of probes to re-close
+		// before taking its replica-set neighbor down, or model replica
+		// sets spanning both would briefly have no responsive member.
+		time.Sleep(episode / 2)
+		// Kill+restart the last provider on its surviving backend; the
+		// durable catalog replays and clients reconnect mid-workload.
+		last := providers - 1
+		if err := repo.KillProvider(last); err != nil {
+			schedErr = err
+			return
+		}
+		time.Sleep(episode)
+		if err := repo.RestartProvider(last, kvs[last], nil); err != nil {
+			schedErr = err
+			return
+		}
+		// One more gray episode after the restart keeps pressure on while
+		// the revived provider warms back into the ranking.
+		faults[0].SetSlow(slow)
+		time.Sleep(episode)
+		faults[0].SetSlow(nil)
+	}()
+	before = counters()
+	stormLats, stormFails, _ := readPhase(stormDur)
+	schedWG.Wait()
+	if schedErr != nil {
+		return nil, fmt.Errorf("storm schedule: %w", schedErr)
+	}
+	storm := entry("storm", stormLats, stormFails, before, counters())
+
+	// Post-storm: with all faults cleared, every model must still serve.
+	for i := range faults {
+		faults[i].SetSlow(nil)
+		faults[i].SetPartitioned(false)
+	}
+	for _, id := range ids {
+		if _, _, err := repo.Load(ctx, id); err != nil {
+			return nil, fmt.Errorf("load %d after the storm: %w", id, err)
+		}
+	}
+	return &stormRunResult{healthy: healthy, storm: storm, elapsed: time.Since(runStart)}, nil
+}
+
+// runStorm is the gray-failure acceptance scenario: the same scripted
+// failure storm is run twice — once with plain sequential failover, once
+// with score-ranked replica ordering plus hedged reads — and the hedged
+// run must hold its read tail. The contract it asserts:
+//
+//   - zero failed reads in every phase of both runs: the storm never takes
+//     both replicas of any model down at once, so failover (and hedging)
+//     must always find an answer;
+//   - the hedged storm phase's p99 stays within 2x the hedged healthy
+//     baseline (plus an episode-scaled absolute slack for the
+//     adaptation ramp after each fault onset: 5ms at the 400ms default
+//     episode), even though one provider is 20x slow through most of
+//     the storm;
+//   - hedging actually engaged (hedge launches > 0) and stayed within its
+//     token budget's hard bound: rate x elapsed plus one 1s bucket window
+//     (the hedger's refill window), plus the fresh bucket's single
+//     bootstrap token;
+//   - the unhedged run is recorded alongside for contrast.
+func runStorm(args []string) error {
+	fs := flag.NewFlagSet("storm", flag.ExitOnError)
+	providers := fs.Int("providers", 5, "storage providers")
+	replicas := fs.Int("replicas", 2, "N-way replication factor")
+	models := fs.Int("models", 24, "models to seed before the storm")
+	budget := fs.Float64("hedge-budget", 400, "hedge launches per second admitted by the client's token budget")
+	episode := fs.Duration("episode", 400*time.Millisecond, "storm episode length (the storm runs 8 episodes, the baseline 2)")
+	smoke := fs.Bool("smoke", false, "CI-scale run: 100ms episodes")
+	out := fs.String("out", "", "write benchmark results into this JSON file (e.g. BENCH_storm.json)")
+	fs.Parse(args)
+	if *smoke {
+		*episode = 100 * time.Millisecond
+	}
+	if *replicas < 2 {
+		*replicas = 2
+	}
+	if *providers < *replicas+2 {
+		*providers = *replicas + 2
+	}
+
+	fmt.Printf("\n=== Failure storm: %d providers, R=%d, %d models, zipfian reads, hedge budget %g/s ===\n",
+		*providers, *replicas, *models, *budget)
+
+	unhedged, err := stormRun(*providers, *replicas, *models, false, *budget, *episode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("unhedged: healthy p50 %.2fms p99 %.2fms | storm p50 %.2fms p99 %.2fms, %d fails, %d failovers\n",
+		unhedged.healthy.P50Ms, unhedged.healthy.P99Ms,
+		unhedged.storm.P50Ms, unhedged.storm.P99Ms, unhedged.storm.Fails, unhedged.storm.Failovers)
+
+	hedged, err := stormRun(*providers, *replicas, *models, true, *budget, *episode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hedged:   healthy p50 %.2fms p99 %.2fms | storm p50 %.2fms p99 %.2fms, %d fails, %d failovers, %d hedges (%d won, %d cancelled, %d refused), %d score demotions\n",
+		hedged.healthy.P50Ms, hedged.healthy.P99Ms,
+		hedged.storm.P50Ms, hedged.storm.P99Ms, hedged.storm.Fails, hedged.storm.Failovers,
+		hedged.storm.Hedges, hedged.storm.HedgeWins, hedged.storm.HedgeCancels, hedged.storm.HedgeRefused, hedged.storm.ScoreDemotes)
+
+	// Contract checks.
+	for _, r := range []*stormRunResult{unhedged, hedged} {
+		if r.healthy.Fails != 0 || r.storm.Fails != 0 {
+			return fmt.Errorf("failed reads despite one-good-replica invariant: healthy %d, storm %d (hedged=%v)",
+				r.healthy.Fails, r.storm.Fails, r.storm.Hedged)
+		}
+	}
+	// The absolute slack absorbs the adaptation ramp: after each fault
+	// onset the score and latency quantiles need a fixed wall-time's worth
+	// of samples to steer away from the newly-slow provider, so the ramp's
+	// share of the storm-phase quantiles grows as episodes shrink. Scale
+	// the slack inversely with episode length (5ms at the 400ms default).
+	slack := 5.0 * float64(400*time.Millisecond) / float64(*episode)
+	if limit := hedged.healthy.P99Ms*2 + slack; hedged.storm.P99Ms > limit {
+		return fmt.Errorf("hedged storm p99 %.2fms exceeds %.2fms (healthy %.2fms x2 + %.1fms)",
+			hedged.storm.P99Ms, limit, hedged.healthy.P99Ms, slack)
+	}
+	if hedged.storm.Hedges == 0 {
+		return fmt.Errorf("hedging never engaged during the storm (want > 0 hedge launches)")
+	}
+	if n := unhedged.healthy.Hedges + unhedged.storm.Hedges; n != 0 {
+		return fmt.Errorf("unhedged run recorded %d hedge launches (want 0)", n)
+	}
+	// The bucket admits at most rate x elapsed plus one refill window of
+	// capacity, plus the fresh bucket's bootstrap token.
+	totalHedges := hedged.healthy.Hedges + hedged.storm.Hedges
+	bound := *budget*(hedged.elapsed.Seconds()+1.0) + 1
+	if float64(totalHedges) > bound {
+		return fmt.Errorf("hedge volume %d exceeds the budget bound %.0f (%g/s for %.2fs + one window)",
+			totalHedges, bound, *budget, hedged.elapsed.Seconds())
+	}
+	fmt.Printf("contract holds: 0 failed reads in all phases, hedged storm p99 within 2x healthy baseline, %d hedges within budget\n",
+		totalHedges)
+
+	if *out == "" {
+		return nil
+	}
+	entries := []stormEntry{unhedged.healthy, unhedged.storm, hedged.healthy, hedged.storm}
+	data, err := json.MarshalIndent(&stormFile{Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}

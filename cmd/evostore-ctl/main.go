@@ -11,6 +11,7 @@
 //	evostore-ctl -providers ... load <modelID>        # fetch all segments, print checksum
 //	evostore-ctl -providers ... arch <modelID>        # Graphviz DOT to stdout
 //	evostore-ctl -providers ... metrics               # per-provider counters
+//	evostore-ctl -providers ... health                # per-provider health scores and latency quantiles
 //	evostore-ctl -providers ... heat                  # per-model read/write heat
 //	evostore-ctl -providers ... autobalance [flags]   # heat-driven rebalance cycles
 //	evostore-ctl -providers ... replicas <modelID>    # replica placement
@@ -65,7 +66,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|load|arch|metrics|heat|autobalance|replicas|digest|check|repair|placement} [args]")
+		fmt.Fprintln(os.Stderr, "usage: evostore-ctl -providers a,b,c {list|stats|lineage|owners|mrca|retire|load|arch|metrics|health|heat|autobalance|replicas|digest|check|repair|placement} [args]")
 		os.Exit(2)
 	}
 
@@ -284,6 +285,30 @@ func run(ctx context.Context, cli *client.Client, conns []rpc.Conn, args []strin
 			for _, name := range names {
 				tbl.Add(i, name, snap[name])
 			}
+		}
+		tbl.Render(os.Stdout)
+		return nil
+
+	case "health":
+		// Probe every provider a few times so fresh connections have
+		// latency/error samples to score; the metrics broadcast touches
+		// each provider once per round.
+		for i := 0; i < 5; i++ {
+			_, errs := cli.Metrics(ctx)
+			_ = errs // per-provider failures are exactly what we want scored
+		}
+		tbl := metrics.NewTable("Provider", "Addr", "Breaker", "Score", "p50", "p95", "ErrRate")
+		for i, c := range conns {
+			rc, ok := c.(*resilient.Conn)
+			if !ok {
+				tbl.Add(i, c.Addr(), "-", "-", "-", "-", "-")
+				continue
+			}
+			tbl.Add(i, rc.Addr(), rc.BreakerState(),
+				fmt.Sprintf("%.3f", rc.Score()),
+				rc.LatencyPercentile(0.50).Round(time.Microsecond),
+				rc.LatencyPercentile(0.95).Round(time.Microsecond),
+				fmt.Sprintf("%.3f", rc.ErrorRate()))
 		}
 		tbl.Render(os.Stdout)
 		return nil

@@ -12,6 +12,7 @@
 //	                [-throttle-ops N -throttle-bytes N -throttle-window 60s]
 //	                [-autobalance -autobalance-interval 5s -heat-hot 4 -heat-cold 0.25
 //	                 -heat-widen 0 -heat-pack 0 -migration-budget N]
+//	                [-hedged-reads -hedge-budget N]
 //
 // Without -data the provider uses the in-memory backend (the paper's
 // synchronized-pool mode); with -data it persists segments in an LSM store
@@ -47,6 +48,12 @@
 // payload bytes paced to -migration-budget. Run it on exactly one provider
 // (it needs -repair-peers); a second controller or a concurrent manual
 // rebalance safely loses the epoch race and re-plans.
+//
+// -hedged-reads arms tail-latency hedging on the in-server deployment
+// client (the one -repair-interval / -autobalance run over): a replicated
+// read that is slow on its preferred replica launches a second attempt
+// against the next-best replica after a health-score-scaled delay, first
+// success wins, and -hedge-budget caps hedge volume in hedges/sec.
 //
 // With -deploy-size (and the deployment's -replicas) the provider arms its
 // replica-placement guard: writes for models whose replica set does not
@@ -138,6 +145,10 @@ func main() {
 		"replica count for hot models (0 = base R + 1)")
 	heatPack := flag.Int("heat-pack", 0,
 		"replica count for cold models (0 = packing off, widening only)")
+	hedgedReads := flag.Bool("hedged-reads", false,
+		"hedge slow replicated reads on the in-server deployment client: after a health-scaled delay, race the next-best replica (needs -repair-peers)")
+	hedgeBudget := flag.Float64("hedge-budget", 0,
+		"hedged-read volume cap in hedges/sec (0 = client default; needs -hedged-reads)")
 	migrationBudget := flag.Float64("migration-budget", 0,
 		"migration payload bandwidth bound in bytes/sec for controller-driven rebalances (0 = unpaced)")
 	flag.Parse()
@@ -351,6 +362,9 @@ func main() {
 			// The peer list may include spares beyond the member list; the
 			// explicit table keeps them out of the epoch-0 placement.
 			copts = []client.Option{client.WithPlacement(placement.New(*deploySize, *replicas))}
+		}
+		if *hedgedReads {
+			copts = append(copts, client.WithHedgedReads(0, *hedgeBudget))
 		}
 		cli := client.New(conns, copts...)
 		go func() {

@@ -89,31 +89,39 @@ type Client struct {
 	// migration.
 	rebalanceMu sync.Mutex
 	repairMu    sync.Mutex
-	repairQ       []RepairTarget
-	repairSeen    map[ownermap.ModelID]bool
+	repairQ     []RepairTarget
+	repairSeen  map[ownermap.ModelID]bool
 
 	deltaRatio    float64 // WithDedup: max envelope/raw ratio worth storing; 0 disables delta writes
 	deltaMaxDepth int     // WithDedup: delta-chain bound; writes at the bound rebase to raw
 	resolved      *segCache
 	segCacheMax   int64 // WithSegCacheBytes bound; 0 disables the cache
 
-	tenant     string                           // WithTenant: admission-control identity on segment reads
-	selfWaiter *frontdoor.Waiter                // WithSelfThrottle: client-side pacing; nil disables
+	tenant     string                             // WithTenant: admission-control identity on segment reads
+	selfWaiter *frontdoor.Waiter                  // WithSelfThrottle: client-side pacing; nil disables
 	flights    frontdoor.Group[string, groupRead] // coalesces concurrent identical owner-group reads
 
-	failovers     *metrics.Counter // reads served by a non-preferred replica
-	breakerSkips  *metrics.Counter // replicas skipped on an open breaker
-	stripedReads  *metrics.Counter // owner-group reads served via range striping
-	partialAcc    *metrics.Counter // partial writes accepted for repair
-	repairDrops   *metrics.Counter // repair targets dropped on a full queue
-	epochAdopts   *metrics.Counter // newer placement views adopted from rejections or sync
-	deferred      *metrics.Counter // mutations accepted with catching-up replicas left to repair
-	deltaWrites   *metrics.Counter // segments shipped delta-encoded
-	deltaRebases  *metrics.Counter // segments rebased to raw at the chain-depth bound
-	deltaRejects  *metrics.Counter // deltas that missed the ratio gate and shipped raw
-	resolvedReads *metrics.Counter // enveloped segments resolved on the read path
-	coalesced     *metrics.Counter // reads served by joining another caller's in-flight fetch
-	throttled     *metrics.Counter // self-throttle waits plus provider throttle refusals
+	hedge *hedger // WithHedgedReads: tail-latency hedging; nil disables
+
+	failovers      *metrics.Counter // reads served by a non-preferred replica
+	breakerSkips   *metrics.Counter // replicas skipped on an open breaker
+	stripedReads   *metrics.Counter // owner-group reads served via range striping
+	partialAcc     *metrics.Counter // partial writes accepted for repair
+	repairDrops    *metrics.Counter // repair targets dropped on a full queue
+	epochAdopts    *metrics.Counter // newer placement views adopted from rejections or sync
+	deferred       *metrics.Counter // mutations accepted with catching-up replicas left to repair
+	deltaWrites    *metrics.Counter // segments shipped delta-encoded
+	deltaRebases   *metrics.Counter // segments rebased to raw at the chain-depth bound
+	deltaRejects   *metrics.Counter // deltas that missed the ratio gate and shipped raw
+	resolvedReads  *metrics.Counter // enveloped segments resolved on the read path
+	coalesced      *metrics.Counter // reads served by joining another caller's in-flight fetch
+	throttled      *metrics.Counter // self-throttle waits plus provider throttle refusals
+	hedgedReads    *metrics.Counter // hedge legs launched against a slow primary
+	hedgeWon       *metrics.Counter // reads won by a hedge leg
+	hedgeCancelled *metrics.Counter // in-flight legs cancelled by a sibling's win
+	hedgeRefused   *metrics.Counter // hedge launches refused by the token budget
+	scoreDemotes   *metrics.Counter // reads routed around a low-scoring preferred replica
+	shedRetries    *metrics.Counter // read passes retried after losing a breaker-probe race
 }
 
 // New wraps provider connections. The slice order defines provider IDs and
@@ -163,6 +171,12 @@ func New(conns []rpc.Conn, opts ...Option) *Client {
 	c.resolvedReads = c.reg.Counter("client.delta_resolve")
 	c.coalesced = c.reg.Counter("client.coalesced_read")
 	c.throttled = c.reg.Counter("client.throttled")
+	c.hedgedReads = c.reg.Counter("client.hedged_read")
+	c.hedgeWon = c.reg.Counter("client.hedge_won")
+	c.hedgeCancelled = c.reg.Counter("client.hedge_cancelled")
+	c.hedgeRefused = c.reg.Counter("client.hedge_refused")
+	c.scoreDemotes = c.reg.Counter("client.score_demote")
+	c.shedRetries = c.reg.Counter("client.shed_retry")
 	c.resolved.hits = c.reg.Counter("client.segcache_hit")
 	c.resolved.misses = c.reg.Counter("client.segcache_miss")
 	return c

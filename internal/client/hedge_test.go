@@ -1,0 +1,250 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ownermap"
+	"repro/internal/rpc"
+)
+
+// hedgeTestConn is a scripted replica for hedging tests: per-call delay,
+// optional fixed error, and optional score/latency reporting.
+type hedgeTestConn struct {
+	delay time.Duration
+	err   error
+	score float64 // reported when >= 0
+	p95   time.Duration
+
+	calls atomic.Int64
+}
+
+func (c *hedgeTestConn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
+	c.calls.Add(1)
+	if c.delay > 0 {
+		t := time.NewTimer(c.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return rpc.Message{}, ctx.Err()
+		}
+	}
+	if c.err != nil {
+		return rpc.Message{}, c.err
+	}
+	return rpc.Message{Meta: []byte("ok")}, nil
+}
+func (c *hedgeTestConn) Addr() string { return "hedge-test" }
+func (c *hedgeTestConn) Close() error { return nil }
+func (c *hedgeTestConn) Score() float64 {
+	if c.score >= 0 {
+		return c.score
+	}
+	return 1
+}
+func (c *hedgeTestConn) LatencyPercentile(float64) time.Duration { return c.p95 }
+
+func TestHedgeWinsOverSlowPrimary(t *testing.T) {
+	reg := metrics.NewRegistry()
+	primary := &hedgeTestConn{delay: 300 * time.Millisecond, score: -1}
+	secondary := &hedgeTestConn{delay: time.Millisecond, score: -1}
+	cli := New([]rpc.Conn{primary, secondary}, WithReplicas(2), WithRegistry(reg),
+		WithHedgedReads(5*time.Millisecond, 100))
+
+	start := time.Now()
+	resp, err := cli.readCall(context.Background(), "op", ownermap.ModelID(0), rpc.Message{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Meta) != "ok" {
+		t.Fatalf("resp = %q", resp.Meta)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("hedged read took %v; the hedge should have won at ~6ms", elapsed)
+	}
+	if n := reg.Counter("client.hedged_read").Load(); n != 1 {
+		t.Fatalf("client.hedged_read = %d, want 1", n)
+	}
+	if n := reg.Counter("client.hedge_won").Load(); n != 1 {
+		t.Fatalf("client.hedge_won = %d, want 1", n)
+	}
+	if n := reg.Counter("client.hedge_cancelled").Load(); n != 1 {
+		t.Fatalf("client.hedge_cancelled = %d, want 1 (the abandoned primary)", n)
+	}
+}
+
+func TestHedgeBudgetExhaustedReadStillSucceeds(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// A 1/s budget affords exactly one hedge up front (a fresh bucket
+	// floors its fill at one op); every slow read after that must run
+	// un-hedged until the bucket refills.
+	primary := &hedgeTestConn{delay: 40 * time.Millisecond, score: -1}
+	secondary := &hedgeTestConn{delay: time.Millisecond, score: -1}
+	cli := New([]rpc.Conn{primary, secondary}, WithReplicas(2), WithRegistry(reg),
+		WithHedgedReads(time.Millisecond, 1))
+
+	for i := 0; i < 3; i++ {
+		resp, err := cli.readCall(context.Background(), "op", ownermap.ModelID(0), rpc.Message{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Meta) != "ok" {
+			t.Fatalf("read %d: resp = %q", i, resp.Meta)
+		}
+	}
+	if n := reg.Counter("client.hedged_read").Load(); n != 1 {
+		t.Fatalf("client.hedged_read = %d, want 1 (initial token only)", n)
+	}
+	if got := secondary.calls.Load(); got != 1 {
+		t.Fatalf("secondary saw %d calls, want 1", got)
+	}
+}
+
+func TestHedgeTransientFailureFailsOverImmediately(t *testing.T) {
+	reg := metrics.NewRegistry()
+	primary := &hedgeTestConn{err: rpc.ErrInjected, score: -1} // fails fast, transient
+	secondary := &hedgeTestConn{delay: time.Millisecond, score: -1}
+	cli := New([]rpc.Conn{primary, secondary}, WithReplicas(2), WithRegistry(reg),
+		WithHedgedReads(time.Hour, 100)) // hedge timer can never fire
+
+	start := time.Now()
+	if _, err := cli.readCall(context.Background(), "op", ownermap.ModelID(0), rpc.Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failover took %v; must not wait for the hedge delay", elapsed)
+	}
+	if n := reg.Counter("client.hedged_read").Load(); n != 0 {
+		t.Fatalf("client.hedged_read = %d, want 0 (failover is free)", n)
+	}
+	if n := reg.Counter("client.read_failover").Load(); n != 1 {
+		t.Fatalf("client.read_failover = %d, want 1", n)
+	}
+}
+
+func TestHedgeAuthoritativeErrorSettles(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// Any permanently-classified error is authoritative to the read path;
+	// ErrFrameTooLarge is the easiest to synthesize without a server.
+	authoritative := fmt.Errorf("%w: model not found", rpc.ErrFrameTooLarge)
+	primary := &hedgeTestConn{delay: 500 * time.Millisecond, score: -1}
+	secondary := &hedgeTestConn{delay: time.Millisecond, err: authoritative, score: -1}
+	cli := New([]rpc.Conn{primary, secondary}, WithReplicas(2), WithRegistry(reg),
+		WithHedgedReads(2*time.Millisecond, 100))
+
+	start := time.Now()
+	_, err := cli.readCall(context.Background(), "op", ownermap.ModelID(0), rpc.Message{})
+	if err == nil {
+		t.Fatal("want authoritative error, got success")
+	}
+	if !errors.Is(err, authoritative) {
+		t.Fatalf("err = %v, want wrapped authoritative cause", err)
+	}
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Fatalf("authoritative settle took %v; must not wait out the slow primary", elapsed)
+	}
+}
+
+// flappingScoreConn reports a randomly flapping health/score so readOrder
+// ranks over values that change under it.
+type flappingScoreConn struct {
+	healthy atomic.Bool
+	score   atomic.Int64 // score x1000
+}
+
+func (c *flappingScoreConn) Call(context.Context, string, rpc.Message) (rpc.Message, error) {
+	return rpc.Message{Meta: []byte("ok")}, nil
+}
+func (c *flappingScoreConn) Addr() string   { return "flap" }
+func (c *flappingScoreConn) Close() error   { return nil }
+func (c *flappingScoreConn) Healthy() bool  { return c.healthy.Load() }
+func (c *flappingScoreConn) Score() float64 { return float64(c.score.Load()) / 1000 }
+
+// Satellite (-race): breakers flapping and scores changing while
+// readOrder ranks must neither panic nor drop replicas from the order.
+func TestReadOrderScoreFlappingRace(t *testing.T) {
+	const n = 5
+	conns := make([]rpc.Conn, n)
+	flaps := make([]*flappingScoreConn, n)
+	for i := range conns {
+		f := &flappingScoreConn{}
+		f.healthy.Store(true)
+		f.score.Store(1000)
+		conns[i] = f
+		flaps[i] = f
+	}
+	cli := New(conns, WithReplicas(3), WithRegistry(metrics.NewRegistry()))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := flaps[rng.Intn(n)]
+				f.healthy.Store(rng.Intn(2) == 0)
+				f.score.Store(rng.Int63n(1001))
+			}
+		}(int64(g + 1))
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				id := ownermap.ModelID(rng.Intn(64))
+				order := cli.readOrder(id)
+				want := len(cli.ReplicaSet(id))
+				if len(order) != want {
+					panic(fmt.Sprintf("readOrder(%d) returned %d replicas, want %d", id, len(order), want))
+				}
+				seen := make(map[int]bool, len(order))
+				for _, pi := range order {
+					if seen[pi] {
+						panic(fmt.Sprintf("readOrder(%d) duplicated provider %d: %v", id, pi, order))
+					}
+					seen[pi] = true
+				}
+			}
+		}(int64(g + 100))
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// Score-ranked ordering: with equal breaker health, the higher-scoring
+// replica leads even when placement prefers the other.
+func TestReadOrderRanksByScore(t *testing.T) {
+	gray := &hedgeTestConn{score: 0.05}
+	healthy := &hedgeTestConn{score: 0.9}
+	cli := New([]rpc.Conn{gray, healthy}, WithReplicas(2), WithRegistry(metrics.NewRegistry()))
+	// Model 0: home provider 0 (gray). Score ranking must flip the order.
+	order := cli.readOrder(ownermap.ModelID(0))
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("readOrder = %v, want [1 0] (score 0.9 before 0.05)", order)
+	}
+	// Equal scores keep placement order (home first).
+	gray.score = 0.9
+	order = cli.readOrder(ownermap.ModelID(0))
+	if len(order) != 2 || order[0] != 0 {
+		t.Fatalf("readOrder with equal scores = %v, want home provider 0 first", order)
+	}
+}

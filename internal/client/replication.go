@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/ownermap"
@@ -90,11 +92,17 @@ func (c *Client) ReplicaSet(id ownermap.ModelID) []int {
 
 // readOrder is the placement read order (current epoch's set first, then
 // previous-epoch owners mid-migration) reordered so replicas behind an
-// open breaker sort last. The partition is stable within each class: when
-// every replica is behind an open breaker, the unhealthy tail preserves
-// placement order, so the home provider is still dialed first and a full
-// outage degrades to the same preference order as a healthy cluster
-// rather than an arbitrary one (pinned by TestReadOrderAllBreakersOpen).
+// open breaker sort last, and — when the connections report continuous
+// health scores (resilient.ScoreReporter) — the healthy class ranked by
+// score, best first. Scores are snapshotted once before sorting, so a
+// breaker flapping mid-rank cannot feed the sort an inconsistent
+// comparator. The sort is stable and equal-scoring replicas keep
+// placement order, so a fleet with no latency skew still prefers the home
+// provider. The partition is likewise stable: when every replica is
+// behind an open breaker, the unhealthy tail preserves placement order,
+// so the home provider is still dialed first and a full outage degrades
+// to the same preference order as a healthy cluster rather than an
+// arbitrary one (pinned by TestReadOrderAllBreakersOpen).
 func (c *Client) readOrder(id ownermap.ModelID) []int {
 	set := c.place.Load().ReadOrder(id)
 	if len(set) == 1 {
@@ -112,12 +120,42 @@ func (c *Client) readOrder(id ownermap.ModelID) []int {
 	if len(skipped) > 0 {
 		c.breakerSkips.Add(uint64(len(skipped)))
 	}
+	if len(ordered) > 1 {
+		type scored struct {
+			pi    int
+			score float64
+		}
+		ranked := make([]scored, len(ordered))
+		any := false
+		for i, pi := range ordered {
+			ranked[i] = scored{pi: pi, score: 1}
+			if s, ok := c.conns[pi].(scoreReporter); ok {
+				ranked[i].score = s.Score()
+				any = true
+			}
+		}
+		if any {
+			preferred := ordered[0]
+			sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+			for i := range ranked {
+				ordered[i] = ranked[i].pi
+			}
+			if ordered[0] != preferred {
+				// The placement-preferred replica was outranked: the read
+				// routes around a degraded-but-breaker-closed provider.
+				c.scoreDemotes.Inc()
+			}
+		}
+	}
 	return append(ordered, skipped...)
 }
 
 // readCall performs a read with replica failover: replicas are tried in
-// breaker-aware preference order; transient failures move on to the next
-// replica, remote errors and caller cancellation return immediately.
+// score-ranked, breaker-aware preference order; transient failures move
+// on to the next replica, remote errors and caller cancellation return
+// immediately. With hedged reads enabled (WithHedgedReads) the pass over
+// the order races a budgeted hedge against a slow primary instead of
+// strictly serializing (see hedge.go); semantics are otherwise identical.
 // Two placement-shaped rejections bend those rules: a catching-up
 // replica's "not migrated" miss fails over (a previous-epoch owner has
 // the model), and a wrong-epoch rejection refreshes the client's table
@@ -127,40 +165,95 @@ func (c *Client) readCall(ctx context.Context, name string, id ownermap.ModelID,
 	for attempt := 0; ; attempt++ {
 		st := c.place.Load()
 		order := c.readOrder(id)
-		var failed []error
-		var staleTbl *placement.Table
-		stale := false
-		for i, pi := range order {
-			resp, err := c.conns[pi].Call(ctx, name, req)
-			if err == nil {
-				if i > 0 {
-					c.failovers.Inc()
-				}
-				if stale {
-					// An earlier replica rejected us as stale even though a
-					// later one answered: adopt the newer table now so the
-					// next call resolves right the first time.
-					c.refreshPlacement(ctx, staleTbl)
-				}
-				return resp, nil
-			}
-			if t, ok := placement.TableFromError(err); ok {
-				stale, staleTbl = true, t
-			} else if !placement.IsNotMigrated(err) && !rpc.IsTransient(err) {
-				// Authoritative handler answer, or the caller gave up:
-				// replicas are write-synchronized, so no other replica
-				// would say better.
-				return rpc.Message{}, fmt.Errorf("provider %d: %w", pi, err)
-			}
-			failed = append(failed, fmt.Errorf("replica on provider %d: %w", pi, err))
+		var o readOutcome
+		if c.hedge != nil && len(order) > 1 {
+			o = c.readOnceHedged(ctx, name, order, req)
+		} else {
+			o = c.readOnce(ctx, name, order, req)
 		}
-		if stale && attempt < placementRetries {
-			if c.refreshPlacement(ctx, staleTbl) || c.place.Load() != st {
+		if o.err == nil {
+			if o.staleTbl != nil {
+				// A replica rejected us as stale even though another
+				// answered: adopt the newer table now so the next call
+				// resolves right the first time.
+				c.refreshPlacement(ctx, o.staleTbl)
+			}
+			return o.resp, nil
+		}
+		if o.final {
+			return rpc.Message{}, o.err
+		}
+		if o.staleTbl != nil && attempt < placementRetries {
+			if c.refreshPlacement(ctx, o.staleTbl) || c.place.Load() != st {
 				continue
 			}
 		}
-		return rpc.Message{}, errors.Join(failed...)
+		// A pass where some replica was shed (rpc.ErrUnavailable) may have
+		// lost a race with breaker recovery: a half-open breaker admits a
+		// single probe, so a concurrent read failing over to the same
+		// recovering replica is shed even though the provider is answering
+		// its probe right now. The replica set is not dead — pause long
+		// enough for the probe to settle and run the pass again, bounded so
+		// a genuine full outage still fails fast.
+		if attempt < shedRetries && errors.Is(o.err, rpc.ErrUnavailable) {
+			c.shedRetries.Inc()
+			t := time.NewTimer(shedRetryPause)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return rpc.Message{}, ctx.Err()
+			case <-t.C:
+			}
+			continue
+		}
+		return rpc.Message{}, o.err
 	}
+}
+
+// shedRetries bounds how many times one read re-runs its replica pass
+// after losing a breaker-probe race; shedRetryPause gives the in-flight
+// probe time to settle (and an open breaker time to pass more of its
+// cooldown) between passes.
+const (
+	shedRetries    = 3
+	shedRetryPause = time.Millisecond
+)
+
+// readOutcome is the result of one pass over a replica order.
+type readOutcome struct {
+	resp rpc.Message
+	err  error
+	// final marks an authoritative failure (remote answer or caller
+	// cancellation): readCall must not re-resolve placement and retry.
+	final bool
+	// staleTbl carries the newest table from any wrong-epoch rejection
+	// seen during the pass, even a successful one.
+	staleTbl *placement.Table
+}
+
+// readOnce tries the replicas of order strictly one at a time.
+func (c *Client) readOnce(ctx context.Context, name string, order []int, req rpc.Message) readOutcome {
+	var failed []error
+	var staleTbl *placement.Table
+	for i, pi := range order {
+		resp, err := c.conns[pi].Call(ctx, name, req)
+		if err == nil {
+			if i > 0 {
+				c.failovers.Inc()
+			}
+			return readOutcome{resp: resp, staleTbl: staleTbl}
+		}
+		if t, ok := placement.TableFromError(err); ok {
+			staleTbl = t
+		} else if !placement.IsNotMigrated(err) && !rpc.IsTransient(err) {
+			// Authoritative handler answer, or the caller gave up:
+			// replicas are write-synchronized, so no other replica
+			// would say better.
+			return readOutcome{err: fmt.Errorf("provider %d: %w", pi, err), final: true, staleTbl: staleTbl}
+		}
+		failed = append(failed, fmt.Errorf("replica on provider %d: %w", pi, err))
+	}
+	return readOutcome{err: errors.Join(failed...), staleTbl: staleTbl}
 }
 
 // PartialMutateError reports a replicated mutation that some replicas

@@ -2,6 +2,8 @@ package client
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -149,8 +151,14 @@ func TestReplicatedReadFailover(t *testing.T) {
 	if got := fc.reg.Counter("client.read_failover").Load(); got == 0 {
 		t.Error("no read failovers recorded despite a partitioned home provider")
 	}
-	if got := fc.reg.Counter("client.replica_breaker_skip").Load(); got == 0 {
-		t.Error("open breaker never reordered replica preference")
+	// The partitioned provider must get routed around, either by the
+	// breaker opening (replica_breaker_skip) or — now that replicas are
+	// score-ranked — by its error-rate score demoting it before the
+	// breaker ever accumulates enough consecutive failures to open.
+	skips := fc.reg.Counter("client.replica_breaker_skip").Load()
+	demotes := fc.reg.Counter("client.score_demote").Load()
+	if skips+demotes == 0 {
+		t.Errorf("partitioned replica never reordered: breaker_skip=%d score_demote=%d", skips, demotes)
 	}
 
 	// Writes need every replica: they must fail while one is down ...
@@ -210,5 +218,58 @@ func TestReplicatedRefcountsStayIdentical(t *testing.T) {
 		if got := fc.provs[pi].RefCount(2, 0); got != 1 {
 			t.Errorf("provider %d: base vertex 0 refcount = %d after retire, want 1", pi, got)
 		}
+	}
+}
+
+// shedConn fails with the breaker's shed error until its gate count is
+// consumed, then answers — the shape of a recovering replica whose single
+// half-open probe slot a concurrent read just took.
+type shedConn struct {
+	sheds int
+	calls int
+}
+
+func (c *shedConn) Call(context.Context, string, rpc.Message) (rpc.Message, error) {
+	c.calls++
+	if c.calls <= c.sheds {
+		return rpc.Message{}, fmt.Errorf("%w: shed-test", rpc.ErrUnavailable)
+	}
+	return rpc.Message{Meta: []byte("ok")}, nil
+}
+func (c *shedConn) Addr() string { return "shed" }
+func (c *shedConn) Close() error { return nil }
+
+// A read whose every replica failed transiently, with at least one
+// failure being a breaker shed, retries the pass briefly instead of
+// failing: the shed replica may be mid-recovery with its single probe
+// slot taken by a concurrent read.
+func TestReadRetriesAfterBreakerProbeRace(t *testing.T) {
+	reg := metrics.NewRegistry()
+	down := &hedgeTestConn{err: rpc.ErrInjected, score: -1} // hard down, transient
+	recovering := &shedConn{sheds: 2}
+	cli := New([]rpc.Conn{down, recovering}, WithReplicas(2), WithRegistry(reg))
+
+	resp, err := cli.readCall(context.Background(), "op", ownermap.ModelID(0), rpc.Message{})
+	if err != nil {
+		t.Fatalf("read failed despite the shed clearing within the retry budget: %v", err)
+	}
+	if string(resp.Meta) != "ok" {
+		t.Fatalf("resp = %q", resp.Meta)
+	}
+	if n := reg.Counter("client.shed_retry").Load(); n != 2 {
+		t.Fatalf("client.shed_retry = %d, want 2", n)
+	}
+
+	// A genuinely dead set still fails once the bounded retries run out.
+	reg2 := metrics.NewRegistry()
+	cli2 := New([]rpc.Conn{&hedgeTestConn{err: rpc.ErrInjected, score: -1}, &shedConn{sheds: 1 << 30}},
+		WithReplicas(2), WithRegistry(reg2))
+	if _, err := cli2.readCall(context.Background(), "op", ownermap.ModelID(0), rpc.Message{}); err == nil {
+		t.Fatal("read succeeded against a dead replica set")
+	} else if !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("err = %v, want wrapped rpc.ErrUnavailable", err)
+	}
+	if n := reg2.Counter("client.shed_retry").Load(); n != shedRetries {
+		t.Fatalf("client.shed_retry = %d, want %d (bounded)", n, shedRetries)
 	}
 }

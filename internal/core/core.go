@@ -169,6 +169,16 @@ type Options struct {
 	// controller-driven and Rebalancer-driven via AutoBalancer's
 	// rebalancer); 0 leaves migrations unpaced.
 	MigrationBudgetBytesPerSec float64
+	// HedgedReads arms tail-latency hedging on the client's replicated read
+	// path (client.WithHedgedReads): when the preferred replica is slow to
+	// answer, a second read launches against the next-best replica after an
+	// adaptive, health-score-scaled delay and the first success wins. Only
+	// meaningful with Replicas > 1.
+	HedgedReads bool
+	// HedgeBudget caps hedge volume in hedge launches per second (token
+	// bucket); 0 selects the client default. Only meaningful with
+	// HedgedReads.
+	HedgeBudget float64
 	// DurableCatalog builds providers with provider.NewDurable: catalog
 	// state (model metadata, refcounts, journals, tombstones) is written
 	// through to the KV backend and replayed on construction, so a provider
@@ -264,6 +274,9 @@ func Open(opts Options) (*Repository, error) {
 	}
 	if opts.Tenant != "" {
 		copts = append(copts, client.WithTenant(opts.Tenant))
+	}
+	if opts.HedgedReads {
+		copts = append(copts, client.WithHedgedReads(0, opts.HedgeBudget))
 	}
 	r.cli = client.New(conns, copts...)
 	if opts.AutoBalance {

@@ -74,6 +74,23 @@ func (b *breaker) onSuccess() (reclosed bool) {
 	return reclosed
 }
 
+// onAbandoned records a call whose outcome says nothing about the
+// provider (the caller cancelled it mid-flight, e.g. a hedge winner
+// cancelling the losing leg). It must not resolve the breaker either way,
+// but it has to release a half-open probe slot — leaving probing set for
+// a call that will never report back would wedge the breaker, shedding
+// every future call against the provider.
+func (b *breaker) onAbandoned() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.probing = false
+	}
+}
+
 // onFailure records a transient failure at time now; it reports whether
 // this opened the breaker.
 func (b *breaker) onFailure(now time.Time) (opened bool) {
@@ -117,6 +134,26 @@ func (b *breaker) healthy(now time.Time) bool {
 		return !b.probing
 	default:
 		return true
+	}
+}
+
+// snapshot reports the current state and whether a call placed at time
+// now would be admitted, without mutating anything (unlike admit, which
+// flips an elapsed-cooldown open breaker to half-open). Health scoring
+// reads this.
+func (b *breaker) snapshot(now time.Time) (state int, admitting bool) {
+	if b.threshold < 0 {
+		return stateClosed, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return stateOpen, now.Sub(b.openedAt) >= b.cooldown
+	case stateHalfOpen:
+		return stateHalfOpen, !b.probing
+	default:
+		return stateClosed, true
 	}
 }
 

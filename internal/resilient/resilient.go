@@ -37,6 +37,7 @@ package resilient
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -100,6 +101,23 @@ type Options struct {
 	// Clock and Seed inject time and jitter randomness for tests.
 	Clock Clock
 	Seed  int64
+	// AdaptiveDeadline derives the per-attempt deadline from this
+	// connection's observed latency distribution instead of the static
+	// DefaultTimeout: quantile AdaptiveQuantile times AdaptiveMult,
+	// clamped to [AdaptiveFloor, DefaultTimeout]. A gray-slow provider
+	// then times out at a few multiples of its own recent tail instead
+	// of parking callers on a 10s fabric-wide constant. Off by default.
+	AdaptiveDeadline bool
+	// AdaptiveQuantile is the observed quantile the deadline is derived
+	// from. Default 0.99.
+	AdaptiveQuantile float64
+	// AdaptiveMult scales the observed quantile into a deadline.
+	// Default 4.
+	AdaptiveMult float64
+	// AdaptiveFloor is the minimum adaptive deadline, so microsecond
+	// in-proc latencies can't produce unserviceable deadlines.
+	// Default 25ms.
+	AdaptiveFloor time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +148,15 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = realClock{}
 	}
+	if o.AdaptiveQuantile <= 0 || o.AdaptiveQuantile > 1 {
+		o.AdaptiveQuantile = 0.99
+	}
+	if o.AdaptiveMult <= 0 {
+		o.AdaptiveMult = 4
+	}
+	if o.AdaptiveFloor <= 0 {
+		o.AdaptiveFloor = 25 * time.Millisecond
+	}
 	return o
 }
 
@@ -143,12 +170,15 @@ type Conn struct {
 	rng     *rand.Rand
 	breaker breaker
 
+	health health
+	fleet  *fleet // shared by WrapAll siblings; nil for a lone Wrap
+
 	listenMu sync.Mutex
 	listener func(addr, state string)
 
 	retries, shed            *metrics.Counter
 	opened, halfOpen, closed *metrics.Counter
-	throttled                *metrics.Counter
+	throttled, adaptive      *metrics.Counter
 }
 
 // SetStateListener installs fn to be called — synchronously, off the
@@ -177,28 +207,34 @@ func Wrap(conn rpc.Conn, o Options) *Conn {
 	o = o.withDefaults()
 	reg := o.Registry
 	return &Conn{
-		inner:    conn,
-		opts:     o,
-		rng:      rand.New(rand.NewSource(o.Seed)),
-		breaker:  breaker{threshold: o.Threshold, cooldown: o.Cooldown},
-		retries:  reg.Counter("rpc.retries"),
-		shed:     reg.Counter("rpc.breaker_shed"),
-		opened:   reg.Counter("rpc.breaker_open"),
-		halfOpen: reg.Counter("rpc.breaker_half_open"),
-		closed:   reg.Counter("rpc.breaker_close"),
+		inner:     conn,
+		opts:      o,
+		rng:       rand.New(rand.NewSource(o.Seed)),
+		breaker:   breaker{threshold: o.Threshold, cooldown: o.Cooldown},
+		retries:   reg.Counter("rpc.retries"),
+		shed:      reg.Counter("rpc.breaker_shed"),
+		opened:    reg.Counter("rpc.breaker_open"),
+		halfOpen:  reg.Counter("rpc.breaker_half_open"),
+		closed:    reg.Counter("rpc.breaker_close"),
 		throttled: reg.Counter("rpc.throttle_backoff"),
+		adaptive:  reg.Counter("rpc.adaptive_deadline"),
 	}
 }
 
 // WrapAll hardens every connection of a deployment with the same options
 // (but independent breakers and RNG streams, offset by index so provider
-// schedules differ).
+// schedules differ). The wrapped connections share a fleet view, so each
+// member's Score() can compare its latency against the fleet median.
 func WrapAll(conns []rpc.Conn, o Options) []rpc.Conn {
+	fl := &fleet{conns: make([]*Conn, len(conns))}
 	out := make([]rpc.Conn, len(conns))
 	for i, c := range conns {
 		oi := o
 		oi.Seed = o.Seed + int64(i)
-		out[i] = Wrap(c, oi)
+		rc := Wrap(c, oi)
+		rc.fleet = fl
+		fl.conns[i] = rc
+		out[i] = rc
 	}
 	return out
 }
@@ -278,6 +314,16 @@ func (c *Conn) Call(ctx context.Context, name string, req rpc.Message) (rpc.Mess
 			continue
 		}
 		if err == nil || !rpc.IsTransient(err) {
+			if err != nil && errors.Is(err, context.Canceled) {
+				// The caller gave up mid-flight (a hedge winner cancelling
+				// its losers, a user abandoning a request). That says
+				// nothing about the provider, so it must neither reset the
+				// breaker's failure streak nor count against it — but if
+				// this call was the half-open probe, the slot must be
+				// released or the breaker wedges shut.
+				c.breaker.onAbandoned()
+				return resp, err
+			}
 			// Success, or the handler answered authoritatively: the
 			// provider is reachable either way.
 			if c.breaker.onSuccess() {
@@ -312,16 +358,35 @@ func clampRetryAfter(d time.Duration) time.Duration {
 	return d
 }
 
-// attempt runs one try under the per-attempt default deadline.
+// attempt runs one try under the per-attempt deadline (static default or
+// adaptive, see attemptDeadline) and feeds its outcome into the
+// connection's health observations: every attempt updates the error EWMA,
+// completed round trips (success or authoritative answer) update the
+// latency window. Caller-cancelled attempts record nothing — they carry
+// no information about the provider.
 func (c *Conn) attempt(ctx context.Context, name string, req rpc.Message) (rpc.Message, error) {
-	if c.opts.DefaultTimeout > 0 {
-		if _, has := ctx.Deadline(); !has {
+	if _, has := ctx.Deadline(); !has {
+		if d := c.attemptDeadline(); d > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, c.opts.DefaultTimeout)
+			ctx, cancel = context.WithTimeout(ctx, d)
 			defer cancel()
 		}
 	}
-	return c.inner.Call(ctx, name, req)
+	start := c.opts.Clock.Now()
+	resp, err := c.inner.Call(ctx, name, req)
+	now := c.opts.Clock.Now()
+	if err != nil && errors.Is(err, context.Canceled) {
+		// Cancelled by the caller: the round trip never finished, so the
+		// elapsed time measures the caller's patience, not the provider.
+		// Recording it would pollute a gray-slow provider's latency window
+		// with fast-looking samples (every hedge that wins against it
+		// cancels a leg here) and mask exactly the slowness hedging is
+		// meant to expose.
+		return resp, err
+	}
+	completed := err == nil || !rpc.IsTransient(err)
+	c.health.observe(now, now.Sub(start), completed)
+	return resp, err
 }
 
 // Addr implements rpc.Conn.

@@ -2,32 +2,103 @@ package rpc
 
 import (
 	"context"
+	"math/rand"
+	"sync"
 	"time"
 )
+
+// sleepCtx blocks for d or until ctx is done, whichever comes first. A
+// context that is already expired returns its error immediately without
+// charging any of the delay — an injected delay must never make a
+// dead call look slower than it was. The timer is stopped on early
+// cancellation so mid-flight aborts don't accumulate live timers.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // WithLatency wraps a connection so every Call pays an additional fixed
 // round-trip delay. Experiment harnesses use it to emulate a datacenter
 // fabric RTT on loopback transports, whose real RTT is otherwise orders of
 // magnitude below any deployed network — which would hide exactly the
 // effects (chained metadata round trips, per-tensor request storms) that
-// the paper's design avoids.
+// the paper's design avoids. Equivalent to WithLatencyProfile with the
+// whole RTT charged on the request leg and no jitter.
 func WithLatency(conn Conn, rtt time.Duration) Conn {
-	if rtt <= 0 {
+	return WithLatencyProfile(conn, LatencyProfile{Request: rtt})
+}
+
+// LatencyProfile shapes the delay WithLatencyProfile injects. Request is
+// charged before the wrapped call, Response after it returns, modeling
+// asymmetric paths (small request frame out, bulk response back). Jitter
+// adds a uniform draw from [-Jitter, +Jitter] to each nonzero leg, from a
+// private RNG seeded with Seed so a given seed reproduces the schedule.
+type LatencyProfile struct {
+	Request  time.Duration
+	Response time.Duration
+	Jitter   time.Duration
+	Seed     int64
+}
+
+// WithLatencyProfile wraps a connection with the given latency shape. A
+// profile with no positive field returns conn unchanged.
+func WithLatencyProfile(conn Conn, p LatencyProfile) Conn {
+	if p.Request <= 0 && p.Response <= 0 && p.Jitter <= 0 {
 		return conn
 	}
-	return &latencyConn{Conn: conn, rtt: rtt}
+	lc := &latencyConn{Conn: conn, p: p}
+	if p.Jitter > 0 {
+		lc.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	return lc
 }
 
 type latencyConn struct {
 	Conn
-	rtt time.Duration
+	p LatencyProfile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// leg returns base with the profile's jitter applied, clamped at zero.
+func (c *latencyConn) leg(base time.Duration) time.Duration {
+	if c.rng == nil {
+		return base
+	}
+	c.mu.Lock()
+	d := base + time.Duration(c.rng.Int63n(int64(2*c.p.Jitter))) - c.p.Jitter
+	c.mu.Unlock()
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 func (c *latencyConn) Call(ctx context.Context, name string, req Message) (Message, error) {
-	select {
-	case <-time.After(c.rtt):
-	case <-ctx.Done():
-		return Message{}, ctx.Err()
+	if err := sleepCtx(ctx, c.leg(c.p.Request)); err != nil {
+		return Message{}, err
 	}
-	return c.Conn.Call(ctx, name, req)
+	resp, err := c.Conn.Call(ctx, name, req)
+	if err != nil {
+		return resp, err
+	}
+	if c.p.Response > 0 || c.rng != nil {
+		if err := sleepCtx(ctx, c.leg(c.p.Response)); err != nil {
+			return Message{}, err
+		}
+	}
+	return resp, err
 }

@@ -1,0 +1,194 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Regression (gray-failure PR): an injected delay must not be charged when
+// the caller's context is already expired — the call should fail
+// immediately with the context error, for FaultConn and WithLatency alike.
+func TestInjectedDelayNotChargedWhenContextExpired(t *testing.T) {
+	const delay = 30 * time.Second // far beyond any sane test runtime
+	conns := map[string]Conn{
+		"fault":   WithFaults(echoConn(t), FaultConfig{Delay: delay, Registry: metrics.NewRegistry()}),
+		"latency": WithLatency(echoConn(t), delay),
+	}
+	for name, conn := range conns {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		_, err := conn.Call(ctx, "echo", Message{})
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Errorf("%s: expired context still charged %v of injected delay", name, elapsed)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", name, err)
+		}
+	}
+}
+
+// Regression: cancelling mid-delay must abort the sleep promptly rather
+// than letting the injected delay run to completion.
+func TestInjectedDelayCancellable(t *testing.T) {
+	const delay = 30 * time.Second
+	conns := map[string]Conn{
+		"fault":   WithFaults(echoConn(t), FaultConfig{Delay: delay, Registry: metrics.NewRegistry()}),
+		"latency": WithLatencyProfile(echoConn(t), LatencyProfile{Request: delay, Jitter: time.Millisecond}),
+	}
+	for name, conn := range conns {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			_, err := conn.Call(ctx, "echo", Message{})
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s: want context.Canceled, got %v", name, err)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Errorf("%s: cancellation took %v, delay was not interruptible", name, elapsed)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: call still blocked in injected delay after cancel", name)
+		}
+	}
+}
+
+// WithLatency must keep its original contract: rtt <= 0 is a no-op wrap,
+// and a positive rtt charges exactly one pre-call sleep (no response leg,
+// no jitter).
+func TestWithLatencySingleRTTContract(t *testing.T) {
+	inner := echoConn(t)
+	if got := WithLatency(inner, 0); got != inner {
+		t.Fatalf("WithLatency(conn, 0) must return conn unchanged, got %T", got)
+	}
+	const rtt = 20 * time.Millisecond
+	conn := WithLatency(inner, rtt)
+	lc, ok := conn.(*latencyConn)
+	if !ok {
+		t.Fatalf("WithLatency returned %T", conn)
+	}
+	if lc.p.Response != 0 || lc.p.Jitter != 0 || lc.rng != nil {
+		t.Fatalf("WithLatency must not gain a response leg or jitter: %+v", lc.p)
+	}
+	start := time.Now()
+	if _, err := conn.Call(context.Background(), "echo", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < rtt {
+		t.Fatalf("call took %v, want >= %v", elapsed, rtt)
+	}
+}
+
+// The asymmetric profile charges the response leg only after a successful
+// call, and jitter draws are deterministic per seed.
+func TestLatencyProfileAsymmetric(t *testing.T) {
+	const req, resp = 10 * time.Millisecond, 15 * time.Millisecond
+	conn := WithLatencyProfile(echoConn(t), LatencyProfile{Request: req, Response: resp})
+	start := time.Now()
+	if _, err := conn.Call(context.Background(), "echo", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < req+resp {
+		t.Fatalf("call took %v, want >= %v", elapsed, req+resp)
+	}
+
+	draw := func(seed int64) []time.Duration {
+		lc := WithLatencyProfile(echoConn(t), LatencyProfile{Request: time.Millisecond, Jitter: time.Millisecond, Seed: seed}).(*latencyConn)
+		var out []time.Duration
+		for i := 0; i < 32; i++ {
+			out = append(out, lc.leg(lc.p.Request))
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter draw %d differs across equal seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 {
+			t.Fatalf("jitter draw %d went negative: %v", i, a[i])
+		}
+	}
+}
+
+// SlowProfile inflates the base delay, charges bulk bytes against the
+// bandwidth cap on both legs, and clears cleanly with SetSlow(nil).
+func TestSlowProfileInflatesAndClears(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := WithFaults(echoConn(t), FaultConfig{Delay: time.Millisecond, Registry: reg})
+
+	// Healthy: a call is fast and does not count as slow.
+	if _, err := f.Call(context.Background(), "echo", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("fault.slow_call").Load(); n != 0 {
+		t.Fatalf("healthy call counted as slow: %d", n)
+	}
+
+	f.SetSlow(&SlowProfile{Factor: 20})
+	if !f.Slow() {
+		t.Fatal("Slow() false after SetSlow")
+	}
+	start := time.Now()
+	if _, err := f.Call(context.Background(), "echo", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("slow call took %v, want >= 20ms (20x base 1ms)", elapsed)
+	}
+	if n := reg.Counter("fault.slow_call").Load(); n != 1 {
+		t.Fatalf("fault.slow_call = %d, want 1", n)
+	}
+
+	// Bandwidth: 64 KiB of request bulk at 1 MiB/s is a ~62ms charge.
+	f.SetSlow(&SlowProfile{Factor: 1, BandwidthBps: 1 << 20})
+	start = time.Now()
+	if _, err := f.Call(context.Background(), "echo", Message{Bulk: make([]byte, 64<<10)}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("bulk call under bandwidth cap took %v, want >= 50ms", elapsed)
+	}
+
+	f.SetSlow(nil)
+	if f.Slow() {
+		t.Fatal("Slow() true after SetSlow(nil)")
+	}
+	start = time.Now()
+	if _, err := f.Call(context.Background(), "echo", Message{Bulk: make([]byte, 64<<10)}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("healed call still slow: %v", elapsed)
+	}
+}
+
+// The slow-mode delay schedule is deterministic for equal seeds.
+func TestSlowProfileDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		f := WithFaults(echoConn(t), FaultConfig{Seed: seed, Delay: time.Millisecond, Registry: metrics.NewRegistry()})
+		f.SetSlow(&SlowProfile{Factor: 3, Extra: time.Millisecond, Jitter: time.Millisecond})
+		var out []time.Duration
+		for i := 0; i < 64; i++ {
+			out = append(out, f.roll().delay)
+		}
+		return out
+	}
+	a, b := draw(11), draw(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slow delay %d differs across equal seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
